@@ -1,0 +1,154 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Three ablations, none of which exist in the paper but all of which answer
+questions a careful reader asks:
+
+1. **Grow-tree cost update** — the paper's printed pseudo-code (Algorithm 3)
+   accumulates the *cost* of the chosen edge instead of its *weight*; how
+   much does the textual metric (our default) gain?
+2. **Local search** — how much throughput does the greedy bottleneck
+   re-parenting post-pass recover on top of each heuristic?
+3. **LP-Prune edge order** — the printed Algorithm 6 sorts edges in the
+   opposite order from the surrounding text; removing the *most* used edges
+   first (the literal pseudo-code) should be clearly worse than removing the
+   least used first (our default, following the text).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    GrowingMinimumOutDegreeTree,
+    build_broadcast_tree,
+    improve_tree,
+    generate_random_platform,
+    solve_steady_state_lp,
+    tree_throughput,
+)
+from repro.analysis.metrics import summarize
+from repro.utils.ascii_plot import format_table
+
+_PLATFORMS = [
+    generate_random_platform(num_nodes=30, density=0.12, seed=seed) for seed in range(5)
+]
+_LP = {id(p): solve_steady_state_lp(p, 0) for p in _PLATFORMS}
+
+
+def _relative(tree, platform):
+    return tree_throughput(tree).throughput / _LP[id(platform)].throughput
+
+
+def test_ablation_grow_tree_cost_update(benchmark):
+    """Textual cost metric vs the literal pseudo-code update of Algorithm 3."""
+
+    def run():
+        rows = []
+        for platform in _PLATFORMS:
+            textual = _relative(GrowingMinimumOutDegreeTree().build(platform, 0), platform)
+            literal = _relative(
+                GrowingMinimumOutDegreeTree(literal_cost_update=True).build(platform, 0),
+                platform,
+            )
+            rows.append((textual, literal))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    textual = summarize([r[0] for r in rows])
+    literal = summarize([r[1] for r in rows])
+    print()
+    print(
+        format_table(
+            ["variant", "mean relative performance", "min", "max"],
+            [
+                ["textual metric (default)", textual.mean, textual.minimum, textual.maximum],
+                ["literal pseudo-code", literal.mean, literal.minimum, literal.maximum],
+            ],
+        )
+    )
+    assert textual.mean >= literal.mean - 0.05
+
+
+def test_ablation_local_search(benchmark):
+    """Throughput gained by the greedy re-parenting pass on top of heuristics."""
+
+    def run():
+        gains = {}
+        for name in ("grow-tree", "prune-degree", "binomial"):
+            ratios = []
+            for platform in _PLATFORMS:
+                base = build_broadcast_tree(platform, 0, name)
+                improved = improve_tree(base)
+                ratios.append(
+                    tree_throughput(improved).throughput / tree_throughput(base).throughput
+                )
+            gains[name] = summarize(ratios)
+        return gains
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["heuristic", "mean improvement factor", "max"],
+            [[name, stats.mean, stats.maximum] for name, stats in gains.items()],
+        )
+    )
+    for name, stats in gains.items():
+        assert stats.mean >= 1.0 - 1e-9, name
+    # The binomial tree benefits the most from local improvement.
+    assert gains["binomial"].mean >= gains["grow-tree"].mean - 1e-9
+
+
+def test_ablation_lp_prune_edge_order(benchmark):
+    """Pruning least-used LP edges first (text) vs most-used first (pseudo-code)."""
+    from repro.core.lp_prune import LPCommunicationGraphPruning
+    from repro.utils.graph_utils import (
+        adjacency_from_edges,
+        edge_removal_keeps_spanning,
+        sort_edges_by_weight,
+    )
+    from repro.core.tree import BroadcastTree
+
+    def prune_most_used_first(platform, solution):
+        """The literal printed pseudo-code of Algorithm 6 (for comparison)."""
+        nodes = platform.nodes
+        messages = {edge: solution.edge_weight(*edge) for edge in platform.edges}
+        remaining = set(messages)
+        adjacency = adjacency_from_edges(nodes, remaining)
+        while len(remaining) > len(nodes) - 1:
+            removed = 0
+            for edge in sort_edges_by_weight(remaining, messages, descending=True):
+                if len(remaining) <= len(nodes) - 1:
+                    break
+                if edge_removal_keeps_spanning(0, nodes, adjacency, edge):
+                    remaining.discard(edge)
+                    adjacency[edge[0]].discard(edge[1])
+                    removed += 1
+            if removed == 0:
+                break
+        return BroadcastTree.from_edges(platform, 0, remaining, name="lp-prune-literal")
+
+    def run():
+        text_ratios, literal_ratios = [], []
+        for platform in _PLATFORMS:
+            solution = _LP[id(platform)]
+            text_tree = LPCommunicationGraphPruning().build(
+                platform, 0, lp_solution=solution
+            )
+            literal_tree = prune_most_used_first(platform, solution)
+            text_ratios.append(_relative(text_tree, platform))
+            literal_ratios.append(_relative(literal_tree, platform))
+        return summarize(text_ratios), summarize(literal_ratios)
+
+    text_stats, literal_stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["edge order", "mean relative performance"],
+            [
+                ["least-used first (text, default)", text_stats.mean],
+                ["most-used first (printed pseudo-code)", literal_stats.mean],
+            ],
+        )
+    )
+    assert text_stats.mean >= literal_stats.mean

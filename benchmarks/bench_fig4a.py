@@ -1,0 +1,37 @@
+"""Benchmark regenerating Figure 4(a): one-port heuristics vs platform size.
+
+Run with ``pytest benchmarks/bench_fig4a.py --benchmark-only -s`` (the ``-s``
+flag shows the reproduced table / ASCII chart).  The benchmark measures the
+wall-clock cost of the whole experiment (platform generation + LP solves +
+heuristics) and asserts that the qualitative shape of the paper's figure
+holds: advanced heuristics well above 55 % of the optimum, binomial far
+below, simple pruning dominated by refined pruning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import check_figure4_shape, figure_4a, random_ensemble_records
+
+
+@pytest.mark.paper
+def test_figure_4a(benchmark, paper_parameters, bench_header):
+    """Reproduce Figure 4(a) and check its qualitative shape."""
+
+    def run():
+        records = random_ensemble_records(paper_parameters)
+        return figure_4a(paper_parameters, records=records)
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    check = check_figure4_shape(figure)
+    print()
+    print(bench_header)
+    print(figure.render())
+    print(check.render())
+    check.raise_on_failure()
+
+    # The relative performance of every heuristic is a valid ratio under the
+    # one-port model (the LP optimum is an upper bound for single trees).
+    for label, values in figure.series.items():
+        assert all(0 < v <= 1.0 + 1e-9 for v in values), label

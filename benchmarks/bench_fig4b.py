@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 4(b): one-port heuristics vs platform density.
+
+Shares the evaluated random-platform ensemble with ``bench_fig4a`` (the
+runner caches it process-wide), so this benchmark mostly measures the
+aggregation cost unless it runs first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import check_figure4_shape, figure_4b, random_ensemble_records
+
+
+@pytest.mark.paper
+def test_figure_4b(benchmark, paper_parameters, bench_header):
+    """Reproduce Figure 4(b) and check its qualitative shape."""
+
+    def run():
+        records = random_ensemble_records(paper_parameters)
+        return figure_4b(paper_parameters, records=records)
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    check = check_figure4_shape(figure)
+    print()
+    print(bench_header)
+    print(figure.render())
+    print(check.render())
+    check.raise_on_failure()
+
+    # Density axis must cover the requested grid (after bucketing of the
+    # achieved densities).
+    assert len(figure.x_values) >= 2

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 5: multi-port heuristics vs platform size.
+
+The reference value is still the one-port LP optimum (as in the paper), so
+the multi-port-aware heuristics may exceed a ratio of 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import check_figure5_shape, figure_5, random_ensemble_records
+
+
+@pytest.mark.paper
+def test_figure_5(benchmark, paper_parameters, bench_header):
+    """Reproduce Figure 5 and check its qualitative shape."""
+
+    def run():
+        records = random_ensemble_records(paper_parameters)
+        return figure_5(paper_parameters, records=records)
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    check = check_figure5_shape(figure)
+    print()
+    print(bench_header)
+    print(figure.render())
+    print(check.render())
+    check.raise_on_failure()
+
+    # The multi-port growing tree must dominate the binomial tree at every
+    # platform size, as in the paper's figure.
+    grow = figure.series_for("Multi Port Grow Tree")
+    binomial = figure.series_for("Binomial Tree")
+    assert all(g > b for g, b in zip(grow, binomial))

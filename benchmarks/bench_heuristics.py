@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the tree-construction heuristics themselves.
+
+These are classic pytest-benchmark measurements (many rounds) of the time it
+takes each heuristic to build a tree on platforms of the two sizes used by
+the paper's Tiers ensembles.  They document that every heuristic is
+comfortably polynomial: even the quadratic pruning heuristics stay in the
+tens of milliseconds at 65 nodes, which is negligible next to the broadcast
+itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MultiPortModel,
+    build_broadcast_tree,
+    generate_random_platform,
+    solve_steady_state_lp,
+)
+from repro.core.registry import PAPER_ONE_PORT_HEURISTICS
+
+SIZES = {"30-nodes": (30, 0.12), "65-nodes": (65, 0.08)}
+_PLATFORMS = {
+    label: generate_random_platform(num_nodes=n, density=d, seed=1)
+    for label, (n, d) in SIZES.items()
+}
+_LP_SOLUTIONS = {}
+
+
+def _lp_solution(label):
+    if label not in _LP_SOLUTIONS:
+        _LP_SOLUTIONS[label] = solve_steady_state_lp(_PLATFORMS[label], 0)
+    return _LP_SOLUTIONS[label]
+
+
+@pytest.mark.parametrize("label", sorted(SIZES))
+@pytest.mark.parametrize("heuristic", PAPER_ONE_PORT_HEURISTICS)
+def test_one_port_heuristic_build_time(benchmark, heuristic, label):
+    """Tree-construction time of each one-port heuristic (LP excluded)."""
+    platform = _PLATFORMS[label]
+    kwargs = {"lp_solution": _lp_solution(label)} if heuristic.startswith("lp-") else {}
+
+    tree = benchmark(lambda: build_broadcast_tree(platform, 0, heuristic, **kwargs))
+    assert tree.num_nodes == platform.num_nodes
+
+
+@pytest.mark.parametrize("label", sorted(SIZES))
+@pytest.mark.parametrize("heuristic", ["multiport-grow-tree", "multiport-prune-degree"])
+def test_multi_port_heuristic_build_time(benchmark, heuristic, label):
+    """Tree-construction time of the multi-port heuristics."""
+    platform = _PLATFORMS[label]
+    model = MultiPortModel()
+
+    tree = benchmark(lambda: build_broadcast_tree(platform, 0, heuristic, model=model))
+    assert tree.num_nodes == platform.num_nodes

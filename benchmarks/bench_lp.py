@@ -1,0 +1,42 @@
+"""Benchmarks of the steady-state LP: assembly and solve time vs platform size.
+
+The LP is the only super-linear component of the reproduction (its size is
+``O(edges * nodes)`` variables); these benchmarks track how the assembly and
+the HiGHS solve scale with the platform size so regressions in the sparse
+formulation are caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import generate_random_platform, solve_steady_state_lp
+from repro.lp.formulation import build_steady_state_lp
+
+CASES = {
+    "20-nodes": (20, 0.15),
+    "30-nodes": (30, 0.12),
+    "50-nodes-sparse": (50, 0.06),
+}
+_PLATFORMS = {
+    label: generate_random_platform(num_nodes=n, density=d, seed=3)
+    for label, (n, d) in CASES.items()
+}
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_lp_assembly_time(benchmark, label):
+    """Time to assemble the sparse LP matrices."""
+    platform = _PLATFORMS[label]
+    data = benchmark(lambda: build_steady_state_lp(platform, 0))
+    assert data.index.num_variables > 0
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_lp_solve_time(benchmark, label):
+    """Time to assemble *and* solve the LP with HiGHS (rounds kept small)."""
+    platform = _PLATFORMS[label]
+    solution = benchmark.pedantic(
+        lambda: solve_steady_state_lp(platform, 0), rounds=2, iterations=1
+    )
+    assert solution.throughput > 0

@@ -1,0 +1,54 @@
+"""Benchmarks of the discrete-event simulator plus analysis/simulation agreement.
+
+Not a paper artefact per se, but the validation experiment backing every
+throughput number reported by the other benchmarks: the simulated
+steady-state rate of a direct broadcast tree must match the closed-form
+analysis (see DESIGN.md, experiment id VALID).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MultiPortModel, build_broadcast_tree, generate_random_platform
+from repro.simulation import simulate_broadcast
+
+_PLATFORM = generate_random_platform(num_nodes=25, density=0.15, seed=8)
+_TREES = {
+    "grow-tree": build_broadcast_tree(_PLATFORM, 0, "grow-tree"),
+    "prune-degree": build_broadcast_tree(_PLATFORM, 0, "prune-degree"),
+    "binomial": build_broadcast_tree(_PLATFORM, 0, "binomial"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_TREES))
+def test_simulation_throughput_agreement(benchmark, name):
+    """Simulate 60 slices and compare the measured rate with the analysis."""
+    tree = _TREES[name]
+
+    result = benchmark.pedantic(
+        lambda: simulate_broadcast(tree, num_slices=60, record_trace=False),
+        rounds=3,
+        iterations=1,
+    )
+    print(
+        f"\n{name}: analytical={result.analytical_throughput:.4f} "
+        f"measured={result.measured_throughput:.4f} "
+        f"(error {result.relative_error():.2%})"
+    )
+    if tree.is_direct:
+        assert result.relative_error() < 0.02
+    else:
+        # Routed trees: the FIFO schedule cannot beat the steady-state bound.
+        assert result.measured_throughput <= result.analytical_throughput * 1.01
+
+
+def test_simulator_event_rate(benchmark):
+    """Raw simulator speed (events per second) on a mid-size tree."""
+    tree = _TREES["grow-tree"]
+
+    def run():
+        return simulate_broadcast(tree, num_slices=100, record_trace=False)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.num_slices == 100

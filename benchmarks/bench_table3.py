@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table 3: one-port heuristics on Tiers-like platforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import check_table3_shape, table_3, tiers_ensemble_records
+
+
+@pytest.mark.paper
+def test_table_3(benchmark, paper_parameters, bench_header):
+    """Reproduce Table 3 and check its qualitative shape."""
+
+    def run():
+        records = tiers_ensemble_records(paper_parameters)
+        return table_3(paper_parameters, records=records)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    check = check_table3_shape(table)
+    print()
+    print(bench_header)
+    print(table.render())
+    print(check.render())
+    check.raise_on_failure()
+
+    # Paper shape: on both sizes the refined pruning / growing / LP-based
+    # heuristics stay above 50 % of the optimum while the binomial tree
+    # collapses on hierarchical platforms.
+    for size in table.rows:
+        assert table.cell(size, "Binomial Tree").mean < 0.5
+        assert table.cell(size, "Grow Tree").mean > 0.5

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+The figure/table benchmarks reproduce the paper's evaluation; their cost is
+dominated by the steady-state LP solves, so the ensemble size is controlled
+by the ``REPRO_EXPERIMENT_SCALE`` environment variable (default 0.1, i.e.
+one configuration per parameter point and 10 Tiers platforms per size — set
+it to 1.0 for the full reproduction, or to 0.25+ for better statistics).
+All figure benchmarks
+share the same evaluated ensemble through the process-wide cache in
+:mod:`repro.experiments.runner`, so the expensive work is paid once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PaperParameters, parameters_from_environment
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper: benchmarks reproducing a paper artefact")
+
+
+@pytest.fixture(scope="session")
+def paper_parameters() -> PaperParameters:
+    """Experiment parameters, scaled via REPRO_EXPERIMENT_SCALE (default 0.1)."""
+    return parameters_from_environment(default_scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def bench_header(paper_parameters) -> str:
+    """One-line description of the ensemble printed by every paper benchmark."""
+    return f"ensemble: {paper_parameters.describe()}"

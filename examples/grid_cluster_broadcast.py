@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Broadcasting input data across a federation of clusters.
+
+Scenario (the motivation of the paper's introduction): a parallel
+application runs on three workstation clusters connected by slow wide-area
+links; before the computation starts, the master node has to broadcast a
+large input file (say 1 GB, split into 10 MB slices) to every worker.
+
+The example shows why topology-aware trees matter in this setting: the
+binomial tree used by index-based MPI broadcasts keeps re-crossing the slow
+backbone, while the paper's heuristics cross each wide-area link exactly
+once and fan out locally.
+
+Run with ``python examples/grid_cluster_broadcast.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    build_broadcast_tree,
+    generate_cluster_platform,
+    pipelined_makespan,
+    solve_steady_state_lp,
+    tree_throughput,
+)
+from repro.utils.ascii_plot import format_table
+
+NUM_SLICES = 100  # 1 GB broadcast as 100 slices of 10 MB
+
+
+def backbone_crossings(tree, platform) -> int:
+    """How many logical tree edges cross between two clusters."""
+    return sum(
+        1
+        for u, v in tree.logical_edges
+        if platform.node(u).cluster != platform.node(v).cluster
+    )
+
+
+def main() -> None:
+    platform = generate_cluster_platform(
+        num_clusters=3,
+        cluster_size=8,
+        intra_time_mean=0.1,   # 10 MB over a ~100 MB/s LAN: 0.1 s per slice
+        intra_deviation=0.02,
+        inter_time_mean=1.0,   # 10 MB over a ~10 MB/s WAN link: 1 s per slice
+        inter_deviation=0.2,
+        seed=7,
+    )
+    source = 0  # gateway of cluster 0 holds the input data
+    print(f"platform: {platform} (3 clusters x 8 nodes, slow backbone)\n")
+
+    solution = solve_steady_state_lp(platform, source)
+    print(f"steady-state optimum (multiple trees): {solution.throughput:.3f} slices/s\n")
+
+    rows = []
+    for name in ("binomial", "prune-degree", "grow-tree", "lp-grow-tree"):
+        tree = build_broadcast_tree(platform, source, heuristic=name)
+        report = tree_throughput(tree)
+        makespan = pipelined_makespan(tree, NUM_SLICES)
+        rows.append(
+            [
+                name,
+                report.throughput,
+                report.relative_to(solution.throughput),
+                makespan.makespan,
+                backbone_crossings(tree, platform),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "heuristic",
+                "slices/s",
+                "vs optimum",
+                f"time for {NUM_SLICES} slices (s)",
+                "backbone crossings",
+            ],
+            rows,
+        )
+    )
+
+    print(
+        "\nThe topology-aware trees cross the wide-area backbone exactly twice "
+        "(once per remote cluster) and keep the slow links out of the critical "
+        "pipeline; the binomial tree's extra crossings multiply the period by "
+        "the number of redundant wide-area transfers."
+    )
+
+
+if __name__ == "__main__":
+    main()

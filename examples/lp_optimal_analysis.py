@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Inside the steady-state linear program: from LP solution to broadcast tree.
+
+The paper's key practical insight is that the *value* of the optimal
+multiple-tree throughput (and the per-edge traffic achieving it) is cheap to
+compute, even though extracting the actual set of trees is complicated.
+This example dissects one LP solution:
+
+* the optimal throughput and which constraints are saturated,
+* the communication graph (edges weighted by the number of message slices
+  they carry per time unit),
+* how the two LP-based heuristics (LP-Prune / LP-Grow-Tree) turn that
+  communication graph into a single tree, and how close they land.
+
+Run with ``python examples/lp_optimal_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LPCommunicationGraphPruning,
+    LPGrowTree,
+    build_broadcast_tree,
+    generate_random_platform,
+    solve_steady_state_lp,
+    tree_throughput,
+)
+from repro.utils.ascii_plot import format_table
+
+
+def main() -> None:
+    platform = generate_random_platform(num_nodes=25, density=0.15, seed=11)
+    source = 0
+    print(f"platform: {platform}\n")
+
+    solution = solve_steady_state_lp(platform, source)
+    print(solution.summary())
+
+    # Saturated resources at the optimum.
+    print("\nnode occupations at the optimum (1.0 = fully busy):")
+    saturated = [
+        [str(node), t_in, t_out]
+        for node, (t_in, t_out) in solution.objective_per_node.items()
+        if max(t_in, t_out) > 0.99
+    ]
+    print(format_table(["node", "incoming occupation", "outgoing occupation"], saturated))
+
+    print("\nbusiest edges of the communication graph (slices per time unit):")
+    print(
+        format_table(
+            ["edge", "n_uv"],
+            [[str(edge), value] for edge, value in solution.busiest_edges(8)],
+        )
+    )
+
+    # Reuse the LP solution for both LP heuristics (no re-solve).
+    rows = []
+    for heuristic in (LPCommunicationGraphPruning(), LPGrowTree()):
+        tree = heuristic.build(platform, source, lp_solution=solution)
+        report = tree_throughput(tree)
+        rows.append(
+            [heuristic.paper_label, report.throughput, report.relative_to(solution.throughput)]
+        )
+    # Topology-only reference.
+    grow = build_broadcast_tree(platform, source, "grow-tree")
+    rows.append(
+        ["Grow Tree (no LP)", tree_throughput(grow).throughput,
+         tree_throughput(grow).relative_to(solution.throughput)]
+    )
+    print("\nsingle-tree heuristics built from (or without) the LP solution:")
+    print(format_table(["heuristic", "throughput", "vs optimum"], rows))
+
+
+if __name__ == "__main__":
+    main()

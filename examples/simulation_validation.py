@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validating the steady-state analysis with the discrete-event simulator.
+
+Every throughput number in this library comes from a closed-form argument
+(the inverse of the busiest node's period).  This example checks that claim
+the hard way: it simulates the pipelined broadcast slice by slice, with
+explicit one-port / multi-port resource occupation, and compares the
+measured steady-state rate with the analytical prediction.  It also prints a
+small Gantt chart of the schedule on a toy platform so the pipelining is
+visible.
+
+Run with ``python examples/simulation_validation.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MultiPortModel,
+    PlatformBuilder,
+    build_broadcast_tree,
+    generate_random_platform,
+    tree_throughput,
+)
+from repro.simulation import render_gantt, simulate_broadcast
+from repro.utils.ascii_plot import format_table
+
+
+def toy_gantt() -> None:
+    """A 5-node toy platform: show the pipelined schedule explicitly."""
+    platform = (
+        PlatformBuilder(name="toy")
+        .nodes(0, 1, 2, 3, 4)
+        .link(0, 1, 1.0, bidirectional=True)
+        .link(1, 2, 2.0, bidirectional=True)
+        .link(1, 3, 1.0, bidirectional=True)
+        .link(3, 4, 1.0, bidirectional=True)
+        .build()
+    )
+    tree = build_broadcast_tree(platform, 0, "grow-tree")
+    print(tree.describe())
+    result = simulate_broadcast(tree, num_slices=5)
+    print("\nschedule of the first 5 slices (digits are slice indices):")
+    print(render_gantt(result.trace))
+    print()
+
+
+def main() -> None:
+    toy_gantt()
+
+    platform = generate_random_platform(num_nodes=22, density=0.15, seed=13)
+    rows = []
+    for name, model in (
+        ("grow-tree", None),
+        ("prune-degree", None),
+        ("binomial", None),
+        ("multiport-grow-tree", MultiPortModel()),
+    ):
+        tree = build_broadcast_tree(platform, 0, name, model=model, strict_model=False)
+        analytical = tree_throughput(tree, model).throughput
+        result = simulate_broadcast(tree, num_slices=80, model=model, record_trace=False)
+        rows.append(
+            [
+                name + ("" if model is None else " [multi-port]"),
+                analytical,
+                result.measured_throughput,
+                result.relative_error(),
+                result.makespan,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "tree",
+                "analytical throughput",
+                "simulated throughput",
+                "relative error",
+                "makespan (80 slices)",
+            ],
+            rows,
+            float_format="{:.4f}",
+        )
+    )
+    print(
+        "\nDirect trees match the closed form to numerical precision; the routed "
+        "binomial tree is the only case where the simple FIFO schedule stays "
+        "below the steady-state bound (relay contention)."
+    )
+
+
+if __name__ == "__main__":
+    main()

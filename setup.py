@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e .`` on environments without
+the ``wheel`` package, e.g. fully offline boxes) keep working.
+"""
+
+from setuptools import setup
+
+setup()

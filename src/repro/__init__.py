@@ -1,0 +1,176 @@
+"""repro — Broadcast Trees for Heterogeneous Platforms.
+
+A faithful, self-contained reproduction of *"Broadcast Trees for
+Heterogeneous Platforms"* (Beaumont, Marchal, Robert — IPPS 2005 / LIP
+RR-2004-46): heuristics that build single spanning trees for pipelined
+broadcasts on heterogeneous platforms, the steady-state linear program
+giving the multiple-tree optimal throughput used as the reference, the
+throughput / makespan analysis, a discrete-event simulator validating the
+analysis, and the experiment harness regenerating every figure and table of
+the paper's evaluation.
+
+Quick start
+-----------
+>>> from repro import generate_random_platform, build_broadcast_tree, tree_throughput
+>>> platform = generate_random_platform(num_nodes=15, density=0.2, seed=42)
+>>> tree = build_broadcast_tree(platform, source=0, heuristic="grow-tree")
+>>> report = tree_throughput(tree)
+>>> report.throughput > 0
+True
+"""
+
+from ._version import __version__
+from .analysis import (
+    BottleneckReport,
+    MakespanReport,
+    SummaryStatistics,
+    ThroughputReport,
+    analyze_bottleneck,
+    fill_time,
+    makespan_lower_bound,
+    node_periods,
+    pipelined_makespan,
+    relative_performance,
+    summarize,
+    tree_throughput,
+)
+from .core import (
+    HEURISTICS,
+    PAPER_MULTI_PORT_HEURISTICS,
+    PAPER_ONE_PORT_HEURISTICS,
+    BinomialTreeHeuristic,
+    BroadcastTree,
+    GrowingMinimumOutDegreeTree,
+    LocalSearchImprovement,
+    LPCommunicationGraphPruning,
+    LPGrowTree,
+    MultiPortGrowingTree,
+    MultiPortRefinedPruning,
+    RefinedPlatformPruning,
+    SimplePlatformPruning,
+    TreeHeuristic,
+    available_heuristics,
+    build_broadcast_tree,
+    get_heuristic,
+    improve_tree,
+    register_heuristic,
+)
+from .exceptions import (
+    DisconnectedPlatformError,
+    HeuristicError,
+    InfeasibleLPError,
+    LPError,
+    NotASpanningTreeError,
+    PlatformError,
+    ReproError,
+    SimulationError,
+    TreeError,
+    UnknownHeuristicError,
+)
+from .lp import (
+    LPSolutionCache,
+    SteadyStateSolution,
+    build_steady_state_lp,
+    optimal_throughput,
+    solve_steady_state_lp,
+)
+from .models import MultiPortModel, OnePortModel, PortModel, PortModelKind, get_port_model
+from .platform import (
+    AffineCost,
+    Link,
+    LinkCostModel,
+    Platform,
+    PlatformBuilder,
+    ProcessorNode,
+    RandomPlatformConfig,
+    TiersConfig,
+    generate_cluster_platform,
+    generate_complete_platform,
+    generate_grid_platform,
+    generate_hypercube_platform,
+    generate_random_platform,
+    generate_ring_platform,
+    generate_star_platform,
+    generate_tiers_platform,
+    load_platform,
+    save_platform,
+)
+
+__all__ = [
+    "__version__",
+    # analysis
+    "BottleneckReport",
+    "MakespanReport",
+    "SummaryStatistics",
+    "ThroughputReport",
+    "analyze_bottleneck",
+    "fill_time",
+    "makespan_lower_bound",
+    "node_periods",
+    "pipelined_makespan",
+    "relative_performance",
+    "summarize",
+    "tree_throughput",
+    # core
+    "HEURISTICS",
+    "PAPER_MULTI_PORT_HEURISTICS",
+    "PAPER_ONE_PORT_HEURISTICS",
+    "BinomialTreeHeuristic",
+    "BroadcastTree",
+    "GrowingMinimumOutDegreeTree",
+    "LocalSearchImprovement",
+    "LPCommunicationGraphPruning",
+    "LPGrowTree",
+    "MultiPortGrowingTree",
+    "MultiPortRefinedPruning",
+    "RefinedPlatformPruning",
+    "SimplePlatformPruning",
+    "TreeHeuristic",
+    "available_heuristics",
+    "build_broadcast_tree",
+    "get_heuristic",
+    "improve_tree",
+    "register_heuristic",
+    # exceptions
+    "DisconnectedPlatformError",
+    "HeuristicError",
+    "InfeasibleLPError",
+    "LPError",
+    "NotASpanningTreeError",
+    "PlatformError",
+    "ReproError",
+    "SimulationError",
+    "TreeError",
+    "UnknownHeuristicError",
+    # lp
+    "LPSolutionCache",
+    "SteadyStateSolution",
+    "build_steady_state_lp",
+    "optimal_throughput",
+    "solve_steady_state_lp",
+    # models
+    "MultiPortModel",
+    "OnePortModel",
+    "PortModel",
+    "PortModelKind",
+    "get_port_model",
+    # platform
+    "AffineCost",
+    "Link",
+    "LinkCostModel",
+    "Platform",
+    "PlatformBuilder",
+    "ProcessorNode",
+    "RandomPlatformConfig",
+    "TiersConfig",
+    "generate_cluster_platform",
+    "generate_complete_platform",
+    "generate_grid_platform",
+    "generate_hypercube_platform",
+    "generate_random_platform",
+    "generate_ring_platform",
+    "generate_star_platform",
+    "generate_tiers_platform",
+    "load_platform",
+    "save_platform",
+]

@@ -1,0 +1,22 @@
+"""Steady-state throughput, makespan, bottleneck and metric analysis."""
+
+from .bottleneck import BottleneckReport, analyze_bottleneck
+from .makespan import MakespanReport, fill_time, makespan_lower_bound, pipelined_makespan
+from .metrics import SummaryStatistics, geometric_mean, relative_performance, summarize
+from .throughput import ThroughputReport, node_periods, tree_throughput
+
+__all__ = [
+    "BottleneckReport",
+    "analyze_bottleneck",
+    "MakespanReport",
+    "fill_time",
+    "makespan_lower_bound",
+    "pipelined_makespan",
+    "SummaryStatistics",
+    "geometric_mean",
+    "relative_performance",
+    "summarize",
+    "ThroughputReport",
+    "node_periods",
+    "tree_throughput",
+]

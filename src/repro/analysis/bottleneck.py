@@ -1,0 +1,88 @@
+"""Bottleneck analysis of a broadcast tree.
+
+The throughput of a pipelined broadcast is set by a single saturated
+resource; knowing *which* one is saturated explains why a heuristic behaves
+the way it does (e.g. the binomial tree saturates a node that happens to own
+only slow outgoing links), and drives the local-improvement post-pass
+shipped as an extension (:mod:`repro.core.local_search`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.tree import BroadcastTree
+from ..models.port_models import PortModel, get_port_model
+from .throughput import node_periods
+
+__all__ = ["BottleneckReport", "analyze_bottleneck"]
+
+NodeName = Any
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Description of the saturated resource of a broadcast tree.
+
+    Attributes
+    ----------
+    node:
+        The node whose period equals the tree period.
+    period:
+        The tree period (inverse of the throughput).
+    out_transfers:
+        Physical transfers sent by the bottleneck node per period.
+    children:
+        Logical children of the bottleneck node.
+    slack:
+        Per-node slack ``period - node_period`` for every other node; nodes
+        with large slack are candidates to adopt children from the
+        bottleneck node.
+    """
+
+    node: NodeName
+    period: float
+    out_transfers: tuple[tuple[NodeName, float, int], ...]
+    children: tuple[NodeName, ...]
+    slack: dict[NodeName, float]
+
+    @property
+    def num_children(self) -> int:
+        """Number of logical children of the bottleneck node."""
+        return len(self.children)
+
+    def most_relieving_child(self) -> NodeName | None:
+        """The child whose removal would reduce the node's load the most.
+
+        For the one-port model this is simply the child reached through the
+        heaviest first-hop transfer.
+        """
+        if not self.children:
+            return None
+        heaviest = None
+        heaviest_time = -1.0
+        for target, time, _count in self.out_transfers:
+            if target in self.children and time > heaviest_time:
+                heaviest, heaviest_time = target, time
+        return heaviest
+
+
+def analyze_bottleneck(
+    tree: BroadcastTree,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+) -> BottleneckReport:
+    """Identify the saturated node of ``tree`` under ``model``."""
+    port_model = get_port_model(model)
+    periods = node_periods(tree, port_model, size)
+    bottleneck = max(periods, key=lambda node: (periods[node], str(node)))
+    period = periods[bottleneck]
+    slack = {node: period - node_period for node, node_period in periods.items()}
+    return BottleneckReport(
+        node=bottleneck,
+        period=period,
+        out_transfers=tuple(tree.outgoing_transfers(bottleneck, size)),
+        children=tuple(tree.children(bottleneck)),
+        slack=slack,
+    )

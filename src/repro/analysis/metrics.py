@@ -1,0 +1,70 @@
+"""Aggregate metrics used by the experiment harness.
+
+The paper reports, for each heuristic, the *relative performance*: the ratio
+of the heuristic's single-tree throughput to the optimal multiple-tree
+throughput returned by the linear program, averaged over an ensemble of
+platforms (Figures 4 and 5), together with its deviation (Table 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["SummaryStatistics", "summarize", "relative_performance", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean / deviation / extrema of a sample of ratios."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def format(self, as_percentage: bool = True) -> str:
+        """Human-readable ``mean (+/- std)`` string, optionally in percent."""
+        if as_percentage:
+            return f"{100 * self.mean:.0f}% (+/-{100 * self.std:.0f}%)"
+        return f"{self.mean:.3f} (+/-{self.std:.3f})"
+
+
+def relative_performance(heuristic_throughput: float, optimal_throughput: float) -> float:
+    """Ratio of a heuristic throughput to the reference optimal throughput."""
+    if optimal_throughput <= 0:
+        raise ValueError(f"optimal throughput must be positive, got {optimal_throughput!r}")
+    if heuristic_throughput < 0:
+        raise ValueError(
+            f"heuristic throughput must be non-negative, got {heuristic_throughput!r}"
+        )
+    return heuristic_throughput / optimal_throughput
+
+
+def summarize(values: Iterable[float]) -> SummaryStatistics:
+    """Mean, population standard deviation and extrema of ``values``."""
+    data: Sequence[float] = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((v - mean) ** 2 for v in data) / count
+    return SummaryStatistics(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (useful for ratios spanning orders of magnitude)."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot take the geometric mean of an empty sample")
+    if any(v <= 0 for v in data):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in data) / len(data))

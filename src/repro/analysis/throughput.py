@@ -1,0 +1,121 @@
+"""Steady-state throughput of a broadcast tree.
+
+The throughput of a pipelined broadcast along a spanning tree is limited by
+the busiest resource:
+
+* **one-port model** — every node serialises its outgoing transfers, so a
+  node forwarding one slice to children ``v_1..v_k`` per period is busy
+  ``sum_i T_{u,v_i}`` per slice (its *weighted out-degree* in the tree); the
+  tree throughput is the inverse of the maximum weighted out-degree (the
+  receive side never dominates for plain trees because a node's single
+  incoming transfer is one term of its parent's outgoing sum);
+* **multi-port model** — Section 3.2 of the paper: a node's period is
+  ``max(k * send_u, max_i T_{u,v_i})``.
+
+Both cases are computed by delegating the per-node period to the
+:class:`~repro.models.port_models.PortModel`, which also covers routed
+(binomial) trees where a physical edge carries several message copies per
+period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.tree import BroadcastTree
+from ..exceptions import TreeError
+from ..models.port_models import PortModel, get_port_model
+
+__all__ = ["ThroughputReport", "tree_throughput", "node_periods"]
+
+NodeName = Any
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Result of a steady-state throughput analysis.
+
+    Attributes
+    ----------
+    throughput:
+        Average number of message slices the source can inject per time
+        unit (the paper's ``TP``); ``inf`` only for degenerate single-node
+        trees.
+    period:
+        Steady-state period, i.e. ``1 / throughput`` (0 for a single node).
+    bottleneck:
+        Node whose period equals the tree period.
+    periods:
+        Per-node steady-state periods.
+    model:
+        Name of the port model used for the analysis.
+    tree_name:
+        Name of the analysed tree (usually the heuristic that built it).
+    """
+
+    throughput: float
+    period: float
+    bottleneck: NodeName
+    periods: Mapping[NodeName, float]
+    model: str
+    tree_name: str
+
+    def relative_to(self, reference_throughput: float) -> float:
+        """Ratio of this throughput to a reference (e.g. the LP optimum)."""
+        if reference_throughput <= 0:
+            raise ValueError(
+                f"reference throughput must be positive, got {reference_throughput!r}"
+            )
+        return self.throughput / reference_throughput
+
+
+def node_periods(
+    tree: BroadcastTree,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+) -> dict[NodeName, float]:
+    """Steady-state period of every node of ``tree`` under ``model``."""
+    port_model = get_port_model(model)
+    periods: dict[NodeName, float] = {}
+    for node in tree.nodes:
+        outgoing = tree.outgoing_transfers(node, size)
+        incoming = tree.incoming_transfers(node, size)
+        periods[node] = port_model.node_period(
+            tree.platform, node, outgoing, incoming, size
+        )
+    return periods
+
+
+def tree_throughput(
+    tree: BroadcastTree,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+) -> ThroughputReport:
+    """Compute the steady-state throughput of ``tree`` under ``model``.
+
+    Parameters
+    ----------
+    tree:
+        The broadcast tree (possibly routed) to analyse.
+    model:
+        Port model instance, model name (``"one-port"`` / ``"multi-port"``)
+        or ``None`` for the paper's default one-port model.
+    size:
+        Message-slice size; defaults to the platform slice size.
+    """
+    if tree.num_nodes == 0:
+        raise TreeError("cannot analyse an empty tree")
+    port_model = get_port_model(model)
+    periods = node_periods(tree, port_model, size)
+    bottleneck = max(periods, key=lambda node: (periods[node], str(node)))
+    period = periods[bottleneck]
+    throughput = float("inf") if period == 0 else 1.0 / period
+    return ThroughputReport(
+        throughput=throughput,
+        period=period,
+        bottleneck=bottleneck,
+        periods=periods,
+        model=port_model.name,
+        tree_name=tree.name,
+    )

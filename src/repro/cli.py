@@ -1,0 +1,208 @@
+"""Command-line interface for the broadcast-tree reproduction.
+
+The CLI exposes the main workflows without writing Python:
+
+``python -m repro.cli tree --nodes 20 --density 0.12 --heuristic grow-tree``
+    generate a platform, build a tree, print its throughput and shape;
+
+``python -m repro.cli lp --nodes 20 --density 0.12``
+    solve the steady-state LP and print the optimal throughput and the
+    busiest edges of the communication graph;
+
+``python -m repro.cli simulate --nodes 20 --density 0.12 --slices 60``
+    cross-check the analysis with the discrete-event simulator;
+
+``python -m repro.cli experiment --artefact fig4a --scale 0.1``
+    regenerate one of the paper's artefacts (``fig4a``, ``fig4b``, ``fig5``,
+    ``table3``) at a chosen ensemble scale.
+
+Every command accepts ``--tiers SIZE`` instead of ``--nodes/--density`` to
+use the Tiers-like hierarchical generator, and ``--seed`` for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.throughput import tree_throughput
+from .core.registry import available_heuristics, build_broadcast_tree
+from .experiments import (
+    check_figure4_shape,
+    check_figure5_shape,
+    check_table3_shape,
+    figure_4a,
+    figure_4b,
+    figure_5,
+    scaled_parameters,
+    table_3,
+)
+from .lp.solver import solve_steady_state_lp
+from .models.port_models import get_port_model
+from .platform.generators.random_graph import generate_random_platform
+from .platform.generators.tiers import generate_tiers_platform
+from .platform.graph import Platform
+from .simulation.broadcast import simulate_broadcast
+from .utils.ascii_plot import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=20, help="number of processors")
+    parser.add_argument("--density", type=float, default=0.12, help="edge density")
+    parser.add_argument(
+        "--tiers", type=int, default=None, help="use a Tiers preset of this size instead"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--source", type=int, default=0, help="broadcast source node")
+
+
+def _make_platform(args: argparse.Namespace) -> Platform:
+    if args.tiers is not None:
+        return generate_tiers_platform(args.tiers, seed=args.seed)
+    return generate_random_platform(
+        num_nodes=args.nodes, density=args.density, seed=args.seed
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sub-commands
+# --------------------------------------------------------------------------- #
+def _cmd_tree(args: argparse.Namespace) -> int:
+    platform = _make_platform(args)
+    model = get_port_model(args.model)
+    tree = build_broadcast_tree(
+        platform, args.source, heuristic=args.heuristic, model=model, strict_model=False
+    )
+    report = tree_throughput(tree, model)
+    print(f"platform: {platform}")
+    print(
+        f"heuristic {args.heuristic!r} ({model.name}): throughput "
+        f"{report.throughput:.4f} slices/time-unit, bottleneck node {report.bottleneck!r}"
+    )
+    if args.compare_lp:
+        optimum = solve_steady_state_lp(platform, args.source).throughput
+        print(f"MTP optimum {optimum:.4f} -> relative performance {report.throughput / optimum:.1%}")
+    if args.show_tree:
+        print(tree.describe())
+    return 0
+
+
+def _cmd_lp(args: argparse.Namespace) -> int:
+    platform = _make_platform(args)
+    solution = solve_steady_state_lp(platform, args.source)
+    print(f"platform: {platform}")
+    print(solution.summary())
+    print("\nbusiest edges (slices per time unit):")
+    print(
+        format_table(
+            ["edge", "n_uv"],
+            [[str(edge), value] for edge, value in solution.busiest_edges(args.top)],
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    platform = _make_platform(args)
+    model = get_port_model(args.model)
+    tree = build_broadcast_tree(
+        platform, args.source, heuristic=args.heuristic, model=model, strict_model=False
+    )
+    result = simulate_broadcast(
+        tree, num_slices=args.slices, model=model, record_trace=False
+    )
+    print(f"platform: {platform}")
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["analytical throughput", result.analytical_throughput],
+                ["simulated throughput", result.measured_throughput],
+                ["relative error", result.relative_error()],
+                ["makespan", result.makespan],
+                ["effective throughput", result.effective_throughput],
+            ],
+            float_format="{:.4f}",
+        )
+    )
+    return 0
+
+
+_ARTEFACTS = {
+    "fig4a": (figure_4a, check_figure4_shape, "random"),
+    "fig4b": (figure_4b, check_figure4_shape, "random"),
+    "fig5": (figure_5, check_figure5_shape, "random"),
+    "table3": (table_3, check_table3_shape, "tiers"),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    parameters = scaled_parameters(args.scale, seed=args.seed)
+    build, check, _kind = _ARTEFACTS[args.artefact]
+    artefact = build(parameters)
+    print(artefact.render())
+    result = check(artefact)
+    print()
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Broadcast trees for heterogeneous platforms (IPPS 2005 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    tree = commands.add_parser("tree", help="build a broadcast tree with a heuristic")
+    _add_platform_arguments(tree)
+    tree.add_argument(
+        "--heuristic", default="grow-tree", choices=available_heuristics()
+    )
+    tree.add_argument("--model", default="one-port", choices=["one-port", "multi-port"])
+    tree.add_argument("--compare-lp", action="store_true", help="also solve the LP reference")
+    tree.add_argument("--show-tree", action="store_true", help="print the tree structure")
+    tree.set_defaults(handler=_cmd_tree)
+
+    lp = commands.add_parser("lp", help="solve the steady-state LP (MTP optimum)")
+    _add_platform_arguments(lp)
+    lp.add_argument("--top", type=int, default=8, help="number of busiest edges to show")
+    lp.set_defaults(handler=_cmd_lp)
+
+    simulate = commands.add_parser("simulate", help="discrete-event simulation of a tree")
+    _add_platform_arguments(simulate)
+    simulate.add_argument(
+        "--heuristic", default="grow-tree", choices=available_heuristics()
+    )
+    simulate.add_argument("--model", default="one-port", choices=["one-port", "multi-port"])
+    simulate.add_argument("--slices", type=int, default=60, help="number of message slices")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    experiment = commands.add_parser("experiment", help="regenerate a paper artefact")
+    experiment.add_argument("--artefact", choices=sorted(_ARTEFACTS), default="fig4a")
+    experiment.add_argument(
+        "--scale", type=float, default=0.1, help="ensemble scale (1.0 = full paper setup)"
+    )
+    experiment.add_argument("--seed", type=int, default=None, help="override the ensemble seed")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

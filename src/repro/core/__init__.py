@@ -1,0 +1,48 @@
+"""The paper's primary contribution: broadcast-tree heuristics for the STP problem."""
+
+from .base import HeuristicResult, TreeHeuristic
+from .binomial import BinomialTreeHeuristic
+from .grow_tree import GrowingMinimumOutDegreeTree
+from .local_search import LocalSearchImprovement, improve_tree
+from .lp_grow import LPGrowTree
+from .lp_prune import LPCommunicationGraphPruning
+from .multiport_grow import MultiPortGrowingTree
+from .multiport_prune import MultiPortRefinedPruning
+from .prune_refined import RefinedPlatformPruning
+from .prune_simple import SimplePlatformPruning
+from .registry import (
+    HEURISTICS,
+    PAPER_MULTI_PORT_HEURISTICS,
+    PAPER_ONE_PORT_HEURISTICS,
+    available_heuristics,
+    build_broadcast_tree,
+    get_heuristic,
+    heuristics_for_names,
+    register_heuristic,
+)
+from .tree import BroadcastTree, Route
+
+__all__ = [
+    "HeuristicResult",
+    "TreeHeuristic",
+    "BinomialTreeHeuristic",
+    "GrowingMinimumOutDegreeTree",
+    "LocalSearchImprovement",
+    "improve_tree",
+    "LPGrowTree",
+    "LPCommunicationGraphPruning",
+    "MultiPortGrowingTree",
+    "MultiPortRefinedPruning",
+    "RefinedPlatformPruning",
+    "SimplePlatformPruning",
+    "HEURISTICS",
+    "PAPER_MULTI_PORT_HEURISTICS",
+    "PAPER_ONE_PORT_HEURISTICS",
+    "available_heuristics",
+    "build_broadcast_tree",
+    "get_heuristic",
+    "heuristics_for_names",
+    "register_heuristic",
+    "BroadcastTree",
+    "Route",
+]

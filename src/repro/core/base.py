@@ -1,0 +1,132 @@
+"""Common interface of the broadcast-tree heuristics.
+
+Every heuristic of Sections 3 and 4 of the paper is implemented as a
+subclass of :class:`TreeHeuristic` exposing a single
+:meth:`TreeHeuristic.build` method that takes a platform and a source node
+and returns a :class:`~repro.core.tree.BroadcastTree`.  Heuristics are
+stateless; per-call tuning knobs are constructor parameters, so a configured
+heuristic instance can be reused across platforms (as the experiment runner
+does).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from ..exceptions import HeuristicError
+from ..models.port_models import PortModel, PortModelKind, get_port_model
+from ..platform.graph import Platform
+from .tree import BroadcastTree
+
+__all__ = ["TreeHeuristic", "HeuristicResult"]
+
+NodeName = Any
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """A built tree together with provenance metadata.
+
+    The experiment runner stores these so that reports can show which
+    heuristic (and which configuration of it) produced which tree.
+    """
+
+    tree: BroadcastTree
+    heuristic_name: str
+    model_name: str
+    parameters: dict[str, Any]
+
+
+class TreeHeuristic(ABC):
+    """Base class of all broadcast-tree heuristics.
+
+    Class attributes
+    ----------------
+    name:
+        Canonical registry name (e.g. ``"grow-tree"``).
+    paper_label:
+        The label used in the paper's figures (e.g. ``"Grow Tree"``).
+    supported_models:
+        Port-model kinds the heuristic is designed for; calling it with an
+        unsupported model raises :class:`~repro.exceptions.HeuristicError`
+        unless ``strict_model=False`` is passed to :meth:`build`.
+    """
+
+    name: str = "abstract"
+    paper_label: str = "Abstract"
+    supported_models: tuple[PortModelKind, ...] = (
+        PortModelKind.ONE_PORT,
+        PortModelKind.MULTI_PORT,
+    )
+
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        *,
+        model: PortModel | str | None = None,
+        size: float | None = None,
+        strict_model: bool = True,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        """Build a spanning broadcast tree rooted at ``source``.
+
+        Parameters
+        ----------
+        platform:
+            The platform graph; every node must be reachable from the
+            source.
+        source:
+            Root of the broadcast.
+        model:
+            Port model (instance, name or ``None`` for one-port); used by
+            the model-aware heuristics and recorded on the result.
+        size:
+            Message-slice size used to evaluate edge weights; defaults to
+            the platform's slice size.
+        strict_model:
+            When true (default), building with a model outside
+            :attr:`supported_models` raises.
+        kwargs:
+            Heuristic-specific extras (e.g. a precomputed LP solution for
+            the LP-based heuristics).
+        """
+        port_model = get_port_model(model)
+        if strict_model and port_model.kind not in self.supported_models:
+            raise HeuristicError(
+                f"heuristic {self.name!r} does not support the {port_model.name} model; "
+                f"supported: {[kind.value for kind in self.supported_models]}"
+            )
+        if not platform.has_node(source):
+            raise HeuristicError(f"source {source!r} is not a node of the platform")
+        platform.require_broadcast_feasible(source)
+        tree = self._build(platform, source, port_model, size, **kwargs)
+        tree.name = self.name
+        return tree
+
+    def __call__(self, platform: Platform, source: NodeName, **kwargs: Any) -> BroadcastTree:
+        """Alias for :meth:`build`."""
+        return self.build(platform, source, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        """Heuristic-specific construction (inputs are already validated)."""
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """One-line description used by reports."""
+        return f"{self.paper_label} ({self.name})"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

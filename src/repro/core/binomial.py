@@ -1,0 +1,108 @@
+"""Binomial-tree heuristic (Algorithm 4 of the paper).
+
+This is the topology-oblivious baseline: the classical MPI broadcast
+algorithm builds a binomial tree over processor *indices* (the source has
+index 0), doubling the set of informed processors at every stage.  The first
+``2^m`` processors (``m = floor(log2 p)``) form the binomial tree; each
+remaining processor ``x`` receives the message from processor ``x - 2^m`` in
+a final stage.
+
+Because indices ignore the platform topology, a logical transfer ``(u, v)``
+may involve two processors that are not adjacent; the transfer is then
+routed along the shortest path (by transfer time) from ``u`` to ``v``, and
+the intermediate nodes relay the slices.  The relaying cost is exactly why
+this heuristic performs poorly under the one-port model (Figure 4 of the
+paper) and less poorly under the multi-port model (Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from ..exceptions import HeuristicError
+from ..models.port_models import PortModel
+from ..platform.graph import Platform
+from .base import TreeHeuristic
+from .tree import BroadcastTree
+
+__all__ = ["BinomialTreeHeuristic"]
+
+NodeName = Any
+
+
+class BinomialTreeHeuristic(TreeHeuristic):
+    """``BINOMIAL-TREE`` — index-based MPI-style broadcast tree.
+
+    Parameters
+    ----------
+    index_order:
+        Optional explicit ordering of the platform nodes used as the MPI
+        "rank" order.  The source is always moved to rank 0 (the paper
+        assumes the source has index 0).  By default nodes are ordered by
+        their string representation, which for the integer-named generated
+        platforms matches the natural processor numbering.
+    """
+
+    name = "binomial"
+    paper_label = "Binomial Tree"
+
+    def __init__(self, index_order: Sequence[NodeName] | None = None) -> None:
+        self.index_order = list(index_order) if index_order is not None else None
+
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        if kwargs:
+            raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
+        ranks = self._rank_order(platform, source)
+        transfers = [
+            (ranks[src_index], ranks[dst_index])
+            for src_index, dst_index in self.logical_transfers(len(ranks))
+        ]
+        return BroadcastTree.from_logical_transfers(
+            platform, source, transfers, name=self.name
+        )
+
+    # ------------------------------------------------------------------ #
+    def _rank_order(self, platform: Platform, source: NodeName) -> list[NodeName]:
+        """Node list indexed by MPI rank, with the source at rank 0."""
+        if self.index_order is not None:
+            order = list(self.index_order)
+            if set(order) != set(platform.nodes):
+                raise HeuristicError(
+                    "index_order must be a permutation of the platform nodes"
+                )
+        else:
+            order = sorted(platform.nodes, key=str)
+        order.remove(source)
+        return [source, *order]
+
+    @staticmethod
+    def logical_transfers(num_nodes: int) -> list[tuple[int, int]]:
+        """Logical (sender rank, receiver rank) pairs of Algorithm 4.
+
+        The first ``2^m`` ranks are covered by the classical binomial
+        doubling; every remaining rank ``u`` receives from rank ``u - 2^m``.
+        """
+        if num_nodes < 1:
+            raise HeuristicError(f"num_nodes must be >= 1, got {num_nodes}")
+        if num_nodes == 1:
+            return []
+        m = int(math.floor(math.log2(num_nodes)))
+        transfers: list[tuple[int, int]] = []
+        for stage in range(m):
+            span = 2 ** (m - stage)
+            for block in range(2**stage):
+                sender = block * span
+                receiver = sender + span // 2
+                if receiver < num_nodes:
+                    transfers.append((sender, receiver))
+        for rank in range(2**m, num_nodes):
+            transfers.append((rank - 2**m, rank))
+        return transfers

@@ -1,0 +1,112 @@
+"""Growing a minimum weighted-out-degree tree (Algorithm 3 of the paper).
+
+This heuristic adapts Prim's algorithm to the pipelined-broadcast metric.
+Prim grows a spanning tree by always adding the cheapest edge leaving the
+current tree; here "cheapest" means the edge whose addition increases the
+*weighted out-degree of its sender* the least, because under the one-port
+model the tree throughput is the inverse of the maximum weighted out-degree.
+
+The cost of a candidate edge ``(u, w)`` (``u`` in the tree, ``w`` outside)
+is the weighted out-degree ``u`` would have after adopting ``w``::
+
+    cost(u, w) = T_{u,w} + sum of T_{u,c} over current tree children c of u
+
+The paper's printed pseudo-code maintains this quantity incrementally with
+the update ``cost(u, w) += cost(u, v)`` after adding edge ``(u, v)``; when
+``u`` already has children this adds the *accumulated* cost instead of the
+new edge's weight ``T_{u,v}``, which over-penalises high-degree nodes.  The
+textual definition ("the sum of the weights of the current tree edges
+outgoing from ``P_u``") corresponds to adding ``T_{u,v}`` only.  We
+implement the textual metric by default and keep the literal update
+available through ``literal_cost_update=True`` for ablation (see the
+``bench_ablation`` benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import HeuristicError
+from ..models.port_models import PortModel
+from ..platform.graph import Platform
+from .base import TreeHeuristic
+from .tree import BroadcastTree
+
+__all__ = ["GrowingMinimumOutDegreeTree"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+class GrowingMinimumOutDegreeTree(TreeHeuristic):
+    """``GROWING-MINIMUM-WEIGHTED-OUT-DEGREE-TREE`` (Prim-like growth).
+
+    Parameters
+    ----------
+    literal_cost_update:
+        When true, reproduce the printed pseudo-code update
+        ``cost(u, w) += cost(u, v)`` verbatim instead of the textual metric
+        (see the module docstring).  Defaults to false.
+    """
+
+    name = "grow-tree"
+    paper_label = "Grow Tree"
+
+    def __init__(self, literal_cost_update: bool = False) -> None:
+        self.literal_cost_update = literal_cost_update
+
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        if kwargs:
+            raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
+        weights: dict[Edge, float] = {
+            (u, v): model.edge_weight(platform, u, v, size) for u, v in platform.edges
+        }
+        # cost of each candidate edge; kept in sync as the tree grows.
+        cost: dict[Edge, float] = dict(weights)
+
+        in_tree: set[NodeName] = {source}
+        tree_edges: list[Edge] = []
+        all_nodes = set(platform.nodes)
+
+        while in_tree != all_nodes:
+            best_edge = self._cheapest_frontier_edge(cost, in_tree)
+            if best_edge is None:
+                raise HeuristicError(
+                    "growing tree is stuck: no edge leaves the current tree, yet some "
+                    "nodes are not covered (platform should have been validated as "
+                    "broadcast-feasible)"
+                )
+            u, v = best_edge
+            tree_edges.append(best_edge)
+            in_tree.add(v)
+            # Adding (u, v) increases u's weighted out-degree; reflect that in
+            # the cost of u's other candidate edges.
+            increase = cost[best_edge] if self.literal_cost_update else weights[best_edge]
+            for edge in cost:
+                if edge[0] == u and edge != best_edge and edge not in tree_edges:
+                    cost[edge] += increase
+
+        return BroadcastTree.from_edges(platform, source, tree_edges, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _cheapest_frontier_edge(
+        cost: dict[Edge, float], in_tree: set[NodeName]
+    ) -> Edge | None:
+        """Cheapest edge from a tree node to a non-tree node (deterministic)."""
+        best: Edge | None = None
+        best_key: tuple[float, str] | None = None
+        for edge, edge_cost in cost.items():
+            u, v = edge
+            if u in in_tree and v not in in_tree:
+                key = (edge_cost, str(edge))
+                if best_key is None or key < best_key:
+                    best, best_key = edge, key
+        return best

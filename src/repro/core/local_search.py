@@ -1,0 +1,152 @@
+"""Local-search improvement of a broadcast tree (extension).
+
+The paper's conclusion suggests that plugging better topology information
+into the heuristics should improve them further.  This module implements a
+natural post-processing step in that spirit (it is *not* part of the paper's
+evaluation and is benchmarked separately as an ablation): starting from any
+spanning broadcast tree, repeatedly try to *re-parent* one child of the
+bottleneck node — the node whose steady-state period limits the throughput —
+to a less loaded node, as long as the tree period strictly decreases.
+
+Each move keeps the structure a valid spanning tree:
+
+* the new parent must have a direct platform link to the moved child,
+* the new parent must not belong to the subtree rooted at the child
+  (otherwise the move would create a cycle).
+
+The search is greedy and therefore cheap (each iteration is ``O(p * E)`` in
+the worst case); it typically recovers a few percent of throughput on top of
+the pruning/growing heuristics and much more on top of the binomial tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..analysis.throughput import tree_throughput
+from ..exceptions import HeuristicError
+from ..models.port_models import PortModel, get_port_model
+from ..platform.graph import Platform
+from .base import TreeHeuristic
+from .tree import BroadcastTree
+
+__all__ = ["improve_tree", "LocalSearchImprovement"]
+
+NodeName = Any
+
+
+def _candidate_moves(
+    tree: BroadcastTree, bottleneck: NodeName
+) -> list[tuple[NodeName, NodeName]]:
+    """Possible ``(child, new_parent)`` re-parenting moves for the bottleneck."""
+    platform = tree.platform
+    moves: list[tuple[NodeName, NodeName]] = []
+    for child in tree.children(bottleneck):
+        forbidden = tree.subtree_nodes(child)
+        for new_parent in platform.in_neighbors(child):
+            if new_parent == bottleneck or new_parent in forbidden:
+                continue
+            moves.append((child, new_parent))
+    return moves
+
+
+def _apply_move(tree: BroadcastTree, child: NodeName, new_parent: NodeName) -> BroadcastTree:
+    """Return a new tree with ``child`` re-parented under ``new_parent``."""
+    parents = tree.to_parent_dict()
+    parents[child] = new_parent
+    return BroadcastTree(
+        platform=tree.platform,
+        source=tree.source,
+        parents=parents,
+        name=tree.name,
+    )
+
+
+def improve_tree(
+    tree: BroadcastTree,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+    *,
+    max_iterations: int = 100,
+    tolerance: float = 1e-12,
+) -> BroadcastTree:
+    """Greedy bottleneck re-parenting until no move improves the throughput.
+
+    Only direct (non-routed) trees are improved; a routed tree (produced by
+    the binomial heuristic) is first flattened into a direct tree by taking a
+    breadth-first arborescence over the physical edges its routes use (so
+    every transfer of the flattened tree was already a transfer of the routed
+    one), then improved.
+    """
+    if not tree.is_direct:
+        used_edges = set(tree.physical_edge_multiplicities())
+        successors: dict[NodeName, list[NodeName]] = {}
+        for a, b in sorted(used_edges, key=str):
+            successors.setdefault(a, []).append(b)
+        parents: dict[NodeName, NodeName] = {}
+        frontier = [tree.source]
+        visited = {tree.source}
+        while frontier:
+            node = frontier.pop(0)
+            for successor in successors.get(node, []):
+                if successor not in visited:
+                    visited.add(successor)
+                    parents[successor] = node
+                    frontier.append(successor)
+        tree = BroadcastTree(
+            platform=tree.platform, source=tree.source, parents=parents, name=tree.name
+        )
+    port_model = get_port_model(model)
+    current = tree
+    current_report = tree_throughput(current, port_model, size)
+
+    for _ in range(max_iterations):
+        moves = _candidate_moves(current, current_report.bottleneck)
+        best_tree: BroadcastTree | None = None
+        best_report = current_report
+        for child, new_parent in moves:
+            candidate = _apply_move(current, child, new_parent)
+            report = tree_throughput(candidate, port_model, size)
+            if report.throughput > best_report.throughput + tolerance:
+                best_tree, best_report = candidate, report
+        if best_tree is None:
+            break
+        current, current_report = best_tree, best_report
+
+    current.name = f"{tree.name}+local-search"
+    return current
+
+
+class LocalSearchImprovement(TreeHeuristic):
+    """Wrap any heuristic with the greedy re-parenting post-pass.
+
+    Parameters
+    ----------
+    base:
+        The heuristic producing the initial tree.
+    max_iterations:
+        Maximum number of accepted moves.
+    """
+
+    def __init__(self, base: TreeHeuristic, max_iterations: int = 100) -> None:
+        if not isinstance(base, TreeHeuristic):
+            raise HeuristicError("base must be a TreeHeuristic instance")
+        self.base = base
+        self.max_iterations = max_iterations
+        self.name = f"{base.name}+local-search"
+        self.paper_label = f"{base.paper_label} + Local Search"
+        self.supported_models = base.supported_models
+
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        tree = self.base._build(platform, source, model, size, **kwargs)
+        tree.name = self.base.name
+        return improve_tree(
+            tree, model, size, max_iterations=self.max_iterations
+        )

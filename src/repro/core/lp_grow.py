@@ -1,0 +1,83 @@
+"""Growing a tree over the communication graph (``LP-Grow-Tree``, Algorithm 7).
+
+Like :class:`~repro.core.lp_prune.LPCommunicationGraphPruning`, this
+heuristic starts from the solution of the steady-state linear program of
+Section 4.1, which assigns to every edge the number of message slices
+``n_{u,v}`` it carries per time unit in the optimal multi-tree broadcast.
+
+``LP-Grow-Tree`` then grows a spanning tree from the source, greedily adding
+at every step the frontier edge (from a covered node to an uncovered one)
+carrying the *most* messages in the LP solution — i.e. the edge the optimal
+solution relies on the most.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import HeuristicError
+from ..lp.solution import SteadyStateSolution
+from ..lp.solver import solve_steady_state_lp
+from ..models.port_models import PortModel
+from ..platform.graph import Platform
+from .base import TreeHeuristic
+from .tree import BroadcastTree
+
+__all__ = ["LPGrowTree"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+class LPGrowTree(TreeHeuristic):
+    """``LP-GROW-TREE`` — grow a tree along the most-used LP edges."""
+
+    name = "lp-grow-tree"
+    paper_label = "LP Grow Tree"
+
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        lp_solution: SteadyStateSolution | None = None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        if kwargs:
+            raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
+        if lp_solution is None:
+            lp_solution = solve_steady_state_lp(platform, source, size)
+        elif lp_solution.source != source:
+            raise HeuristicError(
+                f"the provided LP solution was computed for source "
+                f"{lp_solution.source!r}, not {source!r}"
+            )
+
+        messages: dict[Edge, float] = {
+            edge: lp_solution.edge_weight(*edge) for edge in platform.edges
+        }
+
+        in_tree: set[NodeName] = {source}
+        tree_edges: list[Edge] = []
+        all_nodes = set(platform.nodes)
+
+        while in_tree != all_nodes:
+            best: Edge | None = None
+            best_key: tuple[float, str] | None = None
+            for edge, weight in messages.items():
+                u, v = edge
+                if u in in_tree and v not in in_tree:
+                    # Maximise n_{u,v}; deterministic tie-break on the edge.
+                    key = (-weight, str(edge))
+                    if best_key is None or key < best_key:
+                        best, best_key = edge, key
+            if best is None:
+                raise HeuristicError(
+                    "LP-Grow-Tree is stuck: no edge leaves the current tree, yet some "
+                    "nodes are not covered"
+                )
+            tree_edges.append(best)
+            in_tree.add(best[1])
+
+        return BroadcastTree.from_edges(platform, source, tree_edges, name=self.name)

@@ -1,0 +1,92 @@
+"""Communication-graph pruning (``LP-Prune``, Algorithm 6 of the paper).
+
+The LP-based heuristics first solve the steady-state linear program of
+Section 4.1 and read, for every edge, the number of message slices
+``n_{u,v}`` crossing it per time unit in the optimal multi-tree solution.
+The platform graph weighted by ``n_{u,v}`` is called the *communication
+graph*: it tells which edges the optimal solution finds useful and how
+useful they are.
+
+``LP-Prune`` prunes the communication graph down to a spanning tree by
+repeatedly deleting the edge carrying the *fewest* messages whose removal
+keeps every node reachable from the source.  (The printed pseudo-code sorts
+edges "by non-increasing value of ``n_{u,v}``" before scanning, which would
+remove the busiest edges first and contradicts both the surrounding text —
+"we delete the edges which ... have minimum weight, i.e. edges carrying the
+fewest messages" — and the very purpose of the heuristic; we follow the
+text.)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import HeuristicError
+from ..lp.solution import SteadyStateSolution
+from ..lp.solver import solve_steady_state_lp
+from ..models.port_models import PortModel
+from ..platform.graph import Platform
+from ..utils.graph_utils import (
+    adjacency_from_edges,
+    edge_removal_keeps_spanning,
+    sort_edges_by_weight,
+)
+from .base import TreeHeuristic
+from .tree import BroadcastTree
+
+__all__ = ["LPCommunicationGraphPruning"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+class LPCommunicationGraphPruning(TreeHeuristic):
+    """``LP-PRUNE`` — prune the LP communication graph, least-used edges first."""
+
+    name = "lp-prune"
+    paper_label = "LP Prune"
+
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        lp_solution: SteadyStateSolution | None = None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        if kwargs:
+            raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
+        if lp_solution is None:
+            lp_solution = solve_steady_state_lp(platform, source, size)
+        elif lp_solution.source != source:
+            raise HeuristicError(
+                f"the provided LP solution was computed for source "
+                f"{lp_solution.source!r}, not {source!r}"
+            )
+
+        nodes = platform.nodes
+        target_edges = len(nodes) - 1
+        messages: dict[Edge, float] = {
+            edge: lp_solution.edge_weight(*edge) for edge in platform.edges
+        }
+        remaining: set[Edge] = set(messages)
+        adjacency = adjacency_from_edges(nodes, remaining)
+
+        while len(remaining) > target_edges:
+            removed_this_pass = 0
+            # Least-used edges first (ascending n_{u,v}).
+            for edge in sort_edges_by_weight(remaining, messages, descending=False):
+                if len(remaining) <= target_edges:
+                    break
+                if edge_removal_keeps_spanning(source, nodes, adjacency, edge):
+                    remaining.discard(edge)
+                    adjacency[edge[0]].discard(edge[1])
+                    removed_this_pass += 1
+            if removed_this_pass == 0:
+                raise HeuristicError(
+                    "LP-Prune is stuck: no edge can be removed while keeping the "
+                    "platform broadcast-feasible"
+                )
+
+        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)

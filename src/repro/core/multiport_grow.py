@@ -1,0 +1,123 @@
+"""Multi-port growing tree (Algorithm 5 of the paper).
+
+Same greedy growth as
+:class:`~repro.core.grow_tree.GrowingMinimumOutDegreeTree`, but the cost of
+adopting a new child reflects the multi-port steady-state period of the
+sender (Section 3.2): a node ``u`` with children ``v_1..v_k`` forwards one
+slice to each child every
+
+``T_period(u) = max(k * send_u, max_i T_{u,v_i})``
+
+time units, because the per-send overheads ``send_u`` are serialised while
+the link occupations overlap.  The candidate edge minimising the resulting
+period of its sender is added at every step.
+
+The printed pseudo-code of Algorithm 5 updates ``cost(u, v)`` (the edge just
+added) instead of ``cost(u, w)`` (the remaining candidates) — an obvious
+typo; we compute the intended quantity, i.e. the period ``u`` would have
+*after* adopting the candidate child.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import HeuristicError
+from ..models.port_models import MultiPortModel, PortModel, PortModelKind
+from ..platform.graph import Platform
+from .base import TreeHeuristic
+from .tree import BroadcastTree
+
+__all__ = ["MultiPortGrowingTree"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+class MultiPortGrowingTree(TreeHeuristic):
+    """``MULTIPORT-GROWING-MINIMUM-WEIGHTED-OUT-DEGREE-TREE``."""
+
+    name = "multiport-grow-tree"
+    paper_label = "Multi Port Grow Tree"
+    supported_models = (PortModelKind.MULTI_PORT,)
+
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        if kwargs:
+            raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
+        if not isinstance(model, MultiPortModel):
+            # ``strict_model=False`` callers still need a multi-port view of
+            # the platform to evaluate the node periods.
+            model = MultiPortModel()
+
+        weights: dict[Edge, float] = {
+            (u, v): model.edge_weight(platform, u, v, size) for u, v in platform.edges
+        }
+        send_time: dict[NodeName, float] = {
+            node: model.node_send_time(platform, node, size)
+            for node in platform.nodes
+            if platform.out_degree(node) > 0
+        }
+
+        in_tree: set[NodeName] = {source}
+        children: dict[NodeName, list[NodeName]] = {node: [] for node in platform.nodes}
+        tree_edges: list[Edge] = []
+        all_nodes = set(platform.nodes)
+
+        while in_tree != all_nodes:
+            best_edge = self._best_candidate(
+                weights, send_time, children, in_tree
+            )
+            if best_edge is None:
+                raise HeuristicError(
+                    "multi-port growing tree is stuck: no edge leaves the current tree"
+                )
+            u, v = best_edge
+            tree_edges.append(best_edge)
+            children[u].append(v)
+            in_tree.add(v)
+
+        return BroadcastTree.from_edges(platform, source, tree_edges, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _candidate_period(
+        weights: dict[Edge, float],
+        send_time: dict[NodeName, float],
+        children: dict[NodeName, list[NodeName]],
+        edge: Edge,
+    ) -> float:
+        """Period of ``edge``'s sender after adopting the candidate child."""
+        u, v = edge
+        current_children = children[u]
+        longest_link = max(
+            (weights[(u, child)] for child in current_children), default=0.0
+        )
+        longest_link = max(longest_link, weights[edge])
+        serialized_sends = (len(current_children) + 1) * send_time.get(u, 0.0)
+        return max(serialized_sends, longest_link)
+
+    @classmethod
+    def _best_candidate(
+        cls,
+        weights: dict[Edge, float],
+        send_time: dict[NodeName, float],
+        children: dict[NodeName, list[NodeName]],
+        in_tree: set[NodeName],
+    ) -> Edge | None:
+        """Frontier edge minimising the resulting sender period."""
+        best: Edge | None = None
+        best_key: tuple[float, str] | None = None
+        for edge in weights:
+            u, v = edge
+            if u in in_tree and v not in in_tree:
+                key = (cls._candidate_period(weights, send_time, children, edge), str(edge))
+                if best_key is None or key < best_key:
+                    best, best_key = edge, key
+        return best

@@ -1,0 +1,99 @@
+"""Multi-port refined pruning (``Multiport-Prune-Degree`` of Figure 5).
+
+Section 5.2.2 of the paper notes that "other heuristics, such as
+Topo-Prune-Degree, can be adapted to the multi-port model, and give good
+results too"; the corresponding curve in Figure 5 is labelled
+``Multi Port Prune Degree``.  The adaptation mirrors
+:class:`~repro.core.prune_refined.RefinedPlatformPruning` with the node
+metric replaced by the multi-port steady-state period
+
+``period(u) = max(deg_out(u) * send_u, max_v T_{u,v})``
+
+evaluated on the *remaining* outgoing edges of ``u``.  The heuristic
+repeatedly removes, from the node with the largest period, the outgoing edge
+whose removal decreases that period the most while keeping every node
+reachable from the source.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import HeuristicError
+from ..models.port_models import MultiPortModel, PortModel, PortModelKind
+from ..platform.graph import Platform
+from ..utils.graph_utils import adjacency_from_edges, edge_removal_keeps_spanning
+from .base import TreeHeuristic
+from .tree import BroadcastTree
+
+__all__ = ["MultiPortRefinedPruning"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+class MultiPortRefinedPruning(TreeHeuristic):
+    """``MULTIPORT-PRUNE-DEGREE`` — refined pruning under the multi-port metric."""
+
+    name = "multiport-prune-degree"
+    paper_label = "Multi Port Prune Degree"
+    supported_models = (PortModelKind.MULTI_PORT,)
+
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        if kwargs:
+            raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
+        if not isinstance(model, MultiPortModel):
+            model = MultiPortModel()
+
+        nodes = platform.nodes
+        target_edges = len(nodes) - 1
+        weights: dict[Edge, float] = {
+            (u, v): model.edge_weight(platform, u, v, size) for u, v in platform.edges
+        }
+        send_time: dict[NodeName, float] = {
+            node: model.node_send_time(platform, node, size)
+            for node in nodes
+            if platform.out_degree(node) > 0
+        }
+        remaining: set[Edge] = set(weights)
+        adjacency = adjacency_from_edges(nodes, remaining)
+
+        def node_period(node: NodeName) -> float:
+            out_edges = [edge for edge in remaining if edge[0] == node]
+            if not out_edges:
+                return 0.0
+            return max(
+                len(out_edges) * send_time.get(node, 0.0),
+                max(weights[edge] for edge in out_edges),
+            )
+
+        while len(remaining) > target_edges:
+            removed = False
+            for node in sorted(nodes, key=lambda n: (node_period(n), str(n)), reverse=True):
+                out_edges = sorted(
+                    (edge for edge in remaining if edge[0] == node),
+                    key=lambda edge: (weights[edge], str(edge)),
+                    reverse=True,
+                )
+                for edge in out_edges:
+                    if edge_removal_keeps_spanning(source, nodes, adjacency, edge):
+                        remaining.discard(edge)
+                        adjacency[edge[0]].discard(edge[1])
+                        removed = True
+                        break
+                if removed:
+                    break
+            if not removed:
+                raise HeuristicError(
+                    "multi-port refined pruning is stuck: no edge can be removed while "
+                    "keeping the platform broadcast-feasible"
+                )
+
+        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)

@@ -1,0 +1,106 @@
+"""Refined platform pruning (Algorithm 2 of the paper).
+
+The refinement over :class:`~repro.core.prune_simple.SimplePlatformPruning`
+is the pruning criterion: what limits the pipelined throughput of a node is
+its *weighted out-degree* (the sum of the transfer times of its remaining
+outgoing edges), not the weight of any single edge.  The heuristic therefore
+repeatedly picks the node with the largest weighted out-degree and removes
+its heaviest removable outgoing edge, until ``p - 1`` edges remain.
+
+The same idea transfers to the multi-port model by replacing the weighted
+out-degree with the multi-port node period
+``max(k * send_u, max_i T_{u,v_i})``; this is the ``Multiport-Prune-Degree``
+variant shown in Figure 5 of the paper and implemented in
+:mod:`repro.core.multiport_prune`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import HeuristicError
+from ..models.port_models import PortModel
+from ..platform.graph import Platform
+from ..utils.graph_utils import adjacency_from_edges, edge_removal_keeps_spanning
+from .base import TreeHeuristic
+from .tree import BroadcastTree
+
+__all__ = ["RefinedPlatformPruning"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+class RefinedPlatformPruning(TreeHeuristic):
+    """``REFINED-PLATFORM-PRUNING`` — prune the busiest node's heaviest edge."""
+
+    name = "prune-degree"
+    paper_label = "Prune Platform Degree"
+
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        if kwargs:
+            raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
+        nodes = platform.nodes
+        target_edges = len(nodes) - 1
+        weights: dict[Edge, float] = {
+            (u, v): model.edge_weight(platform, u, v, size) for u, v in platform.edges
+        }
+        remaining: set[Edge] = set(weights)
+        adjacency = adjacency_from_edges(nodes, remaining)
+        out_degree: dict[NodeName, float] = {node: 0.0 for node in nodes}
+        for (u, _v), weight in weights.items():
+            out_degree[u] += weight
+
+        while len(remaining) > target_edges:
+            removed = self._remove_one_edge(
+                source, nodes, remaining, adjacency, weights, out_degree
+            )
+            if removed is None:
+                raise HeuristicError(
+                    "refined platform pruning is stuck: no edge can be removed while "
+                    "keeping the platform broadcast-feasible"
+                )
+
+        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _remove_one_edge(
+        source: NodeName,
+        nodes: list[NodeName],
+        remaining: set[Edge],
+        adjacency: dict[NodeName, set[NodeName]],
+        weights: dict[Edge, float],
+        out_degree: dict[NodeName, float],
+    ) -> Edge | None:
+        """One iteration of the outer loop of Algorithm 2.
+
+        Nodes are scanned by non-increasing weighted out-degree; for each
+        node its remaining outgoing edges are scanned by non-increasing
+        weight; the first edge whose removal keeps every node reachable from
+        the source is removed and returned.  ``None`` means no edge of any
+        node can be removed.
+        """
+        sorted_nodes = sorted(
+            nodes, key=lambda node: (out_degree[node], str(node)), reverse=True
+        )
+        for node in sorted_nodes:
+            out_edges = sorted(
+                (edge for edge in remaining if edge[0] == node),
+                key=lambda edge: (weights[edge], str(edge)),
+                reverse=True,
+            )
+            for edge in out_edges:
+                if edge_removal_keeps_spanning(source, nodes, adjacency, edge):
+                    remaining.discard(edge)
+                    adjacency[edge[0]].discard(edge[1])
+                    out_degree[node] -= weights[edge]
+                    return edge
+        return None

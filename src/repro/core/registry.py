@@ -1,0 +1,136 @@
+"""Registry of the broadcast-tree heuristics.
+
+The registry maps stable string names to heuristic factories so that the
+experiment harness, the benchmarks and the examples can all select
+heuristics by name (e.g. from a configuration file or a CLI flag).  The
+default registry contains every heuristic of the paper; users can register
+their own implementations with :func:`register_heuristic`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..exceptions import UnknownHeuristicError
+from ..models.port_models import PortModel
+from ..platform.graph import Platform
+from .base import TreeHeuristic
+from .binomial import BinomialTreeHeuristic
+from .grow_tree import GrowingMinimumOutDegreeTree
+from .local_search import LocalSearchImprovement
+from .lp_grow import LPGrowTree
+from .lp_prune import LPCommunicationGraphPruning
+from .multiport_grow import MultiPortGrowingTree
+from .multiport_prune import MultiPortRefinedPruning
+from .prune_refined import RefinedPlatformPruning
+from .prune_simple import SimplePlatformPruning
+from .tree import BroadcastTree
+
+__all__ = [
+    "HEURISTICS",
+    "PAPER_ONE_PORT_HEURISTICS",
+    "PAPER_MULTI_PORT_HEURISTICS",
+    "register_heuristic",
+    "get_heuristic",
+    "available_heuristics",
+    "build_broadcast_tree",
+    "heuristics_for_names",
+]
+
+HeuristicFactory = Callable[[], TreeHeuristic]
+
+#: Default factories, keyed by canonical heuristic name.
+HEURISTICS: dict[str, HeuristicFactory] = {
+    SimplePlatformPruning.name: SimplePlatformPruning,
+    RefinedPlatformPruning.name: RefinedPlatformPruning,
+    GrowingMinimumOutDegreeTree.name: GrowingMinimumOutDegreeTree,
+    BinomialTreeHeuristic.name: BinomialTreeHeuristic,
+    MultiPortGrowingTree.name: MultiPortGrowingTree,
+    MultiPortRefinedPruning.name: MultiPortRefinedPruning,
+    LPCommunicationGraphPruning.name: LPCommunicationGraphPruning,
+    LPGrowTree.name: LPGrowTree,
+    "grow-tree+local-search": lambda: LocalSearchImprovement(GrowingMinimumOutDegreeTree()),
+    "prune-degree+local-search": lambda: LocalSearchImprovement(RefinedPlatformPruning()),
+    "binomial+local-search": lambda: LocalSearchImprovement(BinomialTreeHeuristic()),
+}
+
+#: The six heuristics compared in Figure 4 and Table 3 (one-port model).
+PAPER_ONE_PORT_HEURISTICS: tuple[str, ...] = (
+    "prune-simple",
+    "prune-degree",
+    "grow-tree",
+    "lp-grow-tree",
+    "lp-prune",
+    "binomial",
+)
+
+#: The five heuristics compared in Figure 5 (multi-port model).
+PAPER_MULTI_PORT_HEURISTICS: tuple[str, ...] = (
+    "multiport-prune-degree",
+    "multiport-grow-tree",
+    "lp-grow-tree",
+    "lp-prune",
+    "binomial",
+)
+
+
+def register_heuristic(
+    name: str, factory: HeuristicFactory, *, overwrite: bool = False
+) -> None:
+    """Register a custom heuristic factory under ``name``."""
+    if name in HEURISTICS and not overwrite:
+        raise ValueError(
+            f"heuristic {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    HEURISTICS[name] = factory
+
+
+def available_heuristics() -> list[str]:
+    """Sorted list of registered heuristic names."""
+    return sorted(HEURISTICS)
+
+
+def get_heuristic(name: str | TreeHeuristic) -> TreeHeuristic:
+    """Instantiate a heuristic from its registry name.
+
+    An existing :class:`TreeHeuristic` instance is returned unchanged, which
+    lets callers pass either names or pre-configured instances everywhere.
+    """
+    if isinstance(name, TreeHeuristic):
+        return name
+    try:
+        factory = HEURISTICS[name]
+    except KeyError:
+        raise UnknownHeuristicError(
+            f"unknown heuristic {name!r}; available: {available_heuristics()}"
+        ) from None
+    return factory()
+
+
+def build_broadcast_tree(
+    platform: Platform,
+    source: Any,
+    heuristic: str | TreeHeuristic = "grow-tree",
+    *,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+    **kwargs: Any,
+) -> BroadcastTree:
+    """One-call convenience API: build a broadcast tree with a named heuristic.
+
+    Example
+    -------
+    >>> from repro import generate_random_platform, build_broadcast_tree
+    >>> platform = generate_random_platform(num_nodes=12, density=0.3, seed=0)
+    >>> tree = build_broadcast_tree(platform, source=0, heuristic="prune-degree")
+    >>> tree.num_nodes
+    12
+    """
+    return get_heuristic(heuristic).build(
+        platform, source, model=model, size=size, **kwargs
+    )
+
+
+def heuristics_for_names(names: Iterable[str | TreeHeuristic]) -> list[TreeHeuristic]:
+    """Instantiate several heuristics, preserving order."""
+    return [get_heuristic(name) for name in names]

@@ -1,0 +1,382 @@
+"""Broadcast trees (and, more generally, routed broadcast structures).
+
+A *broadcast tree* is the object every heuristic of the paper produces: a
+spanning arborescence of the platform graph rooted at the source processor.
+Message slices flow from each node to its children, in a pipelined fashion.
+
+Two refinements are needed to cover the whole paper:
+
+* The **binomial-tree heuristic** (Algorithm 4) builds its tree over
+  processor *indices*, ignoring the topology; when the logical edge
+  ``(u, v)`` does not exist in the platform the transfer is routed along the
+  shortest path from ``u`` to ``v``.  The logical structure is still a tree,
+  but each logical edge maps to a *route*, i.e. a list of physical edges,
+  and the same physical edge may be used by several logical transfers.
+* Throughput analysis and simulation therefore need, for every node, the
+  multiset of physical transfers it performs per broadcast period
+  (``(peer, T, multiplicity)`` triples), not only its logical children.
+
+:class:`BroadcastTree` stores the logical parent structure plus the route of
+every logical edge (defaulting to the single direct physical edge) and
+derives everything else.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import networkx as nx
+
+from ..exceptions import NotASpanningTreeError, TreeError
+from ..platform.graph import Platform
+
+__all__ = ["BroadcastTree", "Route"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+#: A route is the ordered list of physical edges implementing one logical
+#: transfer; for normal tree edges it is just ``[(parent, child)]``.
+Route = tuple[Edge, ...]
+
+
+@dataclass
+class BroadcastTree:
+    """A spanning broadcast structure rooted at ``source``.
+
+    Parameters
+    ----------
+    platform:
+        The platform the tree lives on; all physical edges of every route
+        must exist in this platform.
+    source:
+        The root processor (the node initially holding the data).
+    parents:
+        Mapping from every non-source node to its logical parent.  Every
+        node of the platform except the source must appear exactly once.
+    routes:
+        Optional mapping from logical edges ``(parent, child)`` to their
+        physical route.  Missing entries default to the direct edge
+        ``((parent, child),)``, which must then exist in the platform.
+    name:
+        Optional label (usually the heuristic that produced the tree).
+    """
+
+    platform: Platform
+    source: NodeName
+    parents: dict[NodeName, NodeName]
+    routes: dict[Edge, Route] = field(default_factory=dict)
+    name: str = "broadcast-tree"
+
+    def __post_init__(self) -> None:
+        self.parents = dict(self.parents)
+        self.routes = {edge: tuple(route) for edge, route in self.routes.items()}
+        self._children: dict[NodeName, list[NodeName]] = {}
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        platform: Platform,
+        source: NodeName,
+        edges: Iterable[Edge],
+        *,
+        name: str = "broadcast-tree",
+    ) -> "BroadcastTree":
+        """Build a tree from a set of directed edges forming an arborescence.
+
+        This is the natural constructor for the pruning and growing
+        heuristics, which all end with exactly ``p - 1`` directed edges such
+        that every node is reachable from the source.
+        """
+        parents: dict[NodeName, NodeName] = {}
+        for u, v in edges:
+            if v in parents:
+                raise NotASpanningTreeError(
+                    f"node {v!r} has two parents ({parents[v]!r} and {u!r}); "
+                    "the edge set is not an arborescence"
+                )
+            if v == source:
+                raise NotASpanningTreeError(
+                    f"edge {u!r} -> {v!r} enters the source; not an arborescence"
+                )
+            parents[v] = u
+        return cls(platform=platform, source=source, parents=parents, name=name)
+
+    @classmethod
+    def from_logical_transfers(
+        cls,
+        platform: Platform,
+        source: NodeName,
+        transfers: Sequence[Edge],
+        *,
+        name: str = "broadcast-tree",
+    ) -> "BroadcastTree":
+        """Build a routed tree from logical transfers (binomial heuristic).
+
+        ``transfers`` lists logical edges ``(u, v)`` meaning "``u`` forwards
+        the message to ``v``"; when the platform does not contain the edge
+        ``(u, v)`` the transfer is routed along the shortest path, as
+        prescribed by Algorithm 4.
+        """
+        parents: dict[NodeName, NodeName] = {}
+        routes: dict[Edge, Route] = {}
+        for u, v in transfers:
+            if v in parents:
+                raise NotASpanningTreeError(
+                    f"node {v!r} receives from both {parents[v]!r} and {u!r}"
+                )
+            parents[v] = u
+            if platform.has_link(u, v):
+                routes[(u, v)] = ((u, v),)
+            else:
+                path = platform.shortest_path(u, v)
+                routes[(u, v)] = tuple(zip(path[:-1], path[1:]))
+        return cls(platform=platform, source=source, parents=parents, routes=routes, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the spanning-arborescence invariants; raise on failure."""
+        if not self.platform.has_node(self.source):
+            raise TreeError(f"source {self.source!r} is not a node of the platform")
+        platform_nodes = set(self.platform.nodes)
+        expected = platform_nodes - {self.source}
+        declared = set(self.parents)
+        if self.source in declared:
+            raise NotASpanningTreeError("the source must not have a parent")
+        missing = expected - declared
+        if missing:
+            raise NotASpanningTreeError(
+                f"nodes {sorted(map(repr, missing))} have no parent; the tree is not spanning"
+            )
+        extra = declared - expected
+        if extra:
+            raise NotASpanningTreeError(
+                f"parent map mentions unknown nodes {sorted(map(repr, extra))}"
+            )
+
+        # Every node must reach the source by following parent pointers
+        # (this also rules out cycles).
+        for node in declared:
+            seen = {node}
+            current = node
+            while current != self.source:
+                current = self.parents[current]
+                if current in seen:
+                    raise NotASpanningTreeError(
+                        f"cycle detected in parent pointers around {current!r}"
+                    )
+                seen.add(current)
+
+        # Routes must be consistent and use existing physical links.
+        for child, parent in self.parents.items():
+            route = self.routes.get((parent, child), ((parent, child),))
+            if not route:
+                raise TreeError(f"empty route for logical edge {(parent, child)!r}")
+            if route[0][0] != parent or route[-1][1] != child:
+                raise TreeError(
+                    f"route {route!r} does not go from {parent!r} to {child!r}"
+                )
+            for (a, b), (c, _d) in zip(route, route[1:]):
+                if b != c:
+                    raise TreeError(f"route {route!r} is not a contiguous path")
+            for a, b in route:
+                if not self.platform.has_link(a, b):
+                    raise TreeError(
+                        f"route of {(parent, child)!r} uses missing platform link {(a, b)!r}"
+                    )
+
+        # Cache children lists in a deterministic order.
+        children: dict[NodeName, list[NodeName]] = {node: [] for node in platform_nodes}
+        for child, parent in self.parents.items():
+            children[parent].append(child)
+        for node in children:
+            children[node].sort(key=str)
+        self._children = children
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> list[NodeName]:
+        """All nodes of the tree (== all platform nodes)."""
+        return self.platform.nodes
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes spanned by the tree."""
+        return self.platform.num_nodes
+
+    @property
+    def logical_edges(self) -> list[Edge]:
+        """Logical edges ``(parent, child)``."""
+        return [(parent, child) for child, parent in self.parents.items()]
+
+    def parent(self, node: NodeName) -> NodeName | None:
+        """Logical parent of ``node`` (``None`` for the source)."""
+        if node == self.source:
+            return None
+        try:
+            return self.parents[node]
+        except KeyError as exc:
+            raise TreeError(f"unknown node {node!r}") from exc
+
+    def children(self, node: NodeName) -> list[NodeName]:
+        """Logical children of ``node`` in deterministic order."""
+        try:
+            return list(self._children[node])
+        except KeyError as exc:
+            raise TreeError(f"unknown node {node!r}") from exc
+
+    def route(self, parent: NodeName, child: NodeName) -> Route:
+        """Physical route implementing the logical edge ``(parent, child)``."""
+        if self.parents.get(child) != parent:
+            raise TreeError(f"{(parent, child)!r} is not a logical edge of this tree")
+        return self.routes.get((parent, child), ((parent, child),))
+
+    @property
+    def is_direct(self) -> bool:
+        """True when every logical edge is a single physical edge."""
+        return all(len(self.route(p, c)) == 1 for p, c in self.logical_edges)
+
+    def leaves(self) -> list[NodeName]:
+        """Nodes without logical children."""
+        return [node for node in self.nodes if not self._children[node]]
+
+    def depth(self, node: NodeName) -> int:
+        """Number of logical edges between the source and ``node``."""
+        depth = 0
+        current = node
+        while current != self.source:
+            current = self.parents[current]
+            depth += 1
+        return depth
+
+    @property
+    def height(self) -> int:
+        """Maximum node depth."""
+        return max(self.depth(node) for node in self.nodes)
+
+    def bfs_order(self) -> list[NodeName]:
+        """Nodes in breadth-first order from the source."""
+        order: list[NodeName] = []
+        queue: deque[NodeName] = deque([self.source])
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            queue.extend(self.children(node))
+        return order
+
+    def subtree_nodes(self, node: NodeName) -> set[NodeName]:
+        """All nodes of the subtree rooted at ``node`` (including it)."""
+        result: set[NodeName] = set()
+        queue: deque[NodeName] = deque([node])
+        while queue:
+            current = queue.popleft()
+            result.add(current)
+            queue.extend(self.children(current))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Physical transfer accounting (used by throughput analysis)
+    # ------------------------------------------------------------------ #
+    def physical_edge_multiplicities(self) -> Counter[Edge]:
+        """How many logical transfers cross each physical edge per period."""
+        counter: Counter[Edge] = Counter()
+        for parent, child in self.logical_edges:
+            for edge in self.route(parent, child):
+                counter[edge] += 1
+        return counter
+
+    def outgoing_transfers(
+        self, node: NodeName, size: float | None = None
+    ) -> list[tuple[NodeName, float, int]]:
+        """Physical transfers sent by ``node`` per period: ``(target, T, count)``."""
+        transfers: list[tuple[NodeName, float, int]] = []
+        for (u, v), count in sorted(
+            self.physical_edge_multiplicities().items(), key=lambda item: str(item[0])
+        ):
+            if u == node:
+                transfers.append((v, self.platform.transfer_time(u, v, size), count))
+        return transfers
+
+    def incoming_transfers(
+        self, node: NodeName, size: float | None = None
+    ) -> list[tuple[NodeName, float, int]]:
+        """Physical transfers received by ``node`` per period: ``(source, T, count)``."""
+        transfers: list[tuple[NodeName, float, int]] = []
+        for (u, v), count in sorted(
+            self.physical_edge_multiplicities().items(), key=lambda item: str(item[0])
+        ):
+            if v == node:
+                transfers.append((u, self.platform.transfer_time(u, v, size), count))
+        return transfers
+
+    def weighted_out_degree(self, node: NodeName, size: float | None = None) -> float:
+        """Sum of ``count * T`` over the physical transfers sent by ``node``."""
+        return sum(time * count for _, time, count in self.outgoing_transfers(node, size))
+
+    # ------------------------------------------------------------------ #
+    # Export / misc
+    # ------------------------------------------------------------------ #
+    def to_networkx(self, size: float | None = None) -> nx.DiGraph:
+        """Logical tree as a :class:`networkx.DiGraph` with ``weight`` attributes.
+
+        Edge weights are the total route transfer time of each logical edge.
+        """
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.nodes)
+        for parent, child in self.logical_edges:
+            weight = sum(
+                self.platform.transfer_time(a, b, size) for a, b in self.route(parent, child)
+            )
+            graph.add_edge(parent, child, weight=weight)
+        return graph
+
+    def describe(self, size: float | None = None) -> str:
+        """Human-readable indented rendering of the tree."""
+        lines: list[str] = [f"{self.name} (source={self.source!r})"]
+
+        def visit(node: NodeName, prefix: str) -> None:
+            children = self.children(node)
+            for index, child in enumerate(children):
+                last = index == len(children) - 1
+                connector = "`-- " if last else "|-- "
+                route = self.route(node, child)
+                weight = sum(self.platform.transfer_time(a, b, size) for a, b in route)
+                hops = "" if len(route) == 1 else f" via {len(route)} hops"
+                lines.append(f"{prefix}{connector}{child!r}  (T={weight:.3f}{hops})")
+                visit(child, prefix + ("    " if last else "|   "))
+
+        visit(self.source, "")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[NodeName]:
+        return iter(self.bfs_order())
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"BroadcastTree(name={self.name!r}, source={self.source!r}, "
+            f"nodes={self.num_nodes}, height={self.height})"
+        )
+
+    def to_parent_dict(self) -> dict[NodeName, NodeName]:
+        """Copy of the parent map (for serialization / comparison)."""
+        return dict(self.parents)
+
+    def same_structure_as(self, other: "BroadcastTree") -> bool:
+        """Whether two trees have identical logical structure and routes."""
+        if self.source != other.source or self.parents != other.parents:
+            return False
+        return all(
+            self.route(p, c) == other.route(p, c) for p, c in self.logical_edges
+        )

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch library-specific failures without masking programming errors such
+as :class:`TypeError` or :class:`KeyError` raised by misuse of Python itself.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PlatformError",
+    "InvalidLinkError",
+    "DisconnectedPlatformError",
+    "TreeError",
+    "NotASpanningTreeError",
+    "HeuristicError",
+    "UnknownHeuristicError",
+    "LPError",
+    "InfeasibleLPError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class PlatformError(ReproError):
+    """Raised for invalid platform graphs (bad nodes, links or parameters)."""
+
+
+class InvalidLinkError(PlatformError):
+    """Raised when a link references unknown nodes or has invalid costs."""
+
+
+class DisconnectedPlatformError(PlatformError):
+    """Raised when an operation requires all nodes to be reachable from the
+    source but the platform graph does not provide that reachability."""
+
+
+class TreeError(ReproError):
+    """Raised for invalid broadcast-tree structures."""
+
+
+class NotASpanningTreeError(TreeError):
+    """Raised when a structure claimed to be a spanning broadcast tree is
+    not one (missing nodes, several parents, cycles, unknown edges...)."""
+
+
+class HeuristicError(ReproError):
+    """Raised when a heuristic cannot produce a valid broadcast tree."""
+
+
+class UnknownHeuristicError(HeuristicError, KeyError):
+    """Raised when looking up an unregistered heuristic name."""
+
+
+class LPError(ReproError):
+    """Raised when the steady-state linear program cannot be built/solved."""
+
+
+class InfeasibleLPError(LPError):
+    """Raised when the LP solver reports an infeasible or unbounded model."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event simulator on inconsistent schedules."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness on invalid configurations."""

@@ -1,0 +1,51 @@
+"""Experiment harness regenerating every figure and table of the paper."""
+
+from .config import (
+    SCALE_ENV_VAR,
+    PaperParameters,
+    parameters_from_environment,
+    scaled_parameters,
+)
+from .figures import FigureData, figure_4a, figure_4b, figure_5
+from .reporting import (
+    ShapeCheck,
+    check_figure4_shape,
+    check_figure5_shape,
+    check_table3_shape,
+    render_report,
+)
+from .runner import (
+    EvaluationRecord,
+    PlatformEvaluation,
+    clear_ensemble_cache,
+    evaluate_platform,
+    filter_records,
+    random_ensemble_records,
+    tiers_ensemble_records,
+)
+from .tables import TableData, table_3
+
+__all__ = [
+    "SCALE_ENV_VAR",
+    "PaperParameters",
+    "parameters_from_environment",
+    "scaled_parameters",
+    "FigureData",
+    "figure_4a",
+    "figure_4b",
+    "figure_5",
+    "ShapeCheck",
+    "check_figure4_shape",
+    "check_figure5_shape",
+    "check_table3_shape",
+    "render_report",
+    "EvaluationRecord",
+    "PlatformEvaluation",
+    "clear_ensemble_cache",
+    "evaluate_platform",
+    "filter_records",
+    "random_ensemble_records",
+    "tiers_ensemble_records",
+    "TableData",
+    "table_3",
+]

@@ -1,0 +1,166 @@
+"""Shape checks and report rendering for the reproduced experiments.
+
+Reproducing the paper on a re-implemented substrate cannot (and should not)
+match the absolute numbers of the original testbed; what must hold is the
+*shape* of the results: which heuristics win, roughly by how much, and how
+the ranking evolves with platform size / density.  This module encodes those
+qualitative expectations as machine-checkable assertions
+(:func:`check_figure4_shape`, :func:`check_figure5_shape`,
+:func:`check_table3_shape`) used by the integration tests and the benchmark
+harness, plus a helper to assemble the textual report written into
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ExperimentError
+from .figures import FigureData
+from .tables import TableData
+
+__all__ = [
+    "ShapeCheck",
+    "check_figure4_shape",
+    "check_figure5_shape",
+    "check_table3_shape",
+    "render_report",
+]
+
+
+@dataclass
+class ShapeCheck:
+    """Outcome of the qualitative comparison against the paper."""
+
+    artefact: str
+    passed: list[str] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
+
+    def record(self, description: str, condition: bool) -> None:
+        """Record one expectation."""
+        (self.passed if condition else self.failed).append(description)
+
+    @property
+    def ok(self) -> bool:
+        """True when every expectation held."""
+        return not self.failed
+
+    def render(self) -> str:
+        """Human-readable summary of the checks."""
+        lines = [f"Shape checks for {self.artefact}:"]
+        lines.extend(f"  [ok]   {item}" for item in self.passed)
+        lines.extend(f"  [FAIL] {item}" for item in self.failed)
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`~repro.exceptions.ExperimentError` if a check failed."""
+        if self.failed:
+            raise ExperimentError(
+                f"{self.artefact}: qualitative expectations violated: {self.failed}"
+            )
+
+
+def _mean(values: tuple[float, ...]) -> float:
+    return sum(values) / len(values)
+
+
+def check_figure4_shape(figure: FigureData) -> ShapeCheck:
+    """Qualitative expectations shared by Figures 4(a) and 4(b).
+
+    * the advanced heuristics (Prune Degree, Grow Tree, LP Prune, LP Grow
+      Tree) stay well above half of the optimum on average;
+    * the binomial tree is far below every topology-aware heuristic;
+    * simple pruning never beats the refined pruning on average.
+    """
+    check = ShapeCheck(artefact=f"Figure {figure.figure_id}")
+    advanced = ["Prune Platform Degree", "Grow Tree", "LP Prune", "LP Grow Tree"]
+    for label in advanced:
+        mean = _mean(figure.series_for(label))
+        check.record(
+            f"{label}: mean relative performance {mean:.2f} >= 0.55", mean >= 0.55
+        )
+    binomial = _mean(figure.series_for("Binomial Tree"))
+    worst_advanced = min(_mean(figure.series_for(label)) for label in advanced)
+    check.record(
+        f"Binomial Tree ({binomial:.2f}) well below advanced heuristics ({worst_advanced:.2f})",
+        binomial < worst_advanced - 0.15,
+    )
+    simple = _mean(figure.series_for("Prune Platform Simple"))
+    refined = _mean(figure.series_for("Prune Platform Degree"))
+    check.record(
+        f"Prune Simple ({simple:.2f}) <= Prune Degree ({refined:.2f}) on average",
+        simple <= refined + 1e-9,
+    )
+    return check
+
+
+def check_figure5_shape(figure: FigureData) -> ShapeCheck:
+    """Qualitative expectations of Figure 5 (multi-port model).
+
+    * the multi-port-aware growing tree reaches (or exceeds) the one-port
+      optimum on average;
+    * every topology-aware heuristic beats the binomial tree;
+    * the binomial tree fares better than under the one-port model is not
+      directly checkable here (different figure), but it should at least
+      stay above 0.2 of the optimum.
+    """
+    check = ShapeCheck(artefact="Figure 5")
+    grow = _mean(figure.series_for("Multi Port Grow Tree"))
+    check.record(f"Multi Port Grow Tree mean {grow:.2f} >= 0.9", grow >= 0.9)
+    binomial = _mean(figure.series_for("Binomial Tree"))
+    for label in ("Multi Port Grow Tree", "Multi Port Prune Degree", "LP Prune", "LP Grow Tree"):
+        mean = _mean(figure.series_for(label))
+        check.record(
+            f"{label} ({mean:.2f}) above Binomial Tree ({binomial:.2f})", mean > binomial
+        )
+    check.record(f"Binomial Tree mean {binomial:.2f} >= 0.2", binomial >= 0.2)
+    return check
+
+
+def check_table3_shape(table: TableData) -> ShapeCheck:
+    """Qualitative expectations of Table 3 (Tiers platforms).
+
+    * advanced heuristics reach a large fraction of the optimum on both
+      platform sizes;
+    * the binomial tree collapses on hierarchical platforms;
+    * relative performance does not improve when moving from 30 to 65 nodes
+      for the advanced heuristics (larger platforms are harder).
+    """
+    check = ShapeCheck(artefact="Table 3")
+    sizes = list(table.rows)
+    advanced = ["Prune Platform Degree", "Grow Tree", "LP Prune", "LP Grow Tree"]
+    for size in sizes:
+        for label in advanced:
+            mean = table.cell(size, label).mean
+            check.record(
+                f"{label} at {size} nodes: {mean:.2f} >= 0.5", mean >= 0.5
+            )
+        binomial = table.cell(size, "Binomial Tree").mean
+        best_advanced = max(table.cell(size, label).mean for label in advanced)
+        check.record(
+            f"Binomial Tree at {size} nodes ({binomial:.2f}) far below best advanced "
+            f"({best_advanced:.2f})",
+            binomial < best_advanced - 0.3,
+        )
+    if len(sizes) >= 2:
+        small, large = sizes[0], sizes[-1]
+        for label in advanced:
+            check.record(
+                f"{label}: {large}-node mean <= {small}-node mean + 0.05",
+                table.cell(large, label).mean <= table.cell(small, label).mean + 0.05,
+            )
+    return check
+
+
+def render_report(
+    figures: list[FigureData], tables: list[TableData], checks: list[ShapeCheck]
+) -> str:
+    """Assemble a full textual report of the reproduced evaluation."""
+    parts: list[str] = []
+    for figure in figures:
+        parts.append(figure.render())
+    for table in tables:
+        parts.append(table.render())
+    for check in checks:
+        parts.append(check.render())
+    return "\n\n" + "\n\n".join(parts) + "\n"

@@ -1,0 +1,103 @@
+"""Regeneration of the paper's Table 3 (Tiers platforms, one-port model).
+
+Table 3 reports, for two ensembles of Tiers-generated platforms (30 and 65
+nodes), the average relative performance (and deviation) of the six
+one-port heuristics.  The layout below mirrors the paper: one row per
+platform size, one column per heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..analysis.metrics import SummaryStatistics, summarize
+from ..core.registry import PAPER_ONE_PORT_HEURISTICS, get_heuristic
+from ..exceptions import ExperimentError
+from ..utils.ascii_plot import format_table
+from .config import PaperParameters
+from .runner import EvaluationRecord, tiers_ensemble_records
+
+__all__ = ["TableData", "table_3"]
+
+
+@dataclass(frozen=True)
+class TableData:
+    """One reproduced table: per (row, column) summary statistics."""
+
+    table_id: str
+    title: str
+    row_label: str
+    rows: tuple[object, ...]
+    columns: tuple[str, ...]
+    cells: Mapping[tuple[object, str], SummaryStatistics]
+
+    def cell(self, row: object, column: str) -> SummaryStatistics:
+        """The statistics of one (row, column) cell."""
+        try:
+            return self.cells[(row, column)]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"table {self.table_id} has no cell ({row!r}, {column!r})"
+            ) from exc
+
+    def to_text(self, as_percentage: bool = True) -> str:
+        """Aligned plain-text rendering in the paper's layout."""
+        headers = [self.row_label, *self.columns]
+        body = []
+        for row in self.rows:
+            body.append(
+                [row, *(self.cell(row, column).format(as_percentage) for column in self.columns)]
+            )
+        return format_table(headers, body)
+
+    def render(self) -> str:
+        """Title plus table."""
+        return f"{self.title}\n\n{self.to_text()}"
+
+
+def table_3(
+    parameters: PaperParameters | None = None,
+    records: Iterable[EvaluationRecord] | None = None,
+    *,
+    heuristics: Sequence[str] = PAPER_ONE_PORT_HEURISTICS,
+    progress: bool = False,
+) -> TableData:
+    """Table 3: one-port heuristics on Tiers-like platforms (30 / 65 nodes)."""
+    parameters = parameters or PaperParameters()
+    if records is None:
+        records = tiers_ensemble_records(parameters, progress=progress)
+    selected = [
+        r for r in records
+        if r.generator == "tiers" and r.model == "one-port" and r.heuristic in set(heuristics)
+    ]
+    if not selected:
+        raise ExperimentError("no Tiers one-port records available for Table 3")
+
+    sizes = tuple(sorted({r.num_nodes for r in selected}))
+    columns = tuple(get_heuristic(name).paper_label for name in heuristics)
+    cells: dict[tuple[object, str], SummaryStatistics] = {}
+    for size in sizes:
+        for name, column in zip(heuristics, columns):
+            ratios = [
+                r.relative_performance
+                for r in selected
+                if r.num_nodes == size and r.heuristic == name
+            ]
+            if not ratios:
+                raise ExperimentError(
+                    f"Table 3: heuristic {name!r} has no record for size {size}"
+                )
+            cells[(size, column)] = summarize(ratios)
+
+    return TableData(
+        table_id="3",
+        title=(
+            "Table 3 - performance of the one-port heuristics on Tiers-generated "
+            "platforms (average relative performance +/- deviation)"
+        ),
+        row_label="nodes",
+        rows=sizes,
+        columns=columns,
+        cells=cells,
+    )

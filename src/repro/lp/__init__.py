@@ -1,0 +1,15 @@
+"""Steady-state broadcast linear program (MTP optimal throughput)."""
+
+from .formulation import LPVariableIndex, SteadyStateLPData, build_steady_state_lp
+from .solution import SteadyStateSolution
+from .solver import LPSolutionCache, optimal_throughput, solve_steady_state_lp
+
+__all__ = [
+    "LPVariableIndex",
+    "SteadyStateLPData",
+    "build_steady_state_lp",
+    "SteadyStateSolution",
+    "LPSolutionCache",
+    "optimal_throughput",
+    "solve_steady_state_lp",
+]

@@ -1,0 +1,262 @@
+"""Sparse formulation of the steady-state broadcast LP ``SSB(G)``.
+
+Section 4.1 of the paper shows that the optimal throughput of the *multiple
+trees, pipelined* (MTP) broadcast under the bidirectional one-port model is
+the solution of a linear program over the rationals.  With
+
+* ``x^{u,v}_w`` — fractional number of slices destined to ``P_w`` crossing
+  the edge ``e_{u,v}`` per time unit,
+* ``n_{u,v}``  — total number of slices crossing ``e_{u,v}`` per time unit,
+* ``TP``       — the throughput,
+
+the program maximises ``TP`` subject to
+
+=========== ======================================================================
+constraint   meaning
+=========== ======================================================================
+(a)          for every destination ``w``: the source emits ``TP`` slices for ``w``
+(b)          for every destination ``w``: ``w`` receives ``TP`` slices
+(c)          flow conservation of commodity ``w`` at every other node
+(d)          ``n_{u,v} = max_w x^{u,v}_w`` (messages to different destinations
+             sharing an edge can be nested into one another, see [6])
+(e)–(h)      the occupation of every edge, ``n_{u,v} * T_{u,v}``, is at most 1
+(f)/(i)      one-port in: total incoming occupation of every node is at most 1
+(g)/(j)      one-port out: total outgoing occupation of every node is at most 1
+=========== ======================================================================
+
+Constraint (d) is an equality with a ``max`` on the right-hand side; because
+larger ``n_{u,v}`` values only tighten the time constraints, replacing it
+with ``n_{u,v} >= x^{u,v}_w`` for every ``w`` yields the same optimum and
+keeps the program linear.
+
+This module only *builds* the sparse matrices; solving is delegated to
+:mod:`repro.lp.solver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import LPError
+from ..platform.graph import Platform
+
+__all__ = ["LPVariableIndex", "SteadyStateLPData", "build_steady_state_lp"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+@dataclass(frozen=True)
+class LPVariableIndex:
+    """Index map between LP columns and the model quantities.
+
+    Column layout: the ``num_edges * num_destinations`` flow variables
+    ``x[e, w]`` first (edge-major), then the ``num_edges`` message counts
+    ``n[e]``, then the single throughput variable ``TP``.
+    """
+
+    edges: tuple[Edge, ...]
+    destinations: tuple[NodeName, ...]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed platform edges."""
+        return len(self.edges)
+
+    @property
+    def num_destinations(self) -> int:
+        """Number of destination commodities (``p - 1``)."""
+        return len(self.destinations)
+
+    @property
+    def num_variables(self) -> int:
+        """Total number of LP columns."""
+        return self.num_edges * self.num_destinations + self.num_edges + 1
+
+    def flow(self, edge_index: int, destination_index: int) -> int:
+        """Column of ``x[edge, destination]``."""
+        return edge_index * self.num_destinations + destination_index
+
+    def messages(self, edge_index: int) -> int:
+        """Column of ``n[edge]``."""
+        return self.num_edges * self.num_destinations + edge_index
+
+    @property
+    def throughput(self) -> int:
+        """Column of ``TP``."""
+        return self.num_variables - 1
+
+
+@dataclass(frozen=True)
+class SteadyStateLPData:
+    """The assembled LP in ``scipy.optimize.linprog`` form (minimisation)."""
+
+    objective: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    bounds: list[tuple[float, float | None]]
+    index: LPVariableIndex
+    source: NodeName
+
+    @property
+    def num_constraints(self) -> int:
+        """Total number of LP rows (equalities + inequalities)."""
+        return self.a_eq.shape[0] + self.a_ub.shape[0]
+
+
+class _TripletBuilder:
+    """Accumulates sparse matrix triplets and right-hand sides."""
+
+    def __init__(self) -> None:
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.vals: list[float] = []
+        self.rhs: list[float] = []
+        self._row = 0
+
+    def new_row(self, rhs: float = 0.0) -> int:
+        self.rhs.append(rhs)
+        row = self._row
+        self._row += 1
+        return row
+
+    def add(self, row: int, col: int, value: float) -> None:
+        self.rows.append(row)
+        self.cols.append(col)
+        self.vals.append(value)
+
+    def matrix(self, num_cols: int) -> tuple[sparse.csr_matrix, np.ndarray]:
+        matrix = sparse.coo_matrix(
+            (self.vals, (self.rows, self.cols)), shape=(self._row, num_cols)
+        ).tocsr()
+        return matrix, np.asarray(self.rhs, dtype=float)
+
+
+def build_steady_state_lp(
+    platform: Platform,
+    source: NodeName,
+    size: float | None = None,
+) -> SteadyStateLPData:
+    """Assemble the ``SSB(G)`` linear program for ``platform`` and ``source``.
+
+    Raises :class:`~repro.exceptions.LPError` when the platform is not
+    broadcast-feasible from the source (the LP would be infeasible anyway,
+    with a much less helpful error message).
+    """
+    if not platform.has_node(source):
+        raise LPError(f"source {source!r} is not a node of the platform")
+    platform.require_broadcast_feasible(source)
+    if platform.num_nodes < 2:
+        raise LPError("the steady-state LP needs at least two nodes")
+
+    edges = tuple(platform.edges)
+    destinations = tuple(node for node in platform.nodes if node != source)
+    index = LPVariableIndex(edges=edges, destinations=destinations)
+
+    transfer_time = {
+        edge: platform.transfer_time(edge[0], edge[1], size) for edge in edges
+    }
+    edge_index = {edge: i for i, edge in enumerate(edges)}
+    dest_index = {node: i for i, node in enumerate(destinations)}
+    out_edges: dict[NodeName, list[int]] = {node: [] for node in platform.nodes}
+    in_edges: dict[NodeName, list[int]] = {node: [] for node in platform.nodes}
+    for i, (u, v) in enumerate(edges):
+        out_edges[u].append(i)
+        in_edges[v].append(i)
+
+    # ------------------------------------------------------------------ #
+    # Equality constraints (a), (b), (c)
+    # ------------------------------------------------------------------ #
+    eq = _TripletBuilder()
+    tp_col = index.throughput
+    for w, w_index in dest_index.items():
+        # (a) source emission of commodity w equals TP.
+        row = eq.new_row(0.0)
+        for e in out_edges[source]:
+            eq.add(row, index.flow(e, w_index), 1.0)
+        eq.add(row, tp_col, -1.0)
+
+        # (b) reception at w equals TP.
+        row = eq.new_row(0.0)
+        for e in in_edges[w]:
+            eq.add(row, index.flow(e, w_index), 1.0)
+        eq.add(row, tp_col, -1.0)
+
+        # (c) conservation of commodity w at every other node.
+        for v in platform.nodes:
+            if v == source or v == w:
+                continue
+            row = eq.new_row(0.0)
+            for e in in_edges[v]:
+                eq.add(row, index.flow(e, w_index), 1.0)
+            for e in out_edges[v]:
+                eq.add(row, index.flow(e, w_index), -1.0)
+
+    # ------------------------------------------------------------------ #
+    # Inequality constraints (d), (e)+(h), (f)+(i), (g)+(j)
+    # ------------------------------------------------------------------ #
+    ub = _TripletBuilder()
+    # (d) x[e, w] - n[e] <= 0
+    for e in range(index.num_edges):
+        n_col = index.messages(e)
+        for w_index in range(index.num_destinations):
+            row = ub.new_row(0.0)
+            ub.add(row, index.flow(e, w_index), 1.0)
+            ub.add(row, n_col, -1.0)
+
+    # (e) + (h): per-edge occupation n[e] * T[e] <= 1
+    for e, edge in enumerate(edges):
+        row = ub.new_row(1.0)
+        ub.add(row, index.messages(e), transfer_time[edge])
+
+    # (f) + (i): one-port incoming occupation per node <= 1
+    for node in platform.nodes:
+        if not in_edges[node]:
+            continue
+        row = ub.new_row(1.0)
+        for e in in_edges[node]:
+            ub.add(row, index.messages(e), transfer_time[edges[e]])
+
+    # (g) + (j): one-port outgoing occupation per node <= 1
+    for node in platform.nodes:
+        if not out_edges[node]:
+            continue
+        row = ub.new_row(1.0)
+        for e in out_edges[node]:
+            ub.add(row, index.messages(e), transfer_time[edges[e]])
+
+    # ------------------------------------------------------------------ #
+    # Objective and bounds
+    # ------------------------------------------------------------------ #
+    objective = np.zeros(index.num_variables)
+    objective[tp_col] = -1.0  # linprog minimises; we maximise TP.
+
+    bounds: list[tuple[float, float | None]] = [(0.0, None)] * index.num_variables
+    # Flows of commodity w leaving w, or entering the source, are useless and
+    # only blur the communication graph read by the LP heuristics: pin them
+    # to zero.
+    for w, w_index in dest_index.items():
+        for e in out_edges[w]:
+            bounds[index.flow(e, w_index)] = (0.0, 0.0)
+    for e in in_edges[source]:
+        for w_index in range(index.num_destinations):
+            bounds[index.flow(e, w_index)] = (0.0, 0.0)
+
+    a_eq, b_eq = eq.matrix(index.num_variables)
+    a_ub, b_ub = ub.matrix(index.num_variables)
+    return SteadyStateLPData(
+        objective=objective,
+        a_eq=a_eq,
+        b_eq=b_eq,
+        a_ub=a_ub,
+        b_ub=b_ub,
+        bounds=bounds,
+        index=index,
+        source=source,
+    )

@@ -1,0 +1,78 @@
+"""Result object of the steady-state broadcast linear program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["SteadyStateSolution"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+@dataclass(frozen=True)
+class SteadyStateSolution:
+    """Optimal solution of the ``SSB(G)`` linear program (Section 4.1).
+
+    Attributes
+    ----------
+    throughput:
+        The optimal steady-state throughput ``TP`` (message slices injected
+        by the source per time unit) achievable with *multiple* broadcast
+        trees under the one-port model.  This is the reference value the
+        paper compares every single-tree heuristic against.
+    edge_messages:
+        ``n_{u,v}``: for each platform edge, the fractional number of
+        message slices crossing it per time unit in the optimal solution.
+        These weights define the *communication graph* used by the LP-based
+        heuristics (Algorithms 6 and 7).
+    flows:
+        ``x^{u,v}_w``: the per-destination flows; only entries above
+        ``flow_tolerance`` are stored.  Keys are ``(edge, destination)``.
+    source:
+        The broadcast source the program was solved for.
+    objective_per_node:
+        Per-node occupation times ``t_in`` / ``t_out`` at the optimum
+        (diagnostic; both are <= 1 by construction).
+    solver_status:
+        Status string reported by the underlying LP solver.
+    solve_seconds:
+        Wall-clock time spent in the solver.
+    num_variables, num_constraints:
+        Size of the LP that was solved (diagnostic / benchmarks).
+    """
+
+    throughput: float
+    edge_messages: Mapping[Edge, float]
+    flows: Mapping[tuple[Edge, NodeName], float] = field(default_factory=dict)
+    source: NodeName = None
+    objective_per_node: Mapping[NodeName, tuple[float, float]] = field(default_factory=dict)
+    solver_status: str = "optimal"
+    solve_seconds: float = 0.0
+    num_variables: int = 0
+    num_constraints: int = 0
+
+    def edge_weight(self, source: NodeName, target: NodeName) -> float:
+        """``n_{u,v}`` for one edge (0 when the edge carries no message)."""
+        return self.edge_messages.get((source, target), 0.0)
+
+    def busiest_edges(self, count: int = 5) -> list[tuple[Edge, float]]:
+        """The ``count`` edges carrying the most messages per time unit."""
+        ranked = sorted(
+            self.edge_messages.items(), key=lambda item: (-item[1], str(item[0]))
+        )
+        return ranked[:count]
+
+    def used_edges(self, tolerance: float = 1e-9) -> list[Edge]:
+        """Edges carrying more than ``tolerance`` messages per time unit."""
+        return [edge for edge, n in self.edge_messages.items() if n > tolerance]
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"SSB optimum: TP={self.throughput:.4f} slices/time-unit, "
+            f"{len(self.used_edges())}/{len(self.edge_messages)} edges used, "
+            f"{self.num_variables} variables, {self.num_constraints} constraints, "
+            f"solved in {self.solve_seconds * 1000:.1f} ms ({self.solver_status})"
+        )

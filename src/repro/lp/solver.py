@@ -1,0 +1,174 @@
+"""Solving the steady-state broadcast LP with SciPy's HiGHS backend.
+
+The paper solves the program with Maple / MuPad; this reproduction uses
+``scipy.optimize.linprog`` (interior point / simplex via HiGHS), which
+handles the sparse programs produced by
+:func:`repro.lp.formulation.build_steady_state_lp` for all platform sizes of
+the evaluation (up to 65 nodes, a few hundred edges) in well under a second.
+
+The module also provides :func:`optimal_throughput`, a light-weight helper
+for callers that only need the MTP reference value, and an in-memory
+memoisation layer (:class:`LPSolutionCache`) used by the experiment runner
+so each platform's LP is solved once and shared by every heuristic that
+needs it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+from scipy import optimize
+
+from ..exceptions import InfeasibleLPError, LPError
+from ..platform.graph import Platform
+from .formulation import SteadyStateLPData, build_steady_state_lp
+from .solution import SteadyStateSolution
+
+__all__ = [
+    "solve_steady_state_lp",
+    "optimal_throughput",
+    "LPSolutionCache",
+]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+#: Flows below this value are considered numerical noise and dropped.
+_FLOW_TOLERANCE = 1e-9
+
+
+def _extract_solution(
+    platform: Platform,
+    data: SteadyStateLPData,
+    result: optimize.OptimizeResult,
+    solve_seconds: float,
+    size: float | None,
+) -> SteadyStateSolution:
+    """Convert a raw ``linprog`` result into a :class:`SteadyStateSolution`."""
+    values = np.asarray(result.x, dtype=float)
+    index = data.index
+    throughput = float(values[index.throughput])
+
+    edge_messages: dict[Edge, float] = {}
+    for e, edge in enumerate(index.edges):
+        edge_messages[edge] = float(max(values[index.messages(e)], 0.0))
+
+    flows: dict[tuple[Edge, NodeName], float] = {}
+    for e, edge in enumerate(index.edges):
+        for w_index, destination in enumerate(index.destinations):
+            value = float(values[index.flow(e, w_index)])
+            if value > _FLOW_TOLERANCE:
+                flows[(edge, destination)] = value
+
+    occupation: dict[NodeName, tuple[float, float]] = {}
+    for node in platform.nodes:
+        t_in = sum(
+            edge_messages[(u, v)] * platform.transfer_time(u, v, size)
+            for u, v in platform.edges
+            if v == node
+        )
+        t_out = sum(
+            edge_messages[(u, v)] * platform.transfer_time(u, v, size)
+            for u, v in platform.edges
+            if u == node
+        )
+        occupation[node] = (t_in, t_out)
+
+    return SteadyStateSolution(
+        throughput=throughput,
+        edge_messages=edge_messages,
+        flows=flows,
+        source=data.source,
+        objective_per_node=occupation,
+        solver_status=str(result.message),
+        solve_seconds=solve_seconds,
+        num_variables=index.num_variables,
+        num_constraints=data.num_constraints,
+    )
+
+
+def solve_steady_state_lp(
+    platform: Platform,
+    source: NodeName,
+    size: float | None = None,
+    *,
+    method: str = "highs",
+) -> SteadyStateSolution:
+    """Solve ``SSB(G)`` and return the full solution.
+
+    Parameters
+    ----------
+    platform:
+        Target platform; must be broadcast-feasible from ``source``.
+    source:
+        Broadcast source processor.
+    size:
+        Message-slice size used for the edge occupation times; defaults to
+        the platform slice size.
+    method:
+        ``scipy.optimize.linprog`` method; the default HiGHS solver is both
+        the fastest and the most robust choice.
+    """
+    data = build_steady_state_lp(platform, source, size)
+    start = time.perf_counter()
+    result = optimize.linprog(
+        c=data.objective,
+        A_ub=data.a_ub,
+        b_ub=data.b_ub,
+        A_eq=data.a_eq,
+        b_eq=data.b_eq,
+        bounds=data.bounds,
+        method=method,
+    )
+    elapsed = time.perf_counter() - start
+    if not result.success:
+        raise InfeasibleLPError(
+            f"steady-state LP failed for platform {platform.name!r} "
+            f"(source {source!r}): {result.message}"
+        )
+    solution = _extract_solution(platform, data, result, elapsed, size)
+    if solution.throughput <= 0:
+        raise LPError(
+            f"steady-state LP returned non-positive throughput "
+            f"{solution.throughput!r} for platform {platform.name!r}"
+        )
+    return solution
+
+
+def optimal_throughput(
+    platform: Platform, source: NodeName, size: float | None = None
+) -> float:
+    """The MTP optimal throughput ``TP`` (reference value of the paper)."""
+    return solve_steady_state_lp(platform, source, size).throughput
+
+
+class LPSolutionCache:
+    """Memoises LP solutions per (platform identity, source, size).
+
+    The experiment runner evaluates several heuristics on the same platform;
+    two of them (LP-Prune and LP-Grow-Tree) need the LP solution, and the
+    relative-performance metric needs the optimal throughput.  Caching keyed
+    on the platform object identity keeps each LP solved exactly once per
+    platform without requiring platforms to be hashable by value.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[int, Any, float | None], SteadyStateSolution] = {}
+
+    def solve(
+        self, platform: Platform, source: NodeName, size: float | None = None
+    ) -> SteadyStateSolution:
+        """Return the cached solution, solving the LP on first use."""
+        key = (id(platform), source, size)
+        if key not in self._cache:
+            self._cache[key] = solve_steady_state_lp(platform, source, size)
+        return self._cache[key]
+
+    def clear(self) -> None:
+        """Drop every cached solution."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

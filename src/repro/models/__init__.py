@@ -1,0 +1,20 @@
+"""Communication port models (one-port, multi-port) and transfer timing."""
+
+from .port_models import (
+    MultiPortModel,
+    OnePortModel,
+    PortModel,
+    PortModelKind,
+    get_port_model,
+)
+from .timing import TransferTiming, transfer_timing
+
+__all__ = [
+    "MultiPortModel",
+    "OnePortModel",
+    "PortModel",
+    "PortModelKind",
+    "get_port_model",
+    "TransferTiming",
+    "transfer_timing",
+]

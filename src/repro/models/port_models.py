@@ -1,0 +1,253 @@
+"""Communication port models (Section 2 of the paper).
+
+Two families of models are used throughout the paper:
+
+* the **bidirectional one-port model** (Section 2.3): a processor is
+  involved in at most one send *and* at most one receive at any time; both
+  endpoints are blocked for the whole link occupation ``T_{u,v}``;
+* the **multi-port model** (Sections 2.2 and 3.2): a processor pays a
+  per-send overhead ``send_u`` which is serialised, but the link
+  occupations of consecutive sends may overlap, so the steady-state period
+  of a node with children ``v_1..v_k`` is
+  ``max(k * send_u, max_i T_{u,v_i})``.
+
+The classes below carry the model-specific arithmetic so that heuristics,
+analysis and simulation can all be written once and parameterised by the
+model.  All of them work with *per-slice* quantities: ``size`` defaults to
+the platform's slice size.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import Any, Sequence
+
+from ..exceptions import PlatformError
+from ..platform.graph import Platform
+
+__all__ = ["PortModelKind", "PortModel", "OnePortModel", "MultiPortModel", "get_port_model"]
+
+NodeName = Any
+#: One outgoing (or incoming) steady-state transfer of a node:
+#: ``(peer, transfer_time, multiplicity)`` where ``multiplicity`` is the
+#: number of distinct message copies crossing the corresponding edge per
+#: broadcast period (1 for plain tree edges, possibly more when a logical
+#: transfer is routed through intermediate links, as in the binomial
+#: heuristic).
+Transfer = tuple[NodeName, float, int]
+
+
+class PortModelKind(str, Enum):
+    """Enumeration of the supported port models."""
+
+    ONE_PORT = "one-port"
+    MULTI_PORT = "multi-port"
+
+
+class PortModel(ABC):
+    """Common interface of the port models."""
+
+    #: Model identifier used in reports and the heuristic registry.
+    name: str = "abstract"
+    kind: PortModelKind
+
+    # ------------------------------------------------------------------ #
+    # Edge-level quantities
+    # ------------------------------------------------------------------ #
+    def edge_weight(
+        self, platform: Platform, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        """The edge weight ``T_{u,v}`` used by the tree heuristics."""
+        return platform.transfer_time(source, target, size)
+
+    @abstractmethod
+    def sender_busy_time(
+        self, platform: Platform, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        """Time the sender's output port is blocked by one transfer."""
+
+    @abstractmethod
+    def receiver_busy_time(
+        self, platform: Platform, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        """Time the receiver's input port is blocked by one transfer."""
+
+    def link_busy_time(
+        self, platform: Platform, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        """Total link occupation of one transfer (``T_{u,v}``)."""
+        return platform.transfer_time(source, target, size)
+
+    # ------------------------------------------------------------------ #
+    # Node-level steady-state period
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def node_period(
+        self,
+        platform: Platform,
+        node: NodeName,
+        outgoing: Sequence[Transfer],
+        incoming: Sequence[Transfer] = (),
+        size: float | None = None,
+    ) -> float:
+        """Minimum time between consecutive slices at ``node``.
+
+        ``outgoing`` (resp. ``incoming``) lists the steady-state transfers
+        the node performs as a sender (resp. receiver) for every broadcast
+        period.  The steady-state throughput of a broadcast structure is the
+        inverse of the maximum node period (see
+        :func:`repro.analysis.throughput.tree_throughput`).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class OnePortModel(PortModel):
+    """Bidirectional one-port model.
+
+    Sends are serialised on the output port, receives on the input port,
+    and each transfer blocks both endpoints for the full link occupation
+    ``T_{u,v}`` (``send = recv = T``).
+    """
+
+    name = "one-port"
+    kind = PortModelKind.ONE_PORT
+
+    def sender_busy_time(
+        self, platform: Platform, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        return platform.transfer_time(source, target, size)
+
+    def receiver_busy_time(
+        self, platform: Platform, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        return platform.transfer_time(source, target, size)
+
+    def node_period(
+        self,
+        platform: Platform,
+        node: NodeName,
+        outgoing: Sequence[Transfer],
+        incoming: Sequence[Transfer] = (),
+        size: float | None = None,
+    ) -> float:
+        out_time = sum(time * count for _, time, count in outgoing)
+        in_time = sum(time * count for _, time, count in incoming)
+        return max(out_time, in_time)
+
+
+class MultiPortModel(PortModel):
+    """Multi-port model with serialised per-send overhead.
+
+    Each send blocks the sender's network interface for ``send_u`` time
+    units only (Equation 1 of the paper, with the simplification of Bar-Noy
+    et al. that the overhead depends only on the sender); the remaining link
+    occupation overlaps with the following sends.  The steady-state period
+    of a node is therefore
+
+    ``max(number_of_sends * send_u, max over outgoing edges of (count * T))``
+
+    plus, when a receive overhead is configured on the node, the symmetric
+    ``number_of_receives * recv_u`` term.
+
+    Parameters
+    ----------
+    send_fraction:
+        Used to derive ``send_u`` when the node record does not carry an
+        explicit ``send_overhead``: ``send_u = send_fraction * min_w T_{u,w}``
+        (Section 5.1 sets the fraction to 0.8).
+    """
+
+    name = "multi-port"
+    kind = PortModelKind.MULTI_PORT
+
+    def __init__(self, send_fraction: float = 0.8) -> None:
+        if not 0.0 < send_fraction <= 1.0:
+            raise PlatformError(f"send_fraction must be in (0, 1], got {send_fraction}")
+        self.send_fraction = send_fraction
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"MultiPortModel(send_fraction={self.send_fraction})"
+
+    # ------------------------------------------------------------------ #
+    def node_send_time(
+        self, platform: Platform, node: NodeName, size: float | None = None
+    ) -> float:
+        """Per-send overhead ``send_u`` of ``node``.
+
+        Uses the explicit ``send_overhead`` of the node record when present,
+        otherwise falls back to ``send_fraction * min_w T_{node,w}``.
+        Nodes without outgoing links (pure leaves) have a zero overhead.
+        """
+        record = platform.node(node)
+        if record.send_overhead is not None:
+            return record.send_overhead
+        if platform.out_degree(node) == 0:
+            return 0.0
+        return self.send_fraction * platform.min_out_transfer_time(node, size)
+
+    def node_recv_time(
+        self, platform: Platform, node: NodeName, size: float | None = None
+    ) -> float:
+        """Per-receive overhead ``recv_u`` of ``node`` (0 unless configured)."""
+        record = platform.node(node)
+        return record.recv_overhead if record.recv_overhead is not None else 0.0
+
+    def sender_busy_time(
+        self, platform: Platform, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        return min(
+            self.node_send_time(platform, source, size),
+            platform.transfer_time(source, target, size),
+        )
+
+    def receiver_busy_time(
+        self, platform: Platform, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        return min(
+            self.node_recv_time(platform, target, size),
+            platform.transfer_time(source, target, size),
+        )
+
+    def node_period(
+        self,
+        platform: Platform,
+        node: NodeName,
+        outgoing: Sequence[Transfer],
+        incoming: Sequence[Transfer] = (),
+        size: float | None = None,
+    ) -> float:
+        if not outgoing and not incoming:
+            return 0.0
+        period = 0.0
+        if outgoing:
+            send_time = self.node_send_time(platform, node, size)
+            total_sends = sum(count for _, _, count in outgoing)
+            period = max(period, total_sends * send_time)
+            period = max(period, max(time * count for _, time, count in outgoing))
+        if incoming:
+            recv_time = self.node_recv_time(platform, node, size)
+            total_recvs = sum(count for _, _, count in incoming)
+            period = max(period, total_recvs * recv_time)
+            # Each incoming edge must deliver its copies within one period.
+            period = max(period, max(time * count for _, time, count in incoming))
+        return period
+
+
+def get_port_model(model: PortModel | PortModelKind | str | None) -> PortModel:
+    """Normalise a model specification into a :class:`PortModel` instance.
+
+    Accepts an existing instance, a :class:`PortModelKind`, one of the
+    strings ``"one-port"`` / ``"multi-port"``, or ``None`` (one-port, the
+    paper's default).
+    """
+    if model is None:
+        return OnePortModel()
+    if isinstance(model, PortModel):
+        return model
+    kind = PortModelKind(model)
+    if kind is PortModelKind.ONE_PORT:
+        return OnePortModel()
+    return MultiPortModel()

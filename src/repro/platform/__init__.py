@@ -1,0 +1,52 @@
+"""Platform model: processors, links, affine costs, graphs and generators."""
+
+from .builder import PlatformBuilder
+from .costs import AffineCost, LinkCostModel
+from .generators import (
+    ClusterConfig,
+    RandomPlatformConfig,
+    TIERS_PRESETS,
+    TiersConfig,
+    generate_cluster_platform,
+    generate_complete_platform,
+    generate_grid_platform,
+    generate_hypercube_platform,
+    generate_random_platform,
+    generate_ring_platform,
+    generate_star_platform,
+    generate_tiers_platform,
+)
+from .graph import Platform
+from .link import Link
+from .node import ProcessorNode
+from .serialization import (
+    load_platform,
+    platform_from_dict,
+    platform_to_dict,
+    save_platform,
+)
+
+__all__ = [
+    "AffineCost",
+    "LinkCostModel",
+    "Link",
+    "ProcessorNode",
+    "Platform",
+    "PlatformBuilder",
+    "ClusterConfig",
+    "RandomPlatformConfig",
+    "TIERS_PRESETS",
+    "TiersConfig",
+    "generate_cluster_platform",
+    "generate_complete_platform",
+    "generate_grid_platform",
+    "generate_hypercube_platform",
+    "generate_random_platform",
+    "generate_ring_platform",
+    "generate_star_platform",
+    "generate_tiers_platform",
+    "load_platform",
+    "platform_from_dict",
+    "platform_to_dict",
+    "save_platform",
+]

@@ -1,0 +1,137 @@
+"""Fluent builder for :class:`~repro.platform.graph.Platform` instances.
+
+The builder is convenient in examples and tests where a small platform is
+described literally.  It performs the same validation as the underlying
+:class:`Platform` methods but allows links to be declared before their
+endpoints (everything is checked when :meth:`PlatformBuilder.build` runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..exceptions import PlatformError
+from .graph import Platform
+from .link import Link
+from .node import ProcessorNode
+
+__all__ = ["PlatformBuilder"]
+
+
+@dataclass
+class _PendingLink:
+    source: Any
+    target: Any
+    transfer_time: float
+    send_time: float | None
+    recv_time: float | None
+    bidirectional: bool
+    attributes: dict[str, Any]
+
+
+@dataclass
+class PlatformBuilder:
+    """Accumulates nodes and links, then materialises a :class:`Platform`.
+
+    Example
+    -------
+    >>> platform = (
+    ...     PlatformBuilder(name="demo")
+    ...     .node("master")
+    ...     .nodes("w1", "w2")
+    ...     .link("master", "w1", 2.0, bidirectional=True)
+    ...     .link("master", "w2", 5.0)
+    ...     .link("w1", "w2", 1.0)
+    ...     .build()
+    ... )
+    >>> platform.num_nodes
+    3
+    """
+
+    name: str = "platform"
+    slice_size: float = 1.0
+    _nodes: dict[Any, ProcessorNode] = field(default_factory=dict)
+    _links: list[_PendingLink] = field(default_factory=list)
+    _auto_nodes: bool = True
+
+    # ------------------------------------------------------------------ #
+    def node(self, name: Any, **attributes: Any) -> "PlatformBuilder":
+        """Declare one processor."""
+        self._nodes[name] = ProcessorNode(name=name, **attributes)
+        return self
+
+    def nodes(self, *names: Any) -> "PlatformBuilder":
+        """Declare several processors with default attributes."""
+        for name in names:
+            self.node(name)
+        return self
+
+    def strict(self) -> "PlatformBuilder":
+        """Disable auto-creation of nodes referenced only by links."""
+        self._auto_nodes = False
+        return self
+
+    def link(
+        self,
+        source: Any,
+        target: Any,
+        transfer_time: float,
+        *,
+        send_time: float | None = None,
+        recv_time: float | None = None,
+        bidirectional: bool = False,
+        **attributes: Any,
+    ) -> "PlatformBuilder":
+        """Declare a directed (or bidirectional) link with a per-slice time."""
+        self._links.append(
+            _PendingLink(
+                source=source,
+                target=target,
+                transfer_time=transfer_time,
+                send_time=send_time,
+                recv_time=recv_time,
+                bidirectional=bidirectional,
+                attributes=dict(attributes),
+            )
+        )
+        return self
+
+    def fully_connected(
+        self, names: list[Any], transfer_time: float, **attributes: Any
+    ) -> "PlatformBuilder":
+        """Declare a clique over ``names`` with uniform link times."""
+        for u in names:
+            for v in names:
+                if u != v:
+                    self.link(u, v, transfer_time, **attributes)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> Platform:
+        """Validate the accumulated description and build the platform."""
+        platform = Platform(name=self.name, slice_size=self.slice_size)
+        for record in self._nodes.values():
+            platform.add_node(record)
+        for pending in self._links:
+            for endpoint in (pending.source, pending.target):
+                if not platform.has_node(endpoint):
+                    if not self._auto_nodes:
+                        raise PlatformError(
+                            f"link references unknown node {endpoint!r} and the "
+                            "builder is in strict mode"
+                        )
+                    platform.add_node(endpoint)
+            link = Link.with_transfer_time(
+                pending.source,
+                pending.target,
+                pending.transfer_time,
+                send_time=pending.send_time,
+                recv_time=pending.recv_time,
+                **pending.attributes,
+            )
+            platform.add_link(link)
+            if pending.bidirectional:
+                platform.add_link(link.reversed())
+        platform.validate()
+        return platform

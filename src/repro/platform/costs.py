@@ -1,0 +1,183 @@
+"""Affine communication-cost model.
+
+Section 2.1 of the paper describes the general framework used throughout:
+sending a message of size ``L`` from ``P_u`` to ``P_v`` over the link
+``e_{u,v}`` involves three (possibly different) affine occupation times:
+
+* the link occupation       ``T_{u,v}(L)   = alpha_{u,v} + L * beta_{u,v}``,
+* the sender occupation     ``send_{u,v}(L) = s0_{u,v}   + L * s1_{u,v}``,
+* the receiver occupation   ``recv_{u,v}(L) = r0_{u,v}   + L * r1_{u,v}``,
+
+with ``send <= T`` and ``recv <= T`` for every message size.  The one-port
+model collapses the three functions (the sender and the receiver are blocked
+for the whole transfer); multi-port models keep them distinct so a sender
+may overlap the tail of one transfer with the head of the next.
+
+:class:`AffineCost` is a small immutable value object implementing one such
+affine function, and :class:`LinkCostModel` bundles the three functions of a
+link with the consistency checks above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["AffineCost", "LinkCostModel"]
+
+
+@dataclass(frozen=True, order=True)
+class AffineCost:
+    """An affine cost function ``cost(L) = startup + L * per_unit``.
+
+    Parameters
+    ----------
+    startup:
+        Latency component, paid once per message regardless of its size
+        (``alpha`` in the paper).
+    per_unit:
+        Inverse-bandwidth component, paid per data unit (``beta``).
+    """
+
+    startup: float = 0.0
+    per_unit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.startup < 0:
+            raise ValueError(f"startup must be non-negative, got {self.startup!r}")
+        if self.per_unit < 0:
+            raise ValueError(f"per_unit must be non-negative, got {self.per_unit!r}")
+
+    def __call__(self, size: float) -> float:
+        """Evaluate the cost for a message of ``size`` data units."""
+        if size < 0:
+            raise ValueError(f"message size must be non-negative, got {size!r}")
+        return self.startup + size * self.per_unit
+
+    def dominates(self, other: "AffineCost") -> bool:
+        """Return ``True`` if this cost is >= ``other`` for every size."""
+        return self.startup >= other.startup and self.per_unit >= other.per_unit
+
+    def scaled(self, factor: float) -> "AffineCost":
+        """Return a copy with both coefficients multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"scaling factor must be non-negative, got {factor!r}")
+        return AffineCost(self.startup * factor, self.per_unit * factor)
+
+    @classmethod
+    def constant(cls, value: float) -> "AffineCost":
+        """A size-independent cost (useful for fixed-size slice models)."""
+        return cls(startup=value, per_unit=0.0)
+
+    @classmethod
+    def linear(cls, per_unit: float) -> "AffineCost":
+        """A zero-latency, bandwidth-only cost."""
+        return cls(startup=0.0, per_unit=per_unit)
+
+    @classmethod
+    def from_bandwidth(cls, bandwidth: float, startup: float = 0.0) -> "AffineCost":
+        """Build a cost from a link *bandwidth* (data units per time unit)."""
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth!r}")
+        return cls(startup=startup, per_unit=1.0 / bandwidth)
+
+    def to_dict(self) -> dict[str, float]:
+        """Serialise to a plain dictionary."""
+        return {"startup": self.startup, "per_unit": self.per_unit}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AffineCost":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(startup=float(data["startup"]), per_unit=float(data["per_unit"]))
+
+
+@dataclass(frozen=True)
+class LinkCostModel:
+    """The three affine occupation functions of a single link.
+
+    The defaults implement the one-port convention of Section 2.3: when only
+    ``link`` is given, the sender and the receiver are both considered busy
+    for the whole link occupation (``send = recv = link``).
+
+    Parameters
+    ----------
+    link:
+        Total link occupation ``T_{u,v}(L)``.
+    send:
+        Sender occupation ``send_{u,v}(L)``; must never exceed ``link``.
+        ``None`` means "equal to ``link``" (one-port convention).
+    recv:
+        Receiver occupation ``recv_{u,v}(L)``; must never exceed ``link``.
+        ``None`` means "equal to ``link``" (one-port convention).
+    """
+
+    link: AffineCost
+    send: AffineCost | None = None
+    recv: AffineCost | None = None
+
+    def __post_init__(self) -> None:
+        for label, cost in (("send", self.send), ("recv", self.recv)):
+            if cost is None:
+                continue
+            if not self.link.dominates(cost):
+                raise ValueError(
+                    f"{label} occupation {cost} exceeds link occupation "
+                    f"{self.link}; the paper requires send/recv <= T for all sizes"
+                )
+
+    @property
+    def effective_send(self) -> AffineCost:
+        """Sender occupation, falling back to the link occupation."""
+        return self.send if self.send is not None else self.link
+
+    @property
+    def effective_recv(self) -> AffineCost:
+        """Receiver occupation, falling back to the link occupation."""
+        return self.recv if self.recv is not None else self.link
+
+    def link_time(self, size: float) -> float:
+        """``T_{u,v}(size)``."""
+        return self.link(size)
+
+    def send_time(self, size: float) -> float:
+        """``send_{u,v}(size)``."""
+        return self.effective_send(size)
+
+    def recv_time(self, size: float) -> float:
+        """``recv_{u,v}(size)``."""
+        return self.effective_recv(size)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a plain dictionary."""
+        return {
+            "link": self.link.to_dict(),
+            "send": None if self.send is None else self.send.to_dict(),
+            "recv": None if self.recv is None else self.recv.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LinkCostModel":
+        """Rebuild from :meth:`to_dict` output."""
+        send = data.get("send")
+        recv = data.get("recv")
+        return cls(
+            link=AffineCost.from_dict(data["link"]),
+            send=None if send is None else AffineCost.from_dict(send),
+            recv=None if recv is None else AffineCost.from_dict(recv),
+        )
+
+    @classmethod
+    def one_port(cls, transfer_time: float) -> "LinkCostModel":
+        """A fixed-size-slice one-port link occupied ``transfer_time`` per slice."""
+        return cls(link=AffineCost.constant(transfer_time))
+
+    @classmethod
+    def multi_port(
+        cls, transfer_time: float, send_time: float, recv_time: float | None = None
+    ) -> "LinkCostModel":
+        """A fixed-size-slice link with overlapping send/recv occupations."""
+        return cls(
+            link=AffineCost.constant(transfer_time),
+            send=AffineCost.constant(send_time),
+            recv=None if recv_time is None else AffineCost.constant(recv_time),
+        )

@@ -1,0 +1,27 @@
+"""Platform generators: random (paper Table 2), Tiers-like, structured, clusters."""
+
+from .clusters import ClusterConfig, generate_cluster_platform
+from .random_graph import RandomPlatformConfig, generate_random_platform
+from .structured import (
+    generate_complete_platform,
+    generate_grid_platform,
+    generate_hypercube_platform,
+    generate_ring_platform,
+    generate_star_platform,
+)
+from .tiers import TIERS_PRESETS, TiersConfig, generate_tiers_platform
+
+__all__ = [
+    "ClusterConfig",
+    "generate_cluster_platform",
+    "RandomPlatformConfig",
+    "generate_random_platform",
+    "generate_complete_platform",
+    "generate_grid_platform",
+    "generate_hypercube_platform",
+    "generate_ring_platform",
+    "generate_star_platform",
+    "TIERS_PRESETS",
+    "TiersConfig",
+    "generate_tiers_platform",
+]

@@ -1,0 +1,156 @@
+"""Cluster-of-clusters platform generator.
+
+A recurring motivation of the paper (and of the related work it cites, e.g.
+Sun et al. on clusters of SMPs) is the *hierarchical cluster* scenario: a
+few clusters of workstations, fast links inside each cluster, much slower
+wide-area links between clusters.  The broadcast tree then has to push the
+message across each slow inter-cluster link exactly once and fan it out
+locally — exactly the behaviour the topology-aware heuristics discover and
+the index-based binomial tree misses.
+
+This generator is used by the ``grid_cluster_broadcast`` example and by the
+ablation benchmarks; it is not part of the paper's quantitative evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import PlatformError
+from ...utils.rng import SeedLike, as_generator, sample_positive_normal
+from ..graph import Platform
+from ..link import Link
+from ..node import ProcessorNode
+
+__all__ = ["ClusterConfig", "generate_cluster_platform"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of the cluster-of-clusters generator.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of clusters.
+    cluster_size:
+        Number of processors per cluster (the first one is the gateway).
+    intra_time_mean, intra_deviation:
+        Gaussian parameters (in time units per slice) of intra-cluster links.
+    inter_time_mean, inter_deviation:
+        Gaussian parameters of inter-cluster (backbone) links; typically an
+        order of magnitude slower than intra-cluster links.
+    backbone_complete:
+        When true every pair of gateways is connected; otherwise gateways
+        form a ring.
+    send_fraction:
+        Multi-port send-overhead fraction of the fastest outgoing link.
+    """
+
+    num_clusters: int = 4
+    cluster_size: int = 6
+    intra_time_mean: float = 1.0
+    intra_deviation: float = 0.2
+    inter_time_mean: float = 10.0
+    inter_deviation: float = 2.0
+    backbone_complete: bool = False
+    send_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise PlatformError("num_clusters must be >= 1")
+        if self.cluster_size < 1:
+            raise PlatformError("cluster_size must be >= 1")
+        if self.num_clusters * self.cluster_size < 2:
+            raise PlatformError("the platform must contain at least 2 processors")
+        for label, value in (
+            ("intra_time_mean", self.intra_time_mean),
+            ("inter_time_mean", self.inter_time_mean),
+        ):
+            if value <= 0:
+                raise PlatformError(f"{label} must be positive, got {value}")
+        if not 0.0 < self.send_fraction <= 1.0:
+            raise PlatformError("send_fraction must be in (0, 1]")
+
+    @property
+    def total_nodes(self) -> int:
+        """Total number of processors produced by this configuration."""
+        return self.num_clusters * self.cluster_size
+
+
+def generate_cluster_platform(
+    config: ClusterConfig | None = None,
+    *,
+    seed: SeedLike = None,
+    name: str | None = None,
+    **overrides,
+) -> Platform:
+    """Generate a cluster-of-clusters platform.
+
+    Node names are integers; node ``c * cluster_size`` is the gateway of
+    cluster ``c`` and carries ``cluster=c`` metadata, like every member of
+    the cluster.
+    """
+    if config is None:
+        config = ClusterConfig(**overrides)
+    elif overrides:
+        raise PlatformError("pass either an explicit config or keyword overrides, not both")
+
+    rng = as_generator(seed)
+    platform = Platform(
+        name=name or f"clusters-{config.num_clusters}x{config.cluster_size}",
+        slice_size=1.0,
+    )
+
+    def sample(mean: float, deviation: float) -> float:
+        return float(sample_positive_normal(rng, mean, deviation))
+
+    pending: list[tuple[int, int, float]] = []
+    gateways: list[int] = []
+    for cluster in range(config.num_clusters):
+        base = cluster * config.cluster_size
+        members = list(range(base, base + config.cluster_size))
+        gateways.append(members[0])
+        for member in members:
+            platform.add_node(
+                ProcessorNode(name=member, cluster=cluster, attributes={"generator": "clusters"})
+            )
+        # Intra-cluster: complete graph (workstations on a switch).
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                pending.append((u, v, sample(config.intra_time_mean, config.intra_deviation)))
+
+    # Backbone between gateways.
+    if config.num_clusters > 1:
+        if config.backbone_complete:
+            backbone_pairs = [
+                (gateways[i], gateways[j])
+                for i in range(len(gateways))
+                for j in range(i + 1, len(gateways))
+            ]
+        else:
+            backbone_pairs = [
+                (gateways[i], gateways[(i + 1) % len(gateways)])
+                for i in range(len(gateways))
+            ]
+            if len(gateways) == 2:
+                backbone_pairs = backbone_pairs[:1]
+        for u, v in backbone_pairs:
+            pending.append((u, v, sample(config.inter_time_mean, config.inter_deviation)))
+
+    min_out: dict[int, float] = {}
+    for u, v, time in pending:
+        platform.add_link(Link.with_transfer_time(u, v, time))
+        platform.add_link(Link.with_transfer_time(v, u, time))
+        min_out[u] = min(min_out.get(u, float("inf")), time)
+        min_out[v] = min(min_out.get(v, float("inf")), time)
+
+    for node in platform.nodes:
+        record = platform.node(node)
+        if node in min_out:
+            platform.add_node(record.with_send_overhead(config.send_fraction * min_out[node]))
+
+    platform.validate()
+    return platform

@@ -1,0 +1,179 @@
+"""Structured (regular) platform topologies.
+
+These generators are not part of the paper's evaluation but are invaluable
+for tests (their optimal broadcast structures are known analytically), for
+examples, and for ablations: stars, rings, 2-D grids, hypercubes and
+complete graphs, each with either uniform or randomly heterogeneous link
+times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ...exceptions import PlatformError
+from ...utils.rng import SeedLike, as_generator, sample_positive_normal
+from ..graph import Platform
+from ..link import Link
+from ..node import ProcessorNode
+
+__all__ = [
+    "generate_star_platform",
+    "generate_ring_platform",
+    "generate_grid_platform",
+    "generate_hypercube_platform",
+    "generate_complete_platform",
+]
+
+
+def _time_sampler(
+    rng: np.random.Generator,
+    uniform_time: float | None,
+    rate_mean: float,
+    rate_deviation: float,
+    slice_size_mb: float,
+) -> Callable[[], float]:
+    """Return a callable producing per-slice link times."""
+    if uniform_time is not None:
+        if uniform_time <= 0:
+            raise PlatformError(f"uniform_time must be positive, got {uniform_time}")
+        return lambda: uniform_time
+    return lambda: slice_size_mb / float(
+        sample_positive_normal(rng, rate_mean, rate_deviation)
+    )
+
+
+def _finalise(platform: Platform, pairs: list[tuple[int, int]], sample: Callable[[], float],
+              send_fraction: float) -> Platform:
+    """Add bidirectional links for ``pairs`` and stamp multi-port overheads."""
+    min_out: dict[int, float] = {}
+    for u, v in pairs:
+        time = sample()
+        platform.add_link(Link.with_transfer_time(u, v, time))
+        platform.add_link(Link.with_transfer_time(v, u, time))
+        min_out[u] = min(min_out.get(u, float("inf")), time)
+        min_out[v] = min(min_out.get(v, float("inf")), time)
+    for name in platform.nodes:
+        record = platform.node(name)
+        platform.add_node(record.with_send_overhead(send_fraction * min_out[name]))
+    platform.validate()
+    return platform
+
+
+def _base_platform(name: str, num_nodes: int) -> Platform:
+    if num_nodes < 2:
+        raise PlatformError(f"need at least 2 nodes, got {num_nodes}")
+    platform = Platform(name=name, slice_size=1.0)
+    for node in range(num_nodes):
+        platform.add_node(ProcessorNode(name=node, attributes={"generator": "structured"}))
+    return platform
+
+
+def generate_star_platform(
+    num_nodes: int,
+    *,
+    uniform_time: float | None = None,
+    rate_mean: float = 100.0,
+    rate_deviation: float = 20.0,
+    slice_size_mb: float = 100.0,
+    send_fraction: float = 0.8,
+    seed: SeedLike = None,
+) -> Platform:
+    """A star: node 0 is the hub, nodes ``1..n-1`` are leaves."""
+    rng = as_generator(seed)
+    platform = _base_platform(f"star-{num_nodes}", num_nodes)
+    pairs = [(0, leaf) for leaf in range(1, num_nodes)]
+    sample = _time_sampler(rng, uniform_time, rate_mean, rate_deviation, slice_size_mb)
+    return _finalise(platform, pairs, sample, send_fraction)
+
+
+def generate_ring_platform(
+    num_nodes: int,
+    *,
+    uniform_time: float | None = None,
+    rate_mean: float = 100.0,
+    rate_deviation: float = 20.0,
+    slice_size_mb: float = 100.0,
+    send_fraction: float = 0.8,
+    seed: SeedLike = None,
+) -> Platform:
+    """A bidirectional ring ``0 - 1 - ... - (n-1) - 0``."""
+    rng = as_generator(seed)
+    platform = _base_platform(f"ring-{num_nodes}", num_nodes)
+    pairs = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    sample = _time_sampler(rng, uniform_time, rate_mean, rate_deviation, slice_size_mb)
+    return _finalise(platform, pairs, sample, send_fraction)
+
+
+def generate_grid_platform(
+    rows: int,
+    cols: int,
+    *,
+    uniform_time: float | None = None,
+    rate_mean: float = 100.0,
+    rate_deviation: float = 20.0,
+    slice_size_mb: float = 100.0,
+    send_fraction: float = 0.8,
+    seed: SeedLike = None,
+) -> Platform:
+    """A 2-D mesh of ``rows x cols`` processors with 4-neighbour links."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise PlatformError(f"grid must contain at least 2 nodes, got {rows}x{cols}")
+    rng = as_generator(seed)
+    platform = _base_platform(f"grid-{rows}x{cols}", rows * cols)
+    pairs: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                pairs.append((node, node + 1))
+            if r + 1 < rows:
+                pairs.append((node, node + cols))
+    sample = _time_sampler(rng, uniform_time, rate_mean, rate_deviation, slice_size_mb)
+    return _finalise(platform, pairs, sample, send_fraction)
+
+
+def generate_hypercube_platform(
+    dimension: int,
+    *,
+    uniform_time: float | None = None,
+    rate_mean: float = 100.0,
+    rate_deviation: float = 20.0,
+    slice_size_mb: float = 100.0,
+    send_fraction: float = 0.8,
+    seed: SeedLike = None,
+) -> Platform:
+    """A ``dimension``-dimensional hypercube (``2**dimension`` nodes)."""
+    if dimension < 1:
+        raise PlatformError(f"dimension must be >= 1, got {dimension}")
+    num_nodes = 2**dimension
+    rng = as_generator(seed)
+    platform = _base_platform(f"hypercube-{dimension}", num_nodes)
+    pairs = [
+        (node, node ^ (1 << bit))
+        for node in range(num_nodes)
+        for bit in range(dimension)
+        if node < node ^ (1 << bit)
+    ]
+    sample = _time_sampler(rng, uniform_time, rate_mean, rate_deviation, slice_size_mb)
+    return _finalise(platform, pairs, sample, send_fraction)
+
+
+def generate_complete_platform(
+    num_nodes: int,
+    *,
+    uniform_time: float | None = None,
+    rate_mean: float = 100.0,
+    rate_deviation: float = 20.0,
+    slice_size_mb: float = 100.0,
+    send_fraction: float = 0.8,
+    seed: SeedLike = None,
+) -> Platform:
+    """A complete graph over ``num_nodes`` processors."""
+    rng = as_generator(seed)
+    platform = _base_platform(f"complete-{num_nodes}", num_nodes)
+    pairs = [(u, v) for u in range(num_nodes) for v in range(u + 1, num_nodes)]
+    sample = _time_sampler(rng, uniform_time, rate_mean, rate_deviation, slice_size_mb)
+    return _finalise(platform, pairs, sample, send_fraction)

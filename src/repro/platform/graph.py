@@ -1,0 +1,377 @@
+"""The :class:`Platform` class: a heterogeneous target platform graph.
+
+A platform is a directed graph ``P = (V, E)`` whose vertices are processors
+(:class:`~repro.platform.node.ProcessorNode`) and whose edges are
+unidirectional communication links (:class:`~repro.platform.link.Link`)
+carrying affine occupation costs.  The graph may contain cycles and multiple
+paths; bidirectional physical links are represented by two opposite edges.
+
+The class is a thin, validated layer over :class:`networkx.DiGraph` that
+
+* keeps the full :class:`Link`/:class:`ProcessorNode` objects attached to
+  edges and vertices,
+* exposes the edge weights ``T_{u,v}`` used by the heuristics (the time to
+  transfer one message slice),
+* provides the reachability / connectivity primitives the pruning
+  heuristics rely on, and
+* offers copy / sub-graph / serialization utilities for the experiment
+  harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from ..exceptions import DisconnectedPlatformError, InvalidLinkError, PlatformError
+from .costs import LinkCostModel
+from .link import Link
+from .node import ProcessorNode
+
+__all__ = ["Platform"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+class Platform:
+    """A heterogeneous platform graph.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, used in reports and benchmark output.
+    slice_size:
+        Default message-slice size ``L`` used when computing edge weights.
+        The paper's experiments weight each edge directly with ``T_{u,v}``
+        (the time to transfer one slice), which corresponds to
+        ``slice_size=1.0`` together with
+        :meth:`Link.with_transfer_time <repro.platform.link.Link.with_transfer_time>`.
+    """
+
+    def __init__(self, name: str = "platform", slice_size: float = 1.0) -> None:
+        if slice_size <= 0:
+            raise PlatformError(f"slice_size must be positive, got {slice_size!r}")
+        self.name = name
+        self.slice_size = float(slice_size)
+        self._graph: nx.DiGraph = nx.DiGraph()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: ProcessorNode | NodeName, **attributes: Any) -> ProcessorNode:
+        """Add a processor to the platform and return its record.
+
+        ``node`` may be a pre-built :class:`ProcessorNode` or any hashable
+        name, in which case a default record is created with the keyword
+        arguments forwarded to :class:`ProcessorNode`.
+        Adding an existing node replaces its record.
+        """
+        if not isinstance(node, ProcessorNode):
+            node = ProcessorNode(name=node, **attributes)
+        elif attributes:
+            raise PlatformError(
+                "cannot pass extra attributes together with a ProcessorNode instance"
+            )
+        self._graph.add_node(node.name, record=node)
+        return node
+
+    def add_link(self, link: Link) -> Link:
+        """Add a directed link; both endpoints must already exist."""
+        if not self.has_node(link.source):
+            raise InvalidLinkError(
+                f"link source {link.source!r} is not a node of platform {self.name!r}"
+            )
+        if not self.has_node(link.target):
+            raise InvalidLinkError(
+                f"link target {link.target!r} is not a node of platform {self.name!r}"
+            )
+        self._graph.add_edge(link.source, link.target, record=link)
+        return link
+
+    def connect(
+        self,
+        source: NodeName,
+        target: NodeName,
+        transfer_time: float,
+        *,
+        send_time: float | None = None,
+        recv_time: float | None = None,
+        bidirectional: bool = False,
+        **attributes: Any,
+    ) -> Link:
+        """Convenience wrapper adding a fixed-slice-time link.
+
+        When ``bidirectional`` is true the opposite link (with identical
+        costs) is added as well; the forward link is returned.
+        """
+        link = Link.with_transfer_time(
+            source,
+            target,
+            transfer_time,
+            send_time=send_time,
+            recv_time=recv_time,
+            **attributes,
+        )
+        self.add_link(link)
+        if bidirectional:
+            self.add_link(link.reversed())
+        return link
+
+    def remove_link(self, source: NodeName, target: NodeName) -> None:
+        """Remove a directed link from the platform."""
+        if not self._graph.has_edge(source, target):
+            raise InvalidLinkError(f"no link {source!r} -> {target!r} in {self.name!r}")
+        self._graph.remove_edge(source, target)
+
+    # ------------------------------------------------------------------ #
+    # Nodes
+    # ------------------------------------------------------------------ #
+    def has_node(self, name: NodeName) -> bool:
+        """Return ``True`` if ``name`` is a processor of this platform."""
+        return self._graph.has_node(name)
+
+    def node(self, name: NodeName) -> ProcessorNode:
+        """Return the :class:`ProcessorNode` record for ``name``."""
+        try:
+            return self._graph.nodes[name]["record"]
+        except KeyError as exc:
+            raise PlatformError(f"unknown node {name!r} in platform {self.name!r}") from exc
+
+    @property
+    def nodes(self) -> list[NodeName]:
+        """Names of all processors, in insertion order."""
+        return list(self._graph.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of processors ``p = |V|``."""
+        return self._graph.number_of_nodes()
+
+    # ------------------------------------------------------------------ #
+    # Links
+    # ------------------------------------------------------------------ #
+    def has_link(self, source: NodeName, target: NodeName) -> bool:
+        """Return ``True`` if the directed link ``source -> target`` exists."""
+        return self._graph.has_edge(source, target)
+
+    def link(self, source: NodeName, target: NodeName) -> Link:
+        """Return the :class:`Link` record of the edge ``source -> target``."""
+        try:
+            return self._graph.edges[source, target]["record"]
+        except KeyError as exc:
+            raise InvalidLinkError(
+                f"no link {source!r} -> {target!r} in platform {self.name!r}"
+            ) from exc
+
+    @property
+    def links(self) -> list[Link]:
+        """All link records, in insertion order."""
+        return [data["record"] for _, _, data in self._graph.edges(data=True)]
+
+    @property
+    def edges(self) -> list[Edge]:
+        """All directed edges as ``(source, target)`` pairs."""
+        return list(self._graph.edges)
+
+    @property
+    def num_links(self) -> int:
+        """Number of directed links ``|E|``."""
+        return self._graph.number_of_edges()
+
+    def out_links(self, node: NodeName) -> list[Link]:
+        """Links leaving ``node``."""
+        return [self.link(u, v) for u, v in self._graph.out_edges(node)]
+
+    def in_links(self, node: NodeName) -> list[Link]:
+        """Links entering ``node``."""
+        return [self.link(u, v) for u, v in self._graph.in_edges(node)]
+
+    def out_neighbors(self, node: NodeName) -> list[NodeName]:
+        """Output neighbourhood ``N_out(node)``."""
+        return list(self._graph.successors(node))
+
+    def in_neighbors(self, node: NodeName) -> list[NodeName]:
+        """Input neighbourhood ``N_in(node)``."""
+        return list(self._graph.predecessors(node))
+
+    def out_degree(self, node: NodeName) -> int:
+        """Number of outgoing links of ``node``."""
+        return self._graph.out_degree(node)
+
+    def in_degree(self, node: NodeName) -> int:
+        """Number of incoming links of ``node``."""
+        return self._graph.in_degree(node)
+
+    # ------------------------------------------------------------------ #
+    # Weights and costs
+    # ------------------------------------------------------------------ #
+    def transfer_time(
+        self, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        """``T_{u,v}``: link occupation for one message of ``size`` units.
+
+        ``size`` defaults to the platform :attr:`slice_size`.
+        """
+        size = self.slice_size if size is None else size
+        return self.link(source, target).transfer_time(size)
+
+    def send_time(
+        self, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        """Sender occupation for one message of ``size`` units."""
+        size = self.slice_size if size is None else size
+        return self.link(source, target).send_time(size)
+
+    def recv_time(
+        self, source: NodeName, target: NodeName, size: float | None = None
+    ) -> float:
+        """Receiver occupation for one message of ``size`` units."""
+        size = self.slice_size if size is None else size
+        return self.link(source, target).recv_time(size)
+
+    def edge_weights(self, size: float | None = None) -> dict[Edge, float]:
+        """Map every directed edge to its transfer time ``T_{u,v}``."""
+        size = self.slice_size if size is None else size
+        return {
+            (u, v): data["record"].transfer_time(size)
+            for u, v, data in self._graph.edges(data=True)
+        }
+
+    def weighted_out_degree(self, node: NodeName, size: float | None = None) -> float:
+        """Sum of the transfer times of all links leaving ``node``.
+
+        This is the ``OutDegree(u)`` metric of Algorithm 2 (refined platform
+        pruning), evaluated on the *full* platform graph.
+        """
+        size = self.slice_size if size is None else size
+        return sum(link.transfer_time(size) for link in self.out_links(node))
+
+    def min_out_transfer_time(self, node: NodeName, size: float | None = None) -> float:
+        """Smallest transfer time among the links leaving ``node``.
+
+        Used to derive the multi-port send overhead
+        ``send_u = fraction * min_w T_{u,w}`` (Section 5.1 of the paper).
+        Raises :class:`PlatformError` if the node has no outgoing link.
+        """
+        out = self.out_links(node)
+        if not out:
+            raise PlatformError(f"node {node!r} has no outgoing link")
+        size = self.slice_size if size is None else size
+        return min(link.transfer_time(size) for link in out)
+
+    @property
+    def density(self) -> float:
+        """Directed edge density ``|E| / (p * (p - 1))``."""
+        p = self.num_nodes
+        if p < 2:
+            return 0.0
+        return self.num_links / (p * (p - 1))
+
+    # ------------------------------------------------------------------ #
+    # Connectivity
+    # ------------------------------------------------------------------ #
+    def reachable_from(self, source: NodeName) -> set[NodeName]:
+        """Set of nodes reachable from ``source`` (including ``source``)."""
+        if not self.has_node(source):
+            raise PlatformError(f"unknown node {source!r} in platform {self.name!r}")
+        return set(nx.descendants(self._graph, source)) | {source}
+
+    def is_broadcast_feasible(self, source: NodeName) -> bool:
+        """Whether every node is reachable from ``source``."""
+        return len(self.reachable_from(source)) == self.num_nodes
+
+    def require_broadcast_feasible(self, source: NodeName) -> None:
+        """Raise :class:`DisconnectedPlatformError` if some node is unreachable."""
+        reachable = self.reachable_from(source)
+        missing = [n for n in self.nodes if n not in reachable]
+        if missing:
+            raise DisconnectedPlatformError(
+                f"platform {self.name!r}: nodes {missing!r} are not reachable from "
+                f"source {source!r}; a broadcast tree cannot span them"
+            )
+
+    def shortest_path(
+        self, source: NodeName, target: NodeName, size: float | None = None
+    ) -> list[NodeName]:
+        """Shortest path (by transfer time) from ``source`` to ``target``.
+
+        Used by the binomial-tree heuristic when the logical binomial edge
+        does not exist in the platform graph.
+        """
+        weights = self.edge_weights(size)
+
+        def weight(u: NodeName, v: NodeName, _data: Mapping[str, Any]) -> float:
+            return weights[(u, v)]
+
+        try:
+            return nx.shortest_path(self._graph, source, target, weight=weight)
+        except nx.NetworkXNoPath as exc:
+            raise DisconnectedPlatformError(
+                f"no path from {source!r} to {target!r} in platform {self.name!r}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # Views, copies, export
+    # ------------------------------------------------------------------ #
+    def to_networkx(self, size: float | None = None) -> nx.DiGraph:
+        """Export a :class:`networkx.DiGraph` whose edges carry ``weight=T_{u,v}``."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.nodes)
+        for (u, v), weight in self.edge_weights(size).items():
+            graph.add_edge(u, v, weight=weight)
+        return graph
+
+    def copy(self, name: str | None = None) -> "Platform":
+        """Deep-ish copy (records are immutable, so sharing them is safe)."""
+        clone = Platform(name=name or self.name, slice_size=self.slice_size)
+        for node_name in self.nodes:
+            clone.add_node(self.node(node_name))
+        for link in self.links:
+            clone.add_link(link)
+        return clone
+
+    def subgraph_with_links(self, edges: Iterable[Edge], name: str | None = None) -> "Platform":
+        """A platform with the same nodes but only the given directed edges."""
+        sub = Platform(name=name or f"{self.name}-sub", slice_size=self.slice_size)
+        for node_name in self.nodes:
+            sub.add_node(self.node(node_name))
+        for u, v in edges:
+            sub.add_link(self.link(u, v))
+        return sub
+
+    def iter_links(self) -> Iterator[Link]:
+        """Iterate over link records without materialising a list."""
+        for _, _, data in self._graph.edges(data=True):
+            yield data["record"]
+
+    # ------------------------------------------------------------------ #
+    # Validation and dunder methods
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`PlatformError` on failure."""
+        if self.num_nodes == 0:
+            raise PlatformError(f"platform {self.name!r} has no node")
+        for link in self.iter_links():
+            if not isinstance(link.cost, LinkCostModel):
+                raise InvalidLinkError(
+                    f"link {link.source!r}->{link.target!r} has no valid cost model"
+                )
+            if link.transfer_time(self.slice_size) <= 0:
+                raise InvalidLinkError(
+                    f"link {link.source!r}->{link.target!r} has non-positive "
+                    f"transfer time for slice size {self.slice_size!r}"
+                )
+
+    def __contains__(self, name: NodeName) -> bool:
+        return self.has_node(name)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"Platform(name={self.name!r}, nodes={self.num_nodes}, "
+            f"links={self.num_links}, density={self.density:.3f})"
+        )

@@ -1,0 +1,136 @@
+"""Directed communication links of a heterogeneous platform.
+
+Links are unidirectional (the paper models bidirectional physical links as
+two opposite directed edges) and carry a :class:`~repro.platform.costs.LinkCostModel`
+describing the affine occupation times of the link, the sender and the
+receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from .costs import AffineCost, LinkCostModel
+
+__all__ = ["Link"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link ``e_{u,v} : P_u -> P_v`` of the platform graph.
+
+    Parameters
+    ----------
+    source:
+        Name of the sending processor ``P_u``.
+    target:
+        Name of the receiving processor ``P_v``.
+    cost:
+        Affine cost model of the transfer (link / send / recv occupations).
+    attributes:
+        Free-form metadata (e.g. the hierarchy level the link belongs to in
+        a Tiers-like topology, or the physical bandwidth it was derived
+        from).
+    """
+
+    source: Any
+    target: Any
+    cost: LinkCostModel
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError(f"self-loop link on node {self.source!r} is not allowed")
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def with_transfer_time(
+        cls,
+        source: Any,
+        target: Any,
+        transfer_time: float,
+        *,
+        send_time: float | None = None,
+        recv_time: float | None = None,
+        **attributes: Any,
+    ) -> "Link":
+        """Build a fixed-size-slice link occupied ``transfer_time`` per slice.
+
+        This matches the experimental setting of Section 5 where the edge
+        weight is directly the time ``T_{u,v}`` needed to send one message
+        slice.  ``send_time``/``recv_time`` optionally set smaller sender /
+        receiver occupations for the multi-port model.
+        """
+        cost = LinkCostModel(
+            link=AffineCost.constant(transfer_time),
+            send=None if send_time is None else AffineCost.constant(send_time),
+            recv=None if recv_time is None else AffineCost.constant(recv_time),
+        )
+        return cls(source=source, target=target, cost=cost, attributes=dict(attributes))
+
+    @classmethod
+    def from_bandwidth(
+        cls,
+        source: Any,
+        target: Any,
+        bandwidth: float,
+        *,
+        startup: float = 0.0,
+        **attributes: Any,
+    ) -> "Link":
+        """Build a link from a bandwidth (data units / time unit) and latency."""
+        cost = LinkCostModel(link=AffineCost.from_bandwidth(bandwidth, startup=startup))
+        return cls(source=source, target=target, cost=cost, attributes=dict(attributes))
+
+    # ------------------------------------------------------------------ #
+    # Occupation times
+    # ------------------------------------------------------------------ #
+    def transfer_time(self, size: float = 1.0) -> float:
+        """Link occupation ``T_{u,v}(size)`` for a message of ``size`` units."""
+        return self.cost.link_time(size)
+
+    def send_time(self, size: float = 1.0) -> float:
+        """Sender occupation ``send_{u,v}(size)``."""
+        return self.cost.send_time(size)
+
+    def recv_time(self, size: float = 1.0) -> float:
+        """Receiver occupation ``recv_{u,v}(size)``."""
+        return self.cost.recv_time(size)
+
+    # ------------------------------------------------------------------ #
+    # Misc helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def endpoints(self) -> tuple[Any, Any]:
+        """The ``(source, target)`` pair identifying this directed edge."""
+        return (self.source, self.target)
+
+    def reversed(self) -> "Link":
+        """Return the opposite directed link with identical costs.
+
+        Useful to turn an undirected physical topology into the directed
+        graph the paper works with.
+        """
+        return replace(self, source=self.target, target=self.source)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the link to a plain dictionary (JSON friendly)."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "cost": self.cost.to_dict(),
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Link":
+        """Rebuild a link from :meth:`to_dict` output."""
+        return cls(
+            source=data["source"],
+            target=data["target"],
+            cost=LinkCostModel.from_dict(data["cost"]),
+            attributes=dict(data.get("attributes", {})),
+        )

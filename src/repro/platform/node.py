@@ -1,0 +1,94 @@
+"""Processor (node) description for heterogeneous platforms.
+
+The paper models the platform as a directed graph whose vertices are
+processors.  A processor in itself carries very little information (the
+heterogeneity lives on the links), but real deployments attach useful
+metadata: which cluster / LAN the processor belongs to, which hierarchy
+level it occupies in an Internet-like topology (WAN / MAN / LAN), or a
+per-node overhead used by the multi-port model.  :class:`ProcessorNode`
+captures that metadata in a single immutable record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = ["ProcessorNode"]
+
+
+@dataclass(frozen=True)
+class ProcessorNode:
+    """A processor of the target platform.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the processor inside its platform.  Any
+        hashable value accepted by :mod:`networkx` works; the generators in
+        this package use small integers.
+    send_overhead:
+        Optional per-node send occupation time (the ``send_u`` term of the
+        multi-port model of Section 3.2).  ``None`` means "derive it from
+        the outgoing links" (see
+        :meth:`repro.models.MultiPortModel.node_send_time`).
+    recv_overhead:
+        Optional per-node receive occupation time; only used by multi-port
+        variants that serialise receives.  ``None`` means "no explicit
+        receive overhead".
+    level:
+        Optional hierarchy level label (``"wan"``, ``"man"``, ``"lan"``)
+        attached by the Tiers-like generator.
+    cluster:
+        Optional cluster identifier attached by cluster generators.
+    attributes:
+        Free-form extra metadata.
+    """
+
+    name: Any
+    send_overhead: float | None = None
+    recv_overhead: float | None = None
+    level: str | None = None
+    cluster: int | None = None
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.send_overhead is not None and self.send_overhead < 0:
+            raise ValueError(
+                f"send_overhead must be non-negative, got {self.send_overhead!r}"
+            )
+        if self.recv_overhead is not None and self.recv_overhead < 0:
+            raise ValueError(
+                f"recv_overhead must be non-negative, got {self.recv_overhead!r}"
+            )
+
+    def with_send_overhead(self, send_overhead: float) -> "ProcessorNode":
+        """Return a copy of this node with ``send_overhead`` replaced."""
+        return replace(self, send_overhead=send_overhead)
+
+    def with_recv_overhead(self, recv_overhead: float) -> "ProcessorNode":
+        """Return a copy of this node with ``recv_overhead`` replaced."""
+        return replace(self, recv_overhead=recv_overhead)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the node to a plain dictionary (JSON friendly)."""
+        return {
+            "name": self.name,
+            "send_overhead": self.send_overhead,
+            "recv_overhead": self.recv_overhead,
+            "level": self.level,
+            "cluster": self.cluster,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProcessorNode":
+        """Rebuild a node from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            send_overhead=data.get("send_overhead"),
+            recv_overhead=data.get("recv_overhead"),
+            level=data.get("level"),
+            cluster=data.get("cluster"),
+            attributes=dict(data.get("attributes", {})),
+        )

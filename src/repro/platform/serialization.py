@@ -1,0 +1,71 @@
+"""JSON-friendly (de)serialization of platforms.
+
+The experiment harness stores generated platform ensembles and the examples
+load small hand-written topologies; both go through the two functions here.
+The format is a plain nested dictionary so it can be dumped with
+:mod:`json` or any other structured serializer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..exceptions import PlatformError
+from .graph import Platform
+from .link import Link
+from .node import ProcessorNode
+
+__all__ = [
+    "platform_to_dict",
+    "platform_from_dict",
+    "save_platform",
+    "load_platform",
+]
+
+_FORMAT_VERSION = 1
+
+
+def platform_to_dict(platform: Platform) -> dict[str, Any]:
+    """Serialise a :class:`Platform` to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": platform.name,
+        "slice_size": platform.slice_size,
+        "nodes": [platform.node(name).to_dict() for name in platform.nodes],
+        "links": [link.to_dict() for link in platform.links],
+    }
+
+
+def platform_from_dict(data: Mapping[str, Any]) -> Platform:
+    """Rebuild a :class:`Platform` from :func:`platform_to_dict` output."""
+    version = data.get("format_version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise PlatformError(
+            f"unsupported platform format version {version!r} "
+            f"(this build understands {_FORMAT_VERSION})"
+        )
+    platform = Platform(
+        name=data.get("name", "platform"),
+        slice_size=float(data.get("slice_size", 1.0)),
+    )
+    for node_data in data.get("nodes", []):
+        platform.add_node(ProcessorNode.from_dict(node_data))
+    for link_data in data.get("links", []):
+        platform.add_link(Link.from_dict(link_data))
+    platform.validate()
+    return platform
+
+
+def save_platform(platform: Platform, path: str | Path) -> Path:
+    """Write a platform to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(platform_to_dict(platform), indent=2, default=str))
+    return path
+
+
+def load_platform(path: str | Path) -> Platform:
+    """Read a platform previously written by :func:`save_platform`."""
+    data = json.loads(Path(path).read_text())
+    return platform_from_dict(data)

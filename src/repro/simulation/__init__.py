@@ -1,0 +1,18 @@
+"""Discrete-event simulation of pipelined broadcasts (validation substrate)."""
+
+from .broadcast import PipelinedBroadcastSimulator, SimulationResult, simulate_broadcast
+from .engine import SimulationEngine
+from .resources import Reservation, SequentialResource
+from .trace import SimulationTrace, TransferRecord, render_gantt
+
+__all__ = [
+    "PipelinedBroadcastSimulator",
+    "SimulationResult",
+    "simulate_broadcast",
+    "SimulationEngine",
+    "Reservation",
+    "SequentialResource",
+    "SimulationTrace",
+    "TransferRecord",
+    "render_gantt",
+]

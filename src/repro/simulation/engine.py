@@ -1,0 +1,95 @@
+"""Minimal discrete-event simulation engine.
+
+The pipelined-broadcast simulator only needs a tiny core: a clock, a
+priority queue of timestamped callbacks, and deterministic tie-breaking
+(events scheduled at the same instant fire in scheduling order).  Keeping
+the engine generic makes it reusable for other collective-communication
+simulations and keeps the broadcast-specific logic in
+:mod:`repro.simulation.broadcast`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..exceptions import SimulationError
+
+__all__ = ["SimulationEngine"]
+
+Callback = Callable[[], None]
+
+
+class SimulationEngine:
+    """Event queue with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callback]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events not yet processed."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------ #
+    def schedule_at(self, time: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run at absolute time ``time``."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before the current time {self._now}"
+            )
+        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+
+    def schedule_after(self, delay: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    # ------------------------------------------------------------------ #
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in chronological order.
+
+        Parameters
+        ----------
+        until:
+            Optional time horizon; events scheduled strictly after it stay
+            in the queue.
+        max_events:
+            Optional safety valve against runaway simulations.
+
+        Returns the simulation time after the last processed event.
+        """
+        processed_here = 0
+        while self._queue:
+            time, _seq, callback = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            if time < self._now - 1e-12:
+                raise SimulationError("event queue went back in time (engine bug)")
+            self._now = max(self._now, time)
+            callback()
+            self._processed += 1
+            processed_here += 1
+            if max_events is not None and processed_here >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded max_events={max_events}; the schedule is "
+                    "probably not making progress"
+                )
+        return self._now

@@ -1,0 +1,82 @@
+"""Serialised resources (ports and links) used by the broadcast simulator.
+
+Under the one-port model, a processor's output port, its input port and
+every physical link are resources that can serve at most one transfer at a
+time.  :class:`SequentialResource` tracks the occupation of one such
+resource and records its reservations so that the trace validator can prove
+no two transfers ever overlapped on it — the key invariant the paper's
+models impose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SimulationError
+
+__all__ = ["Reservation", "SequentialResource"]
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One occupation interval ``[start, end)`` of a resource."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval."""
+        return self.end - self.start
+
+
+@dataclass
+class SequentialResource:
+    """A resource serving at most one occupation interval at a time."""
+
+    name: str
+    next_free: float = 0.0
+    busy_time: float = 0.0
+    reservations: list[Reservation] = field(default_factory=list)
+    record: bool = True
+
+    def earliest_start(self, ready: float) -> float:
+        """Earliest time a new occupation may start, given data readiness."""
+        return max(ready, self.next_free)
+
+    def reserve(self, start: float, duration: float) -> float:
+        """Occupy the resource during ``[start, start + duration)``.
+
+        Returns the end of the occupation.  Raises
+        :class:`~repro.exceptions.SimulationError` if the interval overlaps
+        the previous reservation (which would indicate a scheduling bug).
+        """
+        if duration < 0:
+            raise SimulationError(f"negative occupation duration {duration} on {self.name}")
+        if start < self.next_free - 1e-9:
+            raise SimulationError(
+                f"resource {self.name!r} double-booked: new occupation starts at "
+                f"{start} but the resource is busy until {self.next_free}"
+            )
+        end = start + duration
+        self.next_free = max(self.next_free, end)
+        self.busy_time += duration
+        if self.record and duration > 0:
+            self.reservations.append(Reservation(start, end))
+        return end
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` during which the resource was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+    def validate_no_overlap(self) -> None:
+        """Check recorded reservations are pairwise disjoint (sanity check)."""
+        intervals = sorted(self.reservations, key=lambda r: r.start)
+        for previous, current in zip(intervals, intervals[1:]):
+            if current.start < previous.end - 1e-9:
+                raise SimulationError(
+                    f"resource {self.name!r} has overlapping reservations "
+                    f"{previous} and {current}"
+                )

@@ -1,0 +1,14 @@
+"""STA (atomic broadcast) baselines from the related work."""
+
+from .base import AtomicTreeHeuristic
+from .fef import FastestEdgeFirst
+from .fnf import FastestNodeFirst
+from .makespan import atomic_completion_times, atomic_makespan
+
+__all__ = [
+    "AtomicTreeHeuristic",
+    "FastestEdgeFirst",
+    "FastestNodeFirst",
+    "atomic_completion_times",
+    "atomic_makespan",
+]

@@ -1,0 +1,23 @@
+"""Base class of the STA (atomic broadcast) heuristics.
+
+STA heuristics build spanning broadcast trees just like the STP heuristics
+of :mod:`repro.core`, but they optimise a different objective — the makespan
+of a single, non-pipelined broadcast — so they are kept in their own
+registry-free namespace to avoid any confusion with the paper's primary
+contribution.  They share the :class:`~repro.core.base.TreeHeuristic`
+interface, which means every analysis, simulation and reporting tool of the
+library applies to them unchanged.
+"""
+
+from __future__ import annotations
+
+from ..core.base import TreeHeuristic
+
+__all__ = ["AtomicTreeHeuristic"]
+
+
+class AtomicTreeHeuristic(TreeHeuristic):
+    """Marker base class for heuristics targeting the atomic (STA) objective."""
+
+    #: Objective the heuristic optimises, used by reports.
+    objective: str = "makespan"

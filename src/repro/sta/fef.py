@@ -1,0 +1,79 @@
+"""Fastest Edge First (FEF) — STA baseline in the spirit of Bhat et al. [8, 9].
+
+Bhat, Raghavendra and Prasanna study the atomic broadcast under the
+bidirectional one-port model and propose greedy heuristics that extend the
+set of informed processors one transfer at a time, always choosing a "best"
+available edge.  The variant implemented here is the natural
+earliest-completion greedy: among all edges from an informed processor to an
+uninformed one, pick the edge whose transfer would *complete first*, taking
+into account when the sender's output port becomes free.  With homogeneous
+sender availability this degenerates to picking the fastest edge, hence the
+traditional "Fastest Edge First" name.
+
+Like :class:`~repro.sta.fnf.FastestNodeFirst`, this heuristic is a
+related-work baseline; it is not part of the paper's quantitative
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.tree import BroadcastTree
+from ..exceptions import HeuristicError
+from ..models.port_models import PortModel
+from ..platform.graph import Platform
+from .base import AtomicTreeHeuristic
+
+__all__ = ["FastestEdgeFirst"]
+
+NodeName = Any
+
+
+class FastestEdgeFirst(AtomicTreeHeuristic):
+    """Fastest Edge First (earliest-completion greedy) for the STA problem."""
+
+    name = "fef"
+    paper_label = "Fastest Edge First"
+
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        if kwargs:
+            raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
+        size = platform.slice_size if size is None else size
+
+        informed: dict[NodeName, float] = {source: 0.0}  # node -> port-free time
+        remaining = set(platform.nodes) - {source}
+        transfers: list[tuple[NodeName, NodeName]] = []
+
+        while remaining:
+            best: tuple[NodeName, NodeName] | None = None
+            best_key: tuple[float, str] | None = None
+            for sender, port_free in informed.items():
+                for receiver in platform.out_neighbors(sender):
+                    if receiver not in remaining:
+                        continue
+                    completion = port_free + platform.transfer_time(sender, receiver, size)
+                    key = (completion, str((sender, receiver)))
+                    if best_key is None or key < best_key:
+                        best, best_key = (sender, receiver), key
+            if best is None:
+                raise HeuristicError(
+                    "FEF is stuck: no informed node can reach the remaining nodes"
+                )
+            sender, receiver = best
+            completion = best_key[0]
+            transfers.append((sender, receiver))
+            informed[sender] = completion
+            informed[receiver] = completion
+            remaining.discard(receiver)
+
+        return BroadcastTree.from_logical_transfers(
+            platform, source, transfers, name=self.name
+        )

@@ -1,0 +1,90 @@
+"""Fastest Node First (FNF) — STA baseline from Banikazemi et al. [1].
+
+FNF targets the *atomic* broadcast (STA) under the simplified heterogeneity
+model where each processor ``u`` has a single sending speed: the time for
+``u`` to send the message to any neighbour is (approximately) the same.  The
+heuristic repeatedly picks, among the processors that already hold the
+message, the one that can complete a send the earliest, and makes it send to
+the *fastest* processor (smallest own sending time) that does not hold the
+message yet — putting fast processors near the top of the tree so they can
+help spread the message.
+
+This reproduction evaluates FNF on the general platform model by using, as
+the "sending time" of a processor, the time of its fastest usable outgoing
+link to a node still missing the message (falling back to shortest paths
+when no direct link exists).  FNF is not part of the paper's quantitative
+evaluation; it is provided as the classical related-work baseline and used
+by the ``mpi_binomial_comparison`` example and the STA benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from ..core.tree import BroadcastTree
+from ..exceptions import HeuristicError
+from ..models.port_models import PortModel
+from ..platform.graph import Platform
+from .base import AtomicTreeHeuristic
+
+__all__ = ["FastestNodeFirst"]
+
+NodeName = Any
+
+
+class FastestNodeFirst(AtomicTreeHeuristic):
+    """Fastest Node First heuristic for the STA problem."""
+
+    name = "fnf"
+    paper_label = "Fastest Node First"
+
+    def _build(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: PortModel,
+        size: float | None,
+        **kwargs: Any,
+    ) -> BroadcastTree:
+        if kwargs:
+            raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
+        size = platform.slice_size if size is None else size
+
+        def node_speed(node: NodeName) -> float:
+            """Characteristic sending time of a node (fastest outgoing link)."""
+            if platform.out_degree(node) == 0:
+                return float("inf")
+            return platform.min_out_transfer_time(node, size)
+
+        informed: set[NodeName] = {source}
+        remaining = set(platform.nodes) - informed
+        transfers: list[tuple[NodeName, NodeName]] = []
+        # (time at which the sender becomes available, tie-break, sender)
+        ready_heap: list[tuple[float, str, NodeName]] = [(0.0, str(source), source)]
+
+        while remaining:
+            if not ready_heap:
+                raise HeuristicError(
+                    "FNF is stuck: no informed node can reach the remaining nodes"
+                )
+            available_at, _, sender = heapq.heappop(ready_heap)
+            # Fastest uninformed node reachable directly from the sender.
+            candidates = [
+                v for v in platform.out_neighbors(sender) if v in remaining
+            ]
+            if not candidates:
+                # The sender cannot help any more; drop it.
+                continue
+            receiver = min(candidates, key=lambda v: (node_speed(v), str(v)))
+            transfer_time = platform.transfer_time(sender, receiver, size)
+            completion = available_at + transfer_time
+            transfers.append((sender, receiver))
+            informed.add(receiver)
+            remaining.discard(receiver)
+            heapq.heappush(ready_heap, (completion, str(sender), sender))
+            heapq.heappush(ready_heap, (completion, str(receiver), receiver))
+
+        return BroadcastTree.from_logical_transfers(
+            platform, source, transfers, name=self.name
+        )

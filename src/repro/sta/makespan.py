@@ -1,0 +1,75 @@
+"""Makespan of an *atomic* (non-pipelined) broadcast along a tree.
+
+The STA problem of the paper (Single Tree, Atomic) broadcasts the whole
+message at once: every node forwards the complete message to its children
+sequentially (one-port model), and the objective is the *makespan*, i.e. the
+time at which the last node receives the message.  This module evaluates
+that makespan for a given tree and message size; the STA heuristics of the
+related work (:mod:`repro.sta.fnf`, :mod:`repro.sta.fef`) are compared with
+the STP heuristics in the ``mpi_binomial_comparison`` example and in the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.tree import BroadcastTree
+from ..models.port_models import OnePortModel, PortModel, get_port_model
+
+__all__ = ["atomic_makespan", "atomic_completion_times"]
+
+NodeName = Any
+
+
+def atomic_completion_times(
+    tree: BroadcastTree,
+    message_size: float,
+    model: PortModel | str | None = None,
+) -> dict[NodeName, float]:
+    """Time at which each node holds the full message of ``message_size``.
+
+    Every node forwards the whole message to its children in the tree's
+    deterministic child order; under the one-port model each transfer blocks
+    the sender for the full link occupation, under the multi-port model only
+    for the per-send overhead.  Routed (binomial) logical edges are
+    forwarded store-and-forward along their route.
+    """
+    port_model = get_port_model(model)
+    platform = tree.platform
+    one_port = isinstance(port_model, OnePortModel)
+    completion: dict[NodeName, float] = {tree.source: 0.0}
+    relay_port_free: dict[NodeName, float] = {}
+
+    for node in tree.bfs_order():
+        ready = completion[node]
+        port_free = ready
+        for child in tree.children(node):
+            route = tree.route(node, child)
+            first_hop = route[0]
+            hop_time = platform.transfer_time(*first_hop, message_size)
+            busy = hop_time if one_port else port_model.sender_busy_time(
+                platform, *first_hop, message_size
+            )
+            start = port_free
+            port_free = start + busy
+            available = start + hop_time
+            for a, b in route[1:]:
+                hop_time = platform.transfer_time(a, b, message_size)
+                busy = hop_time if one_port else port_model.sender_busy_time(
+                    platform, a, b, message_size
+                )
+                start = max(relay_port_free.get(a, 0.0), available)
+                relay_port_free[a] = start + busy
+                available = start + hop_time
+            completion[child] = available
+    return completion
+
+
+def atomic_makespan(
+    tree: BroadcastTree,
+    message_size: float,
+    model: PortModel | str | None = None,
+) -> float:
+    """Makespan of the atomic broadcast of one message of ``message_size``."""
+    return max(atomic_completion_times(tree, message_size, model).values())

@@ -1,0 +1,35 @@
+"""Shared utilities: deterministic RNG handling, graph helpers, ASCII output."""
+
+from .ascii_plot import ascii_chart, format_series_table, format_table
+from .graph_utils import (
+    adjacency_from_edges,
+    edge_removal_keeps_spanning,
+    is_spanning_from,
+    reachable_from,
+    sort_edges_by_weight,
+)
+from .rng import (
+    as_generator,
+    derive_seed,
+    hash_stable,
+    round_robin_chunks,
+    sample_positive_normal,
+    spawn_generators,
+)
+
+__all__ = [
+    "ascii_chart",
+    "format_series_table",
+    "format_table",
+    "adjacency_from_edges",
+    "edge_removal_keeps_spanning",
+    "is_spanning_from",
+    "reachable_from",
+    "sort_edges_by_weight",
+    "as_generator",
+    "derive_seed",
+    "hash_stable",
+    "round_robin_chunks",
+    "sample_positive_normal",
+    "spawn_generators",
+]

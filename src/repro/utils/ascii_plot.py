@@ -1,0 +1,124 @@
+"""Tiny ASCII rendering helpers for benchmark and example output.
+
+The paper reports its evaluation as two figures (relative performance
+curves) and one table.  The benchmark harness regenerates the underlying
+data and prints it as plain-text tables and rough ASCII line charts so the
+shape of the curves can be eyeballed directly in a terminal or in the
+captured benchmark log, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series_table", "ascii_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+    padding: int = 2,
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in rendered:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns} (headers {headers!r})"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(columns)
+    ]
+    sep = " " * padding
+
+    def line(cells: Sequence[str]) -> str:
+        return sep.join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render several named series sharing the same x axis as one table."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(float(values[index]))
+        rows.append(row)
+    return format_table(headers, rows, float_format=float_format)
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render a crude ASCII line chart of one or more series.
+
+    Each series is plotted with a distinct mark; collisions show the mark of
+    the last series drawn.  The chart is only meant to show the *shape* of
+    the curves (who is above whom, where they cross), mirroring the role of
+    Figures 4 and 5 in the paper.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        raise ValueError("series must not be empty")
+    lo = min(all_values) if y_min is None else y_min
+    hi = max(all_values) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    marks = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(index: int, total: int) -> int:
+        if total == 1:
+            return 0
+        return round(index * (width - 1) / (total - 1))
+
+    def to_row(value: float) -> int:
+        fraction = (value - lo) / (hi - lo)
+        return height - 1 - round(fraction * (height - 1))
+
+    legend = []
+    for series_index, (name, values) in enumerate(series.items()):
+        mark = marks[series_index % len(marks)]
+        legend.append(f"{mark} = {name}")
+        for i, value in enumerate(values):
+            row = min(max(to_row(float(value)), 0), height - 1)
+            col = to_col(i, len(values))
+            grid[row][col] = mark
+
+    lines = [f"{hi:8.3f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{lo:8.3f} |" + "".join(grid[-1]))
+    lines.append(" " * 10 + "-" * width)
+    x_axis = f"{x_values[0]!s:<{width // 2}}{x_values[-1]!s:>{width // 2}}"
+    lines.append(" " * 10 + x_axis)
+    lines.append("legend: " + ", ".join(legend))
+    return "\n".join(lines)

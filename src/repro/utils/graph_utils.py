@@ -1,0 +1,99 @@
+"""Graph helpers shared by the heuristics.
+
+The pruning heuristics of Section 3 repeatedly ask the question *"does the
+graph remain broadcast-feasible if I delete this edge?"*, i.e. does every
+node stay reachable from the source.  Answering it with a full traversal per
+candidate edge is what the paper's algorithms do (they are ``O(|E|^2)``
+overall), and for the platform sizes of the evaluation (10–65 nodes) that is
+perfectly fine; the helpers here keep those traversals tight and provide a
+few other primitives (edge sorting, spanning-subgraph checks) reused across
+heuristics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable, Iterable, Mapping
+
+__all__ = [
+    "reachable_from",
+    "is_spanning_from",
+    "edge_removal_keeps_spanning",
+    "sort_edges_by_weight",
+    "adjacency_from_edges",
+]
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+def adjacency_from_edges(nodes: Iterable[Node], edges: Iterable[Edge]) -> dict[Node, set[Node]]:
+    """Build an out-adjacency map (``node -> set of successors``)."""
+    adjacency: dict[Node, set[Node]] = {node: set() for node in nodes}
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set())
+    return adjacency
+
+
+def reachable_from(
+    source: Node,
+    adjacency: Mapping[Node, set[Node]],
+    *,
+    skip_edge: Edge | None = None,
+) -> set[Node]:
+    """Nodes reachable from ``source`` following directed edges.
+
+    ``skip_edge`` lets the caller evaluate reachability *as if* one edge had
+    been removed, without mutating the adjacency structure; this is the hot
+    primitive of the pruning heuristics.
+    """
+    seen: set[Node] = {source}
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        for successor in adjacency.get(node, ()):
+            if skip_edge is not None and (node, successor) == skip_edge:
+                continue
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return seen
+
+
+def is_spanning_from(
+    source: Node, nodes: Iterable[Node], adjacency: Mapping[Node, set[Node]]
+) -> bool:
+    """Whether every node of ``nodes`` is reachable from ``source``."""
+    targets = set(nodes)
+    return targets.issubset(reachable_from(source, adjacency))
+
+
+def edge_removal_keeps_spanning(
+    source: Node,
+    nodes: Iterable[Node],
+    adjacency: Mapping[Node, set[Node]],
+    edge: Edge,
+) -> bool:
+    """Whether removing ``edge`` keeps every node reachable from ``source``."""
+    targets = set(nodes)
+    return targets.issubset(reachable_from(source, adjacency, skip_edge=edge))
+
+
+def sort_edges_by_weight(
+    edges: Iterable[Edge],
+    weights: Mapping[Edge, float],
+    *,
+    descending: bool = True,
+) -> list[Edge]:
+    """Sort edges by weight with a deterministic tie-break on the edge itself.
+
+    The paper's pruning heuristics iterate over edges "sorted by
+    non-increasing weight"; ties are broken on the string form of the edge
+    so that runs are reproducible whatever the hash seed.
+    """
+    return sorted(
+        edges,
+        key=lambda edge: (weights[edge], str(edge)),
+        reverse=descending,
+    )

@@ -1,0 +1,122 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BroadcastTree,
+    Platform,
+    PlatformBuilder,
+    generate_cluster_platform,
+    generate_random_platform,
+    generate_star_platform,
+    generate_tiers_platform,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Hand-built platforms with known structure
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def line_platform() -> Platform:
+    """A bidirectional chain 0 - 1 - 2 - 3 with increasing link times."""
+    return (
+        PlatformBuilder(name="line")
+        .nodes(0, 1, 2, 3)
+        .link(0, 1, 1.0, bidirectional=True)
+        .link(1, 2, 2.0, bidirectional=True)
+        .link(2, 3, 3.0, bidirectional=True)
+        .build()
+    )
+
+
+@pytest.fixture
+def star_platform() -> Platform:
+    """A star with hub 0 and four leaves, uniform link time 2."""
+    return generate_star_platform(5, uniform_time=2.0)
+
+
+@pytest.fixture
+def diamond_platform() -> Platform:
+    """A small platform with two distinct routes from the source.
+
+    Node 0 is the natural source; it has a fast link to 1 and a slow link to
+    2; nodes 1 and 2 are connected, and both reach node 3.  The best
+    one-port tree is the chain 0 -> 1 -> 2 -> 3.
+    """
+    return (
+        PlatformBuilder(name="diamond")
+        .nodes(0, 1, 2, 3)
+        .link(0, 1, 1.0, bidirectional=True)
+        .link(0, 2, 4.0, bidirectional=True)
+        .link(1, 2, 1.0, bidirectional=True)
+        .link(1, 3, 3.0, bidirectional=True)
+        .link(2, 3, 1.0, bidirectional=True)
+        .build()
+    )
+
+
+@pytest.fixture
+def complete_uniform_platform() -> Platform:
+    """A complete graph over 6 nodes with uniform link time 1.
+
+    Its optimal one-port pipelined broadcast tree is any Hamiltonian chain
+    (throughput 1), which equals the LP optimum.
+    """
+    builder = PlatformBuilder(name="complete-uniform").nodes(*range(6))
+    builder.fully_connected(list(range(6)), 1.0)
+    return builder.build()
+
+
+@pytest.fixture
+def small_random_platform() -> Platform:
+    """A reproducible 12-node random platform used across heuristic tests."""
+    return generate_random_platform(num_nodes=12, density=0.25, seed=1234)
+
+
+@pytest.fixture
+def medium_random_platform() -> Platform:
+    """A reproducible 20-node random platform (kept small to stay fast)."""
+    return generate_random_platform(num_nodes=20, density=0.15, seed=99)
+
+
+@pytest.fixture
+def cluster_platform() -> Platform:
+    """Three clusters of four nodes with a slow backbone."""
+    return generate_cluster_platform(
+        num_clusters=3, cluster_size=4, inter_time_mean=8.0, seed=5
+    )
+
+
+@pytest.fixture
+def tiers_platform() -> Platform:
+    """One 30-node Tiers-like platform."""
+    return generate_tiers_platform(30, seed=11)
+
+
+# --------------------------------------------------------------------------- #
+# Assertion helpers
+# --------------------------------------------------------------------------- #
+def assert_spanning_tree(tree: BroadcastTree, platform: Platform, source) -> None:
+    """Structural checks every heuristic output must satisfy."""
+    assert tree.source == source
+    assert set(tree.nodes) == set(platform.nodes)
+    assert len(tree.logical_edges) == platform.num_nodes - 1
+    # Every non-source node has exactly one parent and reaches the source.
+    for node in platform.nodes:
+        if node == source:
+            assert tree.parent(node) is None
+        else:
+            assert tree.parent(node) is not None
+            assert tree.depth(node) >= 1
+    # Every route edge exists in the platform.
+    for parent, child in tree.logical_edges:
+        for a, b in tree.route(parent, child):
+            assert platform.has_link(a, b)
+
+
+@pytest.fixture
+def check_spanning_tree():
+    """Expose :func:`assert_spanning_tree` as a fixture."""
+    return assert_spanning_tree

@@ -1,0 +1,99 @@
+"""Unit tests for the affine cost model (repro.platform.costs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.costs import AffineCost, LinkCostModel
+
+
+class TestAffineCost:
+    def test_evaluation_is_affine(self):
+        cost = AffineCost(startup=2.0, per_unit=0.5)
+        assert cost(0) == pytest.approx(2.0)
+        assert cost(10) == pytest.approx(7.0)
+        assert cost(4) - cost(2) == pytest.approx(1.0)
+
+    def test_constant_ignores_size(self):
+        cost = AffineCost.constant(3.5)
+        assert cost(0) == cost(1000) == pytest.approx(3.5)
+
+    def test_linear_has_no_startup(self):
+        cost = AffineCost.linear(0.25)
+        assert cost(0) == 0.0
+        assert cost(8) == pytest.approx(2.0)
+
+    def test_from_bandwidth(self):
+        cost = AffineCost.from_bandwidth(100.0, startup=1.0)
+        assert cost(200.0) == pytest.approx(3.0)
+
+    def test_from_bandwidth_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            AffineCost.from_bandwidth(0.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AffineCost(startup=-1.0)
+        with pytest.raises(ValueError):
+            AffineCost(per_unit=-0.1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            AffineCost(1.0, 1.0)(-1.0)
+
+    def test_dominates(self):
+        big = AffineCost(2.0, 1.0)
+        small = AffineCost(1.0, 0.5)
+        assert big.dominates(small)
+        assert not small.dominates(big)
+        assert big.dominates(big)
+
+    def test_scaled(self):
+        cost = AffineCost(2.0, 4.0).scaled(0.5)
+        assert cost.startup == pytest.approx(1.0)
+        assert cost.per_unit == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            cost.scaled(-1.0)
+
+    def test_round_trip_dict(self):
+        cost = AffineCost(1.25, 0.75)
+        assert AffineCost.from_dict(cost.to_dict()) == cost
+
+    def test_ordering_is_total(self):
+        costs = sorted([AffineCost(2, 0), AffineCost(1, 5), AffineCost(1, 2)])
+        assert costs[0] == AffineCost(1, 2)
+        assert costs[-1] == AffineCost(2, 0)
+
+
+class TestLinkCostModel:
+    def test_one_port_defaults_collapse(self):
+        model = LinkCostModel.one_port(5.0)
+        assert model.link_time(1) == 5.0
+        assert model.send_time(1) == 5.0
+        assert model.recv_time(1) == 5.0
+
+    def test_multi_port_distinct_occupations(self):
+        model = LinkCostModel.multi_port(5.0, send_time=1.0, recv_time=0.5)
+        assert model.link_time(1) == 5.0
+        assert model.send_time(1) == 1.0
+        assert model.recv_time(1) == 0.5
+
+    def test_send_cannot_exceed_link(self):
+        with pytest.raises(ValueError):
+            LinkCostModel(
+                link=AffineCost.constant(1.0), send=AffineCost.constant(2.0)
+            )
+
+    def test_recv_cannot_exceed_link(self):
+        with pytest.raises(ValueError):
+            LinkCostModel(
+                link=AffineCost.constant(1.0), recv=AffineCost.constant(2.0)
+            )
+
+    def test_round_trip_dict(self):
+        model = LinkCostModel.multi_port(4.0, send_time=2.0)
+        rebuilt = LinkCostModel.from_dict(model.to_dict())
+        assert rebuilt.link_time(3) == model.link_time(3)
+        assert rebuilt.send_time(3) == model.send_time(3)
+        assert rebuilt.recv_time(3) == model.recv_time(3)
+        assert rebuilt.recv is None

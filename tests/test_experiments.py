@@ -1,0 +1,212 @@
+"""Tests for the experiment harness (config, runner, figures, tables, checks)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import generate_random_platform
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    PaperParameters,
+    check_figure4_shape,
+    check_figure5_shape,
+    check_table3_shape,
+    clear_ensemble_cache,
+    evaluate_platform,
+    figure_4a,
+    figure_4b,
+    figure_5,
+    filter_records,
+    parameters_from_environment,
+    random_ensemble_records,
+    render_report,
+    scaled_parameters,
+    table_3,
+    tiers_ensemble_records,
+)
+from repro.experiments.config import SCALE_ENV_VAR
+
+
+@pytest.fixture(scope="module")
+def tiny_parameters() -> PaperParameters:
+    """A drastically reduced parameter set keeping tests fast (few LP solves)."""
+    return replace(
+        scaled_parameters(0.1),
+        node_counts=(8, 12),
+        densities=(0.15, 0.3),
+        configurations_per_point=1,
+        tiers_sizes=(30,),
+        tiers_platforms_per_size=2,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_random_records(tiny_parameters):
+    return random_ensemble_records(tiny_parameters)
+
+
+@pytest.fixture(scope="module")
+def tiny_tiers_records(tiny_parameters):
+    return tiers_ensemble_records(tiny_parameters)
+
+
+class TestConfig:
+    def test_paper_defaults_match_table2(self):
+        params = PaperParameters()
+        assert params.node_counts == (10, 20, 30, 40, 50)
+        assert params.densities == (0.04, 0.08, 0.12, 0.16, 0.20)
+        assert params.configurations_per_point == 10
+        assert params.tiers_sizes == (30, 65)
+        assert params.tiers_platforms_per_size == 100
+        assert params.total_random_platforms == 250
+        assert params.total_tiers_platforms == 200
+        assert "seed" in params.describe()
+
+    def test_scaled_parameters(self):
+        small = scaled_parameters(0.1)
+        assert small.configurations_per_point == 1
+        assert small.tiers_platforms_per_size == 10
+        assert small.node_counts == PaperParameters().node_counts
+        with pytest.raises(ExperimentError):
+            scaled_parameters(0.0)
+
+    def test_parameters_from_environment(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        default = parameters_from_environment(default_scale=0.2)
+        assert default.configurations_per_point == 2
+        monkeypatch.setenv(SCALE_ENV_VAR, "1.0")
+        full = parameters_from_environment()
+        assert full.configurations_per_point == 10
+        monkeypatch.setenv(SCALE_ENV_VAR, "not-a-float")
+        with pytest.raises(ExperimentError):
+            parameters_from_environment()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ExperimentError):
+            PaperParameters(node_counts=())
+        with pytest.raises(ExperimentError):
+            PaperParameters(densities=(0.0,))
+        with pytest.raises(ExperimentError):
+            PaperParameters(configurations_per_point=0)
+
+
+class TestRunner:
+    def test_evaluate_platform_records(self):
+        platform = generate_random_platform(num_nodes=10, density=0.3, seed=1)
+        evaluation = evaluate_platform(platform, 0)
+        assert evaluation.optimal_throughput > 0
+        heuristics = {r.heuristic for r in evaluation.records}
+        assert "grow-tree" in heuristics and "multiport-grow-tree" in heuristics
+        for record in evaluation.records:
+            assert record.throughput > 0
+            assert record.optimal_throughput == pytest.approx(evaluation.optimal_throughput)
+            if record.model == "one-port":
+                assert record.relative_performance <= 1.0 + 1e-6
+            assert record.lp_seconds >= 0 and record.build_seconds >= 0
+
+    def test_random_ensemble_shape_and_cache(self, tiny_parameters, tiny_random_records):
+        expected_platforms = (
+            len(tiny_parameters.node_counts)
+            * len(tiny_parameters.densities)
+            * tiny_parameters.configurations_per_point
+        )
+        heuristic_count = 6 + 5  # one-port + multi-port sets
+        assert len(tiny_random_records) == expected_platforms * heuristic_count
+        # Cached: a second call returns the same object.
+        assert random_ensemble_records(tiny_parameters) is tiny_random_records
+
+    def test_tiers_ensemble(self, tiny_parameters, tiny_tiers_records):
+        assert all(r.generator == "tiers" for r in tiny_tiers_records)
+        assert all(r.model == "one-port" for r in tiny_tiers_records)
+        sizes = {r.num_nodes for r in tiny_tiers_records}
+        assert sizes == {30}
+
+    def test_filter_records(self, tiny_random_records):
+        one_port = filter_records(tiny_random_records, model="one-port")
+        assert all(r.model == "one-port" for r in one_port)
+        grow = filter_records(tiny_random_records, heuristic="grow-tree", num_nodes=8)
+        assert all(r.heuristic == "grow-tree" and r.num_nodes == 8 for r in grow)
+        with pytest.raises(ExperimentError):
+            filter_records(tiny_random_records, heuristic="no-such-heuristic")
+
+    def test_clear_cache(self, tiny_parameters, tiny_random_records):
+        clear_ensemble_cache()
+        # After clearing, a fresh (but equal) evaluation is produced.
+        fresh = random_ensemble_records(tiny_parameters)
+        assert fresh is not tiny_random_records
+        assert len(fresh) == len(tiny_random_records)
+
+
+class TestFiguresAndTables:
+    def test_figure_4a(self, tiny_parameters, tiny_random_records):
+        figure = figure_4a(tiny_parameters, records=tiny_random_records)
+        assert figure.x_values == (8, 12)
+        assert set(figure.series) == {
+            "Prune Platform Simple",
+            "Prune Platform Degree",
+            "Grow Tree",
+            "LP Grow Tree",
+            "LP Prune",
+            "Binomial Tree",
+        }
+        for values in figure.series.values():
+            assert len(values) == 2
+            assert all(0 < v <= 1.0 + 1e-9 for v in values)
+        assert "nodes" in figure.to_table()
+        assert "legend" in figure.to_chart()
+        assert "Figure 4(a)" in figure.render()
+
+    def test_figure_4b_buckets_densities(self, tiny_parameters, tiny_random_records):
+        figure = figure_4b(tiny_parameters, records=tiny_random_records)
+        assert figure.x_values == (0.15, 0.3)
+
+    def test_figure_5_allows_ratios_above_one(self, tiny_parameters, tiny_random_records):
+        figure = figure_5(tiny_parameters, records=tiny_random_records)
+        assert set(figure.series) == {
+            "Multi Port Prune Degree",
+            "Multi Port Grow Tree",
+            "LP Grow Tree",
+            "LP Prune",
+            "Binomial Tree",
+        }
+        assert max(max(v) for v in figure.series.values()) > 0.8
+
+    def test_figure_series_lookup_error(self, tiny_parameters, tiny_random_records):
+        figure = figure_4a(tiny_parameters, records=tiny_random_records)
+        with pytest.raises(ExperimentError):
+            figure.series_for("No Such Heuristic")
+
+    def test_table_3(self, tiny_parameters, tiny_tiers_records):
+        table = table_3(tiny_parameters, records=tiny_tiers_records)
+        assert table.rows == (30,)
+        assert "Grow Tree" in table.columns
+        cell = table.cell(30, "Grow Tree")
+        assert 0 < cell.mean <= 1.0 + 1e-9
+        assert "+/-" in table.to_text()
+        with pytest.raises(ExperimentError):
+            table.cell(30, "No Such Heuristic")
+
+    def test_shape_checks_and_report(self, tiny_parameters, tiny_random_records, tiny_tiers_records):
+        figure4a = figure_4a(tiny_parameters, records=tiny_random_records)
+        figure5 = figure_5(tiny_parameters, records=tiny_random_records)
+        table = table_3(tiny_parameters, records=tiny_tiers_records)
+        checks = [
+            check_figure4_shape(figure4a),
+            check_figure5_shape(figure5),
+            check_table3_shape(table),
+        ]
+        # The tiny ensemble is small but the qualitative ordering must hold.
+        for check in checks:
+            assert check.ok, check.render()
+            check.raise_on_failure()
+        report = render_report([figure4a, figure5], [table], checks)
+        assert "Figure 4(a)" in report and "Table 3" in report and "[ok]" in report
+
+    def test_empty_records_rejected(self, tiny_parameters):
+        with pytest.raises(ExperimentError):
+            figure_4a(tiny_parameters, records=[])
+        with pytest.raises(ExperimentError):
+            table_3(tiny_parameters, records=[])

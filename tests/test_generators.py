@@ -1,0 +1,215 @@
+"""Tests for all platform generators (random, Tiers, structured, clusters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    RandomPlatformConfig,
+    TiersConfig,
+    generate_cluster_platform,
+    generate_complete_platform,
+    generate_grid_platform,
+    generate_hypercube_platform,
+    generate_random_platform,
+    generate_ring_platform,
+    generate_star_platform,
+    generate_tiers_platform,
+)
+from repro.exceptions import PlatformError
+from repro.platform.generators.clusters import ClusterConfig
+from repro.platform.generators.tiers import TIERS_PRESETS
+
+
+class TestRandomGenerator:
+    def test_node_count_and_feasibility(self):
+        platform = generate_random_platform(num_nodes=25, density=0.1, seed=3)
+        assert platform.num_nodes == 25
+        for node in platform.nodes:
+            assert platform.is_broadcast_feasible(node)
+
+    def test_density_is_respected_when_feasible(self):
+        platform = generate_random_platform(num_nodes=30, density=0.2, seed=4)
+        # Achieved density may exceed the request slightly because of the
+        # connectivity floor, but for 0.2 on 30 nodes it should be close.
+        assert platform.density == pytest.approx(0.2, abs=0.02)
+
+    def test_low_density_clamped_to_connectivity(self):
+        platform = generate_random_platform(num_nodes=10, density=0.04, seed=5)
+        # 10 nodes need at least 9 undirected links to stay connected.
+        assert platform.num_links >= 2 * 9
+
+    def test_determinism(self):
+        a = generate_random_platform(num_nodes=15, density=0.15, seed=77)
+        b = generate_random_platform(num_nodes=15, density=0.15, seed=77)
+        assert a.edges == b.edges
+        assert a.edge_weights() == b.edge_weights()
+
+    def test_different_seeds_differ(self):
+        a = generate_random_platform(num_nodes=15, density=0.15, seed=1)
+        b = generate_random_platform(num_nodes=15, density=0.15, seed=2)
+        assert a.edge_weights() != b.edge_weights()
+
+    def test_symmetric_links(self):
+        platform = generate_random_platform(num_nodes=12, density=0.3, seed=8)
+        for u, v in platform.edges:
+            assert platform.has_link(v, u)
+            assert platform.transfer_time(u, v) == pytest.approx(
+                platform.transfer_time(v, u)
+            )
+
+    def test_send_overhead_stamped(self):
+        config = RandomPlatformConfig(num_nodes=10, density=0.2, send_fraction=0.8)
+        platform = generate_random_platform(config=config, seed=6)
+        for node in platform.nodes:
+            record = platform.node(node)
+            assert record.send_overhead == pytest.approx(
+                0.8 * platform.min_out_transfer_time(node)
+            )
+
+    def test_transfer_times_positive_and_reasonable(self):
+        platform = generate_random_platform(num_nodes=20, density=0.2, seed=9)
+        times = list(platform.edge_weights().values())
+        assert all(t > 0 for t in times)
+        # Mean rate 100 MB/s, slice 100 MB -> times around 1 time unit.
+        assert 0.3 < sum(times) / len(times) < 3.0
+
+    def test_config_and_kwargs_conflict(self):
+        with pytest.raises(PlatformError):
+            generate_random_platform(
+                num_nodes=5, config=RandomPlatformConfig(num_nodes=5)
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PlatformError):
+            RandomPlatformConfig(num_nodes=1)
+        with pytest.raises(PlatformError):
+            RandomPlatformConfig(density=0.0)
+        with pytest.raises(PlatformError):
+            RandomPlatformConfig(density=1.5)
+        with pytest.raises(PlatformError):
+            RandomPlatformConfig(send_fraction=0.0)
+
+
+class TestTiersGenerator:
+    @pytest.mark.parametrize("size", sorted(TIERS_PRESETS))
+    def test_presets_have_exact_size(self, size):
+        platform = generate_tiers_platform(size, seed=0)
+        assert platform.num_nodes == size
+        assert platform.is_broadcast_feasible(0)
+
+    @pytest.mark.parametrize("size", sorted(TIERS_PRESETS))
+    def test_preset_density_in_paper_range(self, size):
+        platform = generate_tiers_platform(size, seed=1)
+        assert 0.03 <= platform.density <= 0.2
+
+    def test_levels_are_labelled(self):
+        platform = generate_tiers_platform(30, seed=2)
+        levels = {platform.node(n).level for n in platform.nodes}
+        assert levels == {"wan", "man", "lan"}
+
+    def test_determinism(self):
+        a = generate_tiers_platform(30, seed=3)
+        b = generate_tiers_platform(30, seed=3)
+        assert a.edges == b.edges
+        assert a.edge_weights() == b.edge_weights()
+
+    def test_custom_config(self):
+        config = TiersConfig(num_wan=2, mans_per_wan=1, man_size=2, lans_per_man=1, lan_size=2)
+        platform = generate_tiers_platform(config=config, seed=4)
+        assert platform.num_nodes == config.total_nodes
+        assert platform.is_broadcast_feasible(0)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(PlatformError):
+            generate_tiers_platform(42)
+
+    def test_config_and_size_conflict(self):
+        with pytest.raises(PlatformError):
+            generate_tiers_platform(30, config=TiersConfig())
+
+    def test_invalid_config(self):
+        with pytest.raises(PlatformError):
+            TiersConfig(num_wan=0)
+        with pytest.raises(PlatformError):
+            TiersConfig(wan_redundancy=-1)
+
+
+class TestStructuredGenerators:
+    def test_star(self):
+        platform = generate_star_platform(6, uniform_time=2.0)
+        assert platform.num_nodes == 6
+        assert platform.num_links == 2 * 5
+        assert platform.out_degree(0) == 5
+        assert all(platform.out_degree(leaf) == 1 for leaf in range(1, 6))
+
+    def test_ring(self):
+        platform = generate_ring_platform(5, uniform_time=1.0)
+        assert platform.num_links == 2 * 5
+        assert all(platform.out_degree(n) == 2 for n in platform.nodes)
+
+    def test_grid(self):
+        platform = generate_grid_platform(3, 4, uniform_time=1.0)
+        assert platform.num_nodes == 12
+        # 2 * (3*3 + 2*4) undirected links, times two directions.
+        assert platform.num_links == 2 * (3 * 3 + 2 * 4)
+
+    def test_hypercube(self):
+        platform = generate_hypercube_platform(3, uniform_time=1.0)
+        assert platform.num_nodes == 8
+        assert all(platform.out_degree(n) == 3 for n in platform.nodes)
+
+    def test_complete(self):
+        platform = generate_complete_platform(5, uniform_time=1.0)
+        assert platform.num_links == 5 * 4
+
+    def test_invalid_sizes(self):
+        with pytest.raises(PlatformError):
+            generate_star_platform(1)
+        with pytest.raises(PlatformError):
+            generate_grid_platform(1, 1)
+        with pytest.raises(PlatformError):
+            generate_hypercube_platform(0)
+
+    def test_heterogeneous_sampling_is_deterministic(self):
+        a = generate_ring_platform(6, seed=5)
+        b = generate_ring_platform(6, seed=5)
+        assert a.edge_weights() == b.edge_weights()
+
+
+class TestClusterGenerator:
+    def test_structure(self):
+        platform = generate_cluster_platform(num_clusters=3, cluster_size=4, seed=1)
+        assert platform.num_nodes == 12
+        assert platform.is_broadcast_feasible(0)
+        clusters = {platform.node(n).cluster for n in platform.nodes}
+        assert clusters == {0, 1, 2}
+
+    def test_intra_links_faster_than_backbone(self):
+        platform = generate_cluster_platform(
+            num_clusters=2,
+            cluster_size=3,
+            intra_time_mean=1.0,
+            intra_deviation=0.0,
+            inter_time_mean=20.0,
+            inter_deviation=0.0,
+            seed=2,
+        )
+        intra = platform.transfer_time(0, 1)
+        backbone = platform.transfer_time(0, 3)
+        assert backbone > 5 * intra
+
+    def test_backbone_complete_option(self):
+        ring = generate_cluster_platform(num_clusters=4, cluster_size=2, seed=3)
+        full = generate_cluster_platform(
+            num_clusters=4, cluster_size=2, backbone_complete=True, seed=3
+        )
+        assert full.num_links > ring.num_links
+
+    def test_invalid_config(self):
+        with pytest.raises(PlatformError):
+            ClusterConfig(num_clusters=0)
+        with pytest.raises(PlatformError):
+            ClusterConfig(num_clusters=1, cluster_size=1)
+        with pytest.raises(PlatformError):
+            generate_cluster_platform(ClusterConfig(), num_clusters=3)

@@ -1,0 +1,99 @@
+"""Tests for the multi-port heuristics (Algorithm 5 and Multiport-Prune-Degree)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    GrowingMinimumOutDegreeTree,
+    MultiPortGrowingTree,
+    MultiPortModel,
+    MultiPortRefinedPruning,
+    OnePortModel,
+    PlatformBuilder,
+    tree_throughput,
+)
+from repro.exceptions import HeuristicError
+from tests.conftest import assert_spanning_tree
+
+
+@pytest.mark.parametrize("heuristic_cls", [MultiPortGrowingTree, MultiPortRefinedPruning])
+class TestCommonBehaviour:
+    def test_produces_spanning_tree(self, heuristic_cls, small_random_platform):
+        tree = heuristic_cls().build(small_random_platform, 0, model=MultiPortModel())
+        assert_spanning_tree(tree, small_random_platform, 0)
+
+    def test_one_port_model_rejected_in_strict_mode(self, heuristic_cls, small_random_platform):
+        with pytest.raises(HeuristicError):
+            heuristic_cls().build(small_random_platform, 0, model=OnePortModel())
+
+    def test_non_strict_mode_falls_back_to_multiport_metric(
+        self, heuristic_cls, small_random_platform
+    ):
+        tree = heuristic_cls().build(
+            small_random_platform, 0, model=OnePortModel(), strict_model=False
+        )
+        assert_spanning_tree(tree, small_random_platform, 0)
+
+    def test_deterministic(self, heuristic_cls, small_random_platform):
+        model = MultiPortModel()
+        a = heuristic_cls().build(small_random_platform, 0, model=model)
+        b = heuristic_cls().build(small_random_platform, 0, model=model)
+        assert a.same_structure_as(b)
+
+
+class TestMultiPortGrowingTree:
+    def test_prefers_fanout_when_sends_are_cheap(self):
+        """With a tiny send overhead the source should adopt several children
+        directly instead of building a chain (the one-port optimum)."""
+        platform = (
+            PlatformBuilder(name="cheap-sends")
+            .node(0, send_overhead=0.05)
+            .node(1, send_overhead=0.05)
+            .node(2, send_overhead=0.05)
+            .node(3, send_overhead=0.05)
+            .build()
+        )
+        for u in range(4):
+            for v in range(4):
+                if u != v:
+                    platform.connect(u, v, 1.0)
+        model = MultiPortModel()
+        multi_tree = MultiPortGrowingTree().build(platform, 0, model=model)
+        assert len(multi_tree.children(0)) == 3
+        # The multi-port-aware tree beats the one-port-oriented chain under
+        # the multi-port model.
+        chain = GrowingMinimumOutDegreeTree().build(platform, 0)
+        assert (
+            tree_throughput(multi_tree, model).throughput
+            >= tree_throughput(chain, model).throughput
+        )
+
+    def test_multiport_tree_beats_binomial_under_multiport_model(self, medium_random_platform):
+        from repro import BinomialTreeHeuristic
+
+        model = MultiPortModel()
+        multi_tree = MultiPortGrowingTree().build(medium_random_platform, 0, model=model)
+        binomial = BinomialTreeHeuristic().build(medium_random_platform, 0)
+        assert (
+            tree_throughput(multi_tree, model).throughput
+            >= tree_throughput(binomial, model).throughput - 1e-9
+        )
+
+
+class TestMultiPortRefinedPruning:
+    def test_throughput_positive_and_bounded(self, medium_random_platform):
+        model = MultiPortModel()
+        tree = MultiPortRefinedPruning().build(medium_random_platform, 0, model=model)
+        report = tree_throughput(tree, model)
+        assert report.throughput > 0
+        # Under any model a node still has to push each slice once on its
+        # fastest link, so the throughput cannot exceed that rate.
+        fastest = medium_random_platform.min_out_transfer_time(0)
+        send = model.node_send_time(medium_random_platform, 0)
+        assert report.throughput <= 1.0 / min(fastest, send) + 1e-9
+
+    def test_works_on_tiers(self, tiers_platform):
+        model = MultiPortModel()
+        tree = MultiPortRefinedPruning().build(tiers_platform, 0, model=model)
+        assert_spanning_tree(tree, tiers_platform, 0)

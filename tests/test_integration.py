@@ -1,0 +1,140 @@
+"""End-to-end integration tests across the whole library.
+
+These tests exercise the complete pipeline the paper describes: generate a
+platform, compute the LP reference, build trees with every heuristic,
+analyse them, simulate them and check the qualitative conclusions of the
+paper hold on the reproduced stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MultiPortModel,
+    PAPER_MULTI_PORT_HEURISTICS,
+    PAPER_ONE_PORT_HEURISTICS,
+    build_broadcast_tree,
+    generate_cluster_platform,
+    generate_random_platform,
+    generate_tiers_platform,
+    improve_tree,
+    pipelined_makespan,
+    solve_steady_state_lp,
+    tree_throughput,
+)
+from repro.simulation import simulate_broadcast
+from repro.sta import atomic_makespan
+from tests.conftest import assert_spanning_tree
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return generate_random_platform(num_nodes=18, density=0.18, seed=2024)
+
+
+@pytest.fixture(scope="module")
+def lp_solution(platform):
+    return solve_steady_state_lp(platform, 0)
+
+
+class TestFullPipelineOnePort:
+    def test_all_heuristics_bounded_by_lp(self, platform, lp_solution):
+        for name in PAPER_ONE_PORT_HEURISTICS:
+            tree = build_broadcast_tree(platform, 0, name, lp_solution=lp_solution)  \
+                if name.startswith("lp-") else build_broadcast_tree(platform, 0, name)
+            assert_spanning_tree(tree, platform, 0)
+            ratio = tree_throughput(tree).throughput / lp_solution.throughput
+            assert 0.0 < ratio <= 1.0 + 1e-9
+
+    def test_advanced_heuristics_beat_binomial(self, platform, lp_solution):
+        binomial = tree_throughput(build_broadcast_tree(platform, 0, "binomial")).throughput
+        for name in ("prune-degree", "grow-tree", "lp-prune", "lp-grow-tree"):
+            kwargs = {"lp_solution": lp_solution} if name.startswith("lp-") else {}
+            throughput = tree_throughput(
+                build_broadcast_tree(platform, 0, name, **kwargs)
+            ).throughput
+            assert throughput > binomial
+
+    def test_analysis_simulation_and_makespan_agree(self, platform):
+        tree = build_broadcast_tree(platform, 0, "grow-tree")
+        analysis = tree_throughput(tree)
+        simulation = simulate_broadcast(tree, num_slices=50, record_trace=False)
+        makespan = pipelined_makespan(tree, 50)
+        assert simulation.relative_error() < 0.02
+        assert simulation.makespan == pytest.approx(makespan.makespan, rel=1e-6)
+        assert makespan.steady_state_period == pytest.approx(analysis.period)
+
+    def test_local_search_stays_within_lp_bound(self, platform, lp_solution):
+        tree = build_broadcast_tree(platform, 0, "grow-tree")
+        improved = improve_tree(tree)
+        assert (
+            tree_throughput(improved).throughput
+            <= lp_solution.throughput * (1 + 1e-9)
+        )
+
+
+class TestFullPipelineMultiPort:
+    def test_multi_port_heuristics_run_and_rank(self, platform, lp_solution):
+        model = MultiPortModel()
+        throughputs = {}
+        for name in PAPER_MULTI_PORT_HEURISTICS:
+            kwargs = {"lp_solution": lp_solution} if name.startswith("lp-") else {}
+            tree = build_broadcast_tree(
+                platform, 0, name, model=model, strict_model=False, **kwargs
+            )
+            throughputs[name] = tree_throughput(tree, model).throughput
+        assert throughputs["multiport-grow-tree"] >= throughputs["binomial"]
+        assert throughputs["multiport-prune-degree"] >= throughputs["binomial"]
+        # The multi-port model can beat the one-port LP optimum.
+        assert max(throughputs.values()) > 0
+
+
+class TestRealisticScenarios:
+    def test_tiers_platform_end_to_end(self):
+        platform = generate_tiers_platform(30, seed=5)
+        solution = solve_steady_state_lp(platform, 0)
+        advanced = tree_throughput(
+            build_broadcast_tree(platform, 0, "grow-tree")
+        ).throughput
+        binomial = tree_throughput(
+            build_broadcast_tree(platform, 0, "binomial")
+        ).throughput
+        assert advanced / solution.throughput > 0.5
+        assert binomial / solution.throughput < 0.5
+
+    def test_cluster_platform_crosses_backbone_once_per_cluster(self):
+        platform = generate_cluster_platform(
+            num_clusters=3, cluster_size=5, inter_time_mean=15.0, seed=9
+        )
+        tree = build_broadcast_tree(platform, 0, "grow-tree")
+        # Count tree edges whose endpoints live in different clusters.
+        cross = [
+            (u, v)
+            for u, v in tree.logical_edges
+            if platform.node(u).cluster != platform.node(v).cluster
+        ]
+        # A good tree uses exactly num_clusters - 1 inter-cluster edges.
+        assert len(cross) == 2
+
+    def test_sta_and_stp_objectives_differ(self):
+        platform = generate_random_platform(num_nodes=16, density=0.25, seed=31)
+        stp_tree = build_broadcast_tree(platform, 0, "grow-tree")
+        from repro.sta import FastestEdgeFirst
+
+        sta_tree = FastestEdgeFirst().build(platform, 0)
+        # The STA tree targets a single-message makespan, the STP tree
+        # targets throughput; each should (weakly) win on its own metric.
+        assert atomic_makespan(sta_tree, 1.0) <= atomic_makespan(stp_tree, 1.0) + 1e-9
+        assert (
+            tree_throughput(stp_tree).throughput
+            >= tree_throughput(sta_tree).throughput - 1e-9
+        )
+
+    def test_source_choice_does_not_break_anything(self):
+        platform = generate_random_platform(num_nodes=14, density=0.2, seed=77)
+        for source in platform.nodes[:5]:
+            solution = solve_steady_state_lp(platform, source)
+            tree = build_broadcast_tree(platform, source, "prune-degree")
+            ratio = tree_throughput(tree).throughput / solution.throughput
+            assert 0.3 < ratio <= 1.0 + 1e-9

@@ -1,0 +1,132 @@
+"""Tests for the pipelined / atomic makespan analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BroadcastTree,
+    MultiPortModel,
+    fill_time,
+    makespan_lower_bound,
+    pipelined_makespan,
+    tree_throughput,
+)
+from repro.exceptions import TreeError
+from repro.sta import atomic_completion_times, atomic_makespan
+
+
+@pytest.fixture
+def chain_tree(line_platform):
+    return BroadcastTree.from_edges(line_platform, 0, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def star_tree(star_platform):
+    return BroadcastTree.from_edges(star_platform, 0, [(0, leaf) for leaf in range(1, 5)])
+
+
+class TestFillTime:
+    def test_chain_fill_is_path_sum(self, chain_tree):
+        assert fill_time(chain_tree) == pytest.approx(1.0 + 2.0 + 3.0)
+
+    def test_star_fill_is_serialized(self, star_tree):
+        # One-port: the hub sends to the 4 leaves one after the other.
+        assert fill_time(star_tree) == pytest.approx(4 * 2.0)
+
+    def test_star_fill_multi_port_overlaps(self, star_platform, star_tree):
+        model = MultiPortModel()
+        # The generator stamps send_0 = 0.8 * 2.0 = 1.6 on the hub; the last
+        # leaf's transfer starts at 3 * 1.6 and completes 2.0 later.
+        assert fill_time(star_tree, model) == pytest.approx(3 * 1.6 + 2.0)
+
+
+class TestPipelinedMakespan:
+    def test_single_slice_equals_fill(self, chain_tree):
+        report = pipelined_makespan(chain_tree, 1)
+        assert report.makespan == pytest.approx(fill_time(chain_tree))
+        assert report.fill_time == report.makespan
+
+    def test_many_slices_converge_to_period(self, chain_tree):
+        slices = 200
+        report = pipelined_makespan(chain_tree, slices)
+        period = tree_throughput(chain_tree).period
+        assert report.makespan == pytest.approx(
+            fill_time(chain_tree) + (slices - 1) * period, rel=0.05
+        )
+        assert report.effective_throughput == pytest.approx(
+            tree_throughput(chain_tree).throughput, rel=0.05
+        )
+
+    def test_star_makespan_exact(self, star_tree):
+        # Hub: period 8; last leaf receives slice k at 8k + 8.
+        report = pipelined_makespan(star_tree, 10)
+        assert report.makespan == pytest.approx(8 * 9 + 8)
+        assert report.steady_state_period == pytest.approx(8.0)
+
+    def test_makespan_at_least_lower_bound(self, chain_tree, star_tree):
+        for tree in (chain_tree, star_tree):
+            for slices in (1, 5, 50):
+                exact = pipelined_makespan(tree, slices).makespan
+                bound = makespan_lower_bound(tree, slices)
+                assert exact >= bound - 1e-9
+
+    def test_invalid_slice_count(self, chain_tree):
+        with pytest.raises(TreeError):
+            pipelined_makespan(chain_tree, 0)
+        with pytest.raises(TreeError):
+            makespan_lower_bound(chain_tree, 0)
+
+    def test_monotone_in_num_slices(self, star_tree):
+        values = [pipelined_makespan(star_tree, k).makespan for k in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+
+class TestAtomicMakespan:
+    def test_chain_atomic(self, chain_tree):
+        # The whole message travels the chain: sum of the link times.  The
+        # fixture links use fixed per-message occupation times, so the value
+        # does not depend on the message size argument.
+        assert atomic_makespan(chain_tree, 1.0) == pytest.approx(6.0)
+        assert atomic_makespan(chain_tree, 2.0) == pytest.approx(6.0)
+
+    def test_chain_atomic_scales_with_bandwidth_links(self):
+        # With bandwidth-based (linear) link costs the atomic makespan does
+        # scale with the message size.
+        from repro import Platform
+        from repro.platform.link import Link
+
+        platform = Platform(name="linear-line")
+        for node in range(3):
+            platform.add_node(node)
+        platform.add_link(Link.from_bandwidth(0, 1, bandwidth=1.0))
+        platform.add_link(Link.from_bandwidth(1, 2, bandwidth=0.5))
+        tree = BroadcastTree.from_edges(platform, 0, [(0, 1), (1, 2)])
+        assert atomic_makespan(tree, 1.0) == pytest.approx(3.0)
+        assert atomic_makespan(tree, 2.0) == pytest.approx(6.0)
+
+    def test_star_atomic_serialises_children(self, star_tree):
+        completions = atomic_completion_times(star_tree, 1.0)
+        assert completions[0] == 0.0
+        assert sorted(completions[leaf] for leaf in range(1, 5)) == pytest.approx(
+            [2.0, 4.0, 6.0, 8.0]
+        )
+        assert atomic_makespan(star_tree, 1.0) == pytest.approx(8.0)
+
+    def test_atomic_vs_pipelined_large_message(self):
+        # Splitting a large message into slices and pipelining beats sending
+        # it atomically whenever the tree has depth > 1.  Use bandwidth-based
+        # links so the atomic transfer time grows with the message size.
+        from repro import Platform
+        from repro.platform.link import Link
+
+        platform = Platform(name="linear-chain")
+        for node in range(4):
+            platform.add_node(node)
+        for u, v, bandwidth in ((0, 1, 1.0), (1, 2, 0.5), (2, 3, 1.0)):
+            platform.add_link(Link.from_bandwidth(u, v, bandwidth=bandwidth))
+        tree = BroadcastTree.from_edges(platform, 0, [(0, 1), (1, 2), (2, 3)])
+        slices = 100
+        atomic = atomic_makespan(tree, float(slices))  # one monolithic message
+        pipelined = pipelined_makespan(tree, slices).makespan  # unit-size slices
+        assert pipelined < atomic

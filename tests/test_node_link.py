@@ -1,0 +1,82 @@
+"""Unit tests for ProcessorNode and Link records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.link import Link
+from repro.platform.node import ProcessorNode
+
+
+class TestProcessorNode:
+    def test_defaults(self):
+        node = ProcessorNode(name="p0")
+        assert node.send_overhead is None
+        assert node.recv_overhead is None
+        assert node.level is None
+        assert node.cluster is None
+
+    def test_negative_overheads_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorNode(name=0, send_overhead=-1.0)
+        with pytest.raises(ValueError):
+            ProcessorNode(name=0, recv_overhead=-0.5)
+
+    def test_with_send_overhead_returns_copy(self):
+        node = ProcessorNode(name=0)
+        updated = node.with_send_overhead(2.5)
+        assert node.send_overhead is None
+        assert updated.send_overhead == 2.5
+        assert updated.name == node.name
+
+    def test_with_recv_overhead_returns_copy(self):
+        updated = ProcessorNode(name=0).with_recv_overhead(0.5)
+        assert updated.recv_overhead == 0.5
+
+    def test_round_trip_dict(self):
+        node = ProcessorNode(
+            name=3, send_overhead=1.0, level="lan", cluster=2, attributes={"rack": "A"}
+        )
+        rebuilt = ProcessorNode.from_dict(node.to_dict())
+        assert rebuilt.name == 3
+        assert rebuilt.send_overhead == 1.0
+        assert rebuilt.level == "lan"
+        assert rebuilt.cluster == 2
+        assert rebuilt.attributes == {"rack": "A"}
+
+
+class TestLink:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Link.with_transfer_time(0, 0, 1.0)
+
+    def test_with_transfer_time(self):
+        link = Link.with_transfer_time(0, 1, 2.5)
+        assert link.transfer_time() == pytest.approx(2.5)
+        assert link.send_time() == pytest.approx(2.5)
+        assert link.recv_time() == pytest.approx(2.5)
+        assert link.endpoints == (0, 1)
+
+    def test_multi_port_occupations(self):
+        link = Link.with_transfer_time(0, 1, 5.0, send_time=1.5, recv_time=0.5)
+        assert link.send_time() == pytest.approx(1.5)
+        assert link.recv_time() == pytest.approx(0.5)
+
+    def test_from_bandwidth(self):
+        link = Link.from_bandwidth("a", "b", bandwidth=50.0, startup=0.5)
+        assert link.transfer_time(100.0) == pytest.approx(2.5)
+
+    def test_reversed_swaps_endpoints_and_keeps_cost(self):
+        link = Link.with_transfer_time(0, 1, 2.0, level="wan")
+        back = link.reversed()
+        assert back.endpoints == (1, 0)
+        assert back.transfer_time() == pytest.approx(2.0)
+        assert back.attributes == link.attributes
+
+    def test_round_trip_dict(self):
+        link = Link.with_transfer_time(2, 7, 3.25, send_time=1.0, color="blue")
+        rebuilt = Link.from_dict(link.to_dict())
+        assert rebuilt.endpoints == (2, 7)
+        assert rebuilt.transfer_time() == pytest.approx(3.25)
+        assert rebuilt.send_time() == pytest.approx(1.0)
+        assert rebuilt.attributes == {"color": "blue"}

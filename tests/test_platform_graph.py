@@ -1,0 +1,162 @@
+"""Unit tests for the Platform graph class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform, PlatformBuilder
+from repro.exceptions import (
+    DisconnectedPlatformError,
+    InvalidLinkError,
+    PlatformError,
+)
+from repro.platform.link import Link
+from repro.platform.node import ProcessorNode
+
+
+@pytest.fixture
+def triangle() -> Platform:
+    platform = Platform(name="triangle")
+    for node in (0, 1, 2):
+        platform.add_node(node)
+    platform.connect(0, 1, 1.0, bidirectional=True)
+    platform.connect(1, 2, 2.0, bidirectional=True)
+    platform.connect(0, 2, 4.0)
+    return platform
+
+
+class TestConstruction:
+    def test_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_links == 5
+        assert len(triangle) == 3
+
+    def test_slice_size_must_be_positive(self):
+        with pytest.raises(PlatformError):
+            Platform(slice_size=0.0)
+
+    def test_add_link_requires_existing_nodes(self):
+        platform = Platform()
+        platform.add_node(0)
+        with pytest.raises(InvalidLinkError):
+            platform.add_link(Link.with_transfer_time(0, 99, 1.0))
+        with pytest.raises(InvalidLinkError):
+            platform.add_link(Link.with_transfer_time(99, 0, 1.0))
+
+    def test_add_node_with_record_and_extra_attributes_conflicts(self):
+        platform = Platform()
+        with pytest.raises(PlatformError):
+            platform.add_node(ProcessorNode(name=0), level="wan")
+
+    def test_node_lookup(self, triangle):
+        assert triangle.node(0).name == 0
+        with pytest.raises(PlatformError):
+            triangle.node(42)
+        assert 0 in triangle
+        assert 42 not in triangle
+
+    def test_remove_link(self, triangle):
+        triangle.remove_link(0, 2)
+        assert not triangle.has_link(0, 2)
+        with pytest.raises(InvalidLinkError):
+            triangle.remove_link(0, 2)
+
+
+class TestWeightsAndNeighbours:
+    def test_transfer_time_uses_slice_size_default(self):
+        platform = Platform(slice_size=2.0)
+        platform.add_node("a")
+        platform.add_node("b")
+        platform.add_link(Link.from_bandwidth("a", "b", bandwidth=1.0))
+        assert platform.transfer_time("a", "b") == pytest.approx(2.0)
+        assert platform.transfer_time("a", "b", size=5.0) == pytest.approx(5.0)
+
+    def test_neighbours(self, triangle):
+        assert set(triangle.out_neighbors(0)) == {1, 2}
+        assert set(triangle.in_neighbors(0)) == {1}
+        assert triangle.out_degree(0) == 2
+        assert triangle.in_degree(2) == 2
+
+    def test_edge_weights(self, triangle):
+        weights = triangle.edge_weights()
+        assert weights[(0, 1)] == pytest.approx(1.0)
+        assert weights[(0, 2)] == pytest.approx(4.0)
+        assert len(weights) == triangle.num_links
+
+    def test_weighted_out_degree(self, triangle):
+        assert triangle.weighted_out_degree(0) == pytest.approx(5.0)
+        assert triangle.weighted_out_degree(2) == pytest.approx(2.0)
+
+    def test_min_out_transfer_time(self, triangle):
+        assert triangle.min_out_transfer_time(0) == pytest.approx(1.0)
+        lonely = Platform()
+        lonely.add_node(0)
+        with pytest.raises(PlatformError):
+            lonely.min_out_transfer_time(0)
+
+    def test_density(self, triangle):
+        assert triangle.density == pytest.approx(5 / 6)
+        single = Platform()
+        single.add_node(0)
+        assert single.density == 0.0
+
+
+class TestConnectivity:
+    def test_reachability(self, triangle):
+        assert triangle.reachable_from(0) == {0, 1, 2}
+        assert triangle.is_broadcast_feasible(0)
+
+    def test_unreachable_nodes_detected(self):
+        platform = Platform()
+        platform.add_node(0)
+        platform.add_node(1)
+        platform.add_node(2)
+        platform.connect(0, 1, 1.0)
+        assert not platform.is_broadcast_feasible(0)
+        with pytest.raises(DisconnectedPlatformError):
+            platform.require_broadcast_feasible(0)
+
+    def test_shortest_path(self, diamond_platform):
+        path = diamond_platform.shortest_path(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        # 0 -> 1 -> 2 -> 3 costs 3.0, cheaper than 0 -> 1 -> 3 (4.0) or 0 -> 2 -> 3 (5.0).
+        assert path == [0, 1, 2, 3]
+
+    def test_shortest_path_missing(self):
+        platform = Platform()
+        platform.add_node(0)
+        platform.add_node(1)
+        with pytest.raises(DisconnectedPlatformError):
+            platform.shortest_path(0, 1)
+
+
+class TestViewsAndCopies:
+    def test_to_networkx(self, triangle):
+        graph = triangle.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 5
+        assert graph.edges[0, 2]["weight"] == pytest.approx(4.0)
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_link(0, 2)
+        assert triangle.has_link(0, 2)
+        assert not clone.has_link(0, 2)
+        assert clone.slice_size == triangle.slice_size
+
+    def test_subgraph_with_links(self, triangle):
+        sub = triangle.subgraph_with_links([(0, 1), (1, 2)])
+        assert sub.num_nodes == 3
+        assert sub.num_links == 2
+        assert sub.has_link(0, 1) and sub.has_link(1, 2)
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(PlatformError):
+            Platform().validate()
+
+    def test_builder_strict_mode(self):
+        with pytest.raises(PlatformError):
+            PlatformBuilder().strict().link(0, 1, 1.0).build()
+
+    def test_repr_mentions_size(self, triangle):
+        assert "nodes=3" in repr(triangle)

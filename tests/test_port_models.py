@@ -1,0 +1,148 @@
+"""Tests for the one-port / multi-port communication models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MultiPortModel, OnePortModel, PlatformBuilder, PortModelKind, get_port_model
+from repro.exceptions import PlatformError
+from repro.models.timing import transfer_timing
+
+
+@pytest.fixture
+def fan_platform():
+    """Node 0 with three heterogeneous outgoing links and explicit overheads."""
+    return (
+        PlatformBuilder(name="fan")
+        .node(0, send_overhead=0.5)
+        .nodes(1, 2, 3)
+        .link(0, 1, 2.0)
+        .link(0, 2, 3.0)
+        .link(0, 3, 5.0)
+        .link(1, 2, 1.0)
+        .link(2, 3, 1.0)
+        .build()
+    )
+
+
+class TestGetPortModel:
+    def test_none_is_one_port(self):
+        assert isinstance(get_port_model(None), OnePortModel)
+
+    def test_strings(self):
+        assert isinstance(get_port_model("one-port"), OnePortModel)
+        assert isinstance(get_port_model("multi-port"), MultiPortModel)
+
+    def test_kind(self):
+        assert isinstance(get_port_model(PortModelKind.MULTI_PORT), MultiPortModel)
+
+    def test_instance_passthrough(self):
+        model = MultiPortModel(send_fraction=0.5)
+        assert get_port_model(model) is model
+
+    def test_unknown_string_rejected(self):
+        with pytest.raises(ValueError):
+            get_port_model("three-port")
+
+
+class TestOnePortModel:
+    def test_occupations_all_equal_link_time(self, fan_platform):
+        model = OnePortModel()
+        assert model.sender_busy_time(fan_platform, 0, 3) == pytest.approx(5.0)
+        assert model.receiver_busy_time(fan_platform, 0, 3) == pytest.approx(5.0)
+        assert model.link_busy_time(fan_platform, 0, 3) == pytest.approx(5.0)
+
+    def test_node_period_sums_outgoing(self, fan_platform):
+        model = OnePortModel()
+        outgoing = [(1, 2.0, 1), (2, 3.0, 1), (3, 5.0, 1)]
+        assert model.node_period(fan_platform, 0, outgoing) == pytest.approx(10.0)
+
+    def test_node_period_accounts_for_multiplicity(self, fan_platform):
+        model = OnePortModel()
+        outgoing = [(1, 2.0, 3)]
+        assert model.node_period(fan_platform, 0, outgoing) == pytest.approx(6.0)
+
+    def test_node_period_incoming_sum(self, fan_platform):
+        model = OnePortModel()
+        incoming = [(1, 1.0, 1), (0, 3.0, 1)]
+        assert model.node_period(fan_platform, 2, [], incoming) == pytest.approx(4.0)
+
+    def test_idle_node_has_zero_period(self, fan_platform):
+        assert OnePortModel().node_period(fan_platform, 3, [], []) == 0.0
+
+
+class TestMultiPortModel:
+    def test_send_fraction_validation(self):
+        with pytest.raises(PlatformError):
+            MultiPortModel(send_fraction=0.0)
+        with pytest.raises(PlatformError):
+            MultiPortModel(send_fraction=1.5)
+
+    def test_explicit_node_overhead_wins(self, fan_platform):
+        model = MultiPortModel(send_fraction=0.8)
+        assert model.node_send_time(fan_platform, 0) == pytest.approx(0.5)
+
+    def test_derived_overhead_uses_fastest_link(self, fan_platform):
+        model = MultiPortModel(send_fraction=0.8)
+        # Node 1 has no explicit overhead; its fastest outgoing link is 1.0.
+        assert model.node_send_time(fan_platform, 1) == pytest.approx(0.8)
+
+    def test_leaf_has_zero_overhead(self, fan_platform):
+        model = MultiPortModel()
+        assert model.node_send_time(fan_platform, 3) == 0.0
+
+    def test_node_period_formula(self, fan_platform):
+        model = MultiPortModel()
+        outgoing = [(1, 2.0, 1), (2, 3.0, 1), (3, 5.0, 1)]
+        # max(3 * send_0, max T) = max(1.5, 5.0)
+        assert model.node_period(fan_platform, 0, outgoing) == pytest.approx(5.0)
+
+    def test_node_period_send_bound_dominates(self, fan_platform):
+        model = MultiPortModel()
+        outgoing = [(1, 2.0, 1)] * 20  # 20 sends of time 2
+        period = model.node_period(fan_platform, 0, outgoing)
+        assert period == pytest.approx(20 * 0.5)
+
+    def test_sender_busy_below_link_time(self, fan_platform):
+        model = MultiPortModel()
+        assert model.sender_busy_time(fan_platform, 0, 3) == pytest.approx(0.5)
+        assert model.receiver_busy_time(fan_platform, 0, 3) == 0.0
+
+    def test_recv_overhead_honoured(self):
+        platform = (
+            PlatformBuilder()
+            .node(0)
+            .node(1, recv_overhead=0.25)
+            .link(0, 1, 2.0)
+            .link(1, 0, 2.0)
+            .build()
+        )
+        model = MultiPortModel()
+        assert model.node_recv_time(platform, 1) == pytest.approx(0.25)
+        incoming = [(0, 2.0, 4)]
+        assert model.node_period(platform, 1, [], incoming) == pytest.approx(8.0)
+
+
+class TestTransferTiming:
+    def test_one_port_timing(self, fan_platform):
+        timing = transfer_timing(OnePortModel(), fan_platform, 0, 2)
+        assert timing.sender_busy == timing.link_busy == timing.receiver_busy == 3.0
+        assert timing.completion_offset == 3.0
+        assert timing.receiver_busy_start_offset == 0.0
+
+    def test_multi_port_timing(self, fan_platform):
+        timing = transfer_timing(MultiPortModel(), fan_platform, 0, 2)
+        assert timing.sender_busy == pytest.approx(0.5)
+        assert timing.link_busy == pytest.approx(3.0)
+        assert timing.receiver_busy == 0.0
+        assert timing.receiver_busy_start_offset == pytest.approx(3.0)
+
+    def test_invalid_timing_rejected(self):
+        from repro.models.timing import TransferTiming
+
+        with pytest.raises(ValueError):
+            TransferTiming(sender_busy=2.0, link_busy=1.0, receiver_busy=0.0)
+        with pytest.raises(ValueError):
+            TransferTiming(sender_busy=0.5, link_busy=1.0, receiver_busy=2.0)
+        with pytest.raises(ValueError):
+            TransferTiming(sender_busy=-0.1, link_busy=1.0, receiver_busy=0.0)

@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, Phase, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BroadcastTree,
+    MultiPortModel,
+    OnePortModel,
+    build_broadcast_tree,
+    generate_random_platform,
+    node_periods,
+    optimal_throughput,
+    tree_throughput,
+)
+from repro.analysis.metrics import summarize
+from repro.core.binomial import BinomialTreeHeuristic
+from repro.platform.costs import AffineCost
+from repro.simulation import simulate_broadcast
+from repro.utils.graph_utils import adjacency_from_edges, reachable_from, sort_edges_by_weight
+from tests.conftest import assert_spanning_tree
+
+# Hypothesis settings shared by the heavier strategies: platform generation
+# plus heuristics is not free, keep the number of examples moderate and skip
+# the shrinking phase (a shrink over LP solves / simulations can take many
+# minutes on a single core; the un-shrunk counterexample, which includes the
+# generator seed, is already fully reproducible).
+_NO_SHRINK = (Phase.explicit, Phase.reuse, Phase.generate)
+MODERATE = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    phases=_NO_SHRINK,
+)
+LIGHT = settings(max_examples=100, deadline=None)
+HEAVY = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    phases=_NO_SHRINK,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+platform_params = st.tuples(
+    st.integers(min_value=4, max_value=14),          # nodes
+    st.floats(min_value=0.1, max_value=0.6),         # density
+    st.integers(min_value=0, max_value=10_000),      # seed
+)
+
+affine_params = st.tuples(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+)
+
+
+def make_platform(params):
+    nodes, density, seed = params
+    return generate_random_platform(num_nodes=nodes, density=density, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Cost model properties
+# --------------------------------------------------------------------------- #
+class TestAffineCostProperties:
+    @LIGHT
+    @given(affine_params)
+    def test_non_negative_and_monotone(self, params):
+        startup, per_unit, size = params
+        cost = AffineCost(startup=startup, per_unit=per_unit)
+        assert cost(size) >= 0
+        assert cost(size + 1.0) >= cost(size)
+
+    @LIGHT
+    @given(affine_params, st.floats(min_value=0.0, max_value=5.0))
+    def test_scaling_is_linear(self, params, factor):
+        startup, per_unit, size = params
+        cost = AffineCost(startup=startup, per_unit=per_unit)
+        assert cost.scaled(factor)(size) == pytest.approx(factor * cost(size), rel=1e-9, abs=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Graph helper properties
+# --------------------------------------------------------------------------- #
+class TestGraphUtilProperties:
+    @LIGHT
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(lambda e: e[0] != e[1]),
+            max_size=40,
+        )
+    )
+    def test_reachability_contains_source_and_is_closed(self, edges):
+        adjacency = adjacency_from_edges(range(10), edges)
+        reachable = reachable_from(0, adjacency)
+        assert 0 in reachable
+        # Closure: every successor of a reachable node is reachable.
+        for node in reachable:
+            assert adjacency.get(node, set()).issubset(reachable)
+
+    @LIGHT
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(0, 5), st.integers(6, 11)),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            max_size=20,
+        )
+    )
+    def test_sort_edges_is_permutation_and_ordered(self, weights):
+        edges = list(weights)
+        ordered = sort_edges_by_weight(edges, weights)
+        assert sorted(map(str, ordered)) == sorted(map(str, edges))
+        values = [weights[e] for e in ordered]
+        assert values == sorted(values, reverse=True)
+
+
+# --------------------------------------------------------------------------- #
+# Generator properties
+# --------------------------------------------------------------------------- #
+class TestGeneratorProperties:
+    @MODERATE
+    @given(platform_params)
+    def test_random_platform_always_feasible_and_symmetric(self, params):
+        platform = make_platform(params)
+        assert platform.num_nodes == params[0]
+        assert platform.is_broadcast_feasible(0)
+        for u, v in platform.edges:
+            assert platform.has_link(v, u)
+            assert platform.transfer_time(u, v) > 0
+
+
+# --------------------------------------------------------------------------- #
+# Heuristic invariants
+# --------------------------------------------------------------------------- #
+class TestHeuristicProperties:
+    @MODERATE
+    @given(platform_params, st.sampled_from(["prune-simple", "prune-degree", "grow-tree", "binomial"]))
+    def test_heuristics_always_span(self, params, heuristic):
+        platform = make_platform(params)
+        tree = build_broadcast_tree(platform, 0, heuristic)
+        assert_spanning_tree(tree, platform, 0)
+
+    @MODERATE
+    @given(platform_params)
+    def test_one_port_throughput_is_inverse_max_out_degree(self, params):
+        platform = make_platform(params)
+        tree = build_broadcast_tree(platform, 0, "grow-tree")
+        report = tree_throughput(tree, OnePortModel())
+        max_out = max(tree.weighted_out_degree(node) for node in tree.nodes)
+        assert report.period == pytest.approx(max_out)
+        assert report.throughput == pytest.approx(1.0 / max_out)
+
+    @MODERATE
+    @given(platform_params)
+    def test_multi_port_at_least_one_port(self, params):
+        platform = make_platform(params)
+        tree = build_broadcast_tree(platform, 0, "prune-degree")
+        one = tree_throughput(tree, OnePortModel()).throughput
+        multi = tree_throughput(tree, MultiPortModel()).throughput
+        assert multi >= one - 1e-12
+
+    @MODERATE
+    @given(platform_params)
+    def test_node_periods_bounded_by_tree_period(self, params):
+        platform = make_platform(params)
+        tree = build_broadcast_tree(platform, 0, "grow-tree")
+        report = tree_throughput(tree)
+        periods = node_periods(tree)
+        assert all(period <= report.period + 1e-12 for period in periods.values())
+
+    @MODERATE
+    @given(st.integers(min_value=1, max_value=200))
+    def test_binomial_transfers_cover_all_ranks(self, num_nodes):
+        transfers = BinomialTreeHeuristic.logical_transfers(num_nodes)
+        receivers = sorted(dst for _, dst in transfers)
+        assert receivers == list(range(1, num_nodes))
+        # Senders must already be informed: every sender has a smaller rank
+        # than its receiver (binomial property).
+        assert all(src < dst for src, dst in transfers)
+        # Tree depth is logarithmic.
+        if num_nodes > 1:
+            assert len(transfers) == num_nodes - 1
+            assert max(dst.bit_length() for _, dst in transfers) <= math.ceil(
+                math.log2(num_nodes)
+            ) + 1
+
+
+# --------------------------------------------------------------------------- #
+# LP and simulation cross-validation
+# --------------------------------------------------------------------------- #
+class TestCrossValidationProperties:
+    @HEAVY
+    @given(platform_params)
+    def test_lp_upper_bounds_single_trees(self, params):
+        platform = make_platform(params)
+        optimum = optimal_throughput(platform, 0)
+        for heuristic in ("grow-tree", "prune-degree"):
+            tree = build_broadcast_tree(platform, 0, heuristic)
+            assert tree_throughput(tree).throughput <= optimum * (1 + 1e-6)
+
+    @HEAVY
+    @given(platform_params)
+    def test_simulation_matches_analysis_for_direct_trees(self, params):
+        platform = make_platform(params)
+        tree = build_broadcast_tree(platform, 0, "grow-tree")
+        result = simulate_broadcast(tree, num_slices=30, record_trace=False)
+        assert result.relative_error() < 0.05
+
+
+# --------------------------------------------------------------------------- #
+# Metric properties
+# --------------------------------------------------------------------------- #
+class TestMetricProperties:
+    @LIGHT
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=50))
+    def test_summary_bounds(self, values):
+        stats = summarize(values)
+        # Allow a tiny absolute slack: summing floats can push the mean a few
+        # ulps past the extrema when all values are (nearly) equal.
+        assert stats.minimum - 1e-9 <= stats.mean <= stats.maximum + 1e-9
+        assert stats.std >= 0
+        assert stats.count == len(values)
+
+    @LIGHT
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=50),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_summary_scaling(self, values, factor):
+        base = summarize(values)
+        scaled = summarize([v * factor for v in values])
+        assert scaled.mean == pytest.approx(base.mean * factor, rel=1e-9, abs=1e-9)
+        assert scaled.std == pytest.approx(base.std * factor, rel=1e-9, abs=1e-6)

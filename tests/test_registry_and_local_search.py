@@ -1,0 +1,146 @@
+"""Tests for the heuristic registry and the local-search improvement pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    HEURISTICS,
+    PAPER_MULTI_PORT_HEURISTICS,
+    PAPER_ONE_PORT_HEURISTICS,
+    BinomialTreeHeuristic,
+    GrowingMinimumOutDegreeTree,
+    LocalSearchImprovement,
+    available_heuristics,
+    build_broadcast_tree,
+    get_heuristic,
+    improve_tree,
+    register_heuristic,
+    tree_throughput,
+)
+from repro.core.base import TreeHeuristic
+from repro.exceptions import HeuristicError, UnknownHeuristicError
+from tests.conftest import assert_spanning_tree
+
+
+class TestRegistry:
+    def test_paper_heuristics_are_registered(self):
+        for name in PAPER_ONE_PORT_HEURISTICS + PAPER_MULTI_PORT_HEURISTICS:
+            assert name in HEURISTICS
+            heuristic = get_heuristic(name)
+            assert isinstance(heuristic, TreeHeuristic)
+            assert heuristic.name == name
+
+    def test_available_heuristics_sorted(self):
+        names = available_heuristics()
+        assert names == sorted(names)
+        assert "grow-tree" in names
+
+    def test_get_heuristic_passthrough(self):
+        instance = GrowingMinimumOutDegreeTree()
+        assert get_heuristic(instance) is instance
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownHeuristicError):
+            get_heuristic("does-not-exist")
+
+    def test_register_custom_heuristic(self, small_random_platform):
+        class StarFromSource(TreeHeuristic):
+            name = "test-star"
+            paper_label = "Test Star"
+
+            def _build(self, platform, source, model, size, **kwargs):
+                from repro import BroadcastTree
+
+                transfers = [(source, node) for node in platform.nodes if node != source]
+                return BroadcastTree.from_logical_transfers(platform, source, transfers)
+
+        register_heuristic("test-star", StarFromSource, overwrite=True)
+        try:
+            tree = build_broadcast_tree(small_random_platform, 0, "test-star")
+            assert set(tree.children(0)) | {0} >= set()
+            assert tree.num_nodes == small_random_platform.num_nodes
+            with pytest.raises(ValueError):
+                register_heuristic("test-star", StarFromSource)
+        finally:
+            HEURISTICS.pop("test-star", None)
+
+    def test_build_broadcast_tree_default(self, small_random_platform):
+        tree = build_broadcast_tree(small_random_platform, 0)
+        assert tree.name == "grow-tree"
+        assert_spanning_tree(tree, small_random_platform, 0)
+
+    def test_describe(self):
+        assert "Grow Tree" in GrowingMinimumOutDegreeTree().describe()
+        assert "grow-tree" in repr(GrowingMinimumOutDegreeTree())
+
+
+class TestLocalSearch:
+    def test_never_degrades_throughput(self, medium_random_platform):
+        for name in ("grow-tree", "prune-degree", "prune-simple"):
+            tree = build_broadcast_tree(medium_random_platform, 0, name)
+            improved = improve_tree(tree)
+            assert (
+                tree_throughput(improved).throughput
+                >= tree_throughput(tree).throughput - 1e-12
+            )
+            assert_spanning_tree(improved, medium_random_platform, 0)
+
+    def test_improves_binomial_tree(self, medium_random_platform):
+        tree = build_broadcast_tree(medium_random_platform, 0, "binomial")
+        improved = improve_tree(tree)
+        assert (
+            tree_throughput(improved).throughput
+            > tree_throughput(tree).throughput
+        )
+
+    def test_improved_name_is_tagged(self, small_random_platform):
+        tree = build_broadcast_tree(small_random_platform, 0, "grow-tree")
+        improved = improve_tree(tree)
+        assert improved.name.endswith("+local-search")
+
+    def test_star_platform_cannot_improve(self, star_platform):
+        from repro import BroadcastTree
+
+        tree = BroadcastTree.from_edges(
+            star_platform, 0, [(0, leaf) for leaf in range(1, 5)]
+        )
+        improved = improve_tree(tree)
+        assert tree_throughput(improved).period == pytest.approx(8.0)
+
+    def test_wrapper_heuristic(self, small_random_platform):
+        wrapper = LocalSearchImprovement(GrowingMinimumOutDegreeTree())
+        assert wrapper.name == "grow-tree+local-search"
+        tree = wrapper.build(small_random_platform, 0)
+        assert_spanning_tree(tree, small_random_platform, 0)
+        base = GrowingMinimumOutDegreeTree().build(small_random_platform, 0)
+        assert (
+            tree_throughput(tree).throughput
+            >= tree_throughput(base).throughput - 1e-12
+        )
+
+    def test_wrapper_requires_heuristic(self):
+        with pytest.raises(HeuristicError):
+            LocalSearchImprovement("grow-tree")  # type: ignore[arg-type]
+
+    def test_registered_local_search_variants(self, small_random_platform):
+        for name in ("grow-tree+local-search", "binomial+local-search"):
+            tree = build_broadcast_tree(small_random_platform, 0, name)
+            assert_spanning_tree(tree, small_random_platform, 0)
+
+    def test_max_iterations_zero_keeps_tree(self, medium_random_platform):
+        tree = build_broadcast_tree(medium_random_platform, 0, "grow-tree")
+        frozen = improve_tree(tree, max_iterations=0)
+        assert tree_throughput(frozen).throughput == pytest.approx(
+            tree_throughput(tree).throughput
+        )
+
+
+class TestBinomialFlattening:
+    def test_routed_tree_is_flattened_before_search(self, medium_random_platform):
+        tree = BinomialTreeHeuristic().build(medium_random_platform, 0)
+        improved = improve_tree(tree, max_iterations=0)
+        # Even without any accepted move, the routed tree is flattened into a
+        # direct tree whose physical transfers are a subset of the original.
+        assert improved.is_direct
+        assert improved.num_nodes == tree.num_nodes

@@ -1,0 +1,59 @@
+"""Tests for platform JSON (de)serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import generate_random_platform, generate_tiers_platform, load_platform, save_platform
+from repro.exceptions import PlatformError
+from repro.platform.serialization import platform_from_dict, platform_to_dict
+
+
+class TestRoundTrip:
+    def test_random_platform_round_trip(self):
+        platform = generate_random_platform(num_nodes=10, density=0.3, seed=2)
+        rebuilt = platform_from_dict(platform_to_dict(platform))
+        assert rebuilt.num_nodes == platform.num_nodes
+        assert rebuilt.num_links == platform.num_links
+        assert rebuilt.edge_weights() == pytest.approx(platform.edge_weights())
+        for node in platform.nodes:
+            assert rebuilt.node(node).send_overhead == pytest.approx(
+                platform.node(node).send_overhead
+            )
+
+    def test_tiers_platform_round_trip_preserves_levels(self):
+        platform = generate_tiers_platform(30, seed=3)
+        rebuilt = platform_from_dict(platform_to_dict(platform))
+        for node in platform.nodes:
+            assert rebuilt.node(node).level == platform.node(node).level
+            assert rebuilt.node(node).cluster == platform.node(node).cluster
+
+    def test_file_round_trip(self, tmp_path):
+        platform = generate_random_platform(num_nodes=8, density=0.4, seed=4)
+        path = save_platform(platform, tmp_path / "platform.json")
+        assert path.exists()
+        # The file is valid JSON.
+        json.loads(path.read_text())
+        rebuilt = load_platform(path)
+        assert rebuilt.name == platform.name
+        assert rebuilt.edge_weights() == pytest.approx(platform.edge_weights())
+
+    def test_dict_is_json_serialisable(self):
+        platform = generate_random_platform(num_nodes=6, density=0.5, seed=5)
+        text = json.dumps(platform_to_dict(platform))
+        assert "links" in text
+
+    def test_unknown_format_version_rejected(self):
+        platform = generate_random_platform(num_nodes=6, density=0.5, seed=6)
+        data = platform_to_dict(platform)
+        data["format_version"] = 99
+        with pytest.raises(PlatformError):
+            platform_from_dict(data)
+
+    def test_slice_size_preserved(self):
+        platform = generate_random_platform(num_nodes=6, density=0.5, seed=7)
+        platform.slice_size = 2.5
+        rebuilt = platform_from_dict(platform_to_dict(platform))
+        assert rebuilt.slice_size == 2.5

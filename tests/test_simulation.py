@@ -1,0 +1,198 @@
+"""Tests for the discrete-event simulator (engine, resources, broadcast, trace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BroadcastTree, MultiPortModel, build_broadcast_tree, tree_throughput
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    PipelinedBroadcastSimulator,
+    SequentialResource,
+    SimulationEngine,
+    render_gantt,
+    simulate_broadcast,
+)
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        order: list[str] = []
+        engine.schedule_at(2.0, lambda: order.append("late"))
+        engine.schedule_at(1.0, lambda: order.append("early"))
+        engine.schedule_after(0.5, lambda: order.append("first"))
+        end = engine.run()
+        assert order == ["first", "early", "late"]
+        assert end == pytest.approx(2.0)
+        assert engine.processed_events == 3
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = SimulationEngine()
+        order: list[int] = []
+        for index in range(5):
+            engine.schedule_at(1.0, lambda i=index: order.append(i))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_events_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        seen: list[float] = []
+
+        def ping(count: int) -> None:
+            seen.append(engine.now)
+            if count > 0:
+                engine.schedule_after(1.0, lambda: ping(count - 1))
+
+        engine.schedule_at(0.0, lambda: ping(3))
+        engine.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_until_horizon(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(10.0, lambda: None)
+        engine.run(until=5.0)
+        assert engine.pending_events == 1
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        engine = SimulationEngine()
+
+        def forever() -> None:
+            engine.schedule_after(0.1, forever)
+
+        engine.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=50)
+
+
+class TestSequentialResource:
+    def test_reservations_accumulate(self):
+        resource = SequentialResource("port")
+        end = resource.reserve(0.0, 2.0)
+        assert end == 2.0
+        end = resource.reserve(3.0, 1.0)
+        assert end == 4.0
+        assert resource.busy_time == pytest.approx(3.0)
+        assert resource.utilization(4.0) == pytest.approx(0.75)
+        resource.validate_no_overlap()
+
+    def test_double_booking_rejected(self):
+        resource = SequentialResource("port")
+        resource.reserve(0.0, 5.0)
+        with pytest.raises(SimulationError):
+            resource.reserve(2.0, 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            SequentialResource("port").reserve(0.0, -1.0)
+
+    def test_earliest_start(self):
+        resource = SequentialResource("port")
+        resource.reserve(0.0, 4.0)
+        assert resource.earliest_start(1.0) == 4.0
+        assert resource.earliest_start(9.0) == 9.0
+
+
+class TestBroadcastSimulation:
+    @pytest.mark.parametrize("heuristic", ["grow-tree", "prune-degree", "prune-simple"])
+    def test_direct_tree_matches_analysis(self, small_random_platform, heuristic):
+        tree = build_broadcast_tree(small_random_platform, 0, heuristic)
+        result = simulate_broadcast(tree, num_slices=40)
+        assert result.relative_error() < 0.02
+        assert result.makespan > 0
+        result.trace.validate_causality(0)
+
+    def test_multi_port_direct_tree_matches_analysis(self, small_random_platform):
+        model = MultiPortModel()
+        tree = build_broadcast_tree(
+            small_random_platform, 0, "multiport-grow-tree", model=model
+        )
+        result = simulate_broadcast(tree, num_slices=40, model=model)
+        assert result.relative_error() < 0.02
+
+    def test_routed_tree_never_beats_analysis(self, small_random_platform):
+        tree = build_broadcast_tree(small_random_platform, 0, "binomial")
+        result = simulate_broadcast(tree, num_slices=40)
+        # The analytical value is an upper bound for the simple FIFO schedule.
+        assert result.measured_throughput <= result.analytical_throughput * 1.01
+
+    def test_star_simulation_exact(self, star_platform):
+        tree = BroadcastTree.from_edges(
+            star_platform, 0, [(0, leaf) for leaf in range(1, 5)]
+        )
+        result = simulate_broadcast(tree, num_slices=25)
+        # Makespan: 25 slices * period 8 (the fill phase overlaps the last
+        # child of the previous slice exactly).
+        assert result.makespan == pytest.approx(25 * 8.0)
+        assert result.measured_throughput == pytest.approx(1 / 8.0, rel=1e-6)
+        assert result.effective_throughput <= 1 / 8.0 + 1e-9
+
+    def test_arrival_times_monotone_per_node(self, small_random_platform):
+        tree = build_broadcast_tree(small_random_platform, 0, "grow-tree")
+        result = simulate_broadcast(tree, num_slices=10)
+        for node, arrivals in result.arrival_times.items():
+            assert arrivals == sorted(arrivals)
+            assert len(arrivals) == 10
+
+    def test_no_resource_overlap(self, small_random_platform):
+        tree = build_broadcast_tree(small_random_platform, 0, "prune-degree")
+        simulator = PipelinedBroadcastSimulator(tree, 15)
+        simulator.run()
+        for resource in simulator._send_port.values():
+            resource.validate_no_overlap()
+        for resource in simulator._recv_port.values():
+            resource.validate_no_overlap()
+        for resource in simulator._link.values():
+            resource.validate_no_overlap()
+
+    def test_greedy_policy_at_least_as_good_for_routed_trees(self, small_random_platform):
+        tree = build_broadcast_tree(small_random_platform, 0, "binomial")
+        in_order = simulate_broadcast(tree, num_slices=30, policy="in-order")
+        greedy = simulate_broadcast(tree, num_slices=30, policy="greedy")
+        assert greedy.makespan <= in_order.makespan * 1.05
+
+    def test_invalid_parameters(self, star_platform):
+        tree = BroadcastTree.from_edges(
+            star_platform, 0, [(0, leaf) for leaf in range(1, 5)]
+        )
+        with pytest.raises(SimulationError):
+            PipelinedBroadcastSimulator(tree, 0)
+        with pytest.raises(SimulationError):
+            PipelinedBroadcastSimulator(tree, 5, policy="magic")
+
+    def test_trace_queries_and_gantt(self, star_platform):
+        tree = BroadcastTree.from_edges(
+            star_platform, 0, [(0, leaf) for leaf in range(1, 5)]
+        )
+        result = simulate_broadcast(tree, num_slices=4)
+        trace = result.trace
+        assert len(trace) == 4 * 4
+        assert len(trace.by_sender(0)) == 16
+        assert len(trace.by_receiver(1)) == 4
+        assert len(trace.by_slice(0)) == 4
+        assert trace.completion_time() == pytest.approx(result.makespan)
+        arrivals = trace.arrival_times(1, 4)
+        assert all(a < float("inf") for a in arrivals)
+        chart = render_gantt(trace)
+        assert "transfers" in chart
+        assert render_gantt([]) == "(empty trace)"
+
+    def test_trace_throughput_measurement(self, star_platform):
+        tree = BroadcastTree.from_edges(
+            star_platform, 0, [(0, leaf) for leaf in range(1, 5)]
+        )
+        result = simulate_broadcast(tree, num_slices=20)
+        measured = result.trace.steady_state_throughput(20)
+        assert measured == pytest.approx(1 / 8.0, rel=1e-6)
+        with pytest.raises(SimulationError):
+            result.trace.steady_state_throughput(20, warmup_fraction=1.0)

@@ -1,0 +1,75 @@
+"""Tests for the STA (atomic broadcast) baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PlatformBuilder, build_broadcast_tree
+from repro.sta import FastestEdgeFirst, FastestNodeFirst, atomic_makespan
+from tests.conftest import assert_spanning_tree
+
+
+@pytest.mark.parametrize("heuristic_cls", [FastestNodeFirst, FastestEdgeFirst])
+class TestCommonBehaviour:
+    def test_produces_spanning_tree(self, heuristic_cls, small_random_platform):
+        tree = heuristic_cls().build(small_random_platform, 0)
+        assert_spanning_tree(tree, small_random_platform, 0)
+
+    def test_deterministic(self, heuristic_cls, small_random_platform):
+        a = heuristic_cls().build(small_random_platform, 0)
+        b = heuristic_cls().build(small_random_platform, 0)
+        assert a.same_structure_as(b)
+
+    def test_works_on_tiers(self, heuristic_cls, tiers_platform):
+        tree = heuristic_cls().build(tiers_platform, 0)
+        assert_spanning_tree(tree, tiers_platform, 0)
+
+    def test_makespan_positive(self, heuristic_cls, medium_random_platform):
+        tree = heuristic_cls().build(medium_random_platform, 0)
+        assert atomic_makespan(tree, 10.0) > 0
+
+
+class TestFastestEdgeFirst:
+    def test_prefers_fast_edges(self):
+        """FEF should relay through the fast intermediate node rather than
+        use the source's slow direct links."""
+        platform = (
+            PlatformBuilder(name="relay")
+            .nodes(0, 1, 2, 3)
+            .link(0, 1, 1.0, bidirectional=True)
+            .link(1, 2, 1.0, bidirectional=True)
+            .link(1, 3, 1.0, bidirectional=True)
+            .link(0, 2, 10.0, bidirectional=True)
+            .link(0, 3, 10.0, bidirectional=True)
+            .build()
+        )
+        tree = FastestEdgeFirst().build(platform, 0)
+        assert tree.parent(1) == 0
+        assert tree.parent(2) == 1
+        assert tree.parent(3) == 1
+        assert atomic_makespan(tree, 1.0) == pytest.approx(3.0)
+
+    def test_beats_binomial_on_heterogeneous_platform(self, medium_random_platform):
+        fef = FastestEdgeFirst().build(medium_random_platform, 0)
+        binomial = build_broadcast_tree(medium_random_platform, 0, "binomial")
+        assert atomic_makespan(fef, 1.0) <= atomic_makespan(binomial, 1.0)
+
+
+class TestFastestNodeFirst:
+    def test_star_with_fast_and_slow_leaves(self):
+        """On a clique where node 1 is the fastest sender, FNF informs it first."""
+        platform = (
+            PlatformBuilder(name="speeds")
+            .nodes(0, 1, 2, 3)
+            .build()
+        )
+        # Node 1 is "fast" (its outgoing links are cheap), 2 and 3 are slow.
+        times = {1: 0.5, 2: 3.0, 3: 3.0, 0: 1.0}
+        for u in range(4):
+            for v in range(4):
+                if u != v:
+                    platform.connect(u, v, times[u])
+        tree = FastestNodeFirst().build(platform, 0)
+        assert tree.parent(1) == 0
+        # The fast node then helps broadcasting to at least one slow node.
+        assert len(tree.children(1)) >= 1

@@ -1,0 +1,118 @@
+"""Tests for the steady-state throughput analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BroadcastTree,
+    MultiPortModel,
+    OnePortModel,
+    analyze_bottleneck,
+    node_periods,
+    tree_throughput,
+)
+
+
+@pytest.fixture
+def star_tree(star_platform):
+    return BroadcastTree.from_edges(
+        star_platform, 0, [(0, leaf) for leaf in range(1, 5)], name="star"
+    )
+
+
+@pytest.fixture
+def chain_tree(line_platform):
+    return BroadcastTree.from_edges(line_platform, 0, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestOnePortThroughput:
+    def test_star_throughput_is_inverse_out_degree(self, star_tree):
+        # Hub sends 4 slices of time 2 per period -> period 8.
+        report = tree_throughput(star_tree)
+        assert report.period == pytest.approx(8.0)
+        assert report.throughput == pytest.approx(1 / 8.0)
+        assert report.bottleneck == 0
+        assert report.model == "one-port"
+
+    def test_chain_throughput_is_inverse_max_edge(self, chain_tree):
+        report = tree_throughput(chain_tree)
+        assert report.period == pytest.approx(3.0)
+        # Both the sender (2) and the receiver (3) of the slowest link are
+        # saturated; either is a valid bottleneck report.
+        assert report.bottleneck in (2, 3)
+
+    def test_node_periods_chain(self, chain_tree):
+        periods = node_periods(chain_tree)
+        assert periods[0] == pytest.approx(1.0)
+        assert periods[1] == pytest.approx(2.0)
+        assert periods[2] == pytest.approx(3.0)
+        # The last node only receives; its period is its incoming time.
+        assert periods[3] == pytest.approx(3.0)
+
+    def test_routed_tree_counts_multiplicities(self, line_platform):
+        tree = BroadcastTree.from_logical_transfers(
+            line_platform, 0, [(0, 1), (0, 2), (0, 3)]
+        )
+        report = tree_throughput(tree)
+        # Edge (1, 2) carries two copies of every slice (for nodes 2 and 3):
+        # node 1's outgoing occupation is 2 * 2.0 = 4; node 2 sends one copy
+        # on (2, 3): 3.0; node 0 sends three copies on (0, 1): 3.0.
+        assert report.periods[1] == pytest.approx(4.0)
+        assert report.period == pytest.approx(4.0)
+        # Node 1 (two copies out) and node 2 (two copies in) are both
+        # saturated at period 4.
+        assert report.bottleneck in (1, 2)
+
+    def test_relative_to(self, chain_tree):
+        report = tree_throughput(chain_tree)
+        assert report.relative_to(report.throughput) == pytest.approx(1.0)
+        assert report.relative_to(2 * report.throughput) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            report.relative_to(0.0)
+
+
+class TestMultiPortThroughput:
+    def test_star_multi_port_uses_send_overhead(self, star_platform):
+        tree = BroadcastTree.from_edges(
+            star_platform, 0, [(0, leaf) for leaf in range(1, 5)]
+        )
+        model = MultiPortModel(send_fraction=0.8)
+        report = tree_throughput(tree, model)
+        # send_0 = 0.8 * 2.0 = 1.6 -> period = max(4 * 1.6, 2.0) = 6.4.
+        assert report.period == pytest.approx(6.4)
+        assert report.model == "multi-port"
+
+    def test_multi_port_never_slower_than_one_port(self, small_random_platform):
+        from repro import build_broadcast_tree
+
+        tree = build_broadcast_tree(small_random_platform, 0, "grow-tree")
+        one = tree_throughput(tree, OnePortModel()).throughput
+        multi = tree_throughput(tree, MultiPortModel()).throughput
+        assert multi >= one - 1e-12
+
+
+class TestBottleneck:
+    def test_bottleneck_report(self, star_tree):
+        report = analyze_bottleneck(star_tree)
+        assert report.node == 0
+        assert report.period == pytest.approx(8.0)
+        assert report.num_children == 4
+        assert set(report.children) == {1, 2, 3, 4}
+        assert report.most_relieving_child() in {1, 2, 3, 4}
+        # Leaves have full slack.
+        assert report.slack[1] == pytest.approx(8.0 - 2.0)
+
+    def test_bottleneck_slack_nonnegative(self, chain_tree):
+        report = analyze_bottleneck(chain_tree)
+        assert all(slack >= -1e-12 for slack in report.slack.values())
+        assert report.slack[report.node] == pytest.approx(0.0)
+
+    def test_leaf_bottleneck_has_no_child(self, line_platform):
+        tree = BroadcastTree.from_edges(line_platform, 0, [(0, 1), (1, 2), (2, 3)])
+        report = analyze_bottleneck(tree)
+        # The deterministic tie-break reports the receiving leaf (node 3) of
+        # the slowest link; a pure receiver has no child to shed.
+        assert report.node == 3
+        assert report.most_relieving_child() is None
+        assert report.period == pytest.approx(3.0)

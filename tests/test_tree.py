@@ -1,0 +1,167 @@
+"""Tests for the BroadcastTree structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BroadcastTree
+from repro.exceptions import NotASpanningTreeError, TreeError
+
+
+@pytest.fixture
+def line_tree(line_platform):
+    return BroadcastTree.from_edges(line_platform, 0, [(0, 1), (1, 2), (2, 3)], name="chain")
+
+
+@pytest.fixture
+def star_tree(star_platform):
+    return BroadcastTree.from_edges(
+        star_platform, 0, [(0, leaf) for leaf in range(1, 5)], name="star"
+    )
+
+
+class TestConstruction:
+    def test_from_edges_builds_parent_map(self, line_tree):
+        assert line_tree.parent(0) is None
+        assert line_tree.parent(1) == 0
+        assert line_tree.parent(3) == 2
+        assert line_tree.children(1) == [2]
+        assert line_tree.children(3) == []
+
+    def test_from_edges_rejects_double_parent(self, line_platform):
+        with pytest.raises(NotASpanningTreeError):
+            BroadcastTree.from_edges(line_platform, 0, [(0, 1), (1, 2), (2, 3), (1, 3)])
+
+    def test_from_edges_rejects_edge_into_source(self, line_platform):
+        with pytest.raises(NotASpanningTreeError):
+            BroadcastTree.from_edges(line_platform, 0, [(0, 1), (1, 2), (2, 3), (1, 0)])
+
+    def test_missing_node_detected(self, line_platform):
+        with pytest.raises(NotASpanningTreeError):
+            BroadcastTree.from_edges(line_platform, 0, [(0, 1), (1, 2)])
+
+    def test_unknown_node_detected(self, line_platform):
+        with pytest.raises(NotASpanningTreeError):
+            BroadcastTree(platform=line_platform, source=0, parents={1: 0, 2: 1, 3: 2, 9: 0})
+
+    def test_cycle_detected(self, line_platform):
+        with pytest.raises(NotASpanningTreeError):
+            BroadcastTree(platform=line_platform, source=0, parents={1: 2, 2: 1, 3: 2})
+
+    def test_missing_platform_edge_detected(self, line_platform):
+        with pytest.raises(TreeError):
+            BroadcastTree(platform=line_platform, source=0, parents={1: 0, 2: 1, 3: 1})
+
+    def test_source_with_parent_rejected(self, line_platform):
+        with pytest.raises(NotASpanningTreeError):
+            BroadcastTree(
+                platform=line_platform, source=0, parents={0: 1, 1: 0, 2: 1, 3: 2}
+            )
+
+    def test_unknown_source_rejected(self, line_platform):
+        with pytest.raises(TreeError):
+            BroadcastTree(platform=line_platform, source=99, parents={})
+
+
+class TestRoutes:
+    def test_default_route_is_direct(self, line_tree):
+        assert line_tree.route(0, 1) == ((0, 1),)
+        assert line_tree.is_direct
+
+    def test_route_of_non_edge_rejected(self, line_tree):
+        with pytest.raises(TreeError):
+            line_tree.route(0, 3)
+
+    def test_from_logical_transfers_routes_missing_edges(self, line_platform):
+        # (0, 3) is not a platform edge: it must be routed along the chain.
+        tree = BroadcastTree.from_logical_transfers(
+            line_platform, 0, [(0, 1), (0, 2), (0, 3)]
+        )
+        assert tree.route(0, 1) == ((0, 1),)
+        assert tree.route(0, 2) == ((0, 1), (1, 2))
+        assert tree.route(0, 3) == ((0, 1), (1, 2), (2, 3))
+        assert not tree.is_direct
+
+    def test_invalid_route_rejected(self, line_platform):
+        with pytest.raises(TreeError):
+            BroadcastTree(
+                platform=line_platform,
+                source=0,
+                parents={1: 0, 2: 1, 3: 2},
+                routes={(0, 1): ((0, 2), (2, 1))},  # not a platform path from 0 to 1
+            )
+
+    def test_non_contiguous_route_rejected(self, line_platform):
+        with pytest.raises(TreeError):
+            BroadcastTree(
+                platform=line_platform,
+                source=0,
+                parents={1: 0, 2: 1, 3: 2},
+                routes={(2, 3): ((2, 1), (2, 3))},
+            )
+
+    def test_physical_multiplicities(self, line_platform):
+        tree = BroadcastTree.from_logical_transfers(
+            line_platform, 0, [(0, 1), (0, 2), (0, 3)]
+        )
+        counts = tree.physical_edge_multiplicities()
+        assert counts[(0, 1)] == 3
+        assert counts[(1, 2)] == 2
+        assert counts[(2, 3)] == 1
+
+
+class TestStructureQueries:
+    def test_depth_and_height(self, line_tree, star_tree):
+        assert line_tree.depth(0) == 0
+        assert line_tree.depth(3) == 3
+        assert line_tree.height == 3
+        assert star_tree.height == 1
+
+    def test_leaves(self, line_tree, star_tree):
+        assert line_tree.leaves() == [3]
+        assert sorted(star_tree.leaves()) == [1, 2, 3, 4]
+
+    def test_bfs_order_starts_at_source(self, line_tree):
+        order = line_tree.bfs_order()
+        assert order[0] == 0
+        assert set(order) == {0, 1, 2, 3}
+        assert len(order) == 4
+
+    def test_subtree_nodes(self, line_tree):
+        assert line_tree.subtree_nodes(2) == {2, 3}
+        assert line_tree.subtree_nodes(0) == {0, 1, 2, 3}
+
+    def test_iteration_and_len(self, line_tree):
+        assert len(line_tree) == 4
+        assert list(line_tree) == line_tree.bfs_order()
+
+    def test_outgoing_and_incoming_transfers(self, line_tree):
+        out = line_tree.outgoing_transfers(1)
+        assert out == [(2, 2.0, 1)]
+        incoming = line_tree.incoming_transfers(1)
+        assert incoming == [(0, 1.0, 1)]
+        assert line_tree.weighted_out_degree(1) == pytest.approx(2.0)
+
+    def test_to_networkx_weights_sum_routes(self, line_platform):
+        tree = BroadcastTree.from_logical_transfers(line_platform, 0, [(0, 1), (1, 2), (1, 3)])
+        graph = tree.to_networkx()
+        assert graph.edges[1, 3]["weight"] == pytest.approx(2.0 + 3.0)
+
+    def test_describe_and_repr(self, line_tree):
+        text = line_tree.describe()
+        assert "chain" in text
+        assert "3" in text
+        assert "BroadcastTree" in repr(line_tree)
+
+    def test_same_structure_as(self, line_platform):
+        a = BroadcastTree.from_edges(line_platform, 0, [(0, 1), (1, 2), (2, 3)])
+        b = BroadcastTree.from_edges(line_platform, 0, [(0, 1), (1, 2), (2, 3)])
+        assert a.same_structure_as(b)
+        c = BroadcastTree.from_logical_transfers(line_platform, 0, [(0, 1), (1, 2), (1, 3)])
+        assert not a.same_structure_as(c)
+
+    def test_unknown_node_queries(self, line_tree):
+        with pytest.raises(TreeError):
+            line_tree.parent(99)
+        with pytest.raises(TreeError):
+            line_tree.children(99)

@@ -1,0 +1,159 @@
+"""Tests for the shared utilities (rng, graph helpers, ascii rendering, metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import geometric_mean, relative_performance, summarize
+from repro.utils.ascii_plot import ascii_chart, format_series_table, format_table
+from repro.utils.graph_utils import (
+    adjacency_from_edges,
+    edge_removal_keeps_spanning,
+    is_spanning_from,
+    reachable_from,
+    sort_edges_by_weight,
+)
+from repro.utils.rng import (
+    as_generator,
+    derive_seed,
+    hash_stable,
+    round_robin_chunks,
+    sample_positive_normal,
+    spawn_generators,
+)
+
+
+class TestRng:
+    def test_as_generator_accepts_all_inputs(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+        assert isinstance(as_generator(42), np.random.Generator)
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+        assert isinstance(as_generator(np.random.SeedSequence(1)), np.random.Generator)
+
+    def test_seeded_generators_reproducible(self):
+        a = as_generator(7).normal(size=5)
+        b = as_generator(7).normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_spawn_generators_independent_and_deterministic(self):
+        first = [g.integers(0, 1000) for g in spawn_generators(3, 4)]
+        second = [g.integers(0, 1000) for g in spawn_generators(3, 4)]
+        assert first == second
+        assert len(set(first)) > 1
+
+    def test_spawn_from_generator(self):
+        children = spawn_generators(np.random.default_rng(0), 2)
+        assert len(children) == 2
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_derive_seed_stable_and_sensitive(self):
+        assert derive_seed(1, "random", 10) == derive_seed(1, "random", 10)
+        assert derive_seed(1, "random", 10) != derive_seed(1, "random", 11)
+        assert derive_seed(1, "random", 10) != derive_seed(2, "random", 10)
+        assert derive_seed(None, "x") == derive_seed(None, "x")
+
+    def test_hash_stable(self):
+        assert hash_stable("tiers") == hash_stable("tiers")
+        assert hash_stable("tiers") != hash_stable("random")
+
+    def test_sample_positive_normal_floors_values(self):
+        rng = as_generator(0)
+        values = sample_positive_normal(rng, mean=1.0, deviation=10.0, size=500)
+        assert np.all(values >= 0.05)
+        scalar = sample_positive_normal(as_generator(1), mean=5.0, deviation=0.0)
+        assert scalar == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            sample_positive_normal(rng, mean=-1.0, deviation=1.0)
+
+    def test_round_robin_chunks(self):
+        groups = round_robin_chunks(range(7), 3)
+        assert groups == [[0, 3, 6], [1, 4], [2, 5]]
+        with pytest.raises(ValueError):
+            round_robin_chunks([1], 0)
+
+
+class TestGraphUtils:
+    @pytest.fixture
+    def adjacency(self):
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3), (3, 0)]
+        return adjacency_from_edges(range(4), edges)
+
+    def test_reachable_from(self, adjacency):
+        assert reachable_from(0, adjacency) == {0, 1, 2, 3}
+        assert reachable_from(1, adjacency) == {0, 1, 2, 3}
+
+    def test_skip_edge(self, adjacency):
+        assert reachable_from(0, adjacency, skip_edge=(0, 1)) == {0, 3}
+
+    def test_is_spanning_from(self, adjacency):
+        assert is_spanning_from(0, range(4), adjacency)
+        partial = {2: {3}, 3: set()}
+        assert not is_spanning_from(2, range(4), partial)
+
+    def test_edge_removal_keeps_spanning(self, adjacency):
+        assert edge_removal_keeps_spanning(0, range(4), adjacency, (0, 3))
+        assert not edge_removal_keeps_spanning(0, range(4), adjacency, (0, 1))
+
+    def test_sort_edges_by_weight_deterministic(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        weights = {(0, 1): 2.0, (1, 2): 2.0, (2, 3): 1.0}
+        descending = sort_edges_by_weight(edges, weights)
+        assert descending[-1] == (2, 3)
+        assert set(descending) == set(edges)
+        ascending = sort_edges_by_weight(edges, weights, descending=False)
+        assert ascending[0] == (2, 3)
+
+
+class TestAsciiRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["long-name", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in text
+        assert lines[0].startswith("name")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series_table(self):
+        text = format_series_table("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        assert "s1" in text and "s2" in text
+        assert "0.400" in text
+
+    def test_ascii_chart_contains_legend_and_bounds(self):
+        chart = ascii_chart([1, 2, 3], {"up": [0.1, 0.5, 0.9], "down": [0.9, 0.5, 0.1]})
+        assert "legend:" in chart
+        assert "up" in chart and "down" in chart
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+
+
+class TestMetrics:
+    def test_summarize(self):
+        stats = summarize([0.5, 0.7, 0.9])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(0.7)
+        assert stats.minimum == 0.5 and stats.maximum == 0.9
+        assert stats.std == pytest.approx(0.1633, abs=1e-3)
+        assert "%" in stats.format()
+        assert "%" not in stats.format(as_percentage=False)
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_relative_performance(self):
+        assert relative_performance(0.5, 1.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            relative_performance(0.5, 0.0)
+        with pytest.raises(ValueError):
+            relative_performance(-0.5, 1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
