@@ -1,0 +1,164 @@
+"""Benchmark of the batched ensemble-evaluation pipeline.
+
+Measures, and records into ``BENCH_pipeline.json`` (repo root by default):
+
+* **ensemble throughput** — wall-clock of a 200-platform random ensemble
+  evaluated serially vs. through the 4-worker :class:`ProcessExecutor`,
+  plus the replay time from a warm on-disk cache; the serial and parallel
+  record streams are verified bit-identical (timing fields excluded).
+* **LP assembly** — the vectorised, compiled-array assembly of the
+  steady-state LP (:func:`build_steady_state_lp`) vs. the per-edge loop
+  reference (:func:`build_steady_state_lp_reference`).
+
+Run it as a script::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--jobs 4]
+        [--platforms 200] [--output BENCH_pipeline.json]
+
+Note: the parallel arm only speeds up wall-clock on multi-core hosts; the
+recorded ``host.cpu_count`` field qualifies every number, so single-core CI
+containers still produce a trackable (if unflattering) data point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as host_platform
+import sys
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro import _version, generate_random_platform
+from repro.experiments import EvaluationPipeline, scaled_parameters
+from repro.lp.formulation import build_steady_state_lp, build_steady_state_lp_reference
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (num_nodes, density) cases for the LP-assembly comparison.
+LP_CASES = {"20-nodes": (20, 0.15), "30-nodes": (30, 0.12), "50-nodes": (50, 0.06)}
+
+
+def ensemble_parameters(num_platforms: int):
+    """A small-node ensemble with exactly ``num_platforms`` random platforms."""
+    grid_points = 4  # 2 node counts x 2 densities
+    per_point, remainder = divmod(num_platforms, grid_points)
+    if per_point < 1 or remainder:
+        raise SystemExit(f"--platforms must be a positive multiple of {grid_points}")
+    return replace(
+        scaled_parameters(1.0),
+        node_counts=(10, 16),
+        densities=(0.15, 0.25),
+        configurations_per_point=per_point,
+        seed=20041146,
+    )
+
+
+def bench_ensemble(num_platforms: int, jobs: int) -> dict:
+    """Serial vs parallel vs cache-replay timings of the random ensemble."""
+    parameters = ensemble_parameters(num_platforms)
+
+    start = time.perf_counter()
+    serial = EvaluationPipeline(jobs=1).evaluate("random", parameters)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = EvaluationPipeline(jobs=jobs).evaluate("random", parameters)
+    parallel_seconds = time.perf_counter() - start
+
+    deterministic = [r.deterministic_payload() for r in serial] == [
+        r.deterministic_payload() for r in parallel
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="bench-pipeline-") as cache_dir:
+        warm = EvaluationPipeline(cache_dir=cache_dir).evaluate("random", parameters)
+        start = time.perf_counter()
+        replayed = EvaluationPipeline(cache_dir=cache_dir).evaluate("random", parameters)
+        replay_seconds = time.perf_counter() - start
+    # The disk roundtrip must be exact, timings included.
+    replay_ok = [r.to_dict() for r in replayed] == [r.to_dict() for r in warm]
+
+    return {
+        "num_platforms": num_platforms,
+        "num_records": len(serial),
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "parallel_speedup": round(serial_seconds / parallel_seconds, 3),
+        "cache_replay_seconds": round(replay_seconds, 4),
+        "cache_replay_speedup": round(serial_seconds / replay_seconds, 1),
+        "serial_parallel_identical": deterministic,
+        "cache_replay_identical": replay_ok,
+    }
+
+
+def bench_lp_assembly(rounds: int = 5) -> dict:
+    """Compiled-array vs per-edge-loop LP assembly, best-of-``rounds``."""
+    results = {}
+    for label, (num_nodes, density) in LP_CASES.items():
+        platform = generate_random_platform(
+            num_nodes=num_nodes, density=density, seed=3
+        )
+        platform.compiled()  # the compiled view is shared state: warm it for both
+        timings = {}
+        for name, builder in (
+            ("compiled", build_steady_state_lp),
+            ("reference", build_steady_state_lp_reference),
+        ):
+            best = min(
+                _timed(builder, platform) for _ in range(rounds)
+            )
+            timings[f"{name}_seconds"] = round(best, 5)
+        timings["speedup"] = round(
+            timings["reference_seconds"] / timings["compiled_seconds"], 2
+        )
+        results[label] = timings
+    return results
+
+
+def _timed(builder, platform) -> float:
+    start = time.perf_counter()
+    builder(platform, 0)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4, help="parallel worker count")
+    parser.add_argument(
+        "--platforms", type=int, default=200, help="random-ensemble size"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_pipeline.json",
+        help="where to write the benchmark record",
+    )
+    args = parser.parse_args(argv)
+
+    import os
+
+    record = {
+        "benchmark": "pipeline",
+        "version": _version.__version__,
+        "created_unix": round(time.time(), 1),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "machine": host_platform.machine(),
+        },
+        "ensemble": bench_ensemble(args.platforms, args.jobs),
+        "lp_assembly": bench_lp_assembly(),
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(record, indent=2))
+    if not record["ensemble"]["serial_parallel_identical"]:
+        print("ERROR: serial and parallel record streams differ", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,9 +77,11 @@ from .lp import (
 from .models import MultiPortModel, OnePortModel, PortModel, PortModelKind, get_port_model
 from .platform import (
     AffineCost,
+    CompiledPlatform,
     Link,
     LinkCostModel,
     Platform,
+    compile_platform,
     PlatformBuilder,
     ProcessorNode,
     RandomPlatformConfig,
@@ -156,6 +158,8 @@ __all__ = [
     "get_port_model",
     # platform
     "AffineCost",
+    "CompiledPlatform",
+    "compile_platform",
     "Link",
     "LinkCostModel",
     "Platform",

@@ -80,13 +80,14 @@ def fill_time(
     """
     port_model = get_port_model(model)
     platform = tree.platform
+    hop_times = platform.compiled(size).edge_weight_map
     arrival: dict[NodeName, float] = {tree.source: 0.0}
 
     def deliver(sender: NodeName, ready: float, child: NodeName, start: float) -> float:
         """Propagate the first slice along the route ``sender -> child``."""
         time = start
-        for a, b in tree.route(sender, child):
-            time += platform.transfer_time(a, b, size)
+        for hop in tree.route(sender, child):
+            time += hop_times[hop]
         return time
 
     for node in tree.bfs_order():
@@ -96,7 +97,7 @@ def fill_time(
             route = tree.route(node, child)
             first_hop = route[0]
             if isinstance(port_model, OnePortModel):
-                busy = platform.transfer_time(*first_hop, size)
+                busy = hop_times[first_hop]
             else:
                 busy = port_model.sender_busy_time(platform, *first_hop, size)
             start = port_free
@@ -136,6 +137,7 @@ def pipelined_makespan(
         raise TreeError(f"num_slices must be >= 1, got {num_slices}")
     port_model = get_port_model(model)
     platform = tree.platform
+    hop_times = platform.compiled(size).edge_weight_map
     one_port = isinstance(port_model, OnePortModel)
 
     # arrival[node][k] = time at which slice k is fully received by node.
@@ -155,7 +157,7 @@ def pipelined_makespan(
                 route = tree.route(node, child)
                 # First hop occupies this node's send port.
                 first_hop = route[0]
-                hop_time = platform.transfer_time(*first_hop, size)
+                hop_time = hop_times[first_hop]
                 busy = hop_time if one_port else port_model.sender_busy_time(
                     platform, *first_hop, size
                 )
@@ -164,7 +166,7 @@ def pipelined_makespan(
                 available = start + hop_time
                 # Remaining hops: store-and-forward through relay nodes.
                 for a, b in route[1:]:
-                    hop_time = platform.transfer_time(a, b, size)
+                    hop_time = hop_times[(a, b)]
                     busy = hop_time if one_port else port_model.sender_busy_time(
                         platform, a, b, size
                     )

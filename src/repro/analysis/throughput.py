@@ -77,12 +77,11 @@ def node_periods(
 ) -> dict[NodeName, float]:
     """Steady-state period of every node of ``tree`` under ``model``."""
     port_model = get_port_model(model)
+    outgoing, incoming = tree.transfer_tables(size)
     periods: dict[NodeName, float] = {}
     for node in tree.nodes:
-        outgoing = tree.outgoing_transfers(node, size)
-        incoming = tree.incoming_transfers(node, size)
         periods[node] = port_model.node_period(
-            tree.platform, node, outgoing, incoming, size
+            tree.platform, node, outgoing[node], incoming[node], size
         )
     return periods
 

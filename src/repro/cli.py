@@ -143,7 +143,7 @@ _ARTEFACTS = {
 def _cmd_experiment(args: argparse.Namespace) -> int:
     parameters = scaled_parameters(args.scale, seed=args.seed)
     build, check, _kind = _ARTEFACTS[args.artefact]
-    artefact = build(parameters)
+    artefact = build(parameters, jobs=args.jobs, cache_dir=args.cache_dir)
     print(artefact.render())
     result = check(artefact)
     print()
@@ -192,6 +192,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.1, help="ensemble scale (1.0 = full paper setup)"
     )
     experiment.add_argument("--seed", type=int, default=None, help="override the ensemble seed")
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the ensemble evaluation (1 = serial)",
+    )
+    experiment.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk ensemble result cache",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     return parser

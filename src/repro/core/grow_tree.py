@@ -65,9 +65,8 @@ class GrowingMinimumOutDegreeTree(TreeHeuristic):
     ) -> BroadcastTree:
         if kwargs:
             raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
-        weights: dict[Edge, float] = {
-            (u, v): model.edge_weight(platform, u, v, size) for u, v in platform.edges
-        }
+        weights: dict[Edge, float] = model.edge_weight_map(platform, size)
+        out_edges_of = platform.compiled(size).out_edges_by_node
         # cost of each candidate edge; kept in sync as the tree grows.
         cost: dict[Edge, float] = dict(weights)
 
@@ -89,8 +88,8 @@ class GrowingMinimumOutDegreeTree(TreeHeuristic):
             # Adding (u, v) increases u's weighted out-degree; reflect that in
             # the cost of u's other candidate edges.
             increase = cost[best_edge] if self.literal_cost_update else weights[best_edge]
-            for edge in cost:
-                if edge[0] == u and edge != best_edge and edge not in tree_edges:
+            for edge in out_edges_of[u]:
+                if edge != best_edge and edge not in tree_edges:
                     cost[edge] += increase
 
         return BroadcastTree.from_edges(platform, source, tree_edges, name=self.name)

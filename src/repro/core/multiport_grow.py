@@ -56,14 +56,8 @@ class MultiPortGrowingTree(TreeHeuristic):
             # the platform to evaluate the node periods.
             model = MultiPortModel()
 
-        weights: dict[Edge, float] = {
-            (u, v): model.edge_weight(platform, u, v, size) for u, v in platform.edges
-        }
-        send_time: dict[NodeName, float] = {
-            node: model.node_send_time(platform, node, size)
-            for node in platform.nodes
-            if platform.out_degree(node) > 0
-        }
+        weights: dict[Edge, float] = model.edge_weight_map(platform, size)
+        send_time: dict[NodeName, float] = model.node_send_times(platform, size)
 
         in_tree: set[NodeName] = {source}
         children: dict[NodeName, list[NodeName]] = {node: [] for node in platform.nodes}

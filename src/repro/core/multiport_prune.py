@@ -54,19 +54,14 @@ class MultiPortRefinedPruning(TreeHeuristic):
 
         nodes = platform.nodes
         target_edges = len(nodes) - 1
-        weights: dict[Edge, float] = {
-            (u, v): model.edge_weight(platform, u, v, size) for u, v in platform.edges
-        }
-        send_time: dict[NodeName, float] = {
-            node: model.node_send_time(platform, node, size)
-            for node in nodes
-            if platform.out_degree(node) > 0
-        }
+        weights: dict[Edge, float] = model.edge_weight_map(platform, size)
+        send_time: dict[NodeName, float] = model.node_send_times(platform, size)
+        out_edges_of = platform.compiled(size).out_edges_by_node
         remaining: set[Edge] = set(weights)
         adjacency = adjacency_from_edges(nodes, remaining)
 
         def node_period(node: NodeName) -> float:
-            out_edges = [edge for edge in remaining if edge[0] == node]
+            out_edges = [edge for edge in out_edges_of[node] if edge in remaining]
             if not out_edges:
                 return 0.0
             return max(
@@ -78,7 +73,7 @@ class MultiPortRefinedPruning(TreeHeuristic):
             removed = False
             for node in sorted(nodes, key=lambda n: (node_period(n), str(n)), reverse=True):
                 out_edges = sorted(
-                    (edge for edge in remaining if edge[0] == node),
+                    (edge for edge in out_edges_of[node] if edge in remaining),
                     key=lambda edge: (weights[edge], str(edge)),
                     reverse=True,
                 )

@@ -49,9 +49,8 @@ class RefinedPlatformPruning(TreeHeuristic):
             raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
         nodes = platform.nodes
         target_edges = len(nodes) - 1
-        weights: dict[Edge, float] = {
-            (u, v): model.edge_weight(platform, u, v, size) for u, v in platform.edges
-        }
+        weights: dict[Edge, float] = model.edge_weight_map(platform, size)
+        out_edges_of = platform.compiled(size).out_edges_by_node
         remaining: set[Edge] = set(weights)
         adjacency = adjacency_from_edges(nodes, remaining)
         out_degree: dict[NodeName, float] = {node: 0.0 for node in nodes}
@@ -60,7 +59,7 @@ class RefinedPlatformPruning(TreeHeuristic):
 
         while len(remaining) > target_edges:
             removed = self._remove_one_edge(
-                source, nodes, remaining, adjacency, weights, out_degree
+                source, nodes, remaining, adjacency, weights, out_degree, out_edges_of
             )
             if removed is None:
                 raise HeuristicError(
@@ -79,6 +78,7 @@ class RefinedPlatformPruning(TreeHeuristic):
         adjacency: dict[NodeName, set[NodeName]],
         weights: dict[Edge, float],
         out_degree: dict[NodeName, float],
+        out_edges_of: dict[NodeName, list[Edge]],
     ) -> Edge | None:
         """One iteration of the outer loop of Algorithm 2.
 
@@ -93,7 +93,7 @@ class RefinedPlatformPruning(TreeHeuristic):
         )
         for node in sorted_nodes:
             out_edges = sorted(
-                (edge for edge in remaining if edge[0] == node),
+                (edge for edge in out_edges_of[node] if edge in remaining),
                 key=lambda edge: (weights[edge], str(edge)),
                 reverse=True,
             )

@@ -50,9 +50,7 @@ class SimplePlatformPruning(TreeHeuristic):
             raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
         nodes = platform.nodes
         target_edges = len(nodes) - 1
-        weights = {
-            (u, v): model.edge_weight(platform, u, v, size) for u, v in platform.edges
-        }
+        weights = model.edge_weight_map(platform, size)
         remaining = set(weights)
         adjacency = adjacency_from_edges(nodes, remaining)
 

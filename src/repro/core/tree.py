@@ -294,6 +294,35 @@ class BroadcastTree:
                 counter[edge] += 1
         return counter
 
+    def transfer_tables(
+        self, size: float | None = None
+    ) -> tuple[
+        dict[NodeName, list[tuple[NodeName, float, int]]],
+        dict[NodeName, list[tuple[NodeName, float, int]]],
+    ]:
+        """Outgoing and incoming transfer lists of *every* node in one pass.
+
+        Equivalent to calling :meth:`outgoing_transfers` /
+        :meth:`incoming_transfers` for each node (same entries, same order)
+        but computes the edge multiplicities once and reads the transfer
+        times from the platform's compiled arrays; the throughput analysis
+        uses this on the hot ensemble-evaluation path.
+        """
+        times = self.platform.compiled(size).edge_weight_map
+        outgoing: dict[NodeName, list[tuple[NodeName, float, int]]] = {
+            node: [] for node in self.nodes
+        }
+        incoming: dict[NodeName, list[tuple[NodeName, float, int]]] = {
+            node: [] for node in self.nodes
+        }
+        for (u, v), count in sorted(
+            self.physical_edge_multiplicities().items(), key=lambda item: str(item[0])
+        ):
+            time = times[(u, v)]
+            outgoing[u].append((v, time, count))
+            incoming[v].append((u, time, count))
+        return outgoing, incoming
+
     def outgoing_transfers(
         self, node: NodeName, size: float | None = None
     ) -> list[tuple[NodeName, float, int]]:

@@ -7,6 +7,17 @@ from .config import (
     scaled_parameters,
 )
 from .figures import FigureData, figure_4a, figure_4b, figure_5
+from .pipeline import (
+    EnsembleTask,
+    EvaluationPipeline,
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    ensemble_cache_key,
+    random_ensemble_tasks,
+    run_ensemble_task,
+    tiers_ensemble_tasks,
+)
 from .reporting import (
     ShapeCheck,
     check_figure4_shape,
@@ -34,6 +45,15 @@ __all__ = [
     "figure_4a",
     "figure_4b",
     "figure_5",
+    "EnsembleTask",
+    "EvaluationPipeline",
+    "ProcessExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "ensemble_cache_key",
+    "random_ensemble_tasks",
+    "run_ensemble_task",
+    "tiers_ensemble_tasks",
     "ShapeCheck",
     "check_figure4_shape",
     "check_figure5_shape",

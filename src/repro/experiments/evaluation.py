@@ -1,0 +1,148 @@
+"""Single-platform evaluation: one LP reference plus every heuristic.
+
+This module holds the *unit of work* of the experiment harness: evaluate
+every paper heuristic on one platform against the steady-state LP optimum
+and produce :class:`EvaluationRecord` rows.  The ensemble machinery — task
+fan-out, executors, caching — lives in :mod:`repro.experiments.pipeline`;
+keeping the unit of work separate lets worker processes import it without
+dragging the whole pipeline along.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..analysis.throughput import tree_throughput
+from ..core.registry import (
+    PAPER_MULTI_PORT_HEURISTICS,
+    PAPER_ONE_PORT_HEURISTICS,
+    get_heuristic,
+)
+from ..lp.solver import solve_steady_state_lp
+from ..models.port_models import MultiPortModel, OnePortModel
+from ..platform.graph import Platform
+
+__all__ = ["EvaluationRecord", "PlatformEvaluation", "evaluate_platform"]
+
+NodeName = Any
+
+#: Record fields that measure wall-clock time: they vary run to run and are
+#: excluded from determinism comparisons (serial vs parallel, cache replay).
+TIMING_FIELDS = ("build_seconds", "lp_seconds")
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """Relative performance of one heuristic on one platform instance."""
+
+    generator: str
+    platform_name: str
+    num_nodes: int
+    density: float
+    instance_index: int
+    heuristic: str
+    model: str
+    throughput: float
+    optimal_throughput: float
+    relative_performance: float
+    build_seconds: float
+    lp_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON friendly), used by the on-disk cache."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(**{name: data[name] for name in cls.__dataclass_fields__})
+
+    def deterministic_payload(self) -> dict[str, Any]:
+        """Record content minus the timing fields.
+
+        Two runs of the same experiment at the same seed — serial or
+        parallel, fresh or replayed from cache — must agree exactly on this
+        payload.
+        """
+        payload = asdict(self)
+        for name in TIMING_FIELDS:
+            payload.pop(name)
+        return payload
+
+
+@dataclass
+class PlatformEvaluation:
+    """All records of one platform plus the LP reference."""
+
+    platform: Platform
+    source: NodeName
+    optimal_throughput: float
+    records: list[EvaluationRecord] = field(default_factory=list)
+
+
+def evaluate_platform(
+    platform: Platform,
+    source: NodeName,
+    *,
+    generator: str = "custom",
+    instance_index: int = 0,
+    one_port_heuristics: Sequence[str] = PAPER_ONE_PORT_HEURISTICS,
+    multi_port_heuristics: Sequence[str] = PAPER_MULTI_PORT_HEURISTICS,
+    send_fraction: float = 0.8,
+    include_multi_port: bool = True,
+) -> PlatformEvaluation:
+    """Evaluate every heuristic on one platform.
+
+    The steady-state LP is solved exactly once; its throughput is the
+    reference for every relative-performance number and its edge weights are
+    reused by the LP-based heuristics (for both models, like in the paper:
+    the reference optimum is always the one-port LP).
+    """
+    lp_start = time.perf_counter()
+    lp_solution = solve_steady_state_lp(platform, source)
+    lp_seconds = time.perf_counter() - lp_start
+    optimal = lp_solution.throughput
+
+    evaluation = PlatformEvaluation(
+        platform=platform, source=source, optimal_throughput=optimal
+    )
+
+    model_plans: list[tuple[str, Any, Sequence[str]]] = [
+        ("one-port", OnePortModel(), one_port_heuristics)
+    ]
+    if include_multi_port:
+        model_plans.append(
+            ("multi-port", MultiPortModel(send_fraction=send_fraction), multi_port_heuristics)
+        )
+
+    for model_name, model, heuristic_names in model_plans:
+        for name in heuristic_names:
+            heuristic = get_heuristic(name)
+            kwargs: dict[str, Any] = {}
+            if name.startswith("lp-"):
+                kwargs["lp_solution"] = lp_solution
+            build_start = time.perf_counter()
+            tree = heuristic.build(
+                platform, source, model=model, strict_model=False, **kwargs
+            )
+            build_seconds = time.perf_counter() - build_start
+            throughput = tree_throughput(tree, model).throughput
+            evaluation.records.append(
+                EvaluationRecord(
+                    generator=generator,
+                    platform_name=platform.name,
+                    num_nodes=platform.num_nodes,
+                    density=platform.density,
+                    instance_index=instance_index,
+                    heuristic=name,
+                    model=model_name,
+                    throughput=throughput,
+                    optimal_throughput=optimal,
+                    relative_performance=throughput / optimal,
+                    build_seconds=build_seconds,
+                    lp_seconds=lp_seconds,
+                )
+            )
+    return evaluation

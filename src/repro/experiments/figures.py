@@ -128,11 +128,15 @@ def figure_4a(
     records: Iterable[EvaluationRecord] | None = None,
     *,
     progress: bool = False,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> FigureData:
     """Figure 4(a): one-port relative performance vs number of nodes."""
     parameters = parameters or PaperParameters()
     if records is None:
-        records = random_ensemble_records(parameters, progress=progress)
+        records = random_ensemble_records(
+            parameters, progress=progress, jobs=jobs, cache_dir=cache_dir
+        )
     return _aggregate(
         records,
         figure_id="4a",
@@ -152,11 +156,15 @@ def figure_4b(
     records: Iterable[EvaluationRecord] | None = None,
     *,
     progress: bool = False,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> FigureData:
     """Figure 4(b): one-port relative performance vs platform density."""
     parameters = parameters or PaperParameters()
     if records is None:
-        records = random_ensemble_records(parameters, progress=progress)
+        records = random_ensemble_records(
+            parameters, progress=progress, jobs=jobs, cache_dir=cache_dir
+        )
     # Group by the *requested* density bucket rather than the achieved
     # density (which varies slightly per instance): round to the grid.
     bucketed: list[EvaluationRecord] = []
@@ -190,6 +198,8 @@ def figure_5(
     records: Iterable[EvaluationRecord] | None = None,
     *,
     progress: bool = False,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> FigureData:
     """Figure 5: multi-port relative performance vs number of nodes.
 
@@ -199,7 +209,9 @@ def figure_5(
     """
     parameters = parameters or PaperParameters()
     if records is None:
-        records = random_ensemble_records(parameters, progress=progress)
+        records = random_ensemble_records(
+            parameters, progress=progress, jobs=jobs, cache_dir=cache_dir
+        )
     return _aggregate(
         records,
         figure_id="5",

@@ -1,0 +1,419 @@
+"""Batched, parallel, cached evaluation of platform ensembles.
+
+The paper's headline artefacts (Figures 4a/4b/5, Table 3) all reduce to the
+same shape of computation: *generate N platforms deterministically, evaluate
+every heuristic on each, aggregate the records*.  This module turns that
+shape into an explicit pipeline:
+
+1. **Tasks** — :func:`random_ensemble_tasks` / :func:`tiers_ensemble_tasks`
+   expand a :class:`~repro.experiments.config.PaperParameters` into a flat
+   list of self-contained :class:`EnsembleTask` descriptions.  Each task
+   carries its own seed (derived with
+   :func:`repro.utils.rng.derive_seed`), so evaluation order — and therefore
+   parallelism — cannot change the results.
+2. **Executors** — :class:`SerialExecutor` runs tasks in-process;
+   :class:`ProcessExecutor` fans them out over a
+   :class:`concurrent.futures.ProcessPoolExecutor`.  Both preserve task
+   order, so the record stream is identical whichever executor runs it.
+3. **Cache** — :class:`ResultCache` is a two-level (in-memory + optional
+   on-disk JSON) store keyed by a stable hash of the experiment parameters
+   *and the library version*; changing any parameter field or upgrading the
+   library is a cache miss, and corrupted disk entries are silently
+   recomputed.
+
+:class:`EvaluationPipeline` glues the three together and is what the
+runner, the CLI (``--jobs`` / ``--cache-dir``) and the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Protocol, Sequence
+
+from .. import _version
+from ..exceptions import ExperimentError
+from ..platform.generators.random_graph import generate_random_platform
+from ..platform.generators.tiers import generate_tiers_platform
+from ..utils.rng import derive_seed
+from .config import PaperParameters
+from .evaluation import EvaluationRecord, evaluate_platform
+
+__all__ = [
+    "EnsembleTask",
+    "run_ensemble_task",
+    "random_ensemble_tasks",
+    "tiers_ensemble_tasks",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "ResultCache",
+    "EvaluationPipeline",
+    "ensemble_cache_key",
+]
+
+NodeName = Any
+
+
+# --------------------------------------------------------------------------- #
+# Tasks
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EnsembleTask:
+    """One self-contained platform evaluation (picklable, order-free).
+
+    The task embeds everything a worker needs: the generator kind and its
+    parameters, the derived per-instance seed, and the evaluation options.
+    Two tasks built from the same parameters are equal, whatever process
+    builds them.
+    """
+
+    kind: str  # "random" | "tiers"
+    instance_index: int
+    seed: int
+    source: NodeName
+    send_fraction: float
+    include_multi_port: bool
+    num_nodes: int = 0
+    density: float = 0.0
+    rate_mean: float = 0.0
+    rate_deviation: float = 0.0
+    slice_size_mb: float = 0.0
+    tiers_size: int = 0
+
+
+def random_ensemble_tasks(
+    parameters: PaperParameters, *, include_multi_port: bool = True
+) -> list[EnsembleTask]:
+    """Tasks of the random-platform ensemble of Figures 4 and 5."""
+    tasks: list[EnsembleTask] = []
+    for num_nodes in parameters.node_counts:
+        for density in parameters.densities:
+            for instance in range(parameters.configurations_per_point):
+                tasks.append(
+                    EnsembleTask(
+                        kind="random",
+                        instance_index=instance,
+                        seed=derive_seed(
+                            parameters.seed,
+                            "random",
+                            num_nodes,
+                            int(density * 1000),
+                            instance,
+                        ),
+                        source=parameters.source,
+                        send_fraction=parameters.send_fraction,
+                        include_multi_port=include_multi_port,
+                        num_nodes=num_nodes,
+                        density=density,
+                        rate_mean=parameters.rate_mean,
+                        rate_deviation=parameters.rate_deviation,
+                        slice_size_mb=parameters.slice_size_mb,
+                    )
+                )
+    return tasks
+
+
+def tiers_ensemble_tasks(parameters: PaperParameters) -> list[EnsembleTask]:
+    """Tasks of the Tiers-like ensembles of Table 3 (one-port only)."""
+    tasks: list[EnsembleTask] = []
+    for size in parameters.tiers_sizes:
+        for instance in range(parameters.tiers_platforms_per_size):
+            tasks.append(
+                EnsembleTask(
+                    kind="tiers",
+                    instance_index=instance,
+                    seed=derive_seed(parameters.seed, "tiers", size, instance),
+                    source=parameters.source,
+                    send_fraction=parameters.send_fraction,
+                    include_multi_port=False,
+                    tiers_size=size,
+                )
+            )
+    return tasks
+
+
+def run_ensemble_task(task: EnsembleTask) -> list[EvaluationRecord]:
+    """Evaluate one task; module-level so process pools can pickle it."""
+    if task.kind == "random":
+        platform = generate_random_platform(
+            num_nodes=task.num_nodes,
+            density=task.density,
+            rate_mean=task.rate_mean,
+            rate_deviation=task.rate_deviation,
+            slice_size_mb=task.slice_size_mb,
+            send_fraction=task.send_fraction,
+            seed=task.seed,
+        )
+    elif task.kind == "tiers":
+        platform = generate_tiers_platform(task.tiers_size, seed=task.seed)
+    else:
+        raise ExperimentError(f"unknown ensemble task kind {task.kind!r}")
+    evaluation = evaluate_platform(
+        platform,
+        task.source,
+        generator=task.kind,
+        instance_index=task.instance_index,
+        send_fraction=task.send_fraction,
+        include_multi_port=task.include_multi_port,
+    )
+    return evaluation.records
+
+
+# --------------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------------- #
+class TaskExecutor(Protocol):
+    """Order-preserving, lazily-consumable map over a task list."""
+
+    jobs: int
+
+    def map(
+        self,
+        function: Callable[[EnsembleTask], list[EvaluationRecord]],
+        tasks: Sequence[EnsembleTask],
+    ) -> Iterable[list[EvaluationRecord]]: ...
+
+
+class SerialExecutor:
+    """Evaluate tasks one after the other in the calling process."""
+
+    jobs = 1
+
+    def map(
+        self,
+        function: Callable[[EnsembleTask], list[EvaluationRecord]],
+        tasks: Sequence[EnsembleTask],
+    ) -> Iterator[list[EvaluationRecord]]:
+        # Lazy so the pipeline can report progress as tasks complete.
+        return (function(task) for task in tasks)
+
+
+class ProcessExecutor:
+    """Fan tasks out over a process pool, preserving task order."""
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def map(
+        self,
+        function: Callable[[EnsembleTask], list[EvaluationRecord]],
+        tasks: Sequence[EnsembleTask],
+    ) -> Iterator[list[EvaluationRecord]]:
+        if not tasks:
+            return iter(())
+        # Modest chunks amortise pickling without starving short queues.
+        chunksize = max(1, len(tasks) // (self.jobs * 8))
+
+        def stream() -> Iterator[list[EvaluationRecord]]:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                yield from pool.map(function, tasks, chunksize=chunksize)
+
+        return stream()
+
+
+# --------------------------------------------------------------------------- #
+# Cache
+# --------------------------------------------------------------------------- #
+def ensemble_cache_key(
+    kind: str, parameters: PaperParameters, *, include_multi_port: bool = True
+) -> str:
+    """Stable cache key over *every* parameter field and the library version.
+
+    Any change to a :class:`PaperParameters` field, to the ensemble kind or
+    multi-port inclusion, or to ``repro.__version__`` yields a different
+    key, so stale results can never be replayed.
+    """
+    payload = {
+        "kind": kind,
+        "include_multi_port": include_multi_port,
+        "version": _version.__version__,
+        "parameters": {
+            f.name: getattr(parameters, f.name) for f in fields(parameters)
+        },
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Two-level record cache: in-memory dict plus optional on-disk JSON.
+
+    The memory level returns the *same list object* for repeated lookups in
+    one process (the three artefacts built from one ensemble share it); the
+    disk level survives across processes.  Disk entries embed their key and
+    the record rows; anything unreadable — truncated JSON, missing fields,
+    a key mismatch after a version bump — is treated as a miss.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike[str] | None = None,
+        *,
+        memory: dict[str, list[EvaluationRecord]] | None = None,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None and self.cache_dir.exists() and not self.cache_dir.is_dir():
+            raise ExperimentError(
+                f"cache_dir {str(self.cache_dir)!r} exists and is not a directory"
+            )
+        self._memory: dict[str, list[EvaluationRecord]] = (
+            memory if memory is not None else {}
+        )
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"ensemble-{key}.json"
+
+    def get(self, key: str) -> list[EvaluationRecord] | None:
+        """Cached records for ``key``, or ``None`` on a miss.
+
+        A memory hit still writes through to an absent disk entry, so a
+        caller that adds ``cache_dir`` after the ensemble was computed
+        in-process gets its records persisted rather than silently dropped.
+        """
+        if key in self._memory:
+            records = self._memory[key]
+            if self.cache_dir is not None and not self._path(key).exists():
+                self._write_disk(key, records)
+            return records
+        if self.cache_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload["key"] != key:
+                return None
+            records = [EvaluationRecord.from_dict(row) for row in payload["records"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing or corrupted entry: recompute rather than crash.
+            return None
+        self._memory[key] = records
+        return records
+
+    def put(self, key: str, records: list[EvaluationRecord]) -> None:
+        """Store ``records`` in memory and (atomically) on disk."""
+        self._memory[key] = records
+        if self.cache_dir is not None:
+            self._write_disk(key, records)
+
+    def _write_disk(self, key: str, records: list[EvaluationRecord]) -> None:
+        assert self.cache_dir is not None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "version": _version.__version__,
+            "records": [record.to_dict() for record in records],
+        }
+        # Unique temp name per writer: concurrent processes computing the
+        # same key must not trample each other's rename source.
+        descriptor, temporary = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=f"ensemble-{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload))
+            os.replace(temporary, self._path(key))
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temporary)
+            raise
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory level (disk entries are kept)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+# --------------------------------------------------------------------------- #
+# Pipeline
+# --------------------------------------------------------------------------- #
+class EvaluationPipeline:
+    """Cached, executor-pluggable evaluation of platform ensembles.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes; 1 (the default) evaluates in-process.
+    cache_dir:
+        Optional directory for the on-disk result cache.
+    cache:
+        Pre-built :class:`ResultCache` (overrides ``cache_dir``); used by
+        the runner to share one in-memory cache across pipelines.
+    executor:
+        Explicit executor instance (overrides ``jobs``).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike[str] | None = None,
+        cache: ResultCache | None = None,
+        executor: TaskExecutor | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if executor is None:
+            executor = SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
+        self.executor = executor
+        self.cache = cache if cache is not None else ResultCache(cache_dir)
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        kind: str,
+        parameters: PaperParameters,
+        *,
+        include_multi_port: bool = True,
+        progress: bool = False,
+    ) -> list[EvaluationRecord]:
+        """Evaluate the ``kind`` ensemble ("random" or "tiers") of ``parameters``.
+
+        Returns the cached record list when the exact same experiment (all
+        parameter fields, same library version) was evaluated before.
+        """
+        if kind == "random":
+            tasks = random_ensemble_tasks(
+                parameters, include_multi_port=include_multi_port
+            )
+        elif kind == "tiers":
+            # Tiers ensembles are one-port only; normalise the flag so it
+            # cannot split identical computations over two cache keys.
+            include_multi_port = False
+            tasks = tiers_ensemble_tasks(parameters)
+        else:
+            raise ExperimentError(f"unknown ensemble kind {kind!r}")
+
+        key = ensemble_cache_key(
+            kind, parameters, include_multi_port=include_multi_port
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+
+        records: list[EvaluationRecord] = []
+        for task, task_records in zip(tasks, self.executor.map(run_ensemble_task, tasks)):
+            records.extend(task_records)
+            if progress and task_records:
+                label = (
+                    f"n={task.num_nodes} d={task.density:.2f}"
+                    if task.kind == "random"
+                    else f"size={task.tiers_size}"
+                )
+                print(
+                    f"[{task.kind}] {label} #{task.instance_index}: "
+                    f"optimum={task_records[0].optimal_throughput:.4f}"
+                )
+        self.cache.put(key, records)
+        return records

@@ -13,31 +13,24 @@ The experiment harness mirrors Section 5 of the paper:
 
 The records produced here are aggregated by :mod:`repro.experiments.figures`
 and :mod:`repro.experiments.tables` into the paper's Figures 4(a), 4(b), 5
-and Table 3.  Because the same random ensemble feeds three different
-artefacts, the module keeps a process-wide cache of evaluated ensembles
-keyed by the experiment parameters.
+and Table 3.  The heavy lifting is delegated to
+:class:`~repro.experiments.pipeline.EvaluationPipeline`: the same random
+ensemble feeds three different artefacts, so evaluations are shared through
+a process-wide in-memory cache, optionally persisted on disk
+(``cache_dir``) and fanned out over worker processes (``jobs``).  Per-task
+seeds are derived deterministically, so serial and parallel runs produce
+identical records.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+import os
+from typing import Iterable
 
-from ..analysis.throughput import tree_throughput
-from ..core.registry import (
-    PAPER_MULTI_PORT_HEURISTICS,
-    PAPER_ONE_PORT_HEURISTICS,
-    get_heuristic,
-)
 from ..exceptions import ExperimentError
-from ..lp.solver import solve_steady_state_lp
-from ..models.port_models import MultiPortModel, OnePortModel
-from ..platform.generators.random_graph import generate_random_platform
-from ..platform.generators.tiers import generate_tiers_platform
-from ..platform.graph import Platform
-from ..utils.rng import derive_seed
 from .config import PaperParameters
+from .evaluation import EvaluationRecord, PlatformEvaluation, evaluate_platform
+from .pipeline import EvaluationPipeline, ResultCache
 
 __all__ = [
     "EvaluationRecord",
@@ -49,119 +42,22 @@ __all__ = [
     "filter_records",
 ]
 
-NodeName = Any
+#: Process-wide in-memory record store shared by every pipeline the runner
+#: builds, so Figure 4(a), Figure 4(b) and Figure 5 pay for their common
+#: ensemble once per process whatever ``jobs`` / ``cache_dir`` they pass.
+_SHARED_MEMORY: dict[str, list[EvaluationRecord]] = {}
 
 
-@dataclass(frozen=True)
-class EvaluationRecord:
-    """Relative performance of one heuristic on one platform instance."""
-
-    generator: str
-    platform_name: str
-    num_nodes: int
-    density: float
-    instance_index: int
-    heuristic: str
-    model: str
-    throughput: float
-    optimal_throughput: float
-    relative_performance: float
-    build_seconds: float
-    lp_seconds: float
-
-
-@dataclass
-class PlatformEvaluation:
-    """All records of one platform plus the LP reference."""
-
-    platform: Platform
-    source: NodeName
-    optimal_throughput: float
-    records: list[EvaluationRecord] = field(default_factory=list)
-
-
-# --------------------------------------------------------------------------- #
-# Single-platform evaluation
-# --------------------------------------------------------------------------- #
-def evaluate_platform(
-    platform: Platform,
-    source: NodeName,
-    *,
-    generator: str = "custom",
-    instance_index: int = 0,
-    one_port_heuristics: Sequence[str] = PAPER_ONE_PORT_HEURISTICS,
-    multi_port_heuristics: Sequence[str] = PAPER_MULTI_PORT_HEURISTICS,
-    send_fraction: float = 0.8,
-    include_multi_port: bool = True,
-) -> PlatformEvaluation:
-    """Evaluate every heuristic on one platform.
-
-    The steady-state LP is solved exactly once; its throughput is the
-    reference for every relative-performance number and its edge weights are
-    reused by the LP-based heuristics (for both models, like in the paper:
-    the reference optimum is always the one-port LP).
-    """
-    lp_start = time.perf_counter()
-    lp_solution = solve_steady_state_lp(platform, source)
-    lp_seconds = time.perf_counter() - lp_start
-    optimal = lp_solution.throughput
-
-    evaluation = PlatformEvaluation(
-        platform=platform, source=source, optimal_throughput=optimal
-    )
-
-    model_plans: list[tuple[str, Any, Sequence[str]]] = [
-        ("one-port", OnePortModel(), one_port_heuristics)
-    ]
-    if include_multi_port:
-        model_plans.append(
-            ("multi-port", MultiPortModel(send_fraction=send_fraction), multi_port_heuristics)
-        )
-
-    for model_name, model, heuristic_names in model_plans:
-        for name in heuristic_names:
-            heuristic = get_heuristic(name)
-            kwargs: dict[str, Any] = {}
-            if name.startswith("lp-"):
-                kwargs["lp_solution"] = lp_solution
-            build_start = time.perf_counter()
-            tree = heuristic.build(
-                platform, source, model=model, strict_model=False, **kwargs
-            )
-            build_seconds = time.perf_counter() - build_start
-            throughput = tree_throughput(tree, model).throughput
-            evaluation.records.append(
-                EvaluationRecord(
-                    generator=generator,
-                    platform_name=platform.name,
-                    num_nodes=platform.num_nodes,
-                    density=platform.density,
-                    instance_index=instance_index,
-                    heuristic=name,
-                    model=model_name,
-                    throughput=throughput,
-                    optimal_throughput=optimal,
-                    relative_performance=throughput / optimal,
-                    build_seconds=build_seconds,
-                    lp_seconds=lp_seconds,
-                )
-            )
-    return evaluation
-
-
-# --------------------------------------------------------------------------- #
-# Ensembles
-# --------------------------------------------------------------------------- #
-_ENSEMBLE_CACHE: dict[tuple[str, str], list[EvaluationRecord]] = {}
-
-
-def _cache_key(kind: str, parameters: PaperParameters) -> tuple[str, str]:
-    return (kind, parameters.describe())
+def _pipeline(
+    jobs: int, cache_dir: str | os.PathLike[str] | None
+) -> EvaluationPipeline:
+    cache = ResultCache(cache_dir, memory=_SHARED_MEMORY)
+    return EvaluationPipeline(jobs=jobs, cache=cache)
 
 
 def clear_ensemble_cache() -> None:
-    """Drop every cached ensemble evaluation (mostly useful in tests)."""
-    _ENSEMBLE_CACHE.clear()
+    """Drop every in-memory ensemble evaluation (mostly useful in tests)."""
+    _SHARED_MEMORY.clear()
 
 
 def random_ensemble_records(
@@ -169,82 +65,36 @@ def random_ensemble_records(
     *,
     include_multi_port: bool = True,
     progress: bool = False,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike[str] | None = None,
 ) -> list[EvaluationRecord]:
     """Evaluate the full random-platform ensemble of Figures 4 and 5.
 
     Results are cached per parameter set so that the three artefacts built
     from the same ensemble (Figure 4(a), Figure 4(b) and Figure 5) only pay
-    for the LP solves once per process.
+    for the LP solves once per process.  ``jobs`` fans the evaluation out
+    over worker processes; ``cache_dir`` additionally persists the records
+    on disk, keyed by the full parameter set and the library version.
     """
-    key = _cache_key("random" + ("+mp" if include_multi_port else ""), parameters)
-    if key in _ENSEMBLE_CACHE:
-        return _ENSEMBLE_CACHE[key]
-
-    records: list[EvaluationRecord] = []
-    for num_nodes in parameters.node_counts:
-        for density in parameters.densities:
-            for instance in range(parameters.configurations_per_point):
-                seed = derive_seed(
-                    parameters.seed, "random", num_nodes, int(density * 1000), instance
-                )
-                platform = generate_random_platform(
-                    num_nodes=num_nodes,
-                    density=density,
-                    rate_mean=parameters.rate_mean,
-                    rate_deviation=parameters.rate_deviation,
-                    slice_size_mb=parameters.slice_size_mb,
-                    send_fraction=parameters.send_fraction,
-                    seed=seed,
-                )
-                evaluation = evaluate_platform(
-                    platform,
-                    parameters.source,
-                    generator="random",
-                    instance_index=instance,
-                    send_fraction=parameters.send_fraction,
-                    include_multi_port=include_multi_port,
-                )
-                records.extend(evaluation.records)
-                if progress:
-                    print(
-                        f"[random] n={num_nodes} d={density:.2f} #{instance}: "
-                        f"optimum={evaluation.optimal_throughput:.4f}"
-                    )
-    _ENSEMBLE_CACHE[key] = records
-    return records
+    return _pipeline(jobs, cache_dir).evaluate(
+        "random",
+        parameters,
+        include_multi_port=include_multi_port,
+        progress=progress,
+    )
 
 
 def tiers_ensemble_records(
     parameters: PaperParameters,
     *,
     progress: bool = False,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike[str] | None = None,
 ) -> list[EvaluationRecord]:
     """Evaluate the Tiers-like ensembles of Table 3 (one-port model only)."""
-    key = _cache_key("tiers", parameters)
-    if key in _ENSEMBLE_CACHE:
-        return _ENSEMBLE_CACHE[key]
-
-    records: list[EvaluationRecord] = []
-    for size in parameters.tiers_sizes:
-        for instance in range(parameters.tiers_platforms_per_size):
-            seed = derive_seed(parameters.seed, "tiers", size, instance)
-            platform = generate_tiers_platform(size, seed=seed)
-            evaluation = evaluate_platform(
-                platform,
-                parameters.source,
-                generator="tiers",
-                instance_index=instance,
-                send_fraction=parameters.send_fraction,
-                include_multi_port=False,
-            )
-            records.extend(evaluation.records)
-            if progress:
-                print(
-                    f"[tiers] size={size} #{instance}: "
-                    f"optimum={evaluation.optimal_throughput:.4f}"
-                )
-    _ENSEMBLE_CACHE[key] = records
-    return records
+    return _pipeline(jobs, cache_dir).evaluate(
+        "tiers", parameters, progress=progress
+    )
 
 
 def filter_records(

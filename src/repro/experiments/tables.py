@@ -62,11 +62,15 @@ def table_3(
     *,
     heuristics: Sequence[str] = PAPER_ONE_PORT_HEURISTICS,
     progress: bool = False,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> TableData:
     """Table 3: one-port heuristics on Tiers-like platforms (30 / 65 nodes)."""
     parameters = parameters or PaperParameters()
     if records is None:
-        records = tiers_ensemble_records(parameters, progress=progress)
+        records = tiers_ensemble_records(
+            parameters, progress=progress, jobs=jobs, cache_dir=cache_dir
+        )
     selected = [
         r for r in records
         if r.generator == "tiers" and r.model == "one-port" and r.heuristic in set(heuristics)

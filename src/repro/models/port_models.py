@@ -61,6 +61,21 @@ class PortModel(ABC):
         """The edge weight ``T_{u,v}`` used by the tree heuristics."""
         return platform.transfer_time(source, target, size)
 
+    def edge_weight_map(
+        self, platform: Platform, size: float | None = None
+    ) -> dict[tuple[NodeName, NodeName], float]:
+        """``{edge: edge_weight}`` over all platform edges, insertion order.
+
+        Served in one shot from the platform's compiled arrays when the
+        model uses the plain transfer time (the default); models overriding
+        :meth:`edge_weight` transparently fall back to the per-edge loop.
+        """
+        if type(self).edge_weight is PortModel.edge_weight:
+            return dict(platform.compiled(size).edge_weight_map)
+        return {
+            (u, v): self.edge_weight(platform, u, v, size) for u, v in platform.edges
+        }
+
     @abstractmethod
     def sender_busy_time(
         self, platform: Platform, source: NodeName, target: NodeName, size: float | None = None
@@ -187,6 +202,31 @@ class MultiPortModel(PortModel):
         if platform.out_degree(node) == 0:
             return 0.0
         return self.send_fraction * platform.min_out_transfer_time(node, size)
+
+    def node_send_times(
+        self, platform: Platform, size: float | None = None
+    ) -> dict[NodeName, float]:
+        """Per-send overhead of every node with outgoing links.
+
+        Vectorised equivalent of calling :meth:`node_send_time` for each
+        node, computed from the compiled platform arrays (the multi-port
+        heuristics query this map once per build instead of touching the
+        graph per node).  Subclasses overriding :meth:`node_send_time` are
+        transparently served by the per-node loop instead.
+        """
+        if type(self).node_send_time is not MultiPortModel.node_send_time:
+            return {
+                node: self.node_send_time(platform, node, size)
+                for node in platform.nodes
+                if platform.out_degree(node) > 0
+            }
+        view = platform.compiled(size)
+        times = view.node_send_times(self.send_fraction)
+        return {
+            name: float(times[i])
+            for i, name in enumerate(view.node_names)
+            if view.out_degrees[i] > 0
+        }
 
     def node_recv_time(
         self, platform: Platform, node: NodeName, size: float | None = None

@@ -1,6 +1,7 @@
 """Platform model: processors, links, affine costs, graphs and generators."""
 
 from .builder import PlatformBuilder
+from .compiled import CompiledPlatform, compile_platform
 from .costs import AffineCost, LinkCostModel
 from .generators import (
     ClusterConfig,
@@ -28,6 +29,8 @@ from .serialization import (
 
 __all__ = [
     "AffineCost",
+    "CompiledPlatform",
+    "compile_platform",
     "LinkCostModel",
     "Link",
     "ProcessorNode",

@@ -1,0 +1,311 @@
+"""Array-backed, frozen view of a :class:`~repro.platform.graph.Platform`.
+
+The heuristics, the LP assembly and the steady-state analysis all interrogate
+the platform through per-edge ``networkx`` dict lookups, which is convenient
+for construction but slow on the hot evaluation path (hundreds of platforms
+per ensemble, thousands of edge queries per platform).
+:class:`CompiledPlatform` freezes a platform into contiguous arrays:
+
+* stable node ``name <-> index`` maps (insertion order, like
+  :attr:`Platform.nodes <repro.platform.graph.Platform.nodes>`),
+* edge endpoint index arrays in edge insertion order (matching
+  :attr:`Platform.edges <repro.platform.graph.Platform.edges>`),
+* a transfer-time vector ``T[e]`` evaluated once for a given slice size,
+* CSR-style out-/in-adjacency (``indptr`` + edge-id arrays), and
+* per-node overhead vectors for the multi-port model.
+
+A compiled view is *observationally equivalent* to its platform — same
+degrees, neighbours, link costs and reachable sets (asserted by property
+tests) — but every aggregate query (weighted out-degree, minimum outgoing
+transfer time, reachability) is an array operation instead of a Python loop.
+Platforms cache their compiled views per slice size and invalidate them on
+mutation, so callers can simply ask ``platform.compiled(size)`` whenever they
+enter a hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+import numpy as np
+
+from ..exceptions import InvalidLinkError, PlatformError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .graph import Platform
+
+__all__ = ["CompiledPlatform", "compile_platform"]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+@dataclass(frozen=True, eq=False)  # identity semantics: ndarray fields break generated __eq__/__hash__
+class CompiledPlatform:
+    """Immutable index-based snapshot of a platform at one slice size.
+
+    Attributes
+    ----------
+    platform_name:
+        Name of the source platform (for error messages and reports).
+    slice_size:
+        The platform's default slice size.
+    size:
+        Message size the :attr:`transfer_times` were evaluated at.
+    node_names:
+        Node names in insertion order; position is the node index.
+    node_index:
+        Inverse map ``name -> index``.
+    edge_sources / edge_targets:
+        Endpoint *indices* of every directed edge, in edge insertion order
+        (the same order as ``platform.edges``).
+    transfer_times:
+        ``T[e]``: per-slice transfer time of edge ``e``.
+    send_overheads / recv_overheads:
+        Explicit per-node overheads of the multi-port model; ``nan`` where
+        the node record leaves them unset.
+    out_indptr / out_edge_ids:
+        CSR out-adjacency: the edge ids leaving node ``i`` are
+        ``out_edge_ids[out_indptr[i]:out_indptr[i + 1]]``, in edge insertion
+        order.
+    in_indptr / in_edge_ids:
+        CSR in-adjacency, symmetric to the above.
+    """
+
+    platform_name: str
+    slice_size: float
+    size: float
+    node_names: tuple[NodeName, ...]
+    node_index: Mapping[NodeName, int]
+    edge_sources: np.ndarray
+    edge_targets: np.ndarray
+    transfer_times: np.ndarray
+    send_overheads: np.ndarray
+    recv_overheads: np.ndarray
+    out_indptr: np.ndarray
+    out_edge_ids: np.ndarray
+    in_indptr: np.ndarray
+    in_edge_ids: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_platform(cls, platform: "Platform", size: float | None = None) -> "CompiledPlatform":
+        """Compile ``platform`` for message ``size`` (default: its slice size)."""
+        effective_size = platform.slice_size if size is None else float(size)
+        node_names = tuple(platform.nodes)
+        node_index = {name: i for i, name in enumerate(node_names)}
+        num_nodes = len(node_names)
+
+        sources: list[int] = []
+        targets: list[int] = []
+        times: list[float] = []
+        for link in platform.iter_links():
+            sources.append(node_index[link.source])
+            targets.append(node_index[link.target])
+            times.append(link.transfer_time(effective_size))
+        edge_sources = np.asarray(sources, dtype=np.int64)
+        edge_targets = np.asarray(targets, dtype=np.int64)
+        transfer_times = np.asarray(times, dtype=np.float64)
+
+        send_overheads = np.full(num_nodes, np.nan)
+        recv_overheads = np.full(num_nodes, np.nan)
+        for i, name in enumerate(node_names):
+            record = platform.node(name)
+            if record.send_overhead is not None:
+                send_overheads[i] = record.send_overhead
+            if record.recv_overhead is not None:
+                recv_overheads[i] = record.recv_overhead
+
+        out_indptr, out_edge_ids = _group_edges(edge_sources, num_nodes)
+        in_indptr, in_edge_ids = _group_edges(edge_targets, num_nodes)
+
+        return cls(
+            platform_name=platform.name,
+            slice_size=platform.slice_size,
+            size=effective_size,
+            node_names=node_names,
+            node_index=node_index,
+            edge_sources=edge_sources,
+            edge_targets=edge_targets,
+            transfer_times=transfer_times,
+            send_overheads=send_overheads,
+            recv_overheads=recv_overheads,
+            out_indptr=out_indptr,
+            out_edge_ids=out_edge_ids,
+            in_indptr=in_indptr,
+            in_edge_ids=in_edge_ids,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of processors ``p``."""
+        return len(self.node_names)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed links ``|E|``."""
+        return len(self.edge_sources)
+
+    def index_of(self, name: NodeName) -> int:
+        """Index of node ``name``; raises :class:`PlatformError` if unknown."""
+        try:
+            return self.node_index[name]
+        except KeyError as exc:
+            raise PlatformError(
+                f"unknown node {name!r} in platform {self.platform_name!r}"
+            ) from exc
+
+    def name_of(self, index: int) -> NodeName:
+        """Name of the node at ``index``."""
+        return self.node_names[index]
+
+    # ------------------------------------------------------------------ #
+    # Adjacency
+    # ------------------------------------------------------------------ #
+    def out_edges_of(self, index: int) -> np.ndarray:
+        """Edge ids leaving node ``index`` (edge insertion order)."""
+        return self.out_edge_ids[self.out_indptr[index] : self.out_indptr[index + 1]]
+
+    def in_edges_of(self, index: int) -> np.ndarray:
+        """Edge ids entering node ``index`` (edge insertion order)."""
+        return self.in_edge_ids[self.in_indptr[index] : self.in_indptr[index + 1]]
+
+    def out_neighbors_of(self, index: int) -> np.ndarray:
+        """Indices of the successors of node ``index``."""
+        return self.edge_targets[self.out_edges_of(index)]
+
+    def in_neighbors_of(self, index: int) -> np.ndarray:
+        """Indices of the predecessors of node ``index``."""
+        return self.edge_sources[self.in_edges_of(index)]
+
+    @cached_property
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node."""
+        return np.diff(self.out_indptr)
+
+    @cached_property
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node."""
+        return np.diff(self.in_indptr)
+
+    # ------------------------------------------------------------------ #
+    # Costs
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def edge_list(self) -> tuple[Edge, ...]:
+        """Edges as ``(source name, target name)`` pairs, insertion order."""
+        return tuple(
+            (self.node_names[u], self.node_names[v])
+            for u, v in zip(self.edge_sources.tolist(), self.edge_targets.tolist())
+        )
+
+    @cached_property
+    def edge_weight_map(self) -> dict[Edge, float]:
+        """``{(u, v): T_{u,v}}`` over all edges, insertion order preserved."""
+        return dict(zip(self.edge_list, self.transfer_times.tolist()))
+
+    @cached_property
+    def out_edges_by_node(self) -> dict[NodeName, list[Edge]]:
+        """Name-keyed map of the outgoing edges (as name pairs) of every node."""
+        edges = self.edge_list
+        return {
+            name: [edges[e] for e in self.out_edges_of(i).tolist()]
+            for i, name in enumerate(self.node_names)
+        }
+
+    def transfer_time_between(self, source: NodeName, target: NodeName) -> float:
+        """``T_{u,v}`` looked up from the compiled arrays."""
+        try:
+            return self.edge_weight_map[(source, target)]
+        except KeyError as exc:
+            raise InvalidLinkError(
+                f"no link {source!r} -> {target!r} in platform {self.platform_name!r}"
+            ) from exc
+
+    @cached_property
+    def weighted_out_degrees(self) -> np.ndarray:
+        """Per-node sum of outgoing transfer times (``OutDegree(u)``)."""
+        totals = np.zeros(self.num_nodes)
+        np.add.at(totals, self.edge_sources, self.transfer_times)
+        return totals
+
+    @cached_property
+    def min_out_transfer_times(self) -> np.ndarray:
+        """Per-node minimum outgoing transfer time (``inf`` for sinks)."""
+        minima = np.full(self.num_nodes, np.inf)
+        np.minimum.at(minima, self.edge_sources, self.transfer_times)
+        return minima
+
+    def node_send_times(self, send_fraction: float) -> np.ndarray:
+        """Per-node multi-port send overhead ``send_u``.
+
+        Explicit record overheads win; otherwise
+        ``send_u = send_fraction * min_w T_{u,w}`` and pure sinks get 0
+        (mirroring :meth:`repro.models.MultiPortModel.node_send_time`).
+        """
+        derived = np.where(
+            self.out_degrees > 0, send_fraction * self.min_out_transfer_times, 0.0
+        )
+        return np.where(np.isnan(self.send_overheads), derived, self.send_overheads)
+
+    # ------------------------------------------------------------------ #
+    # Connectivity
+    # ------------------------------------------------------------------ #
+    def reachable_mask(self, index: int) -> np.ndarray:
+        """Boolean mask of the nodes reachable from node ``index``."""
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        seen[index] = True
+        frontier = np.asarray([index], dtype=np.int64)
+        while frontier.size:
+            successors = np.concatenate(
+                [self.out_neighbors_of(int(i)) for i in frontier]
+            )
+            fresh = np.unique(successors[~seen[successors]])
+            seen[fresh] = True
+            frontier = fresh
+        return seen
+
+    def reachable_from(self, source: NodeName) -> set[NodeName]:
+        """Names of the nodes reachable from ``source`` (including itself)."""
+        mask = self.reachable_mask(self.index_of(source))
+        return {self.node_names[i] for i in np.flatnonzero(mask)}
+
+    def is_broadcast_feasible(self, source: NodeName) -> bool:
+        """Whether every node is reachable from ``source``."""
+        return bool(self.reachable_mask(self.index_of(source)).all())
+
+    # ------------------------------------------------------------------ #
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(source index, target index, transfer time)`` triples."""
+        yield from zip(
+            self.edge_sources.tolist(),
+            self.edge_targets.tolist(),
+            self.transfer_times.tolist(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPlatform(name={self.platform_name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, size={self.size})"
+        )
+
+
+def _group_edges(endpoint: np.ndarray, num_nodes: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR grouping of edge ids by one endpoint array (stable within a node)."""
+    counts = np.bincount(endpoint, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.argsort(endpoint, kind="stable").astype(np.int64)
+    return indptr, order
+
+
+def compile_platform(platform: "Platform", size: float | None = None) -> CompiledPlatform:
+    """Module-level alias of :meth:`CompiledPlatform.from_platform`."""
+    return CompiledPlatform.from_platform(platform, size)

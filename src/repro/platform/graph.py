@@ -25,6 +25,7 @@ from typing import Any, Iterable, Iterator, Mapping
 import networkx as nx
 
 from ..exceptions import DisconnectedPlatformError, InvalidLinkError, PlatformError
+from .compiled import CompiledPlatform
 from .costs import LinkCostModel
 from .link import Link
 from .node import ProcessorNode
@@ -56,6 +57,8 @@ class Platform:
         self.name = name
         self.slice_size = float(slice_size)
         self._graph: nx.DiGraph = nx.DiGraph()
+        # Compiled-view cache, keyed by message size; cleared on mutation.
+        self._compiled_cache: dict[float, CompiledPlatform] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -75,6 +78,7 @@ class Platform:
                 "cannot pass extra attributes together with a ProcessorNode instance"
             )
         self._graph.add_node(node.name, record=node)
+        self._compiled_cache.clear()
         return node
 
     def add_link(self, link: Link) -> Link:
@@ -88,6 +92,7 @@ class Platform:
                 f"link target {link.target!r} is not a node of platform {self.name!r}"
             )
         self._graph.add_edge(link.source, link.target, record=link)
+        self._compiled_cache.clear()
         return link
 
     def connect(
@@ -124,6 +129,7 @@ class Platform:
         if not self._graph.has_edge(source, target):
             raise InvalidLinkError(f"no link {source!r} -> {target!r} in {self.name!r}")
         self._graph.remove_edge(source, target)
+        self._compiled_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Nodes
@@ -231,13 +237,29 @@ class Platform:
         size = self.slice_size if size is None else size
         return self.link(source, target).recv_time(size)
 
+    #: Upper bound on cached compiled views (distinct message sizes); a
+    #: caller sweeping many sizes evicts the oldest instead of growing
+    #: without bound.
+    _COMPILED_CACHE_LIMIT = 8
+
+    def compiled(self, size: float | None = None) -> CompiledPlatform:
+        """Array-backed view of this platform for message ``size``.
+
+        The view is cached per size and rebuilt lazily after any mutation
+        (node/link addition or removal), so hot paths can call this freely.
+        """
+        key = self.slice_size if size is None else float(size)
+        view = self._compiled_cache.get(key)
+        if view is None:
+            view = CompiledPlatform.from_platform(self, key)
+            while len(self._compiled_cache) >= self._COMPILED_CACHE_LIMIT:
+                self._compiled_cache.pop(next(iter(self._compiled_cache)))
+            self._compiled_cache[key] = view
+        return view
+
     def edge_weights(self, size: float | None = None) -> dict[Edge, float]:
         """Map every directed edge to its transfer time ``T_{u,v}``."""
-        size = self.slice_size if size is None else size
-        return {
-            (u, v): data["record"].transfer_time(size)
-            for u, v, data in self._graph.edges(data=True)
-        }
+        return dict(self.compiled(size).edge_weight_map)
 
     def weighted_out_degree(self, node: NodeName, size: float | None = None) -> float:
         """Sum of the transfer times of all links leaving ``node``.
@@ -245,8 +267,8 @@ class Platform:
         This is the ``OutDegree(u)`` metric of Algorithm 2 (refined platform
         pruning), evaluated on the *full* platform graph.
         """
-        size = self.slice_size if size is None else size
-        return sum(link.transfer_time(size) for link in self.out_links(node))
+        view = self.compiled(size)
+        return float(view.weighted_out_degrees[view.index_of(node)])
 
     def min_out_transfer_time(self, node: NodeName, size: float | None = None) -> float:
         """Smallest transfer time among the links leaving ``node``.
@@ -255,11 +277,11 @@ class Platform:
         ``send_u = fraction * min_w T_{u,w}`` (Section 5.1 of the paper).
         Raises :class:`PlatformError` if the node has no outgoing link.
         """
-        out = self.out_links(node)
-        if not out:
+        view = self.compiled(size)
+        index = view.index_of(node)
+        if view.out_degrees[index] == 0:
             raise PlatformError(f"node {node!r} has no outgoing link")
-        size = self.slice_size if size is None else size
-        return min(link.transfer_time(size) for link in out)
+        return float(view.min_out_transfer_times[index])
 
     @property
     def density(self) -> float:
@@ -276,7 +298,7 @@ class Platform:
         """Set of nodes reachable from ``source`` (including ``source``)."""
         if not self.has_node(source):
             raise PlatformError(f"unknown node {source!r} in platform {self.name!r}")
-        return set(nx.descendants(self._graph, source)) | {source}
+        return self.compiled().reachable_from(source)
 
     def is_broadcast_feasible(self, source: NodeName) -> bool:
         """Whether every node is reachable from ``source``."""

@@ -1,0 +1,196 @@
+"""Property tests: ``CompiledPlatform`` is observationally equivalent to ``Platform``.
+
+The compiled view is only allowed to change *how fast* questions are
+answered, never the answers: degrees, neighbours, link costs, aggregate
+cost metrics and reachable sets must match the graph-backed originals on
+arbitrary platforms, and the cached view must be invalidated by mutation.
+The LP assembled from the compiled arrays must equal the loop-built
+reference matrix for matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompiledPlatform,
+    MultiPortModel,
+    OnePortModel,
+    Platform,
+    compile_platform,
+    generate_random_platform,
+    generate_tiers_platform,
+)
+from repro.exceptions import InvalidLinkError, PlatformError
+from repro.lp.formulation import build_steady_state_lp, build_steady_state_lp_reference
+
+
+def random_platforms():
+    """A spread of generated platforms (sizes, densities, generators)."""
+    platforms = [
+        generate_random_platform(num_nodes=n, density=d, seed=seed)
+        for n, d, seed in [(6, 0.4, 0), (10, 0.25, 1), (17, 0.15, 2), (25, 0.1, 3)]
+    ]
+    platforms.append(generate_tiers_platform(30, seed=4))
+    return platforms
+
+
+@pytest.fixture(params=range(5), ids=lambda i: f"platform{i}")
+def platform(request) -> Platform:
+    return random_platforms()[request.param]
+
+
+class TestObservationalEquivalence:
+    def test_node_and_edge_identity(self, platform):
+        view = platform.compiled()
+        assert list(view.node_names) == platform.nodes
+        assert list(view.edge_list) == platform.edges
+        assert view.num_nodes == platform.num_nodes
+        assert view.num_edges == platform.num_links
+        for i, name in enumerate(view.node_names):
+            assert view.index_of(name) == i
+            assert view.name_of(i) == name
+
+    def test_degrees_and_neighbors(self, platform):
+        view = platform.compiled()
+        for i, name in enumerate(view.node_names):
+            assert view.out_degrees[i] == platform.out_degree(name)
+            assert view.in_degrees[i] == platform.in_degree(name)
+            out = [view.name_of(j) for j in view.out_neighbors_of(i)]
+            assert sorted(out, key=str) == sorted(platform.out_neighbors(name), key=str)
+            incoming = [view.name_of(j) for j in view.in_neighbors_of(i)]
+            assert sorted(incoming, key=str) == sorted(platform.in_neighbors(name), key=str)
+
+    def test_link_costs(self, platform):
+        view = platform.compiled()
+        for u, v in platform.edges:
+            direct = platform.link(u, v).transfer_time(platform.slice_size)
+            assert view.transfer_time_between(u, v) == direct
+            assert view.edge_weight_map[(u, v)] == direct
+        with pytest.raises(InvalidLinkError):
+            view.transfer_time_between("no-such", "node")
+
+    def test_aggregate_costs(self, platform):
+        view = platform.compiled()
+        for i, name in enumerate(view.node_names):
+            expected = sum(
+                link.transfer_time(platform.slice_size) for link in platform.out_links(name)
+            )
+            assert view.weighted_out_degrees[i] == pytest.approx(expected)
+            assert platform.weighted_out_degree(name) == pytest.approx(expected)
+            if platform.out_degree(name) > 0:
+                expected_min = min(
+                    link.transfer_time(platform.slice_size)
+                    for link in platform.out_links(name)
+                )
+                assert view.min_out_transfer_times[i] == expected_min
+                assert platform.min_out_transfer_time(name) == expected_min
+            else:
+                assert view.min_out_transfer_times[i] == np.inf
+
+    def test_reachable_sets(self, platform):
+        view = platform.compiled()
+        for name in platform.nodes:
+            assert view.reachable_from(name) == platform.reachable_from(name)
+        assert view.is_broadcast_feasible(platform.nodes[0]) == platform.is_broadcast_feasible(
+            platform.nodes[0]
+        )
+
+    def test_unknown_node_rejected(self, platform):
+        with pytest.raises(PlatformError):
+            platform.compiled().index_of("definitely-not-a-node")
+
+    def test_multi_port_send_times(self, platform):
+        view = platform.compiled()
+        model = MultiPortModel(send_fraction=0.8)
+        times = view.node_send_times(0.8)
+        by_name = model.node_send_times(platform)
+        for i, name in enumerate(view.node_names):
+            assert times[i] == model.node_send_time(platform, name)
+            if platform.out_degree(name) > 0:
+                assert by_name[name] == times[i]
+
+    def test_node_send_times_respects_subclass_override(self):
+        platform = generate_random_platform(num_nodes=6, density=0.4, seed=9)
+
+        class Constant(MultiPortModel):
+            def node_send_time(self, platform, node, size=None):
+                return 42.0
+
+        times = Constant().node_send_times(platform)
+        assert set(times.values()) == {42.0}
+
+    def test_edge_weight_map_matches_per_edge_calls(self, platform):
+        for model in (OnePortModel(), MultiPortModel()):
+            mapped = model.edge_weight_map(platform)
+            assert mapped == {
+                (u, v): model.edge_weight(platform, u, v) for u, v in platform.edges
+            }
+
+
+class TestCompiledCache:
+    def test_cached_until_mutation(self):
+        platform = generate_random_platform(num_nodes=8, density=0.3, seed=5)
+        first = platform.compiled()
+        assert platform.compiled() is first
+        platform.add_node("extra")
+        second = platform.compiled()
+        assert second is not first
+        assert second.num_nodes == first.num_nodes + 1
+
+    def test_link_mutations_invalidate(self):
+        platform = Platform()
+        platform.add_node(0)
+        platform.add_node(1)
+        platform.connect(0, 1, 2.0)
+        assert platform.compiled().num_edges == 1
+        platform.remove_link(0, 1)
+        assert platform.compiled().num_edges == 0
+
+    def test_per_size_views(self):
+        platform = generate_random_platform(num_nodes=8, density=0.3, seed=6)
+        default = platform.compiled()
+        doubled = platform.compiled(2 * platform.slice_size)
+        assert doubled is not default
+        assert platform.compiled() is default  # both sizes stay cached
+        expected = [
+            link.transfer_time(2 * platform.slice_size) for link in platform.iter_links()
+        ]
+        np.testing.assert_array_equal(doubled.transfer_times, expected)
+
+    def test_identity_equality_and_hashability(self):
+        platform = generate_random_platform(num_nodes=6, density=0.4, seed=8)
+        first = platform.compiled()
+        other = compile_platform(platform)
+        assert first == first and first != other  # identity, never ValueError
+        assert len({first, other}) == 2  # usable as dict/set keys
+
+    def test_compile_platform_alias(self):
+        platform = generate_random_platform(num_nodes=6, density=0.4, seed=7)
+        view = compile_platform(platform)
+        assert isinstance(view, CompiledPlatform)
+        assert list(view.node_names) == platform.nodes
+
+
+class TestCompiledLPAssembly:
+    @pytest.mark.parametrize("seed,nodes,density", [(3, 12, 0.3), (9, 20, 0.15)])
+    def test_matches_reference_matrices(self, seed, nodes, density):
+        platform = generate_random_platform(num_nodes=nodes, density=density, seed=seed)
+        fast = build_steady_state_lp(platform, 0)
+        slow = build_steady_state_lp_reference(platform, 0)
+        assert fast.index.edges == slow.index.edges
+        assert fast.index.destinations == slow.index.destinations
+        assert (fast.a_eq != slow.a_eq).nnz == 0
+        assert (fast.a_ub != slow.a_ub).nnz == 0
+        np.testing.assert_array_equal(fast.b_eq, slow.b_eq)
+        np.testing.assert_array_equal(fast.b_ub, slow.b_ub)
+        np.testing.assert_array_equal(fast.objective, slow.objective)
+        assert fast.bounds == slow.bounds
+
+    def test_matches_reference_on_tiers(self):
+        platform = generate_tiers_platform(30, seed=11)
+        fast = build_steady_state_lp(platform, 0)
+        slow = build_steady_state_lp_reference(platform, 0)
+        assert (fast.a_eq != slow.a_eq).nnz == 0
+        assert (fast.a_ub != slow.a_ub).nnz == 0
