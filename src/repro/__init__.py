@@ -30,6 +30,7 @@ from .analysis import (
     makespan_lower_bound,
     node_periods,
     pipelined_makespan,
+    pipelined_makespan_reference,
     relative_performance,
     summarize,
     tree_throughput,
@@ -110,6 +111,7 @@ __all__ = [
     "makespan_lower_bound",
     "node_periods",
     "pipelined_makespan",
+    "pipelined_makespan_reference",
     "relative_performance",
     "summarize",
     "tree_throughput",

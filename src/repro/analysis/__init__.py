@@ -1,7 +1,13 @@
 """Steady-state throughput, makespan, bottleneck and metric analysis."""
 
 from .bottleneck import BottleneckReport, analyze_bottleneck
-from .makespan import MakespanReport, fill_time, makespan_lower_bound, pipelined_makespan
+from .makespan import (
+    MakespanReport,
+    fill_time,
+    makespan_lower_bound,
+    pipelined_makespan,
+    pipelined_makespan_reference,
+)
 from .metrics import SummaryStatistics, geometric_mean, relative_performance, summarize
 from .throughput import ThroughputReport, node_periods, tree_throughput
 
@@ -12,6 +18,7 @@ __all__ = [
     "fill_time",
     "makespan_lower_bound",
     "pipelined_makespan",
+    "pipelined_makespan_reference",
     "SummaryStatistics",
     "geometric_mean",
     "relative_performance",

@@ -16,6 +16,16 @@ the canonical schedule where every node serves its children in a fixed
 round-robin order (this is also the schedule the discrete-event simulator
 implements, so the two agree), and
 :func:`makespan_lower_bound` gives the schedule-independent bound above.
+
+Two implementations of the recurrence are provided.
+:func:`pipelined_makespan` evaluates it through the slice-vectorized scans
+of :mod:`repro.kernels.makespan` (the production path — this is what makes
+makespan sweeps at hundreds of nodes and thousands of slices tractable);
+:func:`pipelined_makespan_reference` is the original ``(node, slice)``
+Python loop, kept as the readable specification.  The test suite asserts
+the two agree bit-for-bit on integer-cost platforms and to ``1e-12``
+relative on continuous ones (the kernel re-associates prefix sums), and
+``benchmarks/bench_hotpaths.py`` tracks the speedup.
 """
 
 from __future__ import annotations
@@ -25,10 +35,17 @@ from typing import Any
 
 from ..core.tree import BroadcastTree
 from ..exceptions import TreeError
+from ..kernels.makespan import arrival_matrix, supports_model
 from ..models.port_models import OnePortModel, PortModel, get_port_model
 from .throughput import tree_throughput
 
-__all__ = ["MakespanReport", "pipelined_makespan", "makespan_lower_bound", "fill_time"]
+__all__ = [
+    "MakespanReport",
+    "pipelined_makespan",
+    "pipelined_makespan_reference",
+    "makespan_lower_bound",
+    "fill_time",
+]
 
 NodeName = Any
 
@@ -76,33 +93,42 @@ def fill_time(
     Under the one-port model a node sends the slice to its children
     sequentially (in the tree's deterministic child order); under the
     multi-port model consecutive sends overlap after the per-send overhead.
-    Routes are traversed store-and-forward.
+    Routes are traversed store-and-forward.  This is the ``num_slices = 1``
+    case of the pipelined recurrence, evaluated on the compiled view.
     """
     port_model = get_port_model(model)
+    if supports_model(port_model):
+        arrivals = arrival_matrix(tree.compiled(size), 1, port_model)
+        return float(arrivals[:, 0].max())
+
+    # Fallback for custom port models: the single-slice case of the
+    # reference recurrence (same relay-port serialization as the kernel).
     platform = tree.platform
     hop_times = platform.compiled(size).edge_weight_map
     arrival: dict[NodeName, float] = {tree.source: 0.0}
-
-    def deliver(sender: NodeName, ready: float, child: NodeName, start: float) -> float:
-        """Propagate the first slice along the route ``sender -> child``."""
-        time = start
-        for hop in tree.route(sender, child):
-            time += hop_times[hop]
-        return time
-
+    one_port = isinstance(port_model, OnePortModel)
     for node in tree.bfs_order():
-        ready = arrival[node]
-        port_free = ready
+        port_free = arrival[node]
+        relay_port_free: dict[NodeName, float] = {}
         for child in tree.children(node):
             route = tree.route(node, child)
             first_hop = route[0]
-            if isinstance(port_model, OnePortModel):
-                busy = hop_times[first_hop]
-            else:
-                busy = port_model.sender_busy_time(platform, *first_hop, size)
+            hop_time = hop_times[first_hop]
+            busy = hop_time if one_port else port_model.sender_busy_time(
+                platform, *first_hop, size
+            )
             start = port_free
             port_free = start + busy
-            arrival[child] = deliver(node, ready, child, start)
+            available = start + hop_time
+            for a, b in route[1:]:
+                hop_time = hop_times[(a, b)]
+                busy = hop_time if one_port else port_model.sender_busy_time(
+                    platform, a, b, size
+                )
+                start = max(relay_port_free.get(a, 0.0), available)
+                relay_port_free[a] = start + busy
+                available = start + hop_time
+            arrival[child] = available
     return max(arrival.values())
 
 
@@ -128,10 +154,38 @@ def pipelined_makespan(
     """Makespan of the canonical round-robin pipelined schedule.
 
     Every node forwards slices to its children in the tree's child order;
-    slice ``k + 1`` is handled after slice ``k``.  The implementation is an
-    analytical recurrence over (node, slice) completion times, equivalent to
-    (and cross-checked against) the discrete-event simulator but much
-    faster, which makes it suitable for sweeps in benchmarks.
+    slice ``k + 1`` is handled after slice ``k``.  The recurrence over
+    ``(node, slice)`` completion times is evaluated through the vectorized
+    kernel of :mod:`repro.kernels.makespan` (falling back to
+    :func:`pipelined_makespan_reference` for custom port models), which
+    makes it suitable for sweeps in benchmarks and large ensembles.
+    """
+    if num_slices < 1:
+        raise TreeError(f"num_slices must be >= 1, got {num_slices}")
+    port_model = get_port_model(model)
+    if not supports_model(port_model):
+        return pipelined_makespan_reference(tree, num_slices, port_model, size)
+    arrivals = arrival_matrix(tree.compiled(size), num_slices, port_model)
+    report = tree_throughput(tree, port_model, size)
+    return MakespanReport(
+        makespan=float(arrivals[:, num_slices - 1].max()),
+        num_slices=num_slices,
+        fill_time=float(arrivals[:, 0].max()),
+        steady_state_period=report.period,
+    )
+
+
+def pipelined_makespan_reference(
+    tree: BroadcastTree,
+    num_slices: int,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+) -> MakespanReport:
+    """Reference ``(node, slice)`` loop of the pipelined-makespan recurrence.
+
+    Kept as the readable specification of the canonical schedule and as the
+    baseline the kernel is property-tested against; prefer
+    :func:`pipelined_makespan` everywhere else.
     """
     if num_slices < 1:
         raise TreeError(f"num_slices must be >= 1, got {num_slices}")

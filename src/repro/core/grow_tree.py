@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..exceptions import HeuristicError
+from ..kernels.frontier import LazyFrontier
 from ..models.port_models import PortModel
 from ..platform.graph import Platform
 from .base import TreeHeuristic
@@ -47,13 +48,20 @@ class GrowingMinimumOutDegreeTree(TreeHeuristic):
         When true, reproduce the printed pseudo-code update
         ``cost(u, w) += cost(u, v)`` verbatim instead of the textual metric
         (see the module docstring).  Defaults to false.
+    fast:
+        Select the cheapest frontier edge through the lazy min-heap of
+        :class:`~repro.kernels.frontier.LazyFrontier` (the default) instead
+        of rescanning every candidate edge per iteration.  Both paths pick
+        the same edges in the same order; the rescan is kept for the
+        equivalence tests and benchmarks.
     """
 
     name = "grow-tree"
     paper_label = "Grow Tree"
 
-    def __init__(self, literal_cost_update: bool = False) -> None:
+    def __init__(self, literal_cost_update: bool = False, fast: bool = True) -> None:
         self.literal_cost_update = literal_cost_update
+        self.fast = fast
 
     def _build(
         self,
@@ -72,10 +80,19 @@ class GrowingMinimumOutDegreeTree(TreeHeuristic):
 
         in_tree: set[NodeName] = {source}
         tree_edges: list[Edge] = []
+        tree_edge_set: set[Edge] = set()
         all_nodes = set(platform.nodes)
 
+        frontier: LazyFrontier | None = None
+        if self.fast:
+            frontier = LazyFrontier(cost.__getitem__)
+            frontier.push_all(out_edges_of[source])
+
         while in_tree != all_nodes:
-            best_edge = self._cheapest_frontier_edge(cost, in_tree)
+            if frontier is not None:
+                best_edge = frontier.pop_best(in_tree)
+            else:
+                best_edge = self._cheapest_frontier_edge(cost, in_tree)
             if best_edge is None:
                 raise HeuristicError(
                     "growing tree is stuck: no edge leaves the current tree, yet some "
@@ -84,12 +101,15 @@ class GrowingMinimumOutDegreeTree(TreeHeuristic):
                 )
             u, v = best_edge
             tree_edges.append(best_edge)
+            tree_edge_set.add(best_edge)
             in_tree.add(v)
+            if frontier is not None:
+                frontier.push_all(out_edges_of[v])
             # Adding (u, v) increases u's weighted out-degree; reflect that in
             # the cost of u's other candidate edges.
             increase = cost[best_edge] if self.literal_cost_update else weights[best_edge]
             for edge in out_edges_of[u]:
-                if edge != best_edge and edge not in tree_edges:
+                if edge != best_edge and edge not in tree_edge_set:
                     cost[edge] += increase
 
         return BroadcastTree.from_edges(platform, source, tree_edges, name=self.name)

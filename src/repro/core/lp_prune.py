@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..exceptions import HeuristicError
+from ..kernels.spanning import SpanningOracle
 from ..lp.solution import SteadyStateSolution
 from ..lp.solver import solve_steady_state_lp
 from ..models.port_models import PortModel
@@ -41,10 +42,22 @@ Edge = tuple[NodeName, NodeName]
 
 
 class LPCommunicationGraphPruning(TreeHeuristic):
-    """``LP-PRUNE`` — prune the LP communication graph, least-used edges first."""
+    """``LP-PRUNE`` — prune the LP communication graph, least-used edges first.
+
+    Parameters
+    ----------
+    fast:
+        Answer the per-candidate reachability question through the
+        integer-indexed :class:`~repro.kernels.spanning.SpanningOracle`
+        (the default) instead of the name-keyed set traversal; the removal
+        sequence is identical (it is the same question, sorted once).
+    """
 
     name = "lp-prune"
     paper_label = "LP Prune"
+
+    def __init__(self, fast: bool = True) -> None:
+        self.fast = fast
 
     def _build(
         self,
@@ -64,6 +77,8 @@ class LPCommunicationGraphPruning(TreeHeuristic):
                 f"the provided LP solution was computed for source "
                 f"{lp_solution.source!r}, not {source!r}"
             )
+        if self.fast:
+            return self._build_fast(platform, source, size, lp_solution)
 
         nodes = platform.nodes
         target_edges = len(nodes) - 1
@@ -89,4 +104,45 @@ class LPCommunicationGraphPruning(TreeHeuristic):
                     "platform broadcast-feasible"
                 )
 
+        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+
+    def _build_fast(
+        self,
+        platform: Platform,
+        source: NodeName,
+        size: float | None,
+        lp_solution: SteadyStateSolution,
+    ) -> BroadcastTree:
+        """Oracle-backed pruning; same removal sequence as the loop above."""
+        view = platform.compiled(size)
+        target_edges = view.num_nodes - 1
+        oracle = SpanningOracle(view, view.index_of(source))
+        edges = view.edge_list
+        # Candidate order is fixed once: ascending (n_{u,v}, str(edge)), the
+        # exact key of sort_edges_by_weight; each while-pass of the reference
+        # re-sorts the same weights, so a filtered re-scan is identical.
+        order = sorted(
+            range(view.num_edges),
+            key=lambda e: (lp_solution.edge_weight(*edges[e]), str(edges[e])),
+        )
+
+        alive = view.num_edges
+        while alive > target_edges:
+            removed_this_pass = 0
+            for edge_id in order:
+                if alive <= target_edges:
+                    break
+                if not oracle.is_alive(edge_id):
+                    continue
+                if oracle.keeps_spanning(edge_id):
+                    oracle.remove(edge_id)
+                    alive -= 1
+                    removed_this_pass += 1
+            if removed_this_pass == 0:
+                raise HeuristicError(
+                    "LP-Prune is stuck: no edge can be removed while keeping the "
+                    "platform broadcast-feasible"
+                )
+
+        remaining = [edges[e] for e in oracle.alive_edge_ids()]
         return BroadcastTree.from_edges(platform, source, remaining, name=self.name)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..exceptions import HeuristicError
+from ..kernels.frontier import LazyFrontier
 from ..models.port_models import MultiPortModel, PortModel, PortModelKind
 from ..platform.graph import Platform
 from .base import TreeHeuristic
@@ -35,11 +36,24 @@ Edge = tuple[NodeName, NodeName]
 
 
 class MultiPortGrowingTree(TreeHeuristic):
-    """``MULTIPORT-GROWING-MINIMUM-WEIGHTED-OUT-DEGREE-TREE``."""
+    """``MULTIPORT-GROWING-MINIMUM-WEIGHTED-OUT-DEGREE-TREE``.
+
+    Parameters
+    ----------
+    fast:
+        Select the best frontier edge through a lazy min-heap keyed on the
+        candidate period (the default) instead of rescanning every platform
+        edge per iteration.  A node's candidate period only grows as it
+        adopts children, which is exactly the monotonicity the lazy heap
+        needs; both paths pick the same edges in the same order.
+    """
 
     name = "multiport-grow-tree"
     paper_label = "Multi Port Grow Tree"
     supported_models = (PortModelKind.MULTI_PORT,)
+
+    def __init__(self, fast: bool = True) -> None:
+        self.fast = fast
 
     def _build(
         self,
@@ -64,10 +78,19 @@ class MultiPortGrowingTree(TreeHeuristic):
         tree_edges: list[Edge] = []
         all_nodes = set(platform.nodes)
 
-        while in_tree != all_nodes:
-            best_edge = self._best_candidate(
-                weights, send_time, children, in_tree
+        frontier: LazyFrontier | None = None
+        if self.fast:
+            out_edges_of = platform.compiled(size).out_edges_by_node
+            frontier = LazyFrontier(
+                lambda edge: self._candidate_period(weights, send_time, children, edge)
             )
+            frontier.push_all(out_edges_of[source])
+
+        while in_tree != all_nodes:
+            if frontier is not None:
+                best_edge = frontier.pop_best(in_tree)
+            else:
+                best_edge = self._best_candidate(weights, send_time, children, in_tree)
             if best_edge is None:
                 raise HeuristicError(
                     "multi-port growing tree is stuck: no edge leaves the current tree"
@@ -76,6 +99,8 @@ class MultiPortGrowingTree(TreeHeuristic):
             tree_edges.append(best_edge)
             children[u].append(v)
             in_tree.add(v)
+            if frontier is not None:
+                frontier.push_all(out_edges_of[v])
 
         return BroadcastTree.from_edges(platform, source, tree_edges, name=self.name)
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..exceptions import HeuristicError
+from ..kernels.spanning import SpanningOracle, heaviest_first_candidates
 from ..models.port_models import MultiPortModel, PortModel, PortModelKind
 from ..platform.graph import Platform
 from ..utils.graph_utils import adjacency_from_edges, edge_removal_keeps_spanning
@@ -33,11 +34,24 @@ Edge = tuple[NodeName, NodeName]
 
 
 class MultiPortRefinedPruning(TreeHeuristic):
-    """``MULTIPORT-PRUNE-DEGREE`` — refined pruning under the multi-port metric."""
+    """``MULTIPORT-PRUNE-DEGREE`` — refined pruning under the multi-port metric.
+
+    Parameters
+    ----------
+    fast:
+        Answer reachability through the integer-indexed
+        :class:`~repro.kernels.spanning.SpanningOracle` with once-sorted
+        per-node candidate orders (the default) instead of the name-keyed
+        set traversal; the scan order and removal sequence are identical
+        (the equivalence tests assert it).
+    """
 
     name = "multiport-prune-degree"
     paper_label = "Multi Port Prune Degree"
     supported_models = (PortModelKind.MULTI_PORT,)
+
+    def __init__(self, fast: bool = True) -> None:
+        self.fast = fast
 
     def _build(
         self,
@@ -51,6 +65,8 @@ class MultiPortRefinedPruning(TreeHeuristic):
             raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
         if not isinstance(model, MultiPortModel):
             model = MultiPortModel()
+        if self.fast:
+            return self._build_fast(platform, source, model, size)
 
         nodes = platform.nodes
         target_edges = len(nodes) - 1
@@ -91,4 +107,62 @@ class MultiPortRefinedPruning(TreeHeuristic):
                     "keeping the platform broadcast-feasible"
                 )
 
+        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+
+    def _build_fast(
+        self,
+        platform: Platform,
+        source: NodeName,
+        model: MultiPortModel,
+        size: float | None,
+    ) -> BroadcastTree:
+        """Oracle-backed scan; same removal sequence as the loop above."""
+        view = platform.compiled(size)
+        num_nodes = view.num_nodes
+        target_edges = num_nodes - 1
+        edges = view.edge_list
+        # Aligned with edge ids; honours edge_weight / node_send_time
+        # overrides of subclasses (the canonical model reads both straight
+        # off the compiled arrays).
+        weight_map = model.edge_weight_map(platform, size)
+        weights = [weight_map[edge] for edge in edges]
+        send_map = model.node_send_times(platform, size)
+        send_times = [send_map.get(name, 0.0) for name in view.node_names]
+        oracle = SpanningOracle(view, view.index_of(source))
+        node_keys = [str(name) for name in view.node_names]
+        candidates = heaviest_first_candidates(view, weights)
+
+        def node_period(node: int) -> float:
+            out_edges = [e for e in candidates[node] if oracle.is_alive(e)]
+            if not out_edges:
+                return 0.0
+            return max(
+                len(out_edges) * send_times[node],
+                max(weights[e] for e in out_edges),
+            )
+
+        alive = view.num_edges
+        while alive > target_edges:
+            removed = False
+            order = sorted(
+                range(num_nodes), key=lambda i: (node_period(i), node_keys[i]), reverse=True
+            )
+            for node in order:
+                for edge_id in candidates[node]:
+                    if not oracle.is_alive(edge_id):
+                        continue
+                    if oracle.keeps_spanning(edge_id):
+                        oracle.remove(edge_id)
+                        alive -= 1
+                        removed = True
+                        break
+                if removed:
+                    break
+            if not removed:
+                raise HeuristicError(
+                    "multi-port refined pruning is stuck: no edge can be removed while "
+                    "keeping the platform broadcast-feasible"
+                )
+
+        remaining = [edges[e] for e in oracle.alive_edge_ids()]
         return BroadcastTree.from_edges(platform, source, remaining, name=self.name)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..exceptions import HeuristicError
+from ..kernels.spanning import SpanningOracle, heaviest_first_candidates
 from ..models.port_models import PortModel
 from ..platform.graph import Platform
 from ..utils.graph_utils import adjacency_from_edges, edge_removal_keeps_spanning
@@ -32,10 +33,24 @@ Edge = tuple[NodeName, NodeName]
 
 
 class RefinedPlatformPruning(TreeHeuristic):
-    """``REFINED-PLATFORM-PRUNING`` — prune the busiest node's heaviest edge."""
+    """``REFINED-PLATFORM-PRUNING`` — prune the busiest node's heaviest edge.
+
+    Parameters
+    ----------
+    fast:
+        Run the integer-indexed implementation (the default): weighted
+        out-degrees live in a maintained per-node array, per-node candidate
+        orders are sorted once instead of per removal, and reachability is
+        answered by the :class:`~repro.kernels.spanning.SpanningOracle`.
+        The scan order and removal sequence are identical to the reference
+        loops, which are kept for the equivalence tests.
+    """
 
     name = "prune-degree"
     paper_label = "Prune Platform Degree"
+
+    def __init__(self, fast: bool = True) -> None:
+        self.fast = fast
 
     def _build(
         self,
@@ -47,6 +62,8 @@ class RefinedPlatformPruning(TreeHeuristic):
     ) -> BroadcastTree:
         if kwargs:
             raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
+        if self.fast and type(model).edge_weight is PortModel.edge_weight:
+            return self._build_fast(platform, source, size)
         nodes = platform.nodes
         target_edges = len(nodes) - 1
         weights: dict[Edge, float] = model.edge_weight_map(platform, size)
@@ -67,6 +84,58 @@ class RefinedPlatformPruning(TreeHeuristic):
                     "keeping the platform broadcast-feasible"
                 )
 
+        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+
+    def _build_fast(
+        self, platform: Platform, source: NodeName, size: float | None
+    ) -> BroadcastTree:
+        """Array-backed Algorithm 2; same removal sequence as the reference.
+
+        Only valid for models using the plain transfer time as edge weight
+        (both canonical models do); others take the dict-based loop above.
+        """
+        view = platform.compiled(size)
+        num_nodes = view.num_nodes
+        target_edges = num_nodes - 1
+        edges = view.edge_list
+        weights = view.transfer_times
+        oracle = SpanningOracle(view, view.index_of(source))
+
+        # Maintained per-node weighted out-degree array (same accumulation
+        # order as the reference's dict fill: edge insertion order).
+        out_degree = view.weighted_out_degrees.copy()
+        node_keys = [str(name) for name in view.node_names]
+        # Per-node candidate edges by non-increasing (weight, str(edge)),
+        # sorted once — the weights never change, only edge liveness does.
+        candidates = heaviest_first_candidates(view, weights.tolist())
+
+        alive = view.num_edges
+        while alive > target_edges:
+            order = sorted(
+                range(num_nodes),
+                key=lambda i: (float(out_degree[i]), node_keys[i]),
+                reverse=True,
+            )
+            removed = False
+            for node in order:
+                for edge_id in candidates[node]:
+                    if not oracle.is_alive(edge_id):
+                        continue
+                    if oracle.keeps_spanning(edge_id):
+                        oracle.remove(edge_id)
+                        out_degree[node] -= weights[edge_id]
+                        alive -= 1
+                        removed = True
+                        break
+                if removed:
+                    break
+            if not removed:
+                raise HeuristicError(
+                    "refined platform pruning is stuck: no edge can be removed while "
+                    "keeping the platform broadcast-feasible"
+                )
+
+        remaining = [edges[e] for e in oracle.alive_edge_ids()]
         return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
 
     # ------------------------------------------------------------------ #

@@ -284,6 +284,27 @@ class BroadcastTree:
         return result
 
     # ------------------------------------------------------------------ #
+    # Compiled (array-backed) view
+    # ------------------------------------------------------------------ #
+    def compiled(self, size: float | None = None):
+        """Array-backed :class:`~repro.kernels.tree.CompiledTree` of this tree.
+
+        Cached per message size.  The tree's logical structure is immutable
+        after validation, so the only invalidation concern is the underlying
+        platform: a platform mutation rebuilds its compiled view, which is
+        detected here by identity and triggers a recompile.
+        """
+        from ..kernels.tree import CompiledTree  # local import: avoid cycle
+
+        cache = self.__dict__.setdefault("_compiled_tree_cache", {})
+        key = self.platform.slice_size if size is None else float(size)
+        entry = cache.get(key)
+        if entry is None or entry.view is not self.platform.compiled(size):
+            entry = CompiledTree.from_tree(self, size)
+            cache[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------ #
     # Physical transfer accounting (used by throughput analysis)
     # ------------------------------------------------------------------ #
     def physical_edge_multiplicities(self) -> Counter[Edge]:

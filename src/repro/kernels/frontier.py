@@ -1,0 +1,66 @@
+"""Lazy min-heap frontier for the Prim-like growing heuristics.
+
+``GROWING-MINIMUM-WEIGHTED-OUT-DEGREE-TREE`` and its multi-port variant both
+repeat "pick the cheapest edge leaving the current tree" ``p - 1`` times.
+The reference implementations rescan every candidate edge per iteration —
+``O(V * E)`` overall; this frontier keeps the candidates in a heap keyed by
+``(cost, str(edge))`` (the heuristics' exact deterministic tie-break) and
+relies on a *lazy increase-key*: the growing metrics only ever increase a
+candidate's cost, so a popped entry whose stored cost is stale is simply
+re-pushed with its current cost.  The popped entry that survives the check
+is the true minimum, making the heap selection identical — edge for edge —
+to the full rescan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Hashable, Iterable
+
+__all__ = ["LazyFrontier"]
+
+Edge = tuple[Hashable, Hashable]
+
+
+class LazyFrontier:
+    """Min-heap of frontier edges with monotonically increasing costs.
+
+    Parameters
+    ----------
+    cost_of:
+        Current cost of a candidate edge; must never decrease between a
+        push and the corresponding pop (the lazy invariant).
+    """
+
+    def __init__(self, cost_of: Callable[[Edge], float]) -> None:
+        self._cost_of = cost_of
+        self._heap: list[tuple[float, str, Edge]] = []
+
+    def push(self, edge: Edge) -> None:
+        """Add a candidate edge at its current cost."""
+        heapq.heappush(self._heap, (self._cost_of(edge), str(edge), edge))
+
+    def push_all(self, edges: Iterable[Edge]) -> None:
+        """Add several candidate edges at their current costs."""
+        for edge in edges:
+            self.push(edge)
+
+    def pop_best(self, in_tree: set[Any]) -> Edge | None:
+        """Cheapest edge into a node outside ``in_tree`` (deterministic).
+
+        Entries whose target joined the tree are discarded; entries whose
+        stored cost is stale are re-pushed at their current cost.  Returns
+        ``None`` when no candidate leaves the tree (the platform is not
+        broadcast-feasible — callers raise).
+        """
+        heap = self._heap
+        while heap:
+            cost, _, edge = heapq.heappop(heap)
+            if edge[1] in in_tree:
+                continue
+            current = self._cost_of(edge)
+            if cost != current:
+                heapq.heappush(heap, (current, str(edge), edge))
+                continue
+            return edge
+        return None

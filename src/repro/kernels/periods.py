@@ -1,0 +1,157 @@
+"""Delta evaluation of steady-state node periods for re-parenting moves.
+
+The local-search post-pass evaluates hundreds of candidate moves per
+iteration, and the reference implementation pays for each one with a full
+:class:`~repro.core.tree.BroadcastTree` construction (re-validating the
+whole arborescence) plus a full :func:`~repro.analysis.throughput.tree_throughput`
+recompute.  A re-parenting move ``child: old_parent -> new_parent`` on a
+*direct* tree only changes three node periods — the old parent loses an
+outgoing transfer, the new parent gains one, and the child's incoming edge
+changes — so :class:`PeriodTracker` maintains the per-node periods (backed
+by the platform's compiled weighted-out-degree data) and re-evaluates just
+the affected nodes through the *same*
+:meth:`~repro.models.port_models.PortModel.node_period` call the full
+analysis makes, with identically ordered transfer lists.  Candidate
+throughputs are therefore bit-identical to the reference recompute, and the
+greedy search visits and accepts exactly the same move sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..models.port_models import PortModel
+
+__all__ = ["PeriodTracker"]
+
+NodeName = Any
+
+
+class PeriodTracker:
+    """Incremental per-node periods of a direct broadcast tree.
+
+    Parameters
+    ----------
+    tree:
+        The (direct) tree to track; its structure is copied, the tree object
+        itself is never mutated.
+    model:
+        Port model used for the period arithmetic.
+    size:
+        Message-slice size forwarded to the model.
+    """
+
+    def __init__(self, tree, model: PortModel, size: float | None = None) -> None:
+        if not tree.is_direct:
+            raise ValueError("PeriodTracker requires a direct (non-routed) tree")
+        self._platform = tree.platform
+        self._model = model
+        self._size = size
+        self._weights = self._platform.compiled(size).edge_weight_map
+        self.source: NodeName = tree.source
+        self.parents: dict[NodeName, NodeName] = tree.to_parent_dict()
+        self.children: dict[NodeName, list[NodeName]] = {
+            node: tree.children(node) for node in tree.nodes
+        }
+        self.periods: dict[NodeName, float] = {
+            node: self._node_period(node, self.children[node], self.parents.get(node))
+            for node in tree.nodes
+        }
+
+    # ------------------------------------------------------------------ #
+    # Period arithmetic (identical to tree_throughput's per-node call)
+    # ------------------------------------------------------------------ #
+    def _node_period(
+        self, node: NodeName, children: list[NodeName], parent: NodeName | None
+    ) -> float:
+        """Period of ``node`` given its children and parent.
+
+        Transfer lists are ordered by ``str((u, v))`` exactly like
+        :meth:`BroadcastTree.transfer_tables`, so the resulting floats match
+        a full recompute bit for bit.
+        """
+        weights = self._weights
+        outgoing = [
+            (child, weights[(node, child)], 1)
+            for child in sorted(children, key=lambda c: str((node, c)))
+        ]
+        incoming = (
+            [] if parent is None else [(parent, weights[(parent, node)], 1)]
+        )
+        return self._model.node_period(
+            self._platform, node, outgoing, incoming, self._size
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def bottleneck(self) -> NodeName:
+        """Node of maximum period (ties broken on ``str``, like the report)."""
+        return max(self.periods, key=lambda node: (self.periods[node], str(node)))
+
+    def throughput(self) -> float:
+        """Tree throughput implied by the tracked periods."""
+        period = self.periods[self.bottleneck()]
+        return float("inf") if period == 0 else 1.0 / period
+
+    def subtree_nodes(self, node: NodeName) -> set[NodeName]:
+        """All nodes of the subtree rooted at ``node`` (including it)."""
+        result: set[NodeName] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.add(current)
+            stack.extend(self.children[current])
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Move evaluation / application
+    # ------------------------------------------------------------------ #
+    def evaluate_move(self, child: NodeName, new_parent: NodeName) -> tuple[float, dict]:
+        """Throughput of the tree after re-parenting ``child``, without mutating.
+
+        Returns ``(throughput, affected_periods)`` where ``affected_periods``
+        can be handed to :meth:`apply_move` to commit the move cheaply.
+        """
+        old_parent = self.parents[child]
+        affected = {
+            old_parent: self._node_period(
+                old_parent,
+                [c for c in self.children[old_parent] if c != child],
+                self.parents.get(old_parent),
+            ),
+            new_parent: self._node_period(
+                new_parent,
+                self.children[new_parent] + [child],
+                self.parents.get(new_parent),
+            ),
+        }
+        affected[child] = self._node_period(
+            child, self.children[child], new_parent
+        )
+        period = self._max_period_excluding(affected)
+        for value in affected.values():
+            if value > period:
+                period = value
+        throughput = float("inf") if period == 0 else 1.0 / period
+        return throughput, affected
+
+    def _max_period_excluding(self, excluded: dict[NodeName, float]) -> float:
+        """Largest tracked period over the nodes *not* in ``excluded``."""
+        best = 0.0
+        for node, period in self.periods.items():
+            if period > best and node not in excluded:
+                best = period
+        return best
+
+    def apply_move(
+        self, child: NodeName, new_parent: NodeName, affected_periods: dict
+    ) -> None:
+        """Commit a move previously scored by :meth:`evaluate_move`."""
+        old_parent = self.parents[child]
+        self.children[old_parent] = [c for c in self.children[old_parent] if c != child]
+        self.children[new_parent] = sorted(
+            self.children[new_parent] + [child], key=str
+        )
+        self.parents[child] = new_parent
+        self.periods.update(affected_periods)

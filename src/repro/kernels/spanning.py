@@ -1,0 +1,114 @@
+"""Incremental spanning oracle for the edge-pruning heuristics.
+
+The pruning heuristics' inner question — *"does every node stay reachable
+from the source if I delete this edge?"* — is answered by the reference
+implementations with :func:`repro.utils.graph_utils.edge_removal_keeps_spanning`,
+which re-materialises ``set(nodes)`` and runs a full forward traversal of
+name-keyed sets on every single candidate.  :class:`SpanningOracle` compiles
+the question down to integers once per heuristic run and exploits a
+structural fact to answer most queries in a handful of steps:
+
+    On a graph where every node is reachable from the source, deleting the
+    edge ``(u, v)`` keeps the graph spanning **iff** ``v`` itself remains
+    reachable.  (Any other node's simple path through ``(u, v)`` visits
+    ``v`` exactly once; the suffix after ``v`` cannot contain an edge that
+    *ends* at ``v``, so it survives the deletion and can be grafted onto
+    any surviving source→``v`` path.)
+
+Each query therefore runs a *reverse* traversal from ``v`` over the alive
+in-edges, terminating as soon as the source is found — typically after a
+few pops on the well-connected platforms the heuristics prune — instead of
+a full forward sweep of the graph.  Deleted edges flip one slot in an
+``alive`` byte array, and an epoch-stamped ``seen`` array avoids per-query
+re-initialisation.
+
+The oracle returns exactly the same booleans as the reference helper (the
+equivalence above is an *iff*, asserted by the property tests), so the
+pruned edge sequences — and the resulting trees — are identical.
+
+Precondition: every node is currently reachable from the source.  The
+pruning heuristics maintain this invariant by construction (they start from
+a validated broadcast-feasible platform and only ever delete edges the
+oracle approved).
+"""
+
+from __future__ import annotations
+
+from ..platform.compiled import CompiledPlatform
+
+__all__ = ["SpanningOracle", "heaviest_first_candidates"]
+
+
+def heaviest_first_candidates(view: CompiledPlatform, weights) -> list[list[int]]:
+    """Per-node outgoing edge ids by non-increasing ``(weight, str(edge))``.
+
+    The shared candidate order of the degree-pruning heuristics
+    (Algorithm 2 and its multi-port variant): the weights never change
+    during a prune, so the order is computed once and filtered for liveness
+    while scanning.  ``weights`` is indexable by edge id.
+    """
+    edges = view.edge_list
+    return [
+        sorted(
+            view.out_edges_of(i).tolist(),
+            key=lambda e: (weights[e], str(edges[e])),
+            reverse=True,
+        )
+        for i in range(view.num_nodes)
+    ]
+
+
+class SpanningOracle:
+    """Answers edge-removal reachability queries on a shrinking edge set."""
+
+    def __init__(self, view: CompiledPlatform, source_index: int) -> None:
+        self._source = source_index
+        self._edge_targets = view.edge_targets.tolist()
+        sources = view.edge_sources.tolist()
+        predecessors: list[list[tuple[int, int]]] = [[] for _ in range(view.num_nodes)]
+        for edge_id, (u, v) in enumerate(zip(sources, self._edge_targets)):
+            predecessors[v].append((edge_id, u))
+        self._predecessors = predecessors
+        self._alive = bytearray(b"\x01" * view.num_edges)
+        self._seen = [0] * view.num_nodes
+        self._epoch = 0
+
+    def is_alive(self, edge_id: int) -> bool:
+        """Whether ``edge_id`` is still part of the graph."""
+        return bool(self._alive[edge_id])
+
+    def remove(self, edge_id: int) -> None:
+        """Delete ``edge_id`` from the graph."""
+        self._alive[edge_id] = 0
+
+    def alive_edge_ids(self) -> list[int]:
+        """Ids of the surviving edges, ascending (= edge insertion order)."""
+        return [e for e, flag in enumerate(self._alive) if flag]
+
+    def keeps_spanning(self, edge_id: int) -> bool:
+        """Whether deleting ``edge_id`` keeps every node source-reachable."""
+        source = self._source
+        target = self._edge_targets[edge_id]
+        if target == source:
+            return True
+        alive = self._alive
+        alive[edge_id] = 0
+        seen = self._seen
+        self._epoch += 1
+        epoch = self._epoch
+        seen[target] = epoch
+        predecessors = self._predecessors
+        stack = [target]
+        found = False
+        while stack:
+            node = stack.pop()
+            for eid, pred in predecessors[node]:
+                if alive[eid] and seen[pred] != epoch:
+                    if pred == source:
+                        found = True
+                        stack.clear()
+                        break
+                    seen[pred] = epoch
+                    stack.append(pred)
+        alive[edge_id] = 1
+        return found

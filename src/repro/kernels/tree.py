@@ -1,0 +1,164 @@
+"""Array-backed, frozen view of a :class:`~repro.core.tree.BroadcastTree`.
+
+:class:`~repro.platform.compiled.CompiledPlatform` freezes a *platform* into
+integer-indexed arrays; :class:`CompiledTree` does the same for a broadcast
+tree on top of that node index:
+
+* ``parents[i]`` — parent node index of node ``i`` (``-1`` for the source),
+* ``bfs`` — node indices in the tree's breadth-first order (identical to
+  :meth:`BroadcastTree.bfs_order <repro.core.tree.BroadcastTree.bfs_order>`),
+* a children CSR (``child_indptr`` + ``child_nodes``) in the tree's
+  deterministic child order, and
+* the physical route of every logical edge flattened into hop arrays
+  (``route_indptr`` over the ``child_nodes`` positions, plus per-hop edge
+  ids and transfer times).
+
+The makespan and simulation kernels (:mod:`repro.kernels.makespan`,
+:mod:`repro.kernels.simulation`) run their slice-vectorized recurrences
+directly over these arrays instead of chasing name-keyed dicts.  Trees cache
+their compiled view per message size through
+:meth:`BroadcastTree.compiled <repro.core.tree.BroadcastTree.compiled>`;
+tree structure is immutable after validation, and a platform mutation
+invalidates the view transitively (the platform hands out a fresh
+:class:`CompiledPlatform`, which no longer matches the cached entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..platform.compiled import CompiledPlatform
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.tree import BroadcastTree
+
+__all__ = ["CompiledTree", "compile_tree"]
+
+
+@dataclass(frozen=True, eq=False)  # identity semantics: ndarray fields break generated __eq__
+class CompiledTree:
+    """Immutable integer-indexed snapshot of a broadcast tree.
+
+    Attributes
+    ----------
+    view:
+        The compiled platform the indices refer to.
+    source:
+        Node index of the broadcast source.
+    parents:
+        ``parents[i]`` is the parent index of node ``i`` (``-1`` for the
+        source).
+    bfs:
+        Node indices in breadth-first order from the source.
+    child_indptr / child_nodes:
+        CSR children lists: the children of node ``i`` are
+        ``child_nodes[child_indptr[i]:child_indptr[i + 1]]``, in the tree's
+        deterministic (string-sorted) child order.
+    route_indptr / route_edge_ids:
+        Flattened physical routes, aligned with :attr:`child_nodes`: the
+        logical edge into ``child_nodes[c]`` is implemented by the platform
+        edges ``route_edge_ids[route_indptr[c]:route_indptr[c + 1]]`` in hop
+        order (a single entry for plain tree edges).
+    """
+
+    view: CompiledPlatform
+    source: int
+    parents: np.ndarray
+    bfs: np.ndarray
+    child_indptr: np.ndarray
+    child_nodes: np.ndarray
+    route_indptr: np.ndarray
+    route_edge_ids: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tree(cls, tree: "BroadcastTree", size: float | None = None) -> "CompiledTree":
+        """Compile ``tree`` against its platform's compiled view for ``size``."""
+        view = tree.platform.compiled(size)
+        index_of = view.node_index
+        edge_id = view.edge_id_map
+        num_nodes = view.num_nodes
+
+        parents = np.full(num_nodes, -1, dtype=np.int64)
+        for child, parent in tree.parents.items():
+            parents[index_of[child]] = index_of[parent]
+
+        bfs_names = tree.bfs_order()
+        bfs = np.asarray([index_of[name] for name in bfs_names], dtype=np.int64)
+
+        child_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        child_nodes: list[int] = []
+        route_indptr: list[int] = [0]
+        route_edge_ids: list[int] = []
+        for i, name in enumerate(view.node_names):
+            for child in tree.children(name):
+                child_nodes.append(index_of[child])
+                for hop in tree.route(name, child):
+                    route_edge_ids.append(edge_id[hop])
+                route_indptr.append(len(route_edge_ids))
+            child_indptr[i + 1] = len(child_nodes)
+
+        return cls(
+            view=view,
+            source=index_of[tree.source],
+            parents=parents,
+            bfs=bfs,
+            child_indptr=child_indptr,
+            child_nodes=np.asarray(child_nodes, dtype=np.int64),
+            route_indptr=np.asarray(route_indptr, dtype=np.int64),
+            route_edge_ids=np.asarray(route_edge_ids, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes spanned by the tree."""
+        return self.view.num_nodes
+
+    def children_of(self, index: int) -> np.ndarray:
+        """Child indices of node ``index`` (deterministic child order)."""
+        return self.child_nodes[self.child_indptr[index] : self.child_indptr[index + 1]]
+
+    def child_slots_of(self, index: int) -> np.ndarray:
+        """Positions in :attr:`child_nodes` owned by node ``index``."""
+        return np.arange(
+            self.child_indptr[index], self.child_indptr[index + 1], dtype=np.int64
+        )
+
+    def route_of(self, slot: int) -> np.ndarray:
+        """Hop edge ids of the logical edge into ``child_nodes[slot]``."""
+        return self.route_edge_ids[self.route_indptr[slot] : self.route_indptr[slot + 1]]
+
+    @cached_property
+    def route_lengths(self) -> np.ndarray:
+        """Number of physical hops of every logical edge (per child slot)."""
+        return np.diff(self.route_indptr)
+
+    @cached_property
+    def is_direct(self) -> bool:
+        """True when every logical edge is a single physical hop."""
+        return bool((self.route_lengths == 1).all()) if len(self.route_lengths) else True
+
+    @cached_property
+    def first_hop_edge_ids(self) -> np.ndarray:
+        """Edge id of the first physical hop of every logical edge (per slot)."""
+        return self.route_edge_ids[self.route_indptr[:-1]]
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTree(nodes={self.num_nodes}, source={self.source}, "
+            f"direct={self.is_direct})"
+        )
+
+
+def compile_tree(tree: "BroadcastTree", size: float | None = None) -> CompiledTree:
+    """Module-level alias of :meth:`CompiledTree.from_tree`."""
+    return CompiledTree.from_tree(tree, size)

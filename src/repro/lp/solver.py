@@ -62,19 +62,21 @@ def _extract_solution(
             if value > _FLOW_TOLERANCE:
                 flows[(edge, destination)] = value
 
-    occupation: dict[NodeName, tuple[float, float]] = {}
-    for node in platform.nodes:
-        t_in = sum(
-            edge_messages[(u, v)] * platform.transfer_time(u, v, size)
-            for u, v in platform.edges
-            if v == node
-        )
-        t_out = sum(
-            edge_messages[(u, v)] * platform.transfer_time(u, v, size)
-            for u, v in platform.edges
-            if u == node
-        )
-        occupation[node] = (t_in, t_out)
+    # Per-node in/out occupation in one pass over the edges: accumulate
+    # ``n_{u,v} * T_{u,v}`` onto both endpoints through the compiled edge
+    # index (the per-node × per-edge loops this replaces were O(V * E)).
+    view = platform.compiled(size)
+    occupied = np.asarray(
+        [edge_messages[edge] for edge in index.edges]
+    ) * view.transfer_times
+    t_in = np.zeros(view.num_nodes)
+    t_out = np.zeros(view.num_nodes)
+    np.add.at(t_in, view.edge_targets, occupied)
+    np.add.at(t_out, view.edge_sources, occupied)
+    occupation: dict[NodeName, tuple[float, float]] = {
+        name: (float(t_in[i]), float(t_out[i]))
+        for i, name in enumerate(view.node_names)
+    }
 
     return SteadyStateSolution(
         throughput=throughput,

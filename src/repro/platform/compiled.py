@@ -212,6 +212,11 @@ class CompiledPlatform:
         return dict(zip(self.edge_list, self.transfer_times.tolist()))
 
     @cached_property
+    def edge_id_map(self) -> dict[Edge, int]:
+        """``{(u, v): edge id}`` over all edges (name pairs, insertion order)."""
+        return {edge: e for e, edge in enumerate(self.edge_list)}
+
+    @cached_property
     def out_edges_by_node(self) -> dict[NodeName, list[Edge]]:
         """Name-keyed map of the outgoing edges (as name pairs) of every node."""
         edges = self.edge_list

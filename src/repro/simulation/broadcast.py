@@ -18,6 +18,17 @@ index, and for each slice its obligations in a fixed deterministic order
 also available: the node starts the first *ready* obligation (smallest slice
 index), which can help routed trees where different obligations depend on
 different arrivals.
+
+Fast path
+---------
+For the in-order policy on *direct* trees with the canonical port models
+and tracing disabled, every resource serves its obligations in a
+predetermined order, so the schedule needs no event heap — it is evaluated
+directly by :mod:`repro.kernels.simulation` (vectorized scans under the
+one-port model, a lean scalar recurrence mirroring the engine's arithmetic
+under the multi-port model).  The event engine remains the implementation
+for the greedy policy, routed trees, tracing and custom port models, and
+the test suite cross-checks the two paths for equality.
 """
 
 from __future__ import annotations
@@ -152,12 +163,10 @@ class PipelinedBroadcastSimulator:
         self._arrival: dict[NodeName, dict[int, float]] = {tree.source: {}}
         self._hop_done: dict[tuple[Edge, int, int], float] = {}
 
-        # Per-node work lists and progress pointers.
+        # Per-node work lists and progress pointers (built lazily by
+        # run(): the event-free fast path never needs them).
         self._obligations: dict[NodeName, list[_Obligation]] = {}
         self._pending: dict[NodeName, list[tuple[int, int]]] = {}
-
-        self._build_obligations()
-        self._build_resources()
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -303,12 +312,62 @@ class PipelinedBroadcastSimulator:
         self._try_send(obligation.receiver)
 
     # ------------------------------------------------------------------ #
+    # Event-free fast path (canonical in-order schedule)
+    # ------------------------------------------------------------------ #
+    def _fast_path_applicable(self) -> bool:
+        """Whether the in-order schedule can be evaluated without events."""
+        from ..kernels.simulation import supports_inorder_fast_path
+
+        return (
+            self.policy == "in-order"
+            and not self.record_trace
+            and supports_inorder_fast_path(self.tree.compiled(self.size), self.model)
+        )
+
+    def _run_fast(self) -> SimulationResult:
+        """Evaluate the in-order schedule directly from the compiled arrays."""
+        from ..analysis.throughput import tree_throughput  # local import: avoid cycle
+        from ..kernels.simulation import inorder_direct_run
+
+        ctree = self.tree.compiled(self.size)
+        view = ctree.view
+        matrix, send_busy, recv_busy, link_busy = inorder_direct_run(
+            ctree, self.num_slices, self.model
+        )
+        arrivals: dict[NodeName, list[float]] = {
+            name: matrix[i].tolist() for i, name in enumerate(view.node_names)
+        }
+        arrivals[self.tree.source] = [0.0] * self.num_slices
+        makespan = max(times[-1] for times in arrivals.values())
+        utilization = {}
+        for index, busy in send_busy.items():
+            utilization[f"send-port:{view.name_of(index)}"] = min(1.0, busy / makespan)
+        for index, busy in recv_busy.items():
+            utilization[f"recv-port:{view.name_of(index)}"] = min(1.0, busy / makespan)
+        for edge_id, busy in link_busy.items():
+            utilization[f"link:{view.edge_list[edge_id]}"] = min(1.0, busy / makespan)
+        return SimulationResult(
+            makespan=makespan,
+            num_slices=self.num_slices,
+            arrival_times=arrivals,
+            measured_throughput=self._measure_throughput(arrivals),
+            analytical_throughput=tree_throughput(self.tree, self.model, self.size).throughput,
+            trace=self.trace,
+            resource_utilization=utilization,
+        )
+
+    # ------------------------------------------------------------------ #
     # Entry point
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
         """Execute the simulation and return its result."""
         from ..analysis.throughput import tree_throughput  # local import: avoid cycle
 
+        if self._fast_path_applicable():
+            return self._run_fast()
+
+        self._build_obligations()
+        self._build_resources()
         self.engine.schedule_at(0.0, lambda: self._try_send(self.tree.source))
         max_events = 50 * self.num_slices * max(1, self.platform.num_links) + 1000
         self.engine.run(max_events=max_events)

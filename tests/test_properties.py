@@ -211,7 +211,11 @@ class TestCrossValidationProperties:
     def test_simulation_matches_analysis_for_direct_trees(self, params):
         platform = make_platform(params)
         tree = build_broadcast_tree(platform, 0, "grow-tree")
-        result = simulate_broadcast(tree, num_slices=30, record_trace=False)
+        # 60 slices: the 30-slice measurement window can straddle the
+        # warm-up on slow-converging platforms (e.g. nodes=10, density=0.5,
+        # seed=17 measures 5.8% high); the event-free fast path makes the
+        # longer run essentially free.
+        result = simulate_broadcast(tree, num_slices=60, record_trace=False)
         assert result.relative_error() < 0.05
 
 
