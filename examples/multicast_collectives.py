@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Collective operations: multicast, scatter, reduce and gather on one platform.
+
+The paper's machinery is broadcast-only; the ``repro.collectives`` subsystem
+generalises it.  This example runs every collective kind end to end on the
+same 20-node platform:
+
+1. describe the operation with a :class:`~repro.collectives.CollectiveSpec`,
+2. solve the spec-parameterised steady-state LP (the multi-tree optimum),
+3. build a single Steiner tree with the spec-aware grow-tree heuristic
+   (reduce/gather build on the reversed platform automatically),
+4. cross-check the closed-form throughput against the pipelined /
+   distinct-message simulation.
+
+Run with ``python examples/multicast_collectives.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CollectiveSpec,
+    build_collective_tree,
+    collective_throughput,
+    generate_random_platform,
+    simulate_collective,
+    solve_collective_lp,
+)
+from repro.utils.ascii_plot import format_table
+
+
+def main() -> None:
+    platform = generate_random_platform(num_nodes=20, density=0.15, seed=7)
+    source = 0
+    targets = [1, 3, 5, 9, 13]
+    print(f"platform: {platform}")
+    print(f"targets for the partial collectives: {targets}\n")
+
+    specs = [
+        CollectiveSpec.broadcast(source),
+        CollectiveSpec.multicast(source, targets),
+        CollectiveSpec.scatter(source, targets),
+        CollectiveSpec.reduce(source),
+        CollectiveSpec.gather(source, targets),
+    ]
+
+    rows = []
+    for spec in specs:
+        # The multi-tree optimum of this collective (LP over the rationals);
+        # reduce/gather are solved on the reversed platform and mapped back.
+        optimum = solve_collective_lp(platform, spec).throughput
+
+        # One Steiner tree covering the targets (plus any relays it needs).
+        tree = build_collective_tree(platform, spec)
+        analytical = collective_throughput(tree, spec).throughput
+
+        # Ground truth: replay 80 pipelined rounds and measure the
+        # steady-state rate (distinct messages for scatter/gather).
+        result = simulate_collective(tree, spec, num_slices=80, record_trace=False)
+
+        rows.append(
+            [
+                spec.kind.value,
+                len(tree.nodes),
+                optimum,
+                analytical,
+                result.measured_throughput,
+                analytical / optimum,
+            ]
+        )
+
+    print(
+        format_table(
+            ["collective", "covered", "LP optimum", "tree TP", "simulated TP", "ratio"],
+            rows,
+            float_format="{:.4f}",
+        )
+    )
+    print(
+        "\nmulticast beats broadcast (fewer commodities), scatter pays the\n"
+        "no-nesting sum, and reduce mirrors broadcast on the reversed platform."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -20,12 +20,14 @@ True
 """
 
 from ._version import __version__
+from .collectives import CollectiveKind, CollectiveSpec
 from .analysis import (
     BottleneckReport,
     MakespanReport,
     SummaryStatistics,
     ThroughputReport,
     analyze_bottleneck,
+    collective_throughput,
     fill_time,
     makespan_lower_bound,
     node_periods,
@@ -52,6 +54,7 @@ from .core import (
     TreeHeuristic,
     available_heuristics,
     build_broadcast_tree,
+    build_collective_tree,
     get_heuristic,
     improve_tree,
     register_heuristic,
@@ -71,10 +74,14 @@ from .exceptions import (
 from .lp import (
     LPSolutionCache,
     SteadyStateSolution,
+    build_collective_lp,
     build_steady_state_lp,
+    collective_optimal_throughput,
     optimal_throughput,
+    solve_collective_lp,
     solve_steady_state_lp,
 )
+from .simulation import simulate_broadcast, simulate_collective
 from .models import MultiPortModel, OnePortModel, PortModel, PortModelKind, get_port_model
 from .platform import (
     AffineCost,
@@ -101,6 +108,16 @@ from .platform import (
 
 __all__ = [
     "__version__",
+    # collectives
+    "CollectiveKind",
+    "CollectiveSpec",
+    "build_collective_tree",
+    "build_collective_lp",
+    "solve_collective_lp",
+    "collective_optimal_throughput",
+    "collective_throughput",
+    "simulate_broadcast",
+    "simulate_collective",
     # analysis
     "BottleneckReport",
     "MakespanReport",

@@ -9,7 +9,14 @@ from .makespan import (
     pipelined_makespan_reference,
 )
 from .metrics import SummaryStatistics, geometric_mean, relative_performance, summarize
-from .throughput import ThroughputReport, node_periods, tree_throughput
+from .throughput import (
+    ThroughputReport,
+    collective_node_periods,
+    collective_throughput,
+    distinct_message_multiplicities,
+    node_periods,
+    tree_throughput,
+)
 
 __all__ = [
     "BottleneckReport",
@@ -24,6 +31,9 @@ __all__ = [
     "relative_performance",
     "summarize",
     "ThroughputReport",
+    "collective_node_periods",
+    "collective_throughput",
+    "distinct_message_multiplicities",
     "node_periods",
     "tree_throughput",
 ]

@@ -20,16 +20,26 @@ period.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from ..collectives import CollectiveSpec
 from ..core.tree import BroadcastTree
 from ..exceptions import TreeError
 from ..models.port_models import PortModel, get_port_model
 
-__all__ = ["ThroughputReport", "tree_throughput", "node_periods"]
+__all__ = [
+    "ThroughputReport",
+    "tree_throughput",
+    "node_periods",
+    "collective_throughput",
+    "collective_node_periods",
+    "distinct_message_multiplicities",
+]
 
 NodeName = Any
+Edge = tuple[NodeName, NodeName]
 
 
 @dataclass(frozen=True)
@@ -75,15 +85,139 @@ def node_periods(
     model: PortModel | str | None = None,
     size: float | None = None,
 ) -> dict[NodeName, float]:
-    """Steady-state period of every node of ``tree`` under ``model``."""
+    """Steady-state period of every active node of ``tree`` under ``model``.
+
+    Active = covered by the tree, plus any route-relay node its routed
+    transfers occupy (relevant for partial routed trees, whose relays do
+    real work without being logical recipients).
+    """
     port_model = get_port_model(model)
     outgoing, incoming = tree.transfer_tables(size)
     periods: dict[NodeName, float] = {}
-    for node in tree.nodes:
+    for node in outgoing:
         periods[node] = port_model.node_period(
             tree.platform, node, outgoing[node], incoming[node], size
         )
     return periods
+
+
+def distinct_message_multiplicities(
+    tree: BroadcastTree, targets: "set[NodeName] | None" = None
+) -> Counter[Edge]:
+    """Per-physical-edge message count of one distinct-message (scatter) round.
+
+    In a pipelined scatter every round moves one *distinct* message per
+    target, and the message for target ``t`` crosses exactly the tree path
+    from the source to ``t``: the logical edge into child ``c`` therefore
+    carries as many messages per round as there are targets in ``c``'s
+    subtree (nothing can be nested), and each count is accumulated over the
+    physical hops of the logical edge's route.
+
+    ``targets`` overrides whose messages are counted; it defaults to the
+    tree's target set (every covered non-source node for spanning trees).
+    """
+    if targets is None:
+        targets = (
+            set(tree.targets)
+            if tree.targets is not None
+            else set(tree.nodes) - {tree.source}
+        )
+    else:
+        targets = set(targets)
+    subtree_count: dict[NodeName, int] = {}
+    for node in reversed(tree.bfs_order()):
+        count = 1 if node in targets and node != tree.source else 0
+        count += sum(subtree_count[child] for child in tree.children(node))
+        subtree_count[node] = count
+
+    counter: Counter[Edge] = Counter()
+    for parent, child in tree.logical_edges:
+        multiplicity = subtree_count[child]
+        if multiplicity == 0:
+            continue
+        for edge in tree.route(parent, child):
+            counter[edge] += multiplicity
+    return counter
+
+
+def collective_node_periods(
+    tree: BroadcastTree,
+    spec: CollectiveSpec,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+) -> dict[NodeName, float]:
+    """Steady-state period of every node for one round of ``spec``.
+
+    Combinable kinds (broadcast / multicast / reduce) move one slice per
+    logical edge per period — exactly :func:`node_periods`.  Distinct-message
+    kinds (scatter / gather) weight each transfer by the number of targets
+    behind it (:func:`distinct_message_multiplicities`); the port models
+    already accept per-transfer multiplicities, so the same
+    ``node_period`` arithmetic covers both families.
+
+    For reduce / gather, ``tree`` is expected on the reversed platform (as
+    :func:`~repro.core.registry.build_collective_tree` returns it); the
+    distinctness of the messages is all that matters here, and it is
+    invariant under platform reversal.  The spec's *own* target set drives
+    the message counts — a spanning tree analysed for a two-target scatter
+    only pays for those two targets' messages — and every spec target must
+    be covered by the tree.
+    """
+    targets = set(spec.resolve_targets(tree.platform))
+    missing = targets - set(tree.nodes)
+    if missing:
+        raise TreeError(
+            f"tree {tree.name!r} does not cover the spec targets "
+            f"{sorted(map(repr, missing))}"
+        )
+    if not spec.distinct_messages:
+        return node_periods(tree, model, size)
+    port_model = get_port_model(model)
+    outgoing, incoming = tree.transfer_tables(
+        size, multiplicities=distinct_message_multiplicities(tree, targets)
+    )
+    return {
+        node: port_model.node_period(
+            tree.platform, node, outgoing[node], incoming[node], size
+        )
+        for node in outgoing
+    }
+
+
+def _report_from_periods(
+    tree: BroadcastTree, model: PortModel, periods: dict[NodeName, float]
+) -> ThroughputReport:
+    """Assemble a :class:`ThroughputReport` from per-node periods."""
+    bottleneck = max(periods, key=lambda node: (periods[node], str(node)))
+    period = periods[bottleneck]
+    throughput = float("inf") if period == 0 else 1.0 / period
+    return ThroughputReport(
+        throughput=throughput,
+        period=period,
+        bottleneck=bottleneck,
+        periods=periods,
+        model=model.name,
+        tree_name=tree.name,
+    )
+
+
+def collective_throughput(
+    tree: BroadcastTree,
+    spec: CollectiveSpec,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+) -> ThroughputReport:
+    """Steady-state rounds-per-time-unit of ``tree`` executing ``spec``.
+
+    One "round" delivers one slice to every target (combinable kinds) or one
+    distinct message to every target (scatter / gather).
+    """
+    if tree.num_nodes == 0:
+        raise TreeError("cannot analyse an empty tree")
+    port_model = get_port_model(model)
+    return _report_from_periods(
+        tree, port_model, collective_node_periods(tree, spec, port_model, size)
+    )
 
 
 def tree_throughput(
@@ -106,15 +240,4 @@ def tree_throughput(
     if tree.num_nodes == 0:
         raise TreeError("cannot analyse an empty tree")
     port_model = get_port_model(model)
-    periods = node_periods(tree, port_model, size)
-    bottleneck = max(periods, key=lambda node: (periods[node], str(node)))
-    period = periods[bottleneck]
-    throughput = float("inf") if period == 0 else 1.0 / period
-    return ThroughputReport(
-        throughput=throughput,
-        period=period,
-        bottleneck=bottleneck,
-        periods=periods,
-        model=port_model.name,
-        tree_name=tree.name,
-    )
+    return _report_from_periods(tree, port_model, node_periods(tree, port_model, size))

@@ -12,9 +12,16 @@ The CLI exposes the main workflows without writing Python:
 ``python -m repro.cli simulate --nodes 20 --density 0.12 --slices 60``
     cross-check the analysis with the discrete-event simulator;
 
+``python -m repro.cli collective --collective multicast --targets 1,3,5``
+    run any collective operation (``broadcast``, ``multicast``, ``scatter``,
+    ``reduce``, ``gather``) end to end: spec-parameterised LP optimum,
+    spec-aware Steiner tree, steady-state analysis and distinct-message /
+    pipelined simulation cross-check;
+
 ``python -m repro.cli experiment --artefact fig4a --scale 0.1``
     regenerate one of the paper's artefacts (``fig4a``, ``fig4b``, ``fig5``,
-    ``table3``) at a chosen ensemble scale.
+    ``table3``) or the collective-scaling sweep (``collective``) at a chosen
+    ensemble scale.
 
 Every command accepts ``--tiers SIZE`` instead of ``--nodes/--density`` to
 use the Tiers-like hierarchical generator, and ``--seed`` for
@@ -27,24 +34,33 @@ import argparse
 import sys
 from typing import Sequence
 
-from .analysis.throughput import tree_throughput
-from .core.registry import available_heuristics, build_broadcast_tree
+from .analysis.throughput import collective_throughput, tree_throughput
+from .collectives import CollectiveSpec
+from .core.registry import (
+    available_heuristics,
+    build_broadcast_tree,
+    build_collective_tree,
+    get_heuristic,
+)
 from .experiments import (
+    check_collective_scaling_shape,
     check_figure4_shape,
     check_figure5_shape,
     check_table3_shape,
+    collective_scaling,
     figure_4a,
     figure_4b,
     figure_5,
     scaled_parameters,
     table_3,
 )
-from .lp.solver import solve_steady_state_lp
+from .lp.solver import solve_collective_lp, solve_steady_state_lp
 from .models.port_models import get_port_model
 from .platform.generators.random_graph import generate_random_platform
 from .platform.generators.tiers import generate_tiers_platform
 from .platform.graph import Platform
 from .simulation.broadcast import simulate_broadcast
+from .simulation.collective import simulate_collective
 from .utils.ascii_plot import format_table
 
 __all__ = ["main", "build_parser"]
@@ -132,11 +148,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_targets(raw: str | None) -> list[int] | None:
+    """Parse the ``--targets`` flag (comma-separated node names)."""
+    if raw is None:
+        return None
+    try:
+        return [int(item) for item in raw.split(",") if item.strip() != ""]
+    except ValueError:
+        raise SystemExit(
+            f"--targets must be a comma-separated list of node ids, got {raw!r}"
+        ) from None
+
+
+def _cmd_collective(args: argparse.Namespace) -> int:
+    platform = _make_platform(args)
+    model = get_port_model(args.model)
+    targets = _parse_targets(args.targets)
+    spec = CollectiveSpec(args.collective, args.source, targets)
+    solution = solve_collective_lp(platform, spec)
+    heuristic = get_heuristic(args.heuristic)
+    # The LP-guided heuristics would otherwise re-solve the identical LP
+    # inside build(); share this command's solution with them.
+    extra = {"lp_solution": solution} if heuristic.uses_lp_solution else {}
+    tree = build_collective_tree(
+        platform, spec, heuristic=heuristic, model=model, strict_model=False, **extra
+    )
+    report = collective_throughput(tree, spec, model)
+    result = simulate_collective(
+        tree, spec, num_slices=args.slices, model=model, record_trace=False
+    )
+    print(f"platform: {platform}")
+    print(f"collective: {spec.describe()}  (heuristic {args.heuristic!r}, {model.name})")
+    print(solution.summary())
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["LP optimum (multi-tree)", solution.throughput],
+                ["tree throughput (analytical)", report.throughput],
+                ["tree throughput (simulated)", result.measured_throughput],
+                ["simulation relative error", result.relative_error()],
+                ["relative performance", report.throughput / solution.throughput],
+                ["covered nodes", float(len(tree.nodes))],
+            ],
+            float_format="{:.4f}",
+        )
+    )
+    if args.show_tree:
+        print(tree.describe())
+    return 0
+
+
 _ARTEFACTS = {
     "fig4a": (figure_4a, check_figure4_shape, "random"),
     "fig4b": (figure_4b, check_figure4_shape, "random"),
     "fig5": (figure_5, check_figure5_shape, "random"),
     "table3": (table_3, check_table3_shape, "tiers"),
+    "collective": (collective_scaling, check_collective_scaling_shape, "collective"),
 }
 
 
@@ -185,6 +253,29 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--model", default="one-port", choices=["one-port", "multi-port"])
     simulate.add_argument("--slices", type=int, default=60, help="number of message slices")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    collective = commands.add_parser(
+        "collective", help="run a collective operation (LP + tree + simulation)"
+    )
+    _add_platform_arguments(collective)
+    collective.add_argument(
+        "--collective",
+        default="broadcast",
+        choices=["broadcast", "multicast", "scatter", "reduce", "gather"],
+        help="collective kind",
+    )
+    collective.add_argument(
+        "--targets",
+        default=None,
+        help="comma-separated target node ids (default: all other nodes)",
+    )
+    collective.add_argument(
+        "--heuristic", default="grow-tree", choices=available_heuristics()
+    )
+    collective.add_argument("--model", default="one-port", choices=["one-port", "multi-port"])
+    collective.add_argument("--slices", type=int, default=60, help="simulated rounds")
+    collective.add_argument("--show-tree", action="store_true", help="print the tree structure")
+    collective.set_defaults(handler=_cmd_collective)
 
     experiment = commands.add_parser("experiment", help="regenerate a paper artefact")
     experiment.add_argument("--artefact", choices=sorted(_ARTEFACTS), default="fig4a")

@@ -1,0 +1,59 @@
+"""Collective operations on top of the steady-state broadcast machinery.
+
+:class:`CollectiveSpec` describes *which* collective to run (broadcast,
+multicast, scatter, reduce, gather — kind, root, target set);
+:func:`effective_problem` normalises reversed kinds onto the reversed
+platform so every downstream layer only ever sees the three forward kinds.
+
+The layer-specific entry points live next to their broadcast counterparts:
+
+* :func:`repro.lp.formulation.build_collective_lp` /
+  :func:`repro.lp.solver.solve_collective_lp` — the spec-parameterised
+  ``SSB(G)`` linear program;
+* :func:`repro.core.registry.build_collective_tree` — spec-aware tree
+  heuristics (Steiner coverage of the target set);
+* :func:`repro.simulation.collective.simulate_collective` — pipelined
+  simulation (broadcast-style replay for combinable kinds, distinct-message
+  replay for scatter / gather);
+* :func:`repro.analysis.throughput.collective_throughput` — closed-form
+  steady-state throughput of a tree for a spec.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .spec import CollectiveKind, CollectiveSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..platform.graph import Platform
+
+__all__ = ["CollectiveKind", "CollectiveSpec", "effective_problem", "require_feasible"]
+
+
+def effective_problem(
+    platform: "Platform", spec: CollectiveSpec
+) -> tuple["Platform", CollectiveSpec]:
+    """Normalise ``(platform, spec)`` into an equivalent forward problem.
+
+    Broadcast / multicast / scatter are returned unchanged; reduce / gather
+    become their dual forward kind on :meth:`Platform.reversed
+    <repro.platform.graph.Platform.reversed>` (same root, same targets).
+    The reversed view is cached on the platform, so repeated calls along one
+    workflow (LP, heuristic, simulation) share a single platform object —
+    and therefore its compiled arrays and LP solution cache entries.
+    """
+    spec.validate(platform)
+    if spec.is_reversed:
+        return platform.reversed(), spec.dual()
+    return platform, spec
+
+
+def require_feasible(platform: "Platform", spec: CollectiveSpec) -> None:
+    """Raise :class:`~repro.exceptions.DisconnectedPlatformError` when some
+    target cannot be served (unreachable from the root along the flow
+    direction of ``spec``)."""
+    effective_platform, effective_spec = effective_problem(platform, spec)
+    effective_platform.require_targets_reachable(
+        effective_spec.source, effective_spec.resolve_targets(effective_platform)
+    )

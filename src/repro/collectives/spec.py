@@ -1,0 +1,200 @@
+"""Specification of a steady-state collective operation.
+
+The paper's machinery — the ``SSB(G)`` linear program of Section 4.1, the
+tree heuristics of Sections 3–4, the pipelined simulation — is formulated
+for *broadcast*, but nothing in it is broadcast-specific:
+
+* **multicast** restricts the commodity set of the LP (and the coverage
+  requirement of the trees) to a subset of target processors; relay nodes
+  may still forward slices they do not consume;
+* **scatter** sends a *distinct* message to every target, so messages to
+  different destinations can no longer be nested into one another: the
+  nesting constraint (d) ``n_{u,v} >= x^{u,v}_w`` becomes the sum
+  ``n_{u,v} = sum_w x^{u,v}_w``;
+* **reduce** (with a combinable operator) and **gather** are the duals of
+  broadcast and scatter on the *reversed* platform: each processor pushes
+  one slice per period toward the root, and partial results either combine
+  along the way (reduce, nesting = ``max``) or stay distinct (gather,
+  nesting = ``sum``).
+
+:class:`CollectiveSpec` packages the three degrees of freedom (kind, root
+processor, target set) into one immutable value that every layer of the
+stack — ``lp``, ``core``, ``simulation``, ``experiments``, the CLI — accepts
+instead of a bare broadcast source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..exceptions import PlatformError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..platform.graph import Platform
+
+__all__ = ["CollectiveKind", "CollectiveSpec"]
+
+NodeName = Any
+
+
+class CollectiveKind(str, Enum):
+    """The collective operations the steady-state machinery supports."""
+
+    BROADCAST = "broadcast"
+    MULTICAST = "multicast"
+    SCATTER = "scatter"
+    REDUCE = "reduce"
+    GATHER = "gather"
+
+
+#: Dual pairs: a reversed-direction collective on ``G`` is its dual solved on
+#: the reversed platform ``G^T`` (flows change direction; combinable kinds
+#: stay combinable, distinct-message kinds stay distinct).
+_DUAL: dict[CollectiveKind, CollectiveKind] = {
+    CollectiveKind.BROADCAST: CollectiveKind.REDUCE,
+    CollectiveKind.MULTICAST: CollectiveKind.REDUCE,
+    CollectiveKind.SCATTER: CollectiveKind.GATHER,
+    CollectiveKind.REDUCE: CollectiveKind.BROADCAST,
+    CollectiveKind.GATHER: CollectiveKind.SCATTER,
+}
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """One collective operation: kind, root processor, optional target set.
+
+    Parameters
+    ----------
+    kind:
+        The collective operation (a :class:`CollectiveKind` or its string
+        value).
+    source:
+        The root processor: the emitter for broadcast / multicast / scatter,
+        the processor accumulating the result for reduce / gather.
+    targets:
+        The processors that must receive (or, for reversed kinds,
+        contribute) data.  ``None`` means "every processor except the
+        source".  The source is allowed in the set and ignored (it holds
+        the data by definition).
+    """
+
+    kind: CollectiveKind
+    source: NodeName
+    targets: tuple[NodeName, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", CollectiveKind(self.kind))
+        if self.targets is not None:
+            object.__setattr__(self, "targets", tuple(self.targets))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def broadcast(cls, source: NodeName) -> "CollectiveSpec":
+        """Broadcast from ``source`` to every other processor."""
+        return cls(CollectiveKind.BROADCAST, source)
+
+    @classmethod
+    def multicast(cls, source: NodeName, targets: Iterable[NodeName]) -> "CollectiveSpec":
+        """Multicast from ``source`` to the ``targets`` subset."""
+        return cls(CollectiveKind.MULTICAST, source, tuple(targets))
+
+    @classmethod
+    def scatter(
+        cls, source: NodeName, targets: Iterable[NodeName] | None = None
+    ) -> "CollectiveSpec":
+        """Scatter distinct messages from ``source`` to the targets."""
+        return cls(CollectiveKind.SCATTER, source, None if targets is None else tuple(targets))
+
+    @classmethod
+    def reduce(
+        cls, source: NodeName, targets: Iterable[NodeName] | None = None
+    ) -> "CollectiveSpec":
+        """Reduce (combinable partial results) from the targets to ``source``."""
+        return cls(CollectiveKind.REDUCE, source, None if targets is None else tuple(targets))
+
+    @classmethod
+    def gather(
+        cls, source: NodeName, targets: Iterable[NodeName] | None = None
+    ) -> "CollectiveSpec":
+        """Gather distinct messages from the targets at ``source``."""
+        return cls(CollectiveKind.GATHER, source, None if targets is None else tuple(targets))
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+    @property
+    def is_reversed(self) -> bool:
+        """Whether data flows *toward* the root (reduce / gather)."""
+        return self.kind in (CollectiveKind.REDUCE, CollectiveKind.GATHER)
+
+    @property
+    def distinct_messages(self) -> bool:
+        """Whether every commodity is a distinct message (scatter / gather).
+
+        Distinct messages cannot be nested into one another, which turns the
+        LP nesting constraint (d) from a ``max`` into a ``sum`` and the
+        per-edge transfer multiplicity from 1 into the number of commodities
+        routed through the edge.
+        """
+        return self.kind in (CollectiveKind.SCATTER, CollectiveKind.GATHER)
+
+    def dual(self) -> "CollectiveSpec":
+        """The equivalent collective on the reversed platform.
+
+        ``spec.dual()`` keeps the root and target set and flips the flow
+        direction: solving ``spec`` on ``G`` is solving ``spec.dual()`` on
+        ``G.reversed()`` (and vice versa).
+        """
+        return replace(self, kind=_DUAL[self.kind])
+
+    # ------------------------------------------------------------------ #
+    # Resolution against a platform
+    # ------------------------------------------------------------------ #
+    def validate(self, platform: "Platform") -> None:
+        """Check the spec is well-formed on ``platform``; raise otherwise."""
+        if not platform.has_node(self.source):
+            raise PlatformError(
+                f"collective source {self.source!r} is not a node of "
+                f"platform {platform.name!r}"
+            )
+        if self.targets is not None:
+            unknown = [t for t in self.targets if not platform.has_node(t)]
+            if unknown:
+                raise PlatformError(
+                    f"collective targets {unknown!r} are not nodes of "
+                    f"platform {platform.name!r}"
+                )
+        if not self.resolve_targets(platform):
+            raise PlatformError(
+                f"collective {self.kind.value!r} from {self.source!r} has no "
+                "target besides the source"
+            )
+
+    def resolve_targets(self, platform: "Platform") -> tuple[NodeName, ...]:
+        """Target processors in platform (node insertion) order.
+
+        The source is excluded; duplicates collapse.  With ``targets=None``
+        this is every other processor, which makes the broadcast LP /
+        heuristics a special case bit-for-bit (same commodity order).
+        """
+        if self.targets is None:
+            return tuple(n for n in platform.nodes if n != self.source)
+        wanted = set(self.targets)
+        return tuple(n for n in platform.nodes if n != self.source and n in wanted)
+
+    def is_total(self, platform: "Platform") -> bool:
+        """Whether the target set covers every processor but the source."""
+        return len(self.resolve_targets(platform)) == platform.num_nodes - 1
+
+    def describe(self) -> str:
+        """Short human-readable label used in reports and the CLI."""
+        if self.targets is None:
+            scope = "all nodes"
+        else:
+            scope = f"{len(set(self.targets) - {self.source})} targets"
+        arrow = "<-" if self.is_reversed else "->"
+        return f"{self.kind.value} {self.source!r} {arrow} {scope}"

@@ -16,11 +16,12 @@ from .registry import (
     PAPER_ONE_PORT_HEURISTICS,
     available_heuristics,
     build_broadcast_tree,
+    build_collective_tree,
     get_heuristic,
     heuristics_for_names,
     register_heuristic,
 )
-from .tree import BroadcastTree, Route
+from .tree import BroadcastTree, Route, steiner_prune
 
 __all__ = [
     "HeuristicResult",
@@ -40,9 +41,11 @@ __all__ = [
     "PAPER_ONE_PORT_HEURISTICS",
     "available_heuristics",
     "build_broadcast_tree",
+    "build_collective_tree",
     "get_heuristic",
     "heuristics_for_names",
     "register_heuristic",
     "BroadcastTree",
     "Route",
+    "steiner_prune",
 ]

@@ -15,6 +15,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any
 
+from ..collectives import CollectiveSpec
 from ..exceptions import HeuristicError
 from ..models.port_models import PortModel, PortModelKind, get_port_model
 from ..platform.graph import Platform
@@ -60,27 +61,43 @@ class TreeHeuristic(ABC):
         PortModelKind.ONE_PORT,
         PortModelKind.MULTI_PORT,
     )
+    #: Whether :meth:`_build` consumes an ``lp_solution`` keyword (the
+    #: LP-guided heuristics).  When a collective spec is passed to
+    #: :meth:`build` and no solution was supplied, the base class solves the
+    #: LP *of that spec* up front so scatter trees are guided by the
+    #: distinct-message optimum, not a multicast surrogate.
+    uses_lp_solution: bool = False
 
     # ------------------------------------------------------------------ #
     def build(
         self,
         platform: Platform,
-        source: NodeName,
+        source: NodeName = None,
         *,
+        spec: CollectiveSpec | None = None,
         model: PortModel | str | None = None,
         size: float | None = None,
         strict_model: bool = True,
         **kwargs: Any,
     ) -> BroadcastTree:
-        """Build a spanning broadcast tree rooted at ``source``.
+        """Build a broadcast (or collective) tree rooted at ``source``.
 
         Parameters
         ----------
         platform:
-            The platform graph; every node must be reachable from the
-            source.
+            The platform graph; every node (or, with a spec, every target)
+            must be reachable from the source.
         source:
-            Root of the broadcast.
+            Root of the broadcast.  May be omitted when ``spec`` carries it.
+        spec:
+            Optional :class:`~repro.collectives.CollectiveSpec` for the
+            forward collective kinds.  A multicast / scatter spec relaxes
+            the coverage requirement to its target set: growth stops once
+            every target is adopted and non-target leaves are Steiner-pruned,
+            yielding a partial (Steiner) tree.  Reduce / gather specs are
+            rejected here — use
+            :func:`~repro.core.registry.build_collective_tree`, which solves
+            the dual on the reversed platform.
         model:
             Port model (instance, name or ``None`` for one-port); used by
             the model-aware heuristics and recorded on the result.
@@ -100,9 +117,34 @@ class TreeHeuristic(ABC):
                 f"heuristic {self.name!r} does not support the {port_model.name} model; "
                 f"supported: {[kind.value for kind in self.supported_models]}"
             )
+        if spec is not None:
+            if spec.is_reversed:
+                raise HeuristicError(
+                    f"heuristics build forward trees only; solve the "
+                    f"{spec.kind.value!r} spec through build_collective_tree, "
+                    "which reverses the platform first"
+                )
+            if source is None:
+                source = spec.source
+            elif source != spec.source:
+                raise HeuristicError(
+                    f"source {source!r} conflicts with the spec source {spec.source!r}"
+                )
         if not platform.has_node(source):
             raise HeuristicError(f"source {source!r} is not a node of the platform")
-        platform.require_broadcast_feasible(source)
+        if spec is not None:
+            spec.validate(platform)
+            targets = spec.resolve_targets(platform)
+            platform.require_targets_reachable(
+                source, targets, operation=f"a {spec.kind.value} tree"
+            )
+            kwargs["targets"] = tuple(targets)
+            if self.uses_lp_solution and kwargs.get("lp_solution") is None:
+                from ..lp.solver import solve_collective_lp  # local: avoid cycle
+
+                kwargs["lp_solution"] = solve_collective_lp(platform, spec, size)
+        else:
+            platform.require_broadcast_feasible(source)
         tree = self._build(platform, source, port_model, size, **kwargs)
         tree.name = self.name
         return tree

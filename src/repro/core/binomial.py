@@ -56,22 +56,33 @@ class BinomialTreeHeuristic(TreeHeuristic):
         source: NodeName,
         model: PortModel,
         size: float | None,
+        targets: tuple[NodeName, ...] | None = None,
         **kwargs: Any,
     ) -> BroadcastTree:
         if kwargs:
             raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
-        ranks = self._rank_order(platform, source)
+        ranks = self._rank_order(platform, source, targets)
         transfers = [
             (ranks[src_index], ranks[dst_index])
             for src_index, dst_index in self.logical_transfers(len(ranks))
         ]
         return BroadcastTree.from_logical_transfers(
-            platform, source, transfers, name=self.name
+            platform, source, transfers, name=self.name, targets=targets
         )
 
     # ------------------------------------------------------------------ #
-    def _rank_order(self, platform: Platform, source: NodeName) -> list[NodeName]:
-        """Node list indexed by MPI rank, with the source at rank 0."""
+    def _rank_order(
+        self,
+        platform: Platform,
+        source: NodeName,
+        targets: tuple[NodeName, ...] | None = None,
+    ) -> list[NodeName]:
+        """Node list indexed by MPI rank, with the source at rank 0.
+
+        With a target set only the targets get a rank — the binomial
+        structure is built over the participants alone, and non-participant
+        processors appear only as shortest-path relays of routed transfers.
+        """
         if self.index_order is not None:
             order = list(self.index_order)
             if set(order) != set(platform.nodes):
@@ -80,7 +91,11 @@ class BinomialTreeHeuristic(TreeHeuristic):
                 )
         else:
             order = sorted(platform.nodes, key=str)
-        order.remove(source)
+        if targets is not None:
+            keep = set(targets)
+            order = [node for node in order if node in keep]
+        if source in order:
+            order.remove(source)
         return [source, *order]
 
     @staticmethod

@@ -31,7 +31,7 @@ from ..kernels.frontier import LazyFrontier
 from ..models.port_models import PortModel
 from ..platform.graph import Platform
 from .base import TreeHeuristic
-from .tree import BroadcastTree
+from .tree import BroadcastTree, steiner_prune
 
 __all__ = ["GrowingMinimumOutDegreeTree"]
 
@@ -69,6 +69,7 @@ class GrowingMinimumOutDegreeTree(TreeHeuristic):
         source: NodeName,
         model: PortModel,
         size: float | None,
+        targets: tuple[NodeName, ...] | None = None,
         **kwargs: Any,
     ) -> BroadcastTree:
         if kwargs:
@@ -81,14 +82,19 @@ class GrowingMinimumOutDegreeTree(TreeHeuristic):
         in_tree: set[NodeName] = {source}
         tree_edges: list[Edge] = []
         tree_edge_set: set[Edge] = set()
-        all_nodes = set(platform.nodes)
+        # Coverage goal: every platform node for broadcast, the target set
+        # for a collective spec (relays are adopted on the way and
+        # Steiner-pruned afterwards if they never fed a target).
+        needed = (
+            set(platform.nodes) if targets is None else set(targets)
+        ) - in_tree
 
         frontier: LazyFrontier | None = None
         if self.fast:
             frontier = LazyFrontier(cost.__getitem__)
             frontier.push_all(out_edges_of[source])
 
-        while in_tree != all_nodes:
+        while needed:
             if frontier is not None:
                 best_edge = frontier.pop_best(in_tree)
             else:
@@ -103,6 +109,7 @@ class GrowingMinimumOutDegreeTree(TreeHeuristic):
             tree_edges.append(best_edge)
             tree_edge_set.add(best_edge)
             in_tree.add(v)
+            needed.discard(v)
             if frontier is not None:
                 frontier.push_all(out_edges_of[v])
             # Adding (u, v) increases u's weighted out-degree; reflect that in
@@ -112,7 +119,14 @@ class GrowingMinimumOutDegreeTree(TreeHeuristic):
                 if edge != best_edge and edge not in tree_edge_set:
                     cost[edge] += increase
 
-        return BroadcastTree.from_edges(platform, source, tree_edges, name=self.name)
+        if targets is not None:
+            parents = steiner_prune(
+                {v: u for u, v in tree_edges}, source, targets
+            )
+            tree_edges = [(u, v) for v, u in parents.items()]
+        return BroadcastTree.from_edges(
+            platform, source, tree_edges, name=self.name, targets=targets
+        )
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -46,11 +46,16 @@ def _candidate_moves(
 ) -> list[tuple[NodeName, NodeName]]:
     """Possible ``(child, new_parent)`` re-parenting moves for the bottleneck."""
     platform = tree.platform
+    covered = set(tree.nodes)
     moves: list[tuple[NodeName, NodeName]] = []
     for child in tree.children(bottleneck):
         forbidden = tree.subtree_nodes(child)
         for new_parent in platform.in_neighbors(child):
             if new_parent == bottleneck or new_parent in forbidden:
+                continue
+            if new_parent not in covered:
+                # Partial (Steiner) trees: re-parenting under a node outside
+                # the tree would silently grow the covered set.
                 continue
             moves.append((child, new_parent))
     return moves
@@ -65,6 +70,7 @@ def _apply_move(tree: BroadcastTree, child: NodeName, new_parent: NodeName) -> B
         source=tree.source,
         parents=parents,
         name=tree.name,
+        targets=tree.targets,
     )
 
 
@@ -85,7 +91,11 @@ def _flatten_routed(tree: BroadcastTree) -> BroadcastTree:
                 parents[successor] = node
                 frontier.append(successor)
     return BroadcastTree(
-        platform=tree.platform, source=tree.source, parents=parents, name=tree.name
+        platform=tree.platform,
+        source=tree.source,
+        parents=parents,
+        name=tree.name,
+        targets=tree.targets,
     )
 
 
@@ -125,6 +135,9 @@ def improve_tree(
             for new_parent in platform.in_neighbors(child):
                 if new_parent == bottleneck or new_parent in forbidden:
                     continue
+                if new_parent not in tracker.children:
+                    # Outside a partial tree's covered set (see _candidate_moves).
+                    continue
                 throughput, affected = tracker.evaluate_move(child, new_parent)
                 if throughput > best_throughput + tolerance:
                     best_move = (child, new_parent)
@@ -140,6 +153,7 @@ def improve_tree(
         source=base.source,
         parents=tracker.parents,
         name=f"{tree.name}+local-search",
+        targets=base.targets,
     )
     return improved
 
@@ -199,6 +213,7 @@ class LocalSearchImprovement(TreeHeuristic):
         self.name = f"{base.name}+local-search"
         self.paper_label = f"{base.paper_label} + Local Search"
         self.supported_models = base.supported_models
+        self.uses_lp_solution = base.uses_lp_solution
 
     def _build(
         self,

@@ -15,13 +15,14 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..collectives import CollectiveSpec
 from ..exceptions import HeuristicError
 from ..lp.solution import SteadyStateSolution
-from ..lp.solver import solve_steady_state_lp
+from ..lp.solver import solve_collective_lp, solve_steady_state_lp
 from ..models.port_models import PortModel
 from ..platform.graph import Platform
 from .base import TreeHeuristic
-from .tree import BroadcastTree
+from .tree import BroadcastTree, steiner_prune
 
 __all__ = ["LPGrowTree"]
 
@@ -34,6 +35,7 @@ class LPGrowTree(TreeHeuristic):
 
     name = "lp-grow-tree"
     paper_label = "LP Grow Tree"
+    uses_lp_solution = True
 
     def _build(
         self,
@@ -42,12 +44,21 @@ class LPGrowTree(TreeHeuristic):
         model: PortModel,
         size: float | None,
         lp_solution: SteadyStateSolution | None = None,
+        targets: tuple[NodeName, ...] | None = None,
         **kwargs: Any,
     ) -> BroadcastTree:
         if kwargs:
             raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
         if lp_solution is None:
-            lp_solution = solve_steady_state_lp(platform, source, size)
+            # build() pre-solves the LP of the actual spec (scatter specs get
+            # the distinct-message program); this fallback only serves direct
+            # _build calls, where multicast is the best available guess.
+            if targets is None:
+                lp_solution = solve_steady_state_lp(platform, source, size)
+            else:
+                lp_solution = solve_collective_lp(
+                    platform, CollectiveSpec.multicast(source, targets), size
+                )
         elif lp_solution.source != source:
             raise HeuristicError(
                 f"the provided LP solution was computed for source "
@@ -60,9 +71,11 @@ class LPGrowTree(TreeHeuristic):
 
         in_tree: set[NodeName] = {source}
         tree_edges: list[Edge] = []
-        all_nodes = set(platform.nodes)
+        needed = (
+            set(platform.nodes) if targets is None else set(targets)
+        ) - in_tree
 
-        while in_tree != all_nodes:
+        while needed:
             best: Edge | None = None
             best_key: tuple[float, str] | None = None
             for edge, weight in messages.items():
@@ -79,5 +92,11 @@ class LPGrowTree(TreeHeuristic):
                 )
             tree_edges.append(best)
             in_tree.add(best[1])
+            needed.discard(best[1])
 
-        return BroadcastTree.from_edges(platform, source, tree_edges, name=self.name)
+        if targets is not None:
+            parents = steiner_prune({v: u for u, v in tree_edges}, source, targets)
+            tree_edges = [(u, v) for v, u in parents.items()]
+        return BroadcastTree.from_edges(
+            platform, source, tree_edges, name=self.name, targets=targets
+        )

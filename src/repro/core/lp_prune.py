@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..collectives import CollectiveSpec
 from ..exceptions import HeuristicError
 from ..kernels.spanning import SpanningOracle
 from ..lp.solution import SteadyStateSolution
-from ..lp.solver import solve_steady_state_lp
+from ..lp.solver import solve_collective_lp, solve_steady_state_lp
 from ..models.port_models import PortModel
 from ..platform.graph import Platform
 from ..utils.graph_utils import (
@@ -55,6 +56,7 @@ class LPCommunicationGraphPruning(TreeHeuristic):
 
     name = "lp-prune"
     paper_label = "LP Prune"
+    uses_lp_solution = True
 
     def __init__(self, fast: bool = True) -> None:
         self.fast = fast
@@ -66,22 +68,32 @@ class LPCommunicationGraphPruning(TreeHeuristic):
         model: PortModel,
         size: float | None,
         lp_solution: SteadyStateSolution | None = None,
+        targets: tuple[NodeName, ...] | None = None,
         **kwargs: Any,
     ) -> BroadcastTree:
         if kwargs:
             raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
         if lp_solution is None:
-            lp_solution = solve_steady_state_lp(platform, source, size)
+            # build() pre-solves the LP of the actual spec (scatter specs get
+            # the distinct-message program); this fallback only serves direct
+            # _build calls, where multicast is the best available guess.
+            if targets is None:
+                lp_solution = solve_steady_state_lp(platform, source, size)
+            else:
+                lp_solution = solve_collective_lp(
+                    platform, CollectiveSpec.multicast(source, targets), size
+                )
         elif lp_solution.source != source:
             raise HeuristicError(
                 f"the provided LP solution was computed for source "
                 f"{lp_solution.source!r}, not {source!r}"
             )
         if self.fast:
-            return self._build_fast(platform, source, size, lp_solution)
+            return self._build_fast(platform, source, size, lp_solution, targets)
 
         nodes = platform.nodes
-        target_edges = len(nodes) - 1
+        required = list(nodes) if targets is None else list(targets)
+        target_edges = len(nodes) - 1 if targets is None else 0
         messages: dict[Edge, float] = {
             edge: lp_solution.edge_weight(*edge) for edge in platform.edges
         }
@@ -94,17 +106,21 @@ class LPCommunicationGraphPruning(TreeHeuristic):
             for edge in sort_edges_by_weight(remaining, messages, descending=False):
                 if len(remaining) <= target_edges:
                     break
-                if edge_removal_keeps_spanning(source, nodes, adjacency, edge):
+                if edge_removal_keeps_spanning(source, required, adjacency, edge):
                     remaining.discard(edge)
                     adjacency[edge[0]].discard(edge[1])
                     removed_this_pass += 1
             if removed_this_pass == 0:
+                if targets is not None:
+                    break  # minimal Steiner edge set reached
                 raise HeuristicError(
                     "LP-Prune is stuck: no edge can be removed while keeping the "
                     "platform broadcast-feasible"
                 )
 
-        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+        return BroadcastTree.from_edges(
+            platform, source, remaining, name=self.name, targets=targets
+        )
 
     def _build_fast(
         self,
@@ -112,11 +128,16 @@ class LPCommunicationGraphPruning(TreeHeuristic):
         source: NodeName,
         size: float | None,
         lp_solution: SteadyStateSolution,
+        targets: tuple[NodeName, ...] | None = None,
     ) -> BroadcastTree:
         """Oracle-backed pruning; same removal sequence as the loop above."""
         view = platform.compiled(size)
-        target_edges = view.num_nodes - 1
-        oracle = SpanningOracle(view, view.index_of(source))
+        target_edges = view.num_nodes - 1 if targets is None else 0
+        oracle = SpanningOracle(
+            view,
+            view.index_of(source),
+            None if targets is None else [view.index_of(t) for t in targets],
+        )
         edges = view.edge_list
         # Candidate order is fixed once: ascending (n_{u,v}, str(edge)), the
         # exact key of sort_edges_by_weight; each while-pass of the reference
@@ -139,10 +160,14 @@ class LPCommunicationGraphPruning(TreeHeuristic):
                     alive -= 1
                     removed_this_pass += 1
             if removed_this_pass == 0:
+                if targets is not None:
+                    break  # minimal Steiner edge set reached
                 raise HeuristicError(
                     "LP-Prune is stuck: no edge can be removed while keeping the "
                     "platform broadcast-feasible"
                 )
 
         remaining = [edges[e] for e in oracle.alive_edge_ids()]
-        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+        return BroadcastTree.from_edges(
+            platform, source, remaining, name=self.name, targets=targets
+        )

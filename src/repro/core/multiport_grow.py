@@ -27,7 +27,7 @@ from ..kernels.frontier import LazyFrontier
 from ..models.port_models import MultiPortModel, PortModel, PortModelKind
 from ..platform.graph import Platform
 from .base import TreeHeuristic
-from .tree import BroadcastTree
+from .tree import BroadcastTree, steiner_prune
 
 __all__ = ["MultiPortGrowingTree"]
 
@@ -61,6 +61,7 @@ class MultiPortGrowingTree(TreeHeuristic):
         source: NodeName,
         model: PortModel,
         size: float | None,
+        targets: tuple[NodeName, ...] | None = None,
         **kwargs: Any,
     ) -> BroadcastTree:
         if kwargs:
@@ -76,7 +77,9 @@ class MultiPortGrowingTree(TreeHeuristic):
         in_tree: set[NodeName] = {source}
         children: dict[NodeName, list[NodeName]] = {node: [] for node in platform.nodes}
         tree_edges: list[Edge] = []
-        all_nodes = set(platform.nodes)
+        needed = (
+            set(platform.nodes) if targets is None else set(targets)
+        ) - in_tree
 
         frontier: LazyFrontier | None = None
         if self.fast:
@@ -86,7 +89,7 @@ class MultiPortGrowingTree(TreeHeuristic):
             )
             frontier.push_all(out_edges_of[source])
 
-        while in_tree != all_nodes:
+        while needed:
             if frontier is not None:
                 best_edge = frontier.pop_best(in_tree)
             else:
@@ -99,10 +102,16 @@ class MultiPortGrowingTree(TreeHeuristic):
             tree_edges.append(best_edge)
             children[u].append(v)
             in_tree.add(v)
+            needed.discard(v)
             if frontier is not None:
                 frontier.push_all(out_edges_of[v])
 
-        return BroadcastTree.from_edges(platform, source, tree_edges, name=self.name)
+        if targets is not None:
+            parents = steiner_prune({v: u for u, v in tree_edges}, source, targets)
+            tree_edges = [(u, v) for v, u in parents.items()]
+        return BroadcastTree.from_edges(
+            platform, source, tree_edges, name=self.name, targets=targets
+        )
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -59,6 +59,7 @@ class MultiPortRefinedPruning(TreeHeuristic):
         source: NodeName,
         model: PortModel,
         size: float | None,
+        targets: tuple[NodeName, ...] | None = None,
         **kwargs: Any,
     ) -> BroadcastTree:
         if kwargs:
@@ -66,10 +67,11 @@ class MultiPortRefinedPruning(TreeHeuristic):
         if not isinstance(model, MultiPortModel):
             model = MultiPortModel()
         if self.fast:
-            return self._build_fast(platform, source, model, size)
+            return self._build_fast(platform, source, model, size, targets)
 
         nodes = platform.nodes
-        target_edges = len(nodes) - 1
+        required = list(nodes) if targets is None else list(targets)
+        target_edges = len(nodes) - 1 if targets is None else 0
         weights: dict[Edge, float] = model.edge_weight_map(platform, size)
         send_time: dict[NodeName, float] = model.node_send_times(platform, size)
         out_edges_of = platform.compiled(size).out_edges_by_node
@@ -94,7 +96,7 @@ class MultiPortRefinedPruning(TreeHeuristic):
                     reverse=True,
                 )
                 for edge in out_edges:
-                    if edge_removal_keeps_spanning(source, nodes, adjacency, edge):
+                    if edge_removal_keeps_spanning(source, required, adjacency, edge):
                         remaining.discard(edge)
                         adjacency[edge[0]].discard(edge[1])
                         removed = True
@@ -102,12 +104,16 @@ class MultiPortRefinedPruning(TreeHeuristic):
                 if removed:
                     break
             if not removed:
+                if targets is not None:
+                    break  # minimal Steiner edge set reached
                 raise HeuristicError(
                     "multi-port refined pruning is stuck: no edge can be removed while "
                     "keeping the platform broadcast-feasible"
                 )
 
-        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+        return BroadcastTree.from_edges(
+            platform, source, remaining, name=self.name, targets=targets
+        )
 
     def _build_fast(
         self,
@@ -115,11 +121,12 @@ class MultiPortRefinedPruning(TreeHeuristic):
         source: NodeName,
         model: MultiPortModel,
         size: float | None,
+        targets: tuple[NodeName, ...] | None = None,
     ) -> BroadcastTree:
         """Oracle-backed scan; same removal sequence as the loop above."""
         view = platform.compiled(size)
         num_nodes = view.num_nodes
-        target_edges = num_nodes - 1
+        target_edges = num_nodes - 1 if targets is None else 0
         edges = view.edge_list
         # Aligned with edge ids; honours edge_weight / node_send_time
         # overrides of subclasses (the canonical model reads both straight
@@ -128,7 +135,11 @@ class MultiPortRefinedPruning(TreeHeuristic):
         weights = [weight_map[edge] for edge in edges]
         send_map = model.node_send_times(platform, size)
         send_times = [send_map.get(name, 0.0) for name in view.node_names]
-        oracle = SpanningOracle(view, view.index_of(source))
+        oracle = SpanningOracle(
+            view,
+            view.index_of(source),
+            None if targets is None else [view.index_of(t) for t in targets],
+        )
         node_keys = [str(name) for name in view.node_names]
         candidates = heaviest_first_candidates(view, weights)
 
@@ -159,10 +170,14 @@ class MultiPortRefinedPruning(TreeHeuristic):
                 if removed:
                     break
             if not removed:
+                if targets is not None:
+                    break  # minimal Steiner edge set reached
                 raise HeuristicError(
                     "multi-port refined pruning is stuck: no edge can be removed while "
                     "keeping the platform broadcast-feasible"
                 )
 
         remaining = [edges[e] for e in oracle.alive_edge_ids()]
-        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+        return BroadcastTree.from_edges(
+            platform, source, remaining, name=self.name, targets=targets
+        )

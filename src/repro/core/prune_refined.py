@@ -58,14 +58,16 @@ class RefinedPlatformPruning(TreeHeuristic):
         source: NodeName,
         model: PortModel,
         size: float | None,
+        targets: tuple[NodeName, ...] | None = None,
         **kwargs: Any,
     ) -> BroadcastTree:
         if kwargs:
             raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
         if self.fast and type(model).edge_weight is PortModel.edge_weight:
-            return self._build_fast(platform, source, size)
+            return self._build_fast(platform, source, size, targets)
         nodes = platform.nodes
-        target_edges = len(nodes) - 1
+        required = list(nodes) if targets is None else list(targets)
+        target_edges = len(nodes) - 1 if targets is None else 0
         weights: dict[Edge, float] = model.edge_weight_map(platform, size)
         out_edges_of = platform.compiled(size).out_edges_by_node
         remaining: set[Edge] = set(weights)
@@ -76,18 +78,27 @@ class RefinedPlatformPruning(TreeHeuristic):
 
         while len(remaining) > target_edges:
             removed = self._remove_one_edge(
-                source, nodes, remaining, adjacency, weights, out_degree, out_edges_of
+                source, nodes, remaining, adjacency, weights, out_degree, out_edges_of,
+                required,
             )
             if removed is None:
+                if targets is not None:
+                    break  # minimal Steiner edge set reached
                 raise HeuristicError(
                     "refined platform pruning is stuck: no edge can be removed while "
                     "keeping the platform broadcast-feasible"
                 )
 
-        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+        return BroadcastTree.from_edges(
+            platform, source, remaining, name=self.name, targets=targets
+        )
 
     def _build_fast(
-        self, platform: Platform, source: NodeName, size: float | None
+        self,
+        platform: Platform,
+        source: NodeName,
+        size: float | None,
+        targets: tuple[NodeName, ...] | None = None,
     ) -> BroadcastTree:
         """Array-backed Algorithm 2; same removal sequence as the reference.
 
@@ -96,10 +107,14 @@ class RefinedPlatformPruning(TreeHeuristic):
         """
         view = platform.compiled(size)
         num_nodes = view.num_nodes
-        target_edges = num_nodes - 1
+        target_edges = num_nodes - 1 if targets is None else 0
         edges = view.edge_list
         weights = view.transfer_times
-        oracle = SpanningOracle(view, view.index_of(source))
+        oracle = SpanningOracle(
+            view,
+            view.index_of(source),
+            None if targets is None else [view.index_of(t) for t in targets],
+        )
 
         # Maintained per-node weighted out-degree array (same accumulation
         # order as the reference's dict fill: edge insertion order).
@@ -130,13 +145,17 @@ class RefinedPlatformPruning(TreeHeuristic):
                 if removed:
                     break
             if not removed:
+                if targets is not None:
+                    break  # minimal Steiner edge set reached
                 raise HeuristicError(
                     "refined platform pruning is stuck: no edge can be removed while "
                     "keeping the platform broadcast-feasible"
                 )
 
         remaining = [edges[e] for e in oracle.alive_edge_ids()]
-        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+        return BroadcastTree.from_edges(
+            platform, source, remaining, name=self.name, targets=targets
+        )
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -148,15 +167,18 @@ class RefinedPlatformPruning(TreeHeuristic):
         weights: dict[Edge, float],
         out_degree: dict[NodeName, float],
         out_edges_of: dict[NodeName, list[Edge]],
+        required: list[NodeName] | None = None,
     ) -> Edge | None:
         """One iteration of the outer loop of Algorithm 2.
 
         Nodes are scanned by non-increasing weighted out-degree; for each
         node its remaining outgoing edges are scanned by non-increasing
-        weight; the first edge whose removal keeps every node reachable from
-        the source is removed and returned.  ``None`` means no edge of any
-        node can be removed.
+        weight; the first edge whose removal keeps every ``required`` node
+        (every node, for broadcast) reachable from the source is removed and
+        returned.  ``None`` means no edge of any node can be removed.
         """
+        if required is None:
+            required = nodes
         sorted_nodes = sorted(
             nodes, key=lambda node: (out_degree[node], str(node)), reverse=True
         )
@@ -167,7 +189,7 @@ class RefinedPlatformPruning(TreeHeuristic):
                 reverse=True,
             )
             for edge in out_edges:
-                if edge_removal_keeps_spanning(source, nodes, adjacency, edge):
+                if edge_removal_keeps_spanning(source, required, adjacency, edge):
                     remaining.discard(edge)
                     adjacency[edge[0]].discard(edge[1])
                     out_degree[node] -= weights[edge]

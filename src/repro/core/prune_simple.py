@@ -44,30 +44,41 @@ class SimplePlatformPruning(TreeHeuristic):
         source: NodeName,
         model: PortModel,
         size: float | None,
+        targets: tuple[NodeName, ...] | None = None,
         **kwargs: Any,
     ) -> BroadcastTree:
         if kwargs:
             raise HeuristicError(f"unexpected options for {self.name!r}: {sorted(kwargs)}")
         nodes = platform.nodes
-        target_edges = len(nodes) - 1
         weights = model.edge_weight_map(platform, size)
         remaining = set(weights)
         adjacency = adjacency_from_edges(nodes, remaining)
+
+        # Broadcast keeps every node reachable and stops at the spanning
+        # edge count; a collective target set only protects the targets and
+        # prunes until no edge is removable (the survivors then form a
+        # Steiner arborescence over source, targets and the kept relays).
+        required = list(nodes) if targets is None else list(targets)
+        target_edges = len(nodes) - 1 if targets is None else 0
 
         while len(remaining) > target_edges:
             removed_this_pass = 0
             for edge in sort_edges_by_weight(remaining, weights, descending=True):
                 if len(remaining) <= target_edges:
                     break
-                if edge_removal_keeps_spanning(source, nodes, adjacency, edge):
+                if edge_removal_keeps_spanning(source, required, adjacency, edge):
                     remaining.discard(edge)
                     adjacency[edge[0]].discard(edge[1])
                     removed_this_pass += 1
             if removed_this_pass == 0:
+                if targets is not None:
+                    break  # minimal Steiner edge set reached
                 raise HeuristicError(
                     "simple platform pruning is stuck: no edge can be removed while "
                     "keeping the platform broadcast-feasible (this should be impossible "
                     "on a feasible platform)"
                 )
 
-        return BroadcastTree.from_edges(platform, source, remaining, name=self.name)
+        return BroadcastTree.from_edges(
+            platform, source, remaining, name=self.name, targets=targets
+        )

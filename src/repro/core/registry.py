@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
+from ..collectives import CollectiveSpec, effective_problem
 from ..exceptions import UnknownHeuristicError
 from ..models.port_models import PortModel
 from ..platform.graph import Platform
@@ -34,6 +35,7 @@ __all__ = [
     "get_heuristic",
     "available_heuristics",
     "build_broadcast_tree",
+    "build_collective_tree",
     "heuristics_for_names",
 ]
 
@@ -128,6 +130,48 @@ def build_broadcast_tree(
     """
     return get_heuristic(heuristic).build(
         platform, source, model=model, size=size, **kwargs
+    )
+
+
+def build_collective_tree(
+    platform: Platform,
+    spec: CollectiveSpec,
+    heuristic: str | TreeHeuristic = "grow-tree",
+    *,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+    **kwargs: Any,
+) -> BroadcastTree:
+    """Build a tree for any :class:`~repro.collectives.CollectiveSpec`.
+
+    Broadcast / multicast / scatter build directly on ``platform`` (multicast
+    and scatter as Steiner trees covering the spec's target set).  Reduce and
+    gather build the dual forward tree on ``platform.reversed()``: the
+    returned tree's :attr:`~BroadcastTree.platform` is the reversed view and
+    each tree edge ``u -> v`` means "``v`` sends its (partial) slices to
+    ``u``" on the original platform.
+
+    Example
+    -------
+    >>> from repro import generate_random_platform, build_collective_tree
+    >>> from repro.collectives import CollectiveSpec
+    >>> platform = generate_random_platform(num_nodes=12, density=0.3, seed=0)
+    >>> tree = build_collective_tree(platform, CollectiveSpec.multicast(0, [1, 3, 5]))
+    >>> set([1, 3, 5]) <= set(tree.nodes)
+    True
+    """
+    effective_platform, effective_spec = effective_problem(platform, spec)
+    if spec.is_reversed and kwargs.get("lp_solution") is not None:
+        # solve_collective_lp reports reduce/gather flows on the *original*
+        # edge orientation; the heuristic runs on the reversed platform, so
+        # flip the guide back before it looks up edge weights.
+        from ..lp.solver import _reverse_solution  # local: avoid cycle
+
+        kwargs["lp_solution"] = _reverse_solution(
+            kwargs["lp_solution"], effective_spec
+        )
+    return get_heuristic(heuristic).build(
+        effective_platform, spec=effective_spec, model=model, size=size, **kwargs
     )
 
 

@@ -32,13 +32,44 @@ import networkx as nx
 from ..exceptions import NotASpanningTreeError, TreeError
 from ..platform.graph import Platform
 
-__all__ = ["BroadcastTree", "Route"]
+__all__ = ["BroadcastTree", "Route", "steiner_prune"]
 
 NodeName = Any
 Edge = tuple[NodeName, NodeName]
 #: A route is the ordered list of physical edges implementing one logical
 #: transfer; for normal tree edges it is just ``[(parent, child)]``.
 Route = tuple[Edge, ...]
+
+#: Sentinel distinguishing "no parent entry" from legitimate ``None`` names.
+_MISSING = object()
+
+
+def steiner_prune(
+    parents: Mapping[NodeName, NodeName],
+    source: NodeName,
+    targets: Iterable[NodeName],
+) -> dict[NodeName, NodeName]:
+    """Drop non-target leaves from a parent map, repeatedly.
+
+    The target-aware growing heuristics stop as soon as every target is
+    covered, but the nodes adopted along the way that never ended up feeding
+    a target are dead weight: they cost their parent one transfer per period
+    without serving the collective.  This peels them off until every leaf is
+    a target (the source is never removed).
+    """
+    keep = dict(parents)
+    target_set = set(targets)
+    child_count: Counter[NodeName] = Counter(keep.values())
+    removable = [
+        n for n in keep if child_count[n] == 0 and n not in target_set
+    ]
+    while removable:
+        node = removable.pop()
+        parent = keep.pop(node)
+        child_count[parent] -= 1
+        if parent != source and child_count[parent] == 0 and parent not in target_set:
+            removable.append(parent)
+    return keep
 
 
 @dataclass
@@ -61,6 +92,14 @@ class BroadcastTree:
         ``((parent, child),)``, which must then exist in the platform.
     name:
         Optional label (usually the heuristic that produced the tree).
+    targets:
+        ``None`` (the default) keeps the paper's invariant: the tree must
+        span *every* platform node.  A tuple of node names relaxes it to
+        Steiner coverage — the tree must cover all the targets, and may
+        additionally contain relay nodes, but no other platform node needs a
+        parent.  This is what the multicast / scatter heuristics of
+        :mod:`repro.collectives` produce; :attr:`nodes` then lists only the
+        covered nodes.
     """
 
     platform: Platform
@@ -68,10 +107,13 @@ class BroadcastTree:
     parents: dict[NodeName, NodeName]
     routes: dict[Edge, Route] = field(default_factory=dict)
     name: str = "broadcast-tree"
+    targets: tuple[NodeName, ...] | None = None
 
     def __post_init__(self) -> None:
         self.parents = dict(self.parents)
         self.routes = {edge: tuple(route) for edge, route in self.routes.items()}
+        if self.targets is not None:
+            self.targets = tuple(self.targets)
         self._children: dict[NodeName, list[NodeName]] = {}
         self.validate()
 
@@ -86,12 +128,14 @@ class BroadcastTree:
         edges: Iterable[Edge],
         *,
         name: str = "broadcast-tree",
+        targets: Iterable[NodeName] | None = None,
     ) -> "BroadcastTree":
         """Build a tree from a set of directed edges forming an arborescence.
 
         This is the natural constructor for the pruning and growing
         heuristics, which all end with exactly ``p - 1`` directed edges such
-        that every node is reachable from the source.
+        that every node is reachable from the source (or, with ``targets``,
+        a Steiner arborescence covering the target set).
         """
         parents: dict[NodeName, NodeName] = {}
         for u, v in edges:
@@ -105,7 +149,13 @@ class BroadcastTree:
                     f"edge {u!r} -> {v!r} enters the source; not an arborescence"
                 )
             parents[v] = u
-        return cls(platform=platform, source=source, parents=parents, name=name)
+        return cls(
+            platform=platform,
+            source=source,
+            parents=parents,
+            name=name,
+            targets=None if targets is None else tuple(targets),
+        )
 
     @classmethod
     def from_logical_transfers(
@@ -115,6 +165,7 @@ class BroadcastTree:
         transfers: Sequence[Edge],
         *,
         name: str = "broadcast-tree",
+        targets: Iterable[NodeName] | None = None,
     ) -> "BroadcastTree":
         """Build a routed tree from logical transfers (binomial heuristic).
 
@@ -136,38 +187,59 @@ class BroadcastTree:
             else:
                 path = platform.shortest_path(u, v)
                 routes[(u, v)] = tuple(zip(path[:-1], path[1:]))
-        return cls(platform=platform, source=source, parents=parents, routes=routes, name=name)
+        return cls(
+            platform=platform,
+            source=source,
+            parents=parents,
+            routes=routes,
+            name=name,
+            targets=None if targets is None else tuple(targets),
+        )
 
     # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
-        """Check the spanning-arborescence invariants; raise on failure."""
+        """Check the (spanning or Steiner) arborescence invariants; raise on failure."""
         if not self.platform.has_node(self.source):
             raise TreeError(f"source {self.source!r} is not a node of the platform")
         platform_nodes = set(self.platform.nodes)
-        expected = platform_nodes - {self.source}
         declared = set(self.parents)
         if self.source in declared:
             raise NotASpanningTreeError("the source must not have a parent")
-        missing = expected - declared
-        if missing:
-            raise NotASpanningTreeError(
-                f"nodes {sorted(map(repr, missing))} have no parent; the tree is not spanning"
-            )
-        extra = declared - expected
+        if self.targets is None:
+            expected = platform_nodes - {self.source}
+            missing = expected - declared
+            if missing:
+                raise NotASpanningTreeError(
+                    f"nodes {sorted(map(repr, missing))} have no parent; the tree is not spanning"
+                )
+        else:
+            expected = (set(self.targets) & platform_nodes) - {self.source}
+            missing = expected - declared
+            if missing:
+                raise NotASpanningTreeError(
+                    f"target nodes {sorted(map(repr, missing))} have no parent; "
+                    "the tree does not cover its target set"
+                )
+        extra = declared - (platform_nodes - {self.source})
         if extra:
             raise NotASpanningTreeError(
                 f"parent map mentions unknown nodes {sorted(map(repr, extra))}"
             )
 
         # Every node must reach the source by following parent pointers
-        # (this also rules out cycles).
+        # (this also rules out cycles and parents outside the tree).
         for node in declared:
             seen = {node}
             current = node
             while current != self.source:
-                current = self.parents[current]
+                current = self.parents.get(current, _MISSING)
+                if current is _MISSING:
+                    raise NotASpanningTreeError(
+                        f"parent chain of {node!r} leaves the tree before "
+                        "reaching the source"
+                    )
                 if current in seen:
                     raise NotASpanningTreeError(
                         f"cycle detected in parent pointers around {current!r}"
@@ -205,13 +277,29 @@ class BroadcastTree:
     # ------------------------------------------------------------------ #
     @property
     def nodes(self) -> list[NodeName]:
-        """All nodes of the tree (== all platform nodes)."""
-        return self.platform.nodes
+        """Nodes covered by the tree, in platform (insertion) order.
+
+        For spanning trees (``targets is None``) this is every platform
+        node; for Steiner trees it is the source, the targets and the relay
+        nodes the heuristic kept.
+        """
+        if self.targets is None:
+            return self.platform.nodes
+        return [
+            n for n in self.platform.nodes if n == self.source or n in self.parents
+        ]
 
     @property
     def num_nodes(self) -> int:
-        """Number of nodes spanned by the tree."""
-        return self.platform.num_nodes
+        """Number of nodes covered by the tree."""
+        if self.targets is None:
+            return self.platform.num_nodes
+        return len(self.parents) + 1
+
+    @property
+    def is_spanning(self) -> bool:
+        """Whether the tree covers every platform node."""
+        return len(self.parents) + 1 == self.platform.num_nodes
 
     @property
     def logical_edges(self) -> list[Edge]:
@@ -316,20 +404,33 @@ class BroadcastTree:
         return counter
 
     def transfer_tables(
-        self, size: float | None = None
+        self,
+        size: float | None = None,
+        multiplicities: Mapping[Edge, int] | None = None,
     ) -> tuple[
         dict[NodeName, list[tuple[NodeName, float, int]]],
         dict[NodeName, list[tuple[NodeName, float, int]]],
     ]:
-        """Outgoing and incoming transfer lists of *every* node in one pass.
+        """Outgoing and incoming transfer lists of *every* active node in one pass.
 
         Equivalent to calling :meth:`outgoing_transfers` /
         :meth:`incoming_transfers` for each node (same entries, same order)
         but computes the edge multiplicities once and reads the transfer
         times from the platform's compiled arrays; the throughput analysis
         uses this on the hot ensemble-evaluation path.
+
+        ``multiplicities`` overrides the per-physical-edge message counts
+        (default: :meth:`physical_edge_multiplicities`, one per logical
+        transfer crossing the edge) — the distinct-message analysis passes
+        subtree target counts instead.  Both returned dicts share one key
+        set: the covered nodes plus any route-relay endpoint that carries
+        traffic (a Steiner tree built from routed transfers may relay
+        through nodes outside its logical coverage, and their port
+        occupation still bounds the throughput).
         """
         times = self.platform.compiled(size).edge_weight_map
+        if multiplicities is None:
+            multiplicities = self.physical_edge_multiplicities()
         outgoing: dict[NodeName, list[tuple[NodeName, float, int]]] = {
             node: [] for node in self.nodes
         }
@@ -337,9 +438,13 @@ class BroadcastTree:
             node: [] for node in self.nodes
         }
         for (u, v), count in sorted(
-            self.physical_edge_multiplicities().items(), key=lambda item: str(item[0])
+            multiplicities.items(), key=lambda item: str(item[0])
         ):
             time = times[(u, v)]
+            for endpoint in (u, v):
+                if endpoint not in outgoing:
+                    outgoing[endpoint] = []
+                    incoming[endpoint] = []
             outgoing[u].append((v, time, count))
             incoming[v].append((u, time, count))
         return outgoing, incoming

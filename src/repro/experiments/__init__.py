@@ -6,9 +6,11 @@ from .config import (
     parameters_from_environment,
     scaled_parameters,
 )
+from .collectives import COLLECTIVE_SERIES, collective_scaling
 from .figures import FigureData, figure_4a, figure_4b, figure_5
 from .pipeline import (
     EnsembleTask,
+    collective_ensemble_tasks,
     EvaluationPipeline,
     ProcessExecutor,
     ResultCache,
@@ -20,6 +22,7 @@ from .pipeline import (
 )
 from .reporting import (
     ShapeCheck,
+    check_collective_scaling_shape,
     check_figure4_shape,
     check_figure5_shape,
     check_table3_shape,
@@ -29,6 +32,7 @@ from .runner import (
     EvaluationRecord,
     PlatformEvaluation,
     clear_ensemble_cache,
+    collective_ensemble_records,
     evaluate_platform,
     filter_records,
     random_ensemble_records,
@@ -41,11 +45,14 @@ __all__ = [
     "PaperParameters",
     "parameters_from_environment",
     "scaled_parameters",
+    "COLLECTIVE_SERIES",
+    "collective_scaling",
     "FigureData",
     "figure_4a",
     "figure_4b",
     "figure_5",
     "EnsembleTask",
+    "collective_ensemble_tasks",
     "EvaluationPipeline",
     "ProcessExecutor",
     "ResultCache",
@@ -55,6 +62,7 @@ __all__ = [
     "run_ensemble_task",
     "tiers_ensemble_tasks",
     "ShapeCheck",
+    "check_collective_scaling_shape",
     "check_figure4_shape",
     "check_figure5_shape",
     "check_table3_shape",
@@ -62,6 +70,7 @@ __all__ = [
     "EvaluationRecord",
     "PlatformEvaluation",
     "clear_ensemble_cache",
+    "collective_ensemble_records",
     "evaluate_platform",
     "filter_records",
     "random_ensemble_records",

@@ -1,0 +1,113 @@
+"""The collective-scaling artefact: throughput vs number of targets.
+
+This sweep goes beyond the paper (whose evaluation is broadcast-only) and
+exercises the :mod:`repro.collectives` subsystem end to end on the ensemble
+pipeline: for a family of random platforms, multicast and scatter are solved
+(LP optimum) and built (spec-aware grow-tree) over *nested* target sets of
+increasing size.  Nested sets make the expected shape exact, not
+statistical:
+
+* each kind's LP optimum is non-increasing in ``|targets|`` (more
+  commodities only add constraints);
+* scatter never beats multicast on the same target set (its nesting
+  equality dominates the multicast inequalities);
+* the multicast optimum at full targets *is* the broadcast optimum;
+* the single-tree throughput never exceeds the multi-tree LP optimum.
+
+The artefact reuses :class:`~repro.experiments.figures.FigureData` so the
+CLI renders it like the paper figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..exceptions import ExperimentError
+from .config import PaperParameters
+from .figures import FigureData
+from .runner import EvaluationRecord, collective_ensemble_records
+
+__all__ = ["collective_scaling", "COLLECTIVE_SERIES"]
+
+#: Series labels of the artefact, per collective kind.
+COLLECTIVE_SERIES: dict[str, tuple[str, str]] = {
+    "multicast": ("Multicast optimum (LP)", "Multicast Grow Tree"),
+    "scatter": ("Scatter optimum (LP)", "Scatter Grow Tree"),
+}
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _std(values: Sequence[float]) -> float:
+    mean = _mean(values)
+    return (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+
+
+def collective_scaling(
+    parameters: PaperParameters | None = None,
+    records: Iterable[EvaluationRecord] | None = None,
+    *,
+    progress: bool = False,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> FigureData:
+    """Throughput vs ``|targets|`` for multicast and scatter.
+
+    Each kind contributes two series over the shared x axis (number of
+    targets): the MTP optimum of the spec-parameterised LP, and the
+    steady-state throughput of the spec-aware grow-tree heuristic's single
+    Steiner tree (instances averaged).
+    """
+    parameters = parameters or PaperParameters()
+    if records is None:
+        records = collective_ensemble_records(
+            parameters, progress=progress, jobs=jobs, cache_dir=cache_dir
+        )
+    selected = [r for r in records if r.generator == "collective"]
+    if not selected:
+        raise ExperimentError("no collective-scaling records available")
+    x_values = tuple(sorted({r.num_targets for r in selected}))
+
+    series: dict[str, tuple[float, ...]] = {}
+    deviations: dict[str, tuple[float, ...]] = {}
+    samples: dict[str, tuple[int, ...]] = {}
+    for kind, (optimum_label, tree_label) in COLLECTIVE_SERIES.items():
+        kind_records = [r for r in selected if r.collective == kind]
+        if not kind_records:
+            continue
+        for label, value_of in (
+            (optimum_label, lambda r: r.optimal_throughput),
+            (tree_label, lambda r: r.throughput),
+        ):
+            means: list[float] = []
+            stds: list[float] = []
+            counts: list[int] = []
+            for x in x_values:
+                values = [value_of(r) for r in kind_records if r.num_targets == x]
+                if not values:
+                    raise ExperimentError(
+                        f"collective artefact: kind {kind!r} has no record at "
+                        f"|targets|={x}"
+                    )
+                means.append(_mean(values))
+                stds.append(_std(values))
+                counts.append(len(values))
+            series[label] = tuple(means)
+            deviations[label] = tuple(stds)
+            samples[label] = tuple(counts)
+
+    return FigureData(
+        figure_id="collective",
+        title=(
+            "Collective scaling - one-port model, random platforms "
+            f"(n={parameters.collective_nodes}, d={parameters.collective_density}): "
+            "steady-state throughput (rounds/time-unit) vs number of targets"
+        ),
+        x_label="targets",
+        x_values=tuple(float(x) for x in x_values),
+        series=series,
+        deviations=deviations,
+        samples_per_point=samples,
+    )

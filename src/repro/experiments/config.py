@@ -47,6 +47,12 @@ class PaperParameters:
     tiers_platforms_per_size: int = 100
     source: int = 0
     seed: int = 20041146  # LIP research report number, for flavour.
+    #: Collective-scaling artefact (beyond the paper): platform family and
+    #: nested target-set sizes of the throughput-vs-|targets| sweep.
+    collective_nodes: int = 20
+    collective_density: float = 0.15
+    collective_target_counts: tuple[int, ...] = (2, 4, 8, 12, 16, 19)
+    collective_instances: int = 5
     extra: dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -58,6 +64,14 @@ class PaperParameters:
             raise ExperimentError("configurations_per_point must be >= 1")
         if self.tiers_platforms_per_size < 1:
             raise ExperimentError("tiers_platforms_per_size must be >= 1")
+        if self.collective_instances < 1:
+            raise ExperimentError("collective_instances must be >= 1")
+        if not self.collective_target_counts or not all(
+            1 <= c < self.collective_nodes for c in self.collective_target_counts
+        ):
+            raise ExperimentError(
+                "collective_target_counts must lie in [1, collective_nodes)"
+            )
 
     @property
     def total_random_platforms(self) -> int:
@@ -95,6 +109,7 @@ def scaled_parameters(scale: float = 1.0, *, seed: int | None = None) -> PaperPa
         base,
         configurations_per_point=max(1, round(base.configurations_per_point * scale)),
         tiers_platforms_per_size=max(1, round(base.tiers_platforms_per_size * scale)),
+        collective_instances=max(1, round(base.collective_instances * scale)),
     )
     if seed is not None:
         params = replace(params, seed=seed)

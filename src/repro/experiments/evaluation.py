@@ -14,17 +14,24 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping, Sequence
 
-from ..analysis.throughput import tree_throughput
+from ..analysis.throughput import collective_throughput, tree_throughput
+from ..collectives import CollectiveSpec
 from ..core.registry import (
     PAPER_MULTI_PORT_HEURISTICS,
     PAPER_ONE_PORT_HEURISTICS,
+    build_collective_tree,
     get_heuristic,
 )
-from ..lp.solver import solve_steady_state_lp
+from ..lp.solver import solve_collective_lp, solve_steady_state_lp
 from ..models.port_models import MultiPortModel, OnePortModel
 from ..platform.graph import Platform
 
-__all__ = ["EvaluationRecord", "PlatformEvaluation", "evaluate_platform"]
+__all__ = [
+    "EvaluationRecord",
+    "PlatformEvaluation",
+    "evaluate_platform",
+    "evaluate_collective_platform",
+]
 
 NodeName = Any
 
@@ -35,7 +42,12 @@ TIMING_FIELDS = ("build_seconds", "lp_seconds")
 
 @dataclass(frozen=True)
 class EvaluationRecord:
-    """Relative performance of one heuristic on one platform instance."""
+    """Relative performance of one heuristic on one platform instance.
+
+    ``collective`` / ``num_targets`` locate the record inside the
+    collective-scaling sweep (``"broadcast"`` / ``-1`` for the paper's
+    broadcast ensembles, where every node is a destination).
+    """
 
     generator: str
     platform_name: str
@@ -49,6 +61,8 @@ class EvaluationRecord:
     relative_performance: float
     build_seconds: float
     lp_seconds: float
+    collective: str = "broadcast"
+    num_targets: int = -1
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON friendly), used by the on-disk cache."""
@@ -146,3 +160,53 @@ def evaluate_platform(
                 )
             )
     return evaluation
+
+
+def evaluate_collective_platform(
+    platform: Platform,
+    source: NodeName,
+    *,
+    collective: str,
+    num_targets: int,
+    heuristic: str = "grow-tree",
+    generator: str = "collective",
+    instance_index: int = 0,
+) -> list[EvaluationRecord]:
+    """One point of the collective-scaling sweep (one platform, one kind).
+
+    The target set is the first ``num_targets`` non-source nodes in platform
+    order, so the sets of a sweep are *nested*: the LP optimum is provably
+    non-increasing in ``num_targets`` for each kind, which the shape check
+    of the ``collective`` artefact asserts.
+    """
+    others = [node for node in platform.nodes if node != source]
+    targets = tuple(others[:num_targets])
+    spec = CollectiveSpec(collective, source, targets)
+
+    lp_start = time.perf_counter()
+    solution = solve_collective_lp(platform, spec)
+    lp_seconds = time.perf_counter() - lp_start
+
+    build_start = time.perf_counter()
+    tree = build_collective_tree(platform, spec, heuristic=heuristic)
+    build_seconds = time.perf_counter() - build_start
+    throughput = collective_throughput(tree, spec).throughput
+
+    return [
+        EvaluationRecord(
+            generator=generator,
+            platform_name=platform.name,
+            num_nodes=platform.num_nodes,
+            density=platform.density,
+            instance_index=instance_index,
+            heuristic=heuristic,
+            model="one-port",
+            throughput=throughput,
+            optimal_throughput=solution.throughput,
+            relative_performance=throughput / solution.throughput,
+            build_seconds=build_seconds,
+            lp_seconds=lp_seconds,
+            collective=collective,
+            num_targets=num_targets,
+        )
+    ]

@@ -43,13 +43,14 @@ from ..platform.generators.random_graph import generate_random_platform
 from ..platform.generators.tiers import generate_tiers_platform
 from ..utils.rng import derive_seed
 from .config import PaperParameters
-from .evaluation import EvaluationRecord, evaluate_platform
+from .evaluation import EvaluationRecord, evaluate_collective_platform, evaluate_platform
 
 __all__ = [
     "EnsembleTask",
     "run_ensemble_task",
     "random_ensemble_tasks",
     "tiers_ensemble_tasks",
+    "collective_ensemble_tasks",
     "SerialExecutor",
     "ProcessExecutor",
     "ResultCache",
@@ -73,7 +74,7 @@ class EnsembleTask:
     builds them.
     """
 
-    kind: str  # "random" | "tiers"
+    kind: str  # "random" | "tiers" | "collective"
     instance_index: int
     seed: int
     source: NodeName
@@ -85,6 +86,8 @@ class EnsembleTask:
     rate_deviation: float = 0.0
     slice_size_mb: float = 0.0
     tiers_size: int = 0
+    collective: str = "broadcast"
+    num_targets: int = 0
 
 
 def random_ensemble_tasks(
@@ -138,8 +141,57 @@ def tiers_ensemble_tasks(parameters: PaperParameters) -> list[EnsembleTask]:
     return tasks
 
 
+def collective_ensemble_tasks(parameters: PaperParameters) -> list[EnsembleTask]:
+    """Tasks of the collective-scaling sweep (throughput vs |targets|).
+
+    Every instance index maps to *one* platform (the seed ignores the kind
+    and the target count), so all points of a curve — and the multicast and
+    scatter curves themselves — are measured on the same nested-target
+    platforms; the monotonicity the shape check asserts is then exact.
+    """
+    tasks: list[EnsembleTask] = []
+    for kind in ("multicast", "scatter"):
+        for count in parameters.collective_target_counts:
+            for instance in range(parameters.collective_instances):
+                tasks.append(
+                    EnsembleTask(
+                        kind="collective",
+                        instance_index=instance,
+                        seed=derive_seed(parameters.seed, "collective", instance),
+                        source=parameters.source,
+                        send_fraction=parameters.send_fraction,
+                        include_multi_port=False,
+                        num_nodes=parameters.collective_nodes,
+                        density=parameters.collective_density,
+                        rate_mean=parameters.rate_mean,
+                        rate_deviation=parameters.rate_deviation,
+                        slice_size_mb=parameters.slice_size_mb,
+                        collective=kind,
+                        num_targets=count,
+                    )
+                )
+    return tasks
+
+
 def run_ensemble_task(task: EnsembleTask) -> list[EvaluationRecord]:
     """Evaluate one task; module-level so process pools can pickle it."""
+    if task.kind == "collective":
+        platform = generate_random_platform(
+            num_nodes=task.num_nodes,
+            density=task.density,
+            rate_mean=task.rate_mean,
+            rate_deviation=task.rate_deviation,
+            slice_size_mb=task.slice_size_mb,
+            send_fraction=task.send_fraction,
+            seed=task.seed,
+        )
+        return evaluate_collective_platform(
+            platform,
+            task.source,
+            collective=task.collective,
+            num_targets=task.num_targets,
+            instance_index=task.instance_index,
+        )
     if task.kind == "random":
         platform = generate_random_platform(
             num_nodes=task.num_nodes,
@@ -392,6 +444,9 @@ class EvaluationPipeline:
             # cannot split identical computations over two cache keys.
             include_multi_port = False
             tasks = tiers_ensemble_tasks(parameters)
+        elif kind == "collective":
+            include_multi_port = False
+            tasks = collective_ensemble_tasks(parameters)
         else:
             raise ExperimentError(f"unknown ensemble kind {kind!r}")
 
@@ -406,11 +461,12 @@ class EvaluationPipeline:
         for task, task_records in zip(tasks, self.executor.map(run_ensemble_task, tasks)):
             records.extend(task_records)
             if progress and task_records:
-                label = (
-                    f"n={task.num_nodes} d={task.density:.2f}"
-                    if task.kind == "random"
-                    else f"size={task.tiers_size}"
-                )
+                if task.kind == "random":
+                    label = f"n={task.num_nodes} d={task.density:.2f}"
+                elif task.kind == "collective":
+                    label = f"{task.collective} |targets|={task.num_targets}"
+                else:
+                    label = f"size={task.tiers_size}"
                 print(
                     f"[{task.kind}] {label} #{task.instance_index}: "
                     f"optimum={task_records[0].optimal_throughput:.4f}"

@@ -24,6 +24,7 @@ __all__ = [
     "check_figure4_shape",
     "check_figure5_shape",
     "check_table3_shape",
+    "check_collective_scaling_shape",
     "render_report",
 ]
 
@@ -149,6 +150,48 @@ def check_table3_shape(table: TableData) -> ShapeCheck:
                 f"{label}: {large}-node mean <= {small}-node mean + 0.05",
                 table.cell(large, label).mean <= table.cell(small, label).mean + 0.05,
             )
+    return check
+
+
+def check_collective_scaling_shape(figure: FigureData) -> ShapeCheck:
+    """Structural expectations of the collective-scaling artefact.
+
+    The target sets are nested (see
+    :func:`repro.experiments.pipeline.collective_ensemble_tasks`), so these
+    are theorems about the LP, not statistical tendencies:
+
+    * each kind's optimum is non-increasing in the number of targets;
+    * scatter never beats multicast on the same target set;
+    * the single Steiner tree never beats the multi-tree optimum.
+    """
+    check = ShapeCheck(artefact="Collective scaling")
+    tolerance = 1e-7
+    for kind_label in ("Multicast optimum (LP)", "Scatter optimum (LP)"):
+        values = figure.series_for(kind_label)
+        monotone = all(a >= b - tolerance for a, b in zip(values, values[1:]))
+        check.record(f"{kind_label} non-increasing in |targets|", monotone)
+    multicast = figure.series_for("Multicast optimum (LP)")
+    scatter = figure.series_for("Scatter optimum (LP)")
+    check.record(
+        "scatter optimum <= multicast optimum at every target count",
+        all(s <= m + tolerance for s, m in zip(scatter, multicast)),
+    )
+    for kind, optimum_label, tree_label in (
+        ("multicast", "Multicast optimum (LP)", "Multicast Grow Tree"),
+        ("scatter", "Scatter optimum (LP)", "Scatter Grow Tree"),
+    ):
+        optima = figure.series_for(optimum_label)
+        trees = figure.series_for(tree_label)
+        check.record(
+            f"{kind} tree throughput <= LP optimum at every target count",
+            all(t <= o + tolerance for t, o in zip(trees, optima)),
+        )
+        ratio = sum(t / o for t, o in zip(trees, optima)) / len(optima)
+        check.record(
+            f"{kind} grow-tree stays above 40% of the optimum on average "
+            f"({ratio:.2f})",
+            ratio >= 0.4,
+        )
     return check
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "evaluate_platform",
     "random_ensemble_records",
     "tiers_ensemble_records",
+    "collective_ensemble_records",
     "clear_ensemble_cache",
     "filter_records",
 ]
@@ -94,6 +95,25 @@ def tiers_ensemble_records(
     """Evaluate the Tiers-like ensembles of Table 3 (one-port model only)."""
     return _pipeline(jobs, cache_dir).evaluate(
         "tiers", parameters, progress=progress
+    )
+
+
+def collective_ensemble_records(
+    parameters: PaperParameters,
+    *,
+    progress: bool = False,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike[str] | None = None,
+) -> list[EvaluationRecord]:
+    """Evaluate the collective-scaling sweep (multicast / scatter vs |targets|).
+
+    Goes through the same pipeline, executors and two-level cache as the
+    paper ensembles: the sweep is keyed by the full parameter set and the
+    library version, fans out over ``jobs`` worker processes, and replays
+    from ``cache_dir`` on repeat runs.
+    """
+    return _pipeline(jobs, cache_dir).evaluate(
+        "collective", parameters, progress=progress
     )
 
 

@@ -34,7 +34,12 @@ from ..models.port_models import MultiPortModel, OnePortModel, PortModel
 from .makespan import arrival_matrix, supports_model
 from .tree import CompiledTree
 
-__all__ = ["supports_inorder_fast_path", "inorder_direct_run"]
+__all__ = [
+    "supports_inorder_fast_path",
+    "inorder_direct_run",
+    "supports_scatter_fast_path",
+    "scatter_direct_run",
+]
 
 NodeName = Any
 
@@ -90,6 +95,105 @@ def _one_port_run(ctree: CompiledTree, num_slices: int, model: OnePortModel):
 # --------------------------------------------------------------------------- #
 # Multi-port: lean scalar replay of the event simulator's arithmetic
 # --------------------------------------------------------------------------- #
+def supports_scatter_fast_path(ctree: CompiledTree, model: PortModel) -> bool:
+    """Whether the index-based scatter replay applies to this tree/model."""
+    return supports_model(model) and ctree.is_direct
+
+
+def scatter_direct_run(
+    ctree: CompiledTree, target_indices: "list[int]", num_rounds: int, model: PortModel
+) -> dict[int, np.ndarray]:
+    """Arrival times of every target's *own* messages under distinct-message replay.
+
+    One scatter round sends a distinct message per target; node ``u`` serves
+    its obligations round-major, child-major, and within a child the
+    messages of the child's subtree targets ordered by ``str(name)`` — the
+    canonical in-order schedule of
+    :func:`repro.simulation.collective.simulate_collective`, whose
+    name-keyed reference loop this mirrors operation for operation.
+
+    Returns ``{target index: arrivals[num_rounds]}`` where entry ``k`` is
+    when target ``t`` received its own round-``k`` message.
+    """
+    if not supports_scatter_fast_path(ctree, model):
+        raise ValueError("scatter fast path requires a direct tree and a canonical model")
+    view = ctree.view
+    hop_times = view.transfer_times
+    if type(model) is OnePortModel:
+        send_times = None
+        recv_overheads = None
+    else:
+        send_times = view.node_send_times(model.send_fraction)
+        recv_overheads = view.recv_overheads
+
+    target_set = set(int(t) for t in target_indices)
+    names = view.node_names
+
+    # Per child slot: the subtree targets whose messages cross it, ordered
+    # by str(name) (matching the reference's deterministic message order).
+    subtree_targets: dict[int, list[int]] = {}
+    for node in ctree.bfs.tolist()[::-1]:
+        mine = [node] if node in target_set and node != ctree.source else []
+        for child in ctree.children_of(node).tolist():
+            mine.extend(subtree_targets[child])
+        subtree_targets[node] = sorted(mine, key=lambda i: str(names[i]))
+
+    # arrivals[node] holds, per subtree target of ``node``, the round-indexed
+    # arrival times of that target's messages at ``node``.
+    arrivals: dict[int, dict[int, np.ndarray]] = {
+        ctree.source: {t: np.zeros(num_rounds) for t in subtree_targets[ctree.source]}
+    }
+    for node in ctree.bfs.tolist():
+        slots = ctree.child_slots_of(node)
+        if not len(slots):
+            continue
+        children = ctree.child_nodes[slots].tolist()
+        edges = ctree.first_hop_edge_ids[slots].tolist()
+        here = arrivals[node]
+        hops = [float(hop_times[e]) for e in edges]
+        if send_times is None:
+            busies = hops
+            recvs = [0.0] * len(slots)
+        else:
+            send_time = float(send_times[node])
+            busies = [min(send_time, hop) for hop in hops]
+            recvs = []
+            for j, child in enumerate(children):
+                overhead = float(recv_overheads[child])
+                recvs.append(min(overhead, hops[j]) if overhead == overhead else 0.0)
+        offsets = [hops[j] - recvs[j] for j in range(len(slots))]
+        rows: dict[int, dict[int, np.ndarray]] = {
+            child: {t: np.empty(num_rounds) for t in subtree_targets[child]}
+            for child in children
+        }
+        send_free = 0.0
+        link_free = [0.0] * len(slots)
+        recv_free = [0.0] * len(slots)
+        for k in range(num_rounds):
+            for j, child in enumerate(children):
+                for t in subtree_targets[child]:
+                    ready = 0.0 if node == ctree.source else float(here[t][k])
+                    start = max(ready, send_free, link_free[j])
+                    if recvs[j] > 0:
+                        start = max(start, recv_free[j] - offsets[j])
+                    send_free = start + busies[j]
+                    link_free[j] = start + hops[j]
+                    if recvs[j] > 0:
+                        recv_free[j] = (start + offsets[j]) + recvs[j]
+                    rows[child][t][k] = start + hops[j]
+        for child in children:
+            arrivals[child] = rows[child]
+
+    # Under one-port the receiver is blocked for the full hop, so the
+    # sender-port serialisation already dominates; either way the recurrence
+    # above reproduced the event arithmetic directly.
+    return {
+        t: arrivals[t][t]
+        for t in sorted(target_set, key=lambda i: str(names[i]))
+        if t in arrivals
+    }
+
+
 def _multi_port_run(ctree: CompiledTree, num_slices: int, model: MultiPortModel):
     view = ctree.view
     send_times = view.node_send_times(model.send_fraction)

@@ -59,19 +59,41 @@ def heaviest_first_candidates(view: CompiledPlatform, weights) -> list[list[int]
 
 
 class SpanningOracle:
-    """Answers edge-removal reachability queries on a shrinking edge set."""
+    """Answers edge-removal reachability queries on a shrinking edge set.
 
-    def __init__(self, view: CompiledPlatform, source_index: int) -> None:
+    With ``target_indices`` the question generalises from *"does every node
+    stay reachable?"* to *"does every target stay reachable?"* (the
+    multicast / Steiner pruning criterion): when the fast reverse traversal
+    finds the deleted edge's head disconnected, a forward sweep from the
+    source decides whether any *target* actually depended on it — non-target
+    relays are allowed to fall off.
+    """
+
+    def __init__(
+        self,
+        view: CompiledPlatform,
+        source_index: int,
+        target_indices: "list[int] | None" = None,
+    ) -> None:
         self._source = source_index
         self._edge_targets = view.edge_targets.tolist()
-        sources = view.edge_sources.tolist()
+        self._edge_sources = view.edge_sources.tolist()
+        sources = self._edge_sources
         predecessors: list[list[tuple[int, int]]] = [[] for _ in range(view.num_nodes)]
+        successors: list[list[tuple[int, int]]] = [[] for _ in range(view.num_nodes)]
         for edge_id, (u, v) in enumerate(zip(sources, self._edge_targets)):
             predecessors[v].append((edge_id, u))
+            successors[u].append((edge_id, v))
         self._predecessors = predecessors
+        self._successors = successors
         self._alive = bytearray(b"\x01" * view.num_edges)
         self._seen = [0] * view.num_nodes
         self._epoch = 0
+        self._targets: set[int] | None = (
+            None
+            if target_indices is None
+            else {int(t) for t in target_indices if int(t) != source_index}
+        )
 
     def is_alive(self, edge_id: int) -> bool:
         """Whether ``edge_id`` is still part of the graph."""
@@ -86,7 +108,13 @@ class SpanningOracle:
         return [e for e, flag in enumerate(self._alive) if flag]
 
     def keeps_spanning(self, edge_id: int) -> bool:
-        """Whether deleting ``edge_id`` keeps every node source-reachable."""
+        """Whether deleting ``edge_id`` keeps every node source-reachable.
+
+        In target mode (``target_indices`` given) the criterion is "every
+        *target* stays reachable": when the edge's head does become
+        disconnected, the slower forward fallback decides whether a target
+        was among the casualties.
+        """
         source = self._source
         target = self._edge_targets[edge_id]
         if target == source:
@@ -110,5 +138,42 @@ class SpanningOracle:
                         break
                     seen[pred] = epoch
                     stack.append(pred)
+        if not found and self._targets is not None:
+            found = self._targets_reachable_without(edge_id)
         alive[edge_id] = 1
         return found
+
+    def _targets_reachable_without(self, edge_id: int) -> bool:
+        """Forward sweep: are all targets reachable with ``edge_id`` dead?
+
+        Only called from :meth:`keeps_spanning`, which has already cleared
+        the edge's alive flag.  This is the rare slow path: it runs only
+        when the deleted edge genuinely disconnects its head, i.e. when a
+        non-target relay region is about to be pruned away.
+        """
+        targets = self._targets
+        assert targets is not None
+        remaining = len(targets)
+        if remaining == 0:
+            return True
+        alive = self._alive
+        seen = self._seen
+        self._epoch += 1
+        epoch = self._epoch
+        source = self._source
+        seen[source] = epoch
+        if source in targets:  # pragma: no cover - source filtered in __init__
+            remaining -= 1
+        successors = self._successors
+        stack = [source]
+        while stack and remaining:
+            node = stack.pop()
+            for eid, succ in successors[node]:
+                if alive[eid] and seen[succ] != epoch:
+                    seen[succ] = epoch
+                    if succ in targets:
+                        remaining -= 1
+                        if not remaining:
+                            return True
+                    stack.append(succ)
+        return remaining == 0

@@ -1,15 +1,33 @@
 """Steady-state broadcast linear program (MTP optimal throughput)."""
 
-from .formulation import LPVariableIndex, SteadyStateLPData, build_steady_state_lp
+from .formulation import (
+    LPVariableIndex,
+    SteadyStateLPData,
+    build_collective_lp,
+    build_collective_lp_reference,
+    build_steady_state_lp,
+    build_steady_state_lp_reference,
+)
 from .solution import SteadyStateSolution
-from .solver import LPSolutionCache, optimal_throughput, solve_steady_state_lp
+from .solver import (
+    LPSolutionCache,
+    collective_optimal_throughput,
+    optimal_throughput,
+    solve_collective_lp,
+    solve_steady_state_lp,
+)
 
 __all__ = [
     "LPVariableIndex",
     "SteadyStateLPData",
+    "build_collective_lp",
+    "build_collective_lp_reference",
     "build_steady_state_lp",
+    "build_steady_state_lp_reference",
     "SteadyStateSolution",
     "LPSolutionCache",
+    "collective_optimal_throughput",
     "optimal_throughput",
+    "solve_collective_lp",
     "solve_steady_state_lp",
 ]

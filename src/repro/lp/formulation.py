@@ -1,4 +1,4 @@
-"""Sparse formulation of the steady-state broadcast LP ``SSB(G)``.
+"""Sparse formulation of the steady-state collective LP (``SSB(G)`` family).
 
 Section 4.1 of the paper shows that the optimal throughput of the *multiple
 trees, pipelined* (MTP) broadcast under the bidirectional one-port model is
@@ -29,17 +29,37 @@ larger ``n_{u,v}`` values only tighten the time constraints, replacing it
 with ``n_{u,v} >= x^{u,v}_w`` for every ``w`` yields the same optimum and
 keeps the program linear.
 
+The very same program covers the whole collective family of
+:mod:`repro.collectives`, with two deltas steered by the
+:class:`~repro.collectives.CollectiveSpec`:
+
+* **multicast** — the commodity set shrinks to the spec's target nodes;
+  non-target nodes keep their conservation rows (they may relay) but own no
+  commodity, so the program has ``|targets|`` commodity blocks instead of
+  ``p - 1`` (with targets = all nodes the matrices are bit-identical to the
+  broadcast program);
+* **scatter / gather** — every destination receives a *distinct* message,
+  so nothing can be nested: the inequality block (d) disappears and the
+  equality ``n_{u,v} = sum_w x^{u,v}_w`` is appended (one row per edge)
+  after the commodity blocks of the equality system;
+* **reduce / gather** — data flows toward the root: the dual forward
+  program (broadcast resp. scatter) is built on ``platform.reversed()``;
+  the :attr:`SteadyStateLPData.index` then refers to the reversed edges
+  (:func:`repro.lp.solver.solve_collective_lp` maps the solution back).
+
 This module only *builds* the sparse matrices; solving is delegated to
 :mod:`repro.lp.solver`.
 
-Two builders are provided.  :func:`build_steady_state_lp` assembles the
-triplets *vectorized* from the platform's compiled arrays
+Two builders are provided for every spec.  :func:`build_collective_lp`
+assembles the triplets *vectorized* from the platform's compiled arrays
 (:class:`~repro.platform.compiled.CompiledPlatform`) — this is the production
 path, an order of magnitude faster on ensemble workloads.
-:func:`build_steady_state_lp_reference` is the original per-edge Python loop,
-kept as the readable specification of the row layout; the test suite asserts
-both produce identical matrices, and ``benchmarks/bench_pipeline.py`` tracks
-the speedup.
+:func:`build_collective_lp_reference` is the per-edge Python loop, kept as
+the readable specification of the row layout; the test suite asserts both
+produce identical matrices, and ``benchmarks/bench_collectives.py`` tracks
+the assembly cost per collective kind.  :func:`build_steady_state_lp` and
+:func:`build_steady_state_lp_reference` remain as the broadcast entry
+points.
 """
 
 from __future__ import annotations
@@ -50,12 +70,15 @@ from typing import Any
 import numpy as np
 from scipy import sparse
 
-from ..exceptions import LPError
+from ..collectives import CollectiveSpec, effective_problem
+from ..exceptions import LPError, PlatformError
 from ..platform.graph import Platform
 
 __all__ = [
     "LPVariableIndex",
     "SteadyStateLPData",
+    "build_collective_lp",
+    "build_collective_lp_reference",
     "build_steady_state_lp",
     "build_steady_state_lp_reference",
 ]
@@ -83,7 +106,7 @@ class LPVariableIndex:
 
     @property
     def num_destinations(self) -> int:
-        """Number of destination commodities (``p - 1``)."""
+        """Number of destination commodities (``p - 1`` for broadcast)."""
         return len(self.destinations)
 
     @property
@@ -107,7 +130,12 @@ class LPVariableIndex:
 
 @dataclass(frozen=True)
 class SteadyStateLPData:
-    """The assembled LP in ``scipy.optimize.linprog`` form (minimisation)."""
+    """The assembled LP in ``scipy.optimize.linprog`` form (minimisation).
+
+    For reduce / gather specs the matrices encode the dual forward program
+    on the reversed platform; :attr:`index` then names the reversed edges
+    and :attr:`spec` records the forward spec that was actually assembled.
+    """
 
     objective: np.ndarray
     a_eq: sparse.csr_matrix
@@ -117,6 +145,7 @@ class SteadyStateLPData:
     bounds: list[tuple[float, float | None]]
     index: LPVariableIndex
     source: NodeName
+    spec: CollectiveSpec | None = None
 
     @property
     def num_constraints(self) -> int:
@@ -152,13 +181,24 @@ class _TripletBuilder:
         return matrix, np.asarray(self.rhs, dtype=float)
 
 
-def _validate_lp_inputs(platform: Platform, source: NodeName) -> None:
-    """Shared input validation of both LP builders."""
-    if not platform.has_node(source):
-        raise LPError(f"source {source!r} is not a node of the platform")
-    platform.require_broadcast_feasible(source)
+def _normalize_collective(
+    platform: Platform, spec: CollectiveSpec
+) -> tuple[Platform, CollectiveSpec]:
+    """Validate the spec and fold reduce / gather onto the reversed platform."""
+    try:
+        platform, spec = effective_problem(platform, spec)
+    except PlatformError as exc:
+        # Bad spec inputs (unknown source / targets, empty target set) are
+        # LP-building errors from this layer's point of view.
+        raise LPError(str(exc)) from exc
     if platform.num_nodes < 2:
         raise LPError("the steady-state LP needs at least two nodes")
+    platform.require_targets_reachable(
+        spec.source,
+        spec.resolve_targets(platform),
+        operation=f"the {spec.kind.value} flow",
+    )
+    return platform, spec
 
 
 def build_steady_state_lp(
@@ -166,32 +206,50 @@ def build_steady_state_lp(
     source: NodeName,
     size: float | None = None,
 ) -> SteadyStateLPData:
-    """Assemble the ``SSB(G)`` linear program for ``platform`` and ``source``.
+    """Assemble the broadcast ``SSB(G)`` program (vectorized path)."""
+    return build_collective_lp(platform, CollectiveSpec.broadcast(source), size)
+
+
+def build_steady_state_lp_reference(
+    platform: Platform,
+    source: NodeName,
+    size: float | None = None,
+) -> SteadyStateLPData:
+    """Assemble the broadcast ``SSB(G)`` program (reference loop path)."""
+    return build_collective_lp_reference(platform, CollectiveSpec.broadcast(source), size)
+
+
+def build_collective_lp(
+    platform: Platform,
+    spec: CollectiveSpec,
+    size: float | None = None,
+) -> SteadyStateLPData:
+    """Assemble the steady-state LP of ``spec`` on ``platform``.
 
     Triplets are built block-wise with numpy from the platform's compiled
     arrays; the resulting matrices are identical (same row layout, same
-    entries) to :func:`build_steady_state_lp_reference`.
+    entries) to :func:`build_collective_lp_reference`, and for a broadcast
+    spec identical to what :func:`build_steady_state_lp` always produced.
 
-    Raises :class:`~repro.exceptions.LPError` when the platform is not
-    broadcast-feasible from the source (the LP would be infeasible anyway,
-    with a much less helpful error message).
+    Raises :class:`~repro.exceptions.LPError` /
+    :class:`~repro.exceptions.DisconnectedPlatformError` when the spec is
+    malformed or some target is unreachable (the LP would be infeasible
+    anyway, with a much less helpful error message).
     """
-    _validate_lp_inputs(platform, source)
+    platform, spec = _normalize_collective(platform, spec)
     view = platform.compiled(size)
-    src = view.index_of(source)
+    src = view.index_of(spec.source)
     num_nodes = view.num_nodes
     num_edges = view.num_edges
     transfer = view.transfer_times
+    distinct = spec.distinct_messages
 
-    # Destination k <-> node index dest_nodes[k] (node insertion order).
-    dest_nodes = np.asarray(
-        [i for i in range(num_nodes) if i != src], dtype=np.int64
-    )
+    # Destination k <-> node index dest_nodes[k] (node insertion order);
+    # for broadcast this is every node but the source.
+    target_names = spec.resolve_targets(platform)
+    dest_nodes = np.asarray([view.index_of(n) for n in target_names], dtype=np.int64)
     num_dests = len(dest_nodes)
-    index = LPVariableIndex(
-        edges=view.edge_list,
-        destinations=tuple(view.node_names[i] for i in dest_nodes),
-    )
+    index = LPVariableIndex(edges=view.edge_list, destinations=tuple(target_names))
     tp_col = index.throughput
     msg_base = num_edges * num_dests  # first n[e] column
 
@@ -208,7 +266,8 @@ def build_steady_state_lp(
     # Equality constraints (a), (b), (c).  Rows are grouped by commodity:
     # commodity k owns rows [k * p, (k + 1) * p) laid out as
     # (a), (b), then (c) for every node except the source and the
-    # destination, in node order.
+    # destination, in node order.  (Non-target nodes keep their
+    # conservation rows: they may relay slices they do not consume.)
     # ------------------------------------------------------------------ #
     ks = np.arange(num_dests, dtype=np.int64)
 
@@ -230,11 +289,16 @@ def build_steady_state_lp(
     emit(ks * num_nodes + 1, np.full(num_dests, tp_col), np.full(num_dests, -1.0))
 
     # (c) conservation of commodity k at every node v not in {source, k}.
-    # Within commodity k's block, node dest_nodes[j] (j != k) sits at row
-    # offset 2 + j - (k < j) because the destination itself is skipped.
-    for j, v in enumerate(dest_nodes.tolist()):
-        others = ks[ks != j]
-        row_of_k = others * num_nodes + 2 + j - (others < j)
+    # Conservation sites are the non-source nodes in node order; within
+    # commodity k's block, the site at position j sits at row offset
+    # 2 + j - (dpos[k] < j) because the commodity's own destination is
+    # skipped.  (For broadcast, sites and destinations coincide.)
+    site_nodes = np.asarray([i for i in range(num_nodes) if i != src], dtype=np.int64)
+    site_position = {int(v): j for j, v in enumerate(site_nodes.tolist())}
+    dpos = np.asarray([site_position[int(d)] for d in dest_nodes.tolist()], dtype=np.int64)
+    for j, v in enumerate(site_nodes.tolist()):
+        others = ks[dpos != j]
+        row_of_k = others * num_nodes + 2 + j - (dpos[others] < j)
         for edge_ids, sign in ((view.in_edges_of(v), 1.0), (view.out_edges_of(v), -1.0)):
             if not len(edge_ids):
                 continue
@@ -245,6 +309,16 @@ def build_steady_state_lp(
             )
 
     num_eq_rows = num_dests * num_nodes
+
+    # (d-scatter) distinct messages cannot be nested: append the equality
+    # n[e] = sum_w x[e, w] (one row per edge) after the commodity blocks.
+    if distinct:
+        flow_cols = np.arange(num_edges * num_dests, dtype=np.int64)
+        emit(num_eq_rows + flow_cols // num_dests, flow_cols, np.ones(len(flow_cols)))
+        edge_ids = np.arange(num_edges, dtype=np.int64)
+        emit(num_eq_rows + edge_ids, msg_base + edge_ids, np.full(num_edges, -1.0))
+        num_eq_rows += num_edges
+
     a_eq = sparse.coo_matrix(
         (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
         shape=(num_eq_rows, index.num_variables),
@@ -257,17 +331,21 @@ def build_steady_state_lp(
     rows, cols, vals = [], [], []
 
     # (d) x[e, w] - n[e] <= 0; row e * D + w coincides with the flow column.
-    flow_rows = np.arange(num_edges * num_dests, dtype=np.int64)
-    emit(flow_rows, flow_rows, np.ones(len(flow_rows)))
-    emit(flow_rows, msg_base + flow_rows // num_dests, np.full(len(flow_rows), -1.0))
+    # Scatter / gather replace this block with the equality above.
+    nesting_rows = 0
+    if not distinct:
+        nesting_rows = num_edges * num_dests
+        flow_rows = np.arange(nesting_rows, dtype=np.int64)
+        emit(flow_rows, flow_rows, np.ones(len(flow_rows)))
+        emit(flow_rows, msg_base + flow_rows // num_dests, np.full(len(flow_rows), -1.0))
 
     # (e) + (h): per-edge occupation n[e] * T[e] <= 1.
-    edge_rows = num_edges * num_dests + np.arange(num_edges, dtype=np.int64)
+    edge_rows = nesting_rows + np.arange(num_edges, dtype=np.int64)
     emit(edge_rows, msg_base + np.arange(num_edges), transfer)
 
     # (f) + (i) then (g) + (j): one-port occupation per node (skipping
     # nodes without the corresponding edges), in node order.
-    next_row = num_edges * num_dests + num_edges
+    next_row = nesting_rows + num_edges
     for edges_of in (view.in_edges_of, view.out_edges_of):
         for i in range(num_nodes):
             edge_ids = edges_of(i)
@@ -285,7 +363,7 @@ def build_steady_state_lp(
         shape=(next_row, index.num_variables),
     ).tocsr()
     b_ub = np.concatenate(
-        [np.zeros(num_edges * num_dests), np.ones(next_row - num_edges * num_dests)]
+        [np.zeros(nesting_rows), np.ones(next_row - nesting_rows)]
     )
 
     # ------------------------------------------------------------------ #
@@ -313,31 +391,33 @@ def build_steady_state_lp(
         b_ub=b_ub,
         bounds=bounds,
         index=index,
-        source=source,
+        source=spec.source,
+        spec=spec,
     )
 
 
-def build_steady_state_lp_reference(
+def build_collective_lp_reference(
     platform: Platform,
-    source: NodeName,
+    spec: CollectiveSpec,
     size: float | None = None,
 ) -> SteadyStateLPData:
-    """Reference (per-edge Python loop) assembly of ``SSB(G)``.
+    """Reference (per-edge Python loop) assembly of the collective LP.
 
     Kept as the readable specification of the constraint layout and as the
-    baseline for the compiled-assembly benchmark; produces matrices
-    identical to :func:`build_steady_state_lp`.
+    baseline for the assembly benchmarks; produces matrices identical to
+    :func:`build_collective_lp`.
     """
-    _validate_lp_inputs(platform, source)
+    platform, spec = _normalize_collective(platform, spec)
+    distinct = spec.distinct_messages
+    source = spec.source
 
     edges = tuple(platform.edges)
-    destinations = tuple(node for node in platform.nodes if node != source)
+    destinations = spec.resolve_targets(platform)
     index = LPVariableIndex(edges=edges, destinations=destinations)
 
     transfer_time = {
         edge: platform.transfer_time(edge[0], edge[1], size) for edge in edges
     }
-    edge_index = {edge: i for i, edge in enumerate(edges)}
     dest_index = {node: i for i, node in enumerate(destinations)}
     out_edges: dict[NodeName, list[int]] = {node: [] for node in platform.nodes}
     in_edges: dict[NodeName, list[int]] = {node: [] for node in platform.nodes}
@@ -346,7 +426,8 @@ def build_steady_state_lp_reference(
         in_edges[v].append(i)
 
     # ------------------------------------------------------------------ #
-    # Equality constraints (a), (b), (c)
+    # Equality constraints (a), (b), (c) per commodity, then the scatter
+    # nesting equality (one row per edge) when messages are distinct.
     # ------------------------------------------------------------------ #
     eq = _TripletBuilder()
     tp_col = index.throughput
@@ -363,7 +444,8 @@ def build_steady_state_lp_reference(
             eq.add(row, index.flow(e, w_index), 1.0)
         eq.add(row, tp_col, -1.0)
 
-        # (c) conservation of commodity w at every other node.
+        # (c) conservation of commodity w at every other node (including
+        # non-target relays).
         for v in platform.nodes:
             if v == source or v == w:
                 continue
@@ -373,17 +455,26 @@ def build_steady_state_lp_reference(
             for e in out_edges[v]:
                 eq.add(row, index.flow(e, w_index), -1.0)
 
+    if distinct:
+        # (d-scatter) n[e] = sum_w x[e, w].
+        for e in range(index.num_edges):
+            row = eq.new_row(0.0)
+            for w_index in range(index.num_destinations):
+                eq.add(row, index.flow(e, w_index), 1.0)
+            eq.add(row, index.messages(e), -1.0)
+
     # ------------------------------------------------------------------ #
     # Inequality constraints (d), (e)+(h), (f)+(i), (g)+(j)
     # ------------------------------------------------------------------ #
     ub = _TripletBuilder()
-    # (d) x[e, w] - n[e] <= 0
-    for e in range(index.num_edges):
-        n_col = index.messages(e)
-        for w_index in range(index.num_destinations):
-            row = ub.new_row(0.0)
-            ub.add(row, index.flow(e, w_index), 1.0)
-            ub.add(row, n_col, -1.0)
+    if not distinct:
+        # (d) x[e, w] - n[e] <= 0
+        for e in range(index.num_edges):
+            n_col = index.messages(e)
+            for w_index in range(index.num_destinations):
+                row = ub.new_row(0.0)
+                ub.add(row, index.flow(e, w_index), 1.0)
+                ub.add(row, n_col, -1.0)
 
     # (e) + (h): per-edge occupation n[e] * T[e] <= 1
     for e, edge in enumerate(edges):
@@ -434,4 +525,5 @@ def build_steady_state_lp_reference(
         bounds=bounds,
         index=index,
         source=source,
+        spec=spec,
     )

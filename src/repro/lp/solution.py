@@ -1,9 +1,12 @@
-"""Result object of the steady-state broadcast linear program."""
+"""Result object of the steady-state collective linear programs."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..collectives import CollectiveSpec
 
 __all__ = ["SteadyStateSolution"]
 
@@ -52,6 +55,13 @@ class SteadyStateSolution:
     solve_seconds: float = 0.0
     num_variables: int = 0
     num_constraints: int = 0
+    #: The collective the program was solved for (``None`` only for
+    #: hand-built solution objects; :func:`repro.lp.solver.solve_steady_state_lp`
+    #: always stamps the broadcast spec).  For reduce / gather the edge keys
+    #: of :attr:`edge_messages` / :attr:`flows` are expressed on the
+    #: *original* platform orientation (the solver maps the dual solution
+    #: back), so ``n_{u,v}`` counts slices flowing ``u -> v`` toward the root.
+    spec: "CollectiveSpec | None" = None
 
     def edge_weight(self, source: NodeName, target: NodeName) -> float:
         """``n_{u,v}`` for one edge (0 when the edge carries no message)."""
@@ -70,8 +80,13 @@ class SteadyStateSolution:
 
     def summary(self) -> str:
         """One-line human-readable description."""
+        kind = (
+            "SSB"
+            if self.spec is None or self.spec.kind.value == "broadcast"
+            else f"SSB[{self.spec.kind.value}]"
+        )
         return (
-            f"SSB optimum: TP={self.throughput:.4f} slices/time-unit, "
+            f"{kind} optimum: TP={self.throughput:.4f} slices/time-unit, "
             f"{len(self.used_edges())}/{len(self.edge_messages)} edges used, "
             f"{self.num_variables} variables, {self.num_constraints} constraints, "
             f"solved in {self.solve_seconds * 1000:.1f} ms ({self.solver_status})"

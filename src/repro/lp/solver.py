@@ -21,14 +21,17 @@ from typing import Any
 import numpy as np
 from scipy import optimize
 
+from ..collectives import CollectiveSpec, effective_problem
 from ..exceptions import InfeasibleLPError, LPError
 from ..platform.graph import Platform
-from .formulation import SteadyStateLPData, build_steady_state_lp
+from .formulation import SteadyStateLPData, build_collective_lp
 from .solution import SteadyStateSolution
 
 __all__ = [
     "solve_steady_state_lp",
+    "solve_collective_lp",
     "optimal_throughput",
+    "collective_optimal_throughput",
     "LPSolutionCache",
 ]
 
@@ -37,6 +40,32 @@ Edge = tuple[NodeName, NodeName]
 
 #: Flows below this value are considered numerical noise and dropped.
 _FLOW_TOLERANCE = 1e-9
+
+
+def _reverse_solution(
+    solution: SteadyStateSolution, spec: CollectiveSpec
+) -> SteadyStateSolution:
+    """Map a dual solution on the reversed platform back to ``spec``.
+
+    Edge keys flip back to the original orientation and each node's in/out
+    occupation pair swaps sides; the throughput is unchanged (the programs
+    are identical up to renaming).
+    """
+    return SteadyStateSolution(
+        throughput=solution.throughput,
+        edge_messages={(v, u): n for (u, v), n in solution.edge_messages.items()},
+        flows={((v, u), w): x for ((u, v), w), x in solution.flows.items()},
+        source=solution.source,
+        objective_per_node={
+            node: (t_out, t_in)
+            for node, (t_in, t_out) in solution.objective_per_node.items()
+        },
+        solver_status=solution.solver_status,
+        solve_seconds=solution.solve_seconds,
+        num_variables=solution.num_variables,
+        num_constraints=solution.num_constraints,
+        spec=spec,
+    )
 
 
 def _extract_solution(
@@ -88,6 +117,7 @@ def _extract_solution(
         solve_seconds=solve_seconds,
         num_variables=index.num_variables,
         num_constraints=data.num_constraints,
+        spec=data.spec,
     )
 
 
@@ -98,7 +128,7 @@ def solve_steady_state_lp(
     *,
     method: str = "highs",
 ) -> SteadyStateSolution:
-    """Solve ``SSB(G)`` and return the full solution.
+    """Solve the broadcast ``SSB(G)`` and return the full solution.
 
     Parameters
     ----------
@@ -113,7 +143,27 @@ def solve_steady_state_lp(
         ``scipy.optimize.linprog`` method; the default HiGHS solver is both
         the fastest and the most robust choice.
     """
-    data = build_steady_state_lp(platform, source, size)
+    return solve_collective_lp(
+        platform, CollectiveSpec.broadcast(source), size, method=method
+    )
+
+
+def solve_collective_lp(
+    platform: Platform,
+    spec: CollectiveSpec,
+    size: float | None = None,
+    *,
+    method: str = "highs",
+) -> SteadyStateSolution:
+    """Solve the steady-state LP of any :class:`CollectiveSpec`.
+
+    Reduce and gather are solved as their dual forward kind on the reversed
+    platform and the solution is mapped back: the returned edge weights
+    ``n_{u,v}`` refer to the *original* platform orientation, with slices
+    flowing ``u -> v`` toward the root.
+    """
+    effective_platform, effective_spec = effective_problem(platform, spec)
+    data = build_collective_lp(effective_platform, effective_spec, size)
     start = time.perf_counter()
     result = optimize.linprog(
         c=data.objective,
@@ -127,23 +177,32 @@ def solve_steady_state_lp(
     elapsed = time.perf_counter() - start
     if not result.success:
         raise InfeasibleLPError(
-            f"steady-state LP failed for platform {platform.name!r} "
-            f"(source {source!r}): {result.message}"
+            f"steady-state {spec.kind.value} LP failed for platform "
+            f"{platform.name!r} (source {spec.source!r}): {result.message}"
         )
-    solution = _extract_solution(platform, data, result, elapsed, size)
+    solution = _extract_solution(effective_platform, data, result, elapsed, size)
     if solution.throughput <= 0:
         raise LPError(
-            f"steady-state LP returned non-positive throughput "
+            f"steady-state {spec.kind.value} LP returned non-positive throughput "
             f"{solution.throughput!r} for platform {platform.name!r}"
         )
+    if spec.is_reversed:
+        solution = _reverse_solution(solution, spec)
     return solution
 
 
 def optimal_throughput(
     platform: Platform, source: NodeName, size: float | None = None
 ) -> float:
-    """The MTP optimal throughput ``TP`` (reference value of the paper)."""
+    """The MTP optimal broadcast throughput ``TP`` (reference of the paper)."""
     return solve_steady_state_lp(platform, source, size).throughput
+
+
+def collective_optimal_throughput(
+    platform: Platform, spec: CollectiveSpec, size: float | None = None
+) -> float:
+    """The MTP optimal throughput of any collective spec."""
+    return solve_collective_lp(platform, spec, size).throughput
 
 
 class LPSolutionCache:
@@ -157,15 +216,26 @@ class LPSolutionCache:
     """
 
     def __init__(self) -> None:
-        self._cache: dict[tuple[int, Any, float | None], SteadyStateSolution] = {}
+        self._cache: dict[tuple, SteadyStateSolution] = {}
+
+    @staticmethod
+    def _key(platform: Platform, spec: CollectiveSpec, size: float | None) -> tuple:
+        targets = None if spec.targets is None else tuple(spec.targets)
+        return (id(platform), spec.kind.value, spec.source, targets, size)
 
     def solve(
         self, platform: Platform, source: NodeName, size: float | None = None
     ) -> SteadyStateSolution:
-        """Return the cached solution, solving the LP on first use."""
-        key = (id(platform), source, size)
+        """Return the cached broadcast solution, solving the LP on first use."""
+        return self.solve_collective(platform, CollectiveSpec.broadcast(source), size)
+
+    def solve_collective(
+        self, platform: Platform, spec: CollectiveSpec, size: float | None = None
+    ) -> SteadyStateSolution:
+        """Return the cached solution of ``spec``, solving on first use."""
+        key = self._key(platform, spec, size)
         if key not in self._cache:
-            self._cache[key] = solve_steady_state_lp(platform, source, size)
+            self._cache[key] = solve_collective_lp(platform, spec, size)
         return self._cache[key]
 
     def clear(self) -> None:

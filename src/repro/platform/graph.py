@@ -20,6 +20,7 @@ The class is a thin, validated layer over :class:`networkx.DiGraph` that
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Iterable, Iterator, Mapping
 
 import networkx as nx
@@ -59,6 +60,12 @@ class Platform:
         self._graph: nx.DiGraph = nx.DiGraph()
         # Compiled-view cache, keyed by message size; cleared on mutation.
         self._compiled_cache: dict[float, CompiledPlatform] = {}
+        # Cached reversed view (see :meth:`reversed`); invalidated together
+        # with the compiled cache on any mutation.  ``_reverse_parent`` is
+        # the back-pointer a cached view keeps so that mutating the *view*
+        # also detaches it from its parent's cache.
+        self._reversed_cache: "Platform | None" = None
+        self._reverse_parent: "Platform | None" = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -78,7 +85,7 @@ class Platform:
                 "cannot pass extra attributes together with a ProcessorNode instance"
             )
         self._graph.add_node(node.name, record=node)
-        self._compiled_cache.clear()
+        self._invalidate_caches()
         return node
 
     def add_link(self, link: Link) -> Link:
@@ -92,7 +99,7 @@ class Platform:
                 f"link target {link.target!r} is not a node of platform {self.name!r}"
             )
         self._graph.add_edge(link.source, link.target, record=link)
-        self._compiled_cache.clear()
+        self._invalidate_caches()
         return link
 
     def connect(
@@ -129,7 +136,23 @@ class Platform:
         if not self._graph.has_edge(source, target):
             raise InvalidLinkError(f"no link {source!r} -> {target!r} in {self.name!r}")
         self._graph.remove_edge(source, target)
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        """Drop derived views (compiled arrays, reversed platform) on mutation.
+
+        A mutated *reversed view* is no longer the reverse of anything: it
+        detaches itself from its parent's cache, so the parent's next
+        ``reversed()`` call rebuilds a faithful view instead of handing out
+        the mutated one.
+        """
         self._compiled_cache.clear()
+        self._reversed_cache = None
+        parent = self._reverse_parent
+        if parent is not None:
+            if parent._reversed_cache is self:
+                parent._reversed_cache = None
+            self._reverse_parent = None
 
     # ------------------------------------------------------------------ #
     # Nodes
@@ -305,13 +328,33 @@ class Platform:
         return len(self.reachable_from(source)) == self.num_nodes
 
     def require_broadcast_feasible(self, source: NodeName) -> None:
-        """Raise :class:`DisconnectedPlatformError` if some node is unreachable."""
+        """Raise :class:`DisconnectedPlatformError` if some node is unreachable.
+
+        The error names every unreachable node (not just how many there
+        are), so a failing ensemble instance can be diagnosed from the
+        message alone.
+        """
+        self.require_targets_reachable(source, self.nodes, operation="a broadcast tree")
+
+    def require_targets_reachable(
+        self,
+        source: NodeName,
+        targets: Iterable[NodeName],
+        *,
+        operation: str = "a collective tree",
+    ) -> None:
+        """Raise :class:`DisconnectedPlatformError` listing unreachable targets.
+
+        The target-set variant of :meth:`require_broadcast_feasible` used by
+        the multicast / scatter paths: only the nodes in ``targets`` have to
+        be reachable from ``source`` (relays are discovered on the way).
+        """
         reachable = self.reachable_from(source)
-        missing = [n for n in self.nodes if n not in reachable]
+        missing = [n for n in targets if n not in reachable]
         if missing:
             raise DisconnectedPlatformError(
                 f"platform {self.name!r}: nodes {missing!r} are not reachable from "
-                f"source {source!r}; a broadcast tree cannot span them"
+                f"source {source!r}; {operation} cannot span them"
             )
 
     def shortest_path(
@@ -353,6 +396,57 @@ class Platform:
         for link in self.links:
             clone.add_link(link)
         return clone
+
+    _REVERSED_SUFFIX = "~reversed"
+
+    def reversed(self, name: str | None = None) -> "Platform":
+        """The platform with every directed link flipped (``G^T``).
+
+        Reduce and gather are broadcast and scatter on this view (see
+        :mod:`repro.collectives`).  Nodes keep their insertion order; links
+        are flipped in insertion order, so reversing twice reproduces the
+        original platform exactly (same node/edge order, same costs — the
+        default name toggles a ``~reversed`` suffix for the same reason).
+        Directional quantities swap sides: each link's send/recv occupations
+        and each node's send/recv overheads trade places, because a sender
+        on ``G`` is a receiver on ``G^T``.
+
+        The view is cached (and invalidated on mutation), so one workflow
+        reversing the platform for its LP, its heuristic and its simulation
+        shares a single object — and that object's compiled arrays.
+        """
+        cache = name is None
+        if cache:
+            if self._reversed_cache is not None:
+                return self._reversed_cache
+            if self.name.endswith(self._REVERSED_SUFFIX):
+                name = self.name[: -len(self._REVERSED_SUFFIX)]
+            else:
+                name = f"{self.name}{self._REVERSED_SUFFIX}"
+        rev = Platform(name=name, slice_size=self.slice_size)
+        for node_name in self.nodes:
+            record = self.node(node_name)
+            rev.add_node(
+                replace(
+                    record,
+                    send_overhead=record.recv_overhead,
+                    recv_overhead=record.send_overhead,
+                )
+            )
+        for link in self.iter_links():
+            cost = link.cost
+            rev.add_link(
+                Link(
+                    source=link.target,
+                    target=link.source,
+                    cost=LinkCostModel(link=cost.link, send=cost.recv, recv=cost.send),
+                    attributes=dict(link.attributes),
+                )
+            )
+        if cache:
+            self._reversed_cache = rev
+            rev._reverse_parent = self
+        return rev
 
     def subgraph_with_links(self, edges: Iterable[Edge], name: str | None = None) -> "Platform":
         """A platform with the same nodes but only the given directed edges."""

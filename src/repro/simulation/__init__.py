@@ -1,6 +1,7 @@
 """Discrete-event simulation of pipelined broadcasts (validation substrate)."""
 
 from .broadcast import PipelinedBroadcastSimulator, SimulationResult, simulate_broadcast
+from .collective import scatter_arrivals_reference, simulate_collective
 from .engine import SimulationEngine
 from .resources import Reservation, SequentialResource
 from .trace import SimulationTrace, TransferRecord, render_gantt
@@ -9,6 +10,8 @@ __all__ = [
     "PipelinedBroadcastSimulator",
     "SimulationResult",
     "simulate_broadcast",
+    "simulate_collective",
+    "scatter_arrivals_reference",
     "SimulationEngine",
     "Reservation",
     "SequentialResource",

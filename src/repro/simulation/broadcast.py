@@ -334,8 +334,9 @@ class PipelinedBroadcastSimulator:
         matrix, send_busy, recv_busy, link_busy = inorder_direct_run(
             ctree, self.num_slices, self.model
         )
+        # Only the covered nodes receive slices (a multicast tree is partial).
         arrivals: dict[NodeName, list[float]] = {
-            name: matrix[i].tolist() for i, name in enumerate(view.node_names)
+            name: matrix[view.index_of(name)].tolist() for name in self.tree.nodes
         }
         arrivals[self.tree.source] = [0.0] * self.num_slices
         makespan = max(times[-1] for times in arrivals.values())
@@ -380,7 +381,7 @@ class PipelinedBroadcastSimulator:
             )
 
         arrivals: dict[NodeName, list[float]] = {}
-        for node in self.platform.nodes:
+        for node in self.tree.nodes:
             if node == self.tree.source:
                 arrivals[node] = [0.0] * self.num_slices
                 continue

@@ -1,0 +1,239 @@
+"""Discrete simulation of pipelined collective operations along a tree.
+
+:func:`simulate_collective` extends :func:`~repro.simulation.broadcast.simulate_broadcast`
+to the whole :mod:`repro.collectives` family:
+
+* **broadcast / multicast** — the pipelined broadcast machinery unchanged;
+  a multicast tree is simply partial (its :attr:`~repro.core.tree.BroadcastTree.nodes`
+  are the covered nodes), and the simulator only tracks those.
+* **scatter** — *distinct-message replay*: every round the source emits one
+  distinct message per target, and the message for target ``t`` travels the
+  unique tree path to ``t``.  Node ``u`` serves its obligations in the
+  canonical in-order schedule (round-major, child-major, subtree targets by
+  ``str(name)``); the logical edge into child ``c`` therefore carries
+  ``|targets(subtree(c))|`` messages per round instead of one.
+* **reduce / gather** — simulated as their dual forward kind: the tree is
+  expected on the reversed platform, exactly as
+  :func:`~repro.core.registry.build_collective_tree` returns it.
+
+Two implementations of the scatter replay are kept: a name-keyed reference
+loop in this module (the readable specification, built on
+:func:`~repro.models.timing.transfer_timing` like the event engine) and the
+index-based :func:`repro.kernels.simulation.scatter_direct_run` fast path;
+the test suite asserts they produce identical arrival times.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..analysis.throughput import collective_throughput
+from ..collectives import CollectiveSpec
+from ..core.tree import BroadcastTree
+from ..exceptions import SimulationError
+from ..models.port_models import PortModel, get_port_model
+from ..models.timing import transfer_timing
+from .broadcast import Policy, SimulationResult, simulate_broadcast
+
+__all__ = ["simulate_collective", "scatter_arrivals_reference"]
+
+NodeName = Any
+
+
+def simulate_collective(
+    tree: BroadcastTree,
+    spec: CollectiveSpec,
+    num_slices: int = 50,
+    *,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+    policy: Policy = "in-order",
+    record_trace: bool = True,
+    fast: bool = True,
+) -> SimulationResult:
+    """Simulate ``num_slices`` rounds of ``spec`` along ``tree``.
+
+    For reduce / gather, ``tree`` must live on the reversed platform (build
+    it with :func:`~repro.core.registry.build_collective_tree`); the returned
+    arrival times then describe the dual forward collective, whose schedule
+    mirrors the reversed-direction execution exactly.
+
+    Scatter / gather replay distinct messages; they support the canonical
+    in-order policy on direct trees only, and tracing is not recorded.
+    ``fast=False`` forces the name-keyed reference loop (used by the
+    equivalence tests and the benchmarks).
+    """
+    if not spec.distinct_messages:
+        return simulate_broadcast(
+            tree,
+            num_slices,
+            model=model,
+            size=size,
+            policy=policy,
+            record_trace=record_trace,
+        )
+    return _simulate_scatter(tree, spec, num_slices, model, size, policy, fast)
+
+
+# --------------------------------------------------------------------------- #
+# Distinct-message (scatter) replay
+# --------------------------------------------------------------------------- #
+def _scatter_targets(
+    tree: BroadcastTree, targets: "set[NodeName] | None" = None
+) -> list[NodeName]:
+    """The targets whose messages the replay tracks, in ``str`` order."""
+    if targets is None:
+        if tree.targets is not None:
+            targets = set(tree.targets)
+        else:
+            targets = set(tree.nodes)
+    return sorted(set(targets) - {tree.source}, key=str)
+
+
+def scatter_arrivals_reference(
+    tree: BroadcastTree,
+    num_rounds: int,
+    model: PortModel | str | None = None,
+    size: float | None = None,
+    targets: "set[NodeName] | None" = None,
+) -> dict[NodeName, list[float]]:
+    """Reference distinct-message replay: per-target own-message arrivals.
+
+    The readable specification of the scatter schedule, mirrored index for
+    index by :func:`repro.kernels.simulation.scatter_direct_run`: node ``u``
+    processes rounds in order; within a round its children in deterministic
+    child order; within a child the subtree targets by ``str(name)``.  Each
+    transfer reserves the sender port, the link and the receiver port with
+    the same :func:`~repro.models.timing.transfer_timing` arithmetic as the
+    event engine.
+    """
+    port_model = get_port_model(model)
+    platform = tree.platform
+    source = tree.source
+    target_set = set(_scatter_targets(tree, targets))
+
+    # Subtree target lists per node, ordered by str(name).
+    subtree_targets: dict[NodeName, list[NodeName]] = {}
+    for node in reversed(tree.bfs_order()):
+        mine = [node] if node in target_set and node != source else []
+        for child in tree.children(node):
+            mine.extend(subtree_targets[child])
+        subtree_targets[node] = sorted(mine, key=str)
+
+    arrivals: dict[NodeName, dict[NodeName, list[float]]] = {
+        source: {t: [0.0] * num_rounds for t in subtree_targets[source]}
+    }
+    for node in tree.bfs_order():
+        children = tree.children(node)
+        if not children:
+            continue
+        here = arrivals[node]
+        timings = {child: transfer_timing(port_model, platform, node, child, size) for child in children}
+        send_free = 0.0
+        link_free = {child: 0.0 for child in children}
+        recv_free = {child: 0.0 for child in children}
+        rows: dict[NodeName, dict[NodeName, list[float]]] = {
+            child: {t: [0.0] * num_rounds for t in subtree_targets[child]}
+            for child in children
+        }
+        for k in range(num_rounds):
+            for child in children:
+                timing = timings[child]
+                for t in subtree_targets[child]:
+                    ready = 0.0 if node == source else here[t][k]
+                    start = max(ready, send_free, link_free[child])
+                    if timing.receiver_busy > 0:
+                        start = max(
+                            start,
+                            recv_free[child] - timing.receiver_busy_start_offset,
+                        )
+                    send_free = start + timing.sender_busy
+                    link_free[child] = start + timing.link_busy
+                    if timing.receiver_busy > 0:
+                        recv_free[child] = (
+                            start + timing.receiver_busy_start_offset + timing.receiver_busy
+                        )
+                    rows[child][t][k] = start + timing.link_busy
+        for child in children:
+            arrivals[child] = rows[child]
+
+    return {t: arrivals[t][t] for t in sorted(target_set, key=str)}
+
+
+def _simulate_scatter(
+    tree: BroadcastTree,
+    spec: CollectiveSpec,
+    num_rounds: int,
+    model: PortModel | str | None,
+    size: float | None,
+    policy: Policy,
+    fast: bool,
+) -> SimulationResult:
+    if num_rounds < 1:
+        raise SimulationError(f"num_slices must be >= 1, got {num_rounds}")
+    if policy != "in-order":
+        raise SimulationError(
+            f"distinct-message replay only supports the in-order policy, got {policy!r}"
+        )
+    if not tree.is_direct:
+        raise SimulationError(
+            "distinct-message replay requires a direct tree; routed (binomial) "
+            "trees interleave relays in a genuinely event-driven way"
+        )
+    port_model = get_port_model(model)
+    # The spec's own target set drives the replay (a spanning tree can be
+    # asked to scatter to a subset); collective_throughput validates that
+    # every spec target is covered by the tree.
+    analytical = collective_throughput(tree, spec, port_model, size).throughput
+    spec_targets = set(spec.resolve_targets(tree.platform))
+
+    from ..kernels.simulation import scatter_direct_run, supports_scatter_fast_path
+
+    ctree = tree.compiled(size)
+    if fast and supports_scatter_fast_path(ctree, port_model):
+        view = ctree.view
+        target_indices = [
+            view.index_of(t) for t in _scatter_targets(tree, spec_targets)
+        ]
+        arrivals = {
+            view.name_of(t): times.tolist()
+            for t, times in scatter_direct_run(
+                ctree, target_indices, num_rounds, port_model
+            ).items()
+        }
+    else:
+        arrivals = scatter_arrivals_reference(
+            tree, num_rounds, port_model, size, targets=spec_targets
+        )
+
+    arrival_times: dict[NodeName, list[float]] = dict(arrivals)
+    arrival_times[tree.source] = [0.0] * num_rounds
+    makespan = max(times[-1] for times in arrival_times.values())
+    return SimulationResult(
+        makespan=makespan,
+        num_slices=num_rounds,
+        arrival_times=arrival_times,
+        measured_throughput=_trailing_half_rate(arrival_times, num_rounds),
+        analytical_throughput=analytical,
+    )
+
+
+def _trailing_half_rate(
+    arrivals: Mapping[NodeName, list[float]], num_rounds: int
+) -> float:
+    """Steady-state rate over the trailing half of the rounds.
+
+    Same estimator as
+    :meth:`~repro.simulation.broadcast.PipelinedBroadcastSimulator._measure_throughput`.
+    """
+    if num_rounds < 2:
+        return float("inf")
+    half = num_rounds // 2
+    if half >= num_rounds - 1:
+        half = num_rounds - 2
+    completion_half = max(times[half] for times in arrivals.values())
+    completion_last = max(times[-1] for times in arrivals.values())
+    measured = num_rounds - 1 - half
+    if completion_last <= completion_half:
+        return float("inf")
+    return measured / (completion_last - completion_half)

@@ -1,0 +1,679 @@
+"""Tests of the collective-operations subsystem (spec, LP, trees, simulation).
+
+The consistency laws asserted here are the contract of the refactor:
+
+* multicast with targets = all nodes is *bit-identical* to broadcast at
+  every layer (LP matrices, heuristic trees);
+* scatter never beats broadcast (its nesting equality dominates);
+* reduce / gather equal their dual on the independently reversed platform;
+* the vectorized LP builders match their reference twins for every kind;
+* the distinct-message simulation fast path matches its reference replay
+  and both converge to the closed-form throughput.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    CollectiveSpec,
+    Platform,
+    build_broadcast_tree,
+    build_collective_tree,
+    collective_throughput,
+    generate_random_platform,
+    generate_tiers_platform,
+    register_heuristic,
+    solve_collective_lp,
+    solve_steady_state_lp,
+)
+from repro.collectives import CollectiveKind, effective_problem, require_feasible
+from repro.core.grow_tree import GrowingMinimumOutDegreeTree
+from repro.core.tree import BroadcastTree, steiner_prune
+from repro.exceptions import (
+    DisconnectedPlatformError,
+    HeuristicError,
+    NotASpanningTreeError,
+    PlatformError,
+    SimulationError,
+)
+from repro.lp.formulation import build_collective_lp, build_collective_lp_reference
+from repro.lp.solver import LPSolutionCache
+from repro.models.port_models import MultiPortModel
+from repro.platform.serialization import platform_from_dict, platform_to_dict
+from repro.simulation.collective import (
+    scatter_arrivals_reference,
+    simulate_collective,
+)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return generate_random_platform(num_nodes=14, density=0.25, seed=3)
+
+
+@pytest.fixture(scope="module")
+def tiers():
+    return generate_tiers_platform(30, seed=1)
+
+
+def assert_same_lp(a, b):
+    assert (a.a_eq != b.a_eq).nnz == 0
+    assert (a.a_ub != b.a_ub).nnz == 0
+    assert np.array_equal(a.b_eq, b.b_eq)
+    assert np.array_equal(a.b_ub, b.b_ub)
+    assert np.array_equal(a.objective, b.objective)
+    assert a.bounds == b.bounds
+    assert a.index == b.index
+
+
+# --------------------------------------------------------------------------- #
+# CollectiveSpec
+# --------------------------------------------------------------------------- #
+class TestSpec:
+    def test_kind_coercion_and_classification(self):
+        spec = CollectiveSpec("scatter", 0, (1, 2))
+        assert spec.kind is CollectiveKind.SCATTER
+        assert spec.distinct_messages and not spec.is_reversed
+        assert CollectiveSpec.reduce(0).is_reversed
+        assert CollectiveSpec.gather(0).distinct_messages
+
+    def test_dual_round_trips(self):
+        for spec in (CollectiveSpec.broadcast(0), CollectiveSpec.scatter(0, (1,))):
+            assert spec.dual().dual().kind is spec.kind
+        assert CollectiveSpec.reduce(0).dual().kind is CollectiveKind.BROADCAST
+        assert CollectiveSpec.gather(0).dual().kind is CollectiveKind.SCATTER
+
+    def test_resolve_targets_orders_and_dedupes(self, platform):
+        spec = CollectiveSpec.multicast(0, (5, 3, 3, 0, 1))
+        assert spec.resolve_targets(platform) == (1, 3, 5)
+        assert not spec.is_total(platform)
+        full = CollectiveSpec.scatter(0)
+        assert full.is_total(platform)
+
+    def test_validation_errors(self, platform):
+        with pytest.raises(PlatformError):
+            CollectiveSpec.broadcast(99).validate(platform)
+        with pytest.raises(PlatformError):
+            CollectiveSpec.multicast(0, (77,)).validate(platform)
+        with pytest.raises(PlatformError):
+            CollectiveSpec.multicast(0, (0,)).validate(platform)
+
+    def test_effective_problem_reverses(self, platform):
+        eff_platform, eff_spec = effective_problem(platform, CollectiveSpec.reduce(0))
+        assert eff_spec.kind is CollectiveKind.BROADCAST
+        assert set(eff_platform.edges) == {(v, u) for u, v in platform.edges}
+        same_platform, same_spec = effective_problem(platform, CollectiveSpec.broadcast(0))
+        assert same_platform is platform and same_spec.kind is CollectiveKind.BROADCAST
+
+
+# --------------------------------------------------------------------------- #
+# Platform.reversed + feasibility (satellites)
+# --------------------------------------------------------------------------- #
+class TestReversedPlatform:
+    def test_double_reverse_is_identity(self, platform):
+        twice = platform.reversed().reversed()
+        assert twice.name == platform.name
+        assert twice.nodes == platform.nodes
+        assert twice.edges == platform.edges
+        for (u, v) in platform.edges:
+            assert twice.transfer_time(u, v) == platform.transfer_time(u, v)
+
+    def test_reverse_flips_costs_and_overheads(self):
+        platform = Platform("asym")
+        platform.add_node(0, send_overhead=0.25)
+        platform.add_node(1, recv_overhead=0.75)
+        platform.connect(0, 1, 2.0, send_time=0.5, recv_time=1.5)
+        rev = platform.reversed()
+        assert rev.edges == [(1, 0)]
+        assert rev.transfer_time(1, 0) == 2.0
+        # send/recv occupations swap sides with the direction.
+        assert rev.link(1, 0).send_time(1.0) == 1.5
+        assert rev.link(1, 0).recv_time(1.0) == 0.5
+        assert rev.node(0).recv_overhead == 0.25
+        assert rev.node(1).send_overhead == 0.75
+
+    def test_reversed_is_cached_and_invalidated(self, platform):
+        rev = platform.reversed()
+        assert platform.reversed() is rev
+        copy = platform.copy()
+        copy.connect(copy.nodes[0], copy.nodes[-1], 9.0)
+        first = copy.reversed()
+        copy.connect(copy.nodes[-1], copy.nodes[0], 9.0)
+        assert copy.reversed() is not first
+
+    def test_mutating_the_reversed_view_detaches_it_from_the_cache(self):
+        plat = generate_random_platform(num_nodes=8, density=0.4, seed=4)
+        before = solve_collective_lp(plat, CollectiveSpec.reduce(0)).throughput
+        rev = plat.reversed()
+        u, v = rev.edges[0]
+        rev.remove_link(u, v)
+        # The untouched original must not see the mutated view.
+        assert plat.reversed() is not rev
+        after = solve_collective_lp(plat, CollectiveSpec.reduce(0)).throughput
+        assert math.isclose(before, after, rel_tol=1e-12)
+
+    def test_reversed_round_trips_through_serialization(self, platform):
+        rev = platform.reversed()
+        loaded = platform_from_dict(platform_to_dict(rev))
+        assert loaded.nodes == rev.nodes
+        assert loaded.edges == rev.edges
+        for (u, v) in rev.edges:
+            assert loaded.transfer_time(u, v) == rev.transfer_time(u, v)
+        # ...and reversing the loaded platform recovers the original edges.
+        assert loaded.reversed().edges == platform.edges
+
+    def test_unreachable_error_lists_the_nodes(self):
+        platform = Platform("broken")
+        for name in (0, 1, 2, 3):
+            platform.add_node(name)
+        platform.connect(0, 1, 1.0)
+        with pytest.raises(DisconnectedPlatformError) as excinfo:
+            platform.require_broadcast_feasible(0)
+        assert "[2, 3]" in str(excinfo.value)
+
+    def test_target_variant_only_checks_targets(self):
+        platform = Platform("partial")
+        for name in (0, 1, 2, 3):
+            platform.add_node(name)
+        platform.connect(0, 1, 1.0)
+        platform.require_targets_reachable(0, [1])  # node 2, 3 may be dark
+        with pytest.raises(DisconnectedPlatformError) as excinfo:
+            platform.require_targets_reachable(0, [1, 3])
+        assert "[3]" in str(excinfo.value)
+        with pytest.raises(DisconnectedPlatformError):
+            require_feasible(platform, CollectiveSpec.multicast(0, (3,)))
+
+
+# --------------------------------------------------------------------------- #
+# Registry guard (satellite)
+# --------------------------------------------------------------------------- #
+class TestRegistryGuard:
+    def test_collision_raises_without_overwrite(self):
+        register_heuristic("collectives-test-guard", GrowingMinimumOutDegreeTree)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_heuristic("collectives-test-guard", GrowingMinimumOutDegreeTree)
+            # Explicit overwrite replaces the factory without raising.
+            register_heuristic(
+                "collectives-test-guard",
+                lambda: GrowingMinimumOutDegreeTree(fast=False),
+                overwrite=True,
+            )
+        finally:
+            from repro.core.registry import HEURISTICS
+
+            HEURISTICS.pop("collectives-test-guard", None)
+
+
+# --------------------------------------------------------------------------- #
+# LP consistency laws
+# --------------------------------------------------------------------------- #
+class TestCollectiveLP:
+    def test_multicast_full_targets_bit_identical_to_broadcast(self, platform):
+        broadcast = build_collective_lp(platform, CollectiveSpec.broadcast(0))
+        full = CollectiveSpec.multicast(0, [n for n in platform.nodes if n != 0])
+        assert_same_lp(broadcast, build_collective_lp(platform, full))
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            CollectiveSpec.broadcast(0),
+            CollectiveSpec.multicast(0, (1, 4, 7, 9)),
+            CollectiveSpec.scatter(0),
+            CollectiveSpec.scatter(0, (2, 5, 8)),
+            CollectiveSpec.reduce(0),
+            CollectiveSpec.gather(0, (1, 2, 3)),
+        ],
+        ids=lambda s: f"{s.kind.value}-{'sub' if s.targets else 'all'}",
+    )
+    def test_vectorized_builder_matches_reference(self, platform, spec):
+        assert_same_lp(
+            build_collective_lp(platform, spec),
+            build_collective_lp_reference(platform, spec),
+        )
+
+    def test_multicast_strict_subset_is_smaller(self, platform):
+        broadcast = build_collective_lp(platform, CollectiveSpec.broadcast(0))
+        subset = build_collective_lp(platform, CollectiveSpec.multicast(0, (1, 2, 3)))
+        assert subset.index.num_variables < broadcast.index.num_variables
+        assert subset.num_constraints < broadcast.num_constraints
+
+    def test_optima_ordering_laws(self, platform):
+        broadcast = solve_steady_state_lp(platform, 0).throughput
+        targets = (1, 3, 5, 7)
+        multicast = solve_collective_lp(platform, CollectiveSpec.multicast(0, targets))
+        scatter_sub = solve_collective_lp(platform, CollectiveSpec.scatter(0, targets))
+        scatter_all = solve_collective_lp(platform, CollectiveSpec.scatter(0))
+        # Fewer commodities can only help; distinct messages can only hurt.
+        assert multicast.throughput >= broadcast - 1e-9
+        assert scatter_all.throughput <= broadcast + 1e-9
+        assert scatter_sub.throughput <= multicast.throughput + 1e-9
+
+    def test_reduce_equals_dual_on_reversed(self, platform):
+        reduce_solution = solve_collective_lp(platform, CollectiveSpec.reduce(0))
+        dual = solve_steady_state_lp(platform.reversed(), 0)
+        assert math.isclose(
+            reduce_solution.throughput, dual.throughput, rel_tol=1e-9
+        )
+        gather = solve_collective_lp(platform, CollectiveSpec.gather(0))
+        dual_scatter = solve_collective_lp(
+            platform.reversed(), CollectiveSpec.scatter(0)
+        )
+        assert math.isclose(gather.throughput, dual_scatter.throughput, rel_tol=1e-9)
+
+    def test_reversed_solution_reports_original_orientation(self, platform):
+        solution = solve_collective_lp(platform, CollectiveSpec.reduce(0))
+        assert solution.spec.kind is CollectiveKind.REDUCE
+        for (u, v) in solution.used_edges():
+            assert platform.has_link(u, v)
+
+    def test_cache_distinguishes_specs(self, platform):
+        cache = LPSolutionCache()
+        a = cache.solve_collective(platform, CollectiveSpec.multicast(0, (1, 2)))
+        b = cache.solve_collective(platform, CollectiveSpec.multicast(0, (1, 3)))
+        again = cache.solve_collective(platform, CollectiveSpec.multicast(0, (1, 2)))
+        assert a is again and a is not b
+        assert len(cache) == 2
+        # Plain broadcast entry is shared between both call styles.
+        c = cache.solve(platform, 0)
+        assert cache.solve_collective(platform, CollectiveSpec.broadcast(0)) is c
+
+
+# --------------------------------------------------------------------------- #
+# Partial (Steiner) trees
+# --------------------------------------------------------------------------- #
+class TestSteinerTrees:
+    def test_partial_tree_validation(self, platform):
+        tree = build_collective_tree(platform, CollectiveSpec.multicast(0, (1, 3)))
+        assert {0, 1, 3} <= set(tree.nodes)
+        assert tree.num_nodes == len(tree.nodes) <= platform.num_nodes
+        with pytest.raises(NotASpanningTreeError):
+            BroadcastTree(
+                platform=platform, source=0, parents={1: 0}, targets=(1, 3)
+            )
+
+    def test_parent_chain_must_stay_inside_tree(self, platform):
+        # 3 hangs from 2, which has no parent entry itself.
+        with pytest.raises(NotASpanningTreeError):
+            BroadcastTree(platform=platform, source=0, parents={3: 2}, targets=(3,))
+
+    def test_steiner_prune_drops_dead_relays(self):
+        parents = {1: 0, 2: 1, 3: 1, 4: 3}
+        kept = steiner_prune(parents, 0, targets=(2,))
+        assert kept == {1: 0, 2: 1}
+
+    def test_full_targets_reproduce_broadcast_trees(self, platform):
+        full = CollectiveSpec.multicast(0, [n for n in platform.nodes if n != 0])
+        for name in ("grow-tree", "prune-simple", "prune-degree", "lp-prune",
+                     "lp-grow-tree", "binomial"):
+            broadcast_tree = build_broadcast_tree(platform, 0, heuristic=name)
+            spec_tree = build_collective_tree(platform, full, heuristic=name)
+            assert spec_tree.same_structure_as(broadcast_tree), name
+        model = MultiPortModel()
+        for name in ("multiport-grow-tree", "multiport-prune-degree"):
+            broadcast_tree = build_broadcast_tree(platform, 0, heuristic=name, model=model)
+            spec_tree = build_collective_tree(platform, full, heuristic=name, model=model)
+            assert spec_tree.same_structure_as(broadcast_tree), name
+
+    @pytest.mark.parametrize(
+        "heuristic", ["grow-tree", "prune-simple", "prune-degree", "lp-prune",
+                      "lp-grow-tree", "grow-tree+local-search"]
+    )
+    def test_multicast_trees_cover_targets_with_target_leaves(self, platform, heuristic):
+        targets = (1, 4, 6, 9, 11)
+        spec = CollectiveSpec.multicast(0, targets)
+        tree = build_collective_tree(platform, spec, heuristic=heuristic)
+        assert set(targets) <= set(tree.nodes)
+        assert all(leaf in targets for leaf in tree.leaves()), heuristic
+        report = collective_throughput(tree, spec)
+        assert report.throughput > 0
+
+    def test_fast_and_reference_prunes_agree_on_targets(self, platform):
+        from repro.core.lp_prune import LPCommunicationGraphPruning
+        from repro.core.prune_refined import RefinedPlatformPruning
+
+        spec = CollectiveSpec.multicast(0, (2, 5, 8, 11))
+        for fast_cls in (RefinedPlatformPruning, LPCommunicationGraphPruning):
+            fast_tree = build_collective_tree(platform, spec, heuristic=fast_cls(fast=True))
+            ref_tree = build_collective_tree(platform, spec, heuristic=fast_cls(fast=False))
+            assert fast_tree.same_structure_as(ref_tree), fast_cls.__name__
+
+    def test_reversed_spec_rejected_by_direct_build(self, platform):
+        with pytest.raises(HeuristicError, match="build_collective_tree"):
+            GrowingMinimumOutDegreeTree().build(
+                platform, spec=CollectiveSpec.reduce(0)
+            )
+
+    def test_source_spec_mismatch_rejected(self, platform):
+        with pytest.raises(HeuristicError, match="conflicts"):
+            GrowingMinimumOutDegreeTree().build(
+                platform, 1, spec=CollectiveSpec.multicast(0, (2,))
+            )
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: LP -> heuristic -> analysis -> simulation, all five kinds
+# --------------------------------------------------------------------------- #
+ALL_SPECS = [
+    CollectiveSpec.broadcast(0),
+    CollectiveSpec.multicast(0, (1, 3, 5, 7)),
+    CollectiveSpec.scatter(0),
+    CollectiveSpec.scatter(0, (2, 4, 6)),
+    CollectiveSpec.reduce(0),
+    CollectiveSpec.gather(0, (1, 2, 3)),
+]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "spec", ALL_SPECS, ids=lambda s: f"{s.kind.value}-{'sub' if s.targets else 'all'}"
+    )
+    @pytest.mark.parametrize("platform_fixture", ["platform", "tiers"])
+    def test_all_kinds_solve_end_to_end(self, request, platform_fixture, spec):
+        plat = request.getfixturevalue(platform_fixture)
+        optimum = solve_collective_lp(plat, spec).throughput
+        tree = build_collective_tree(plat, spec)
+        report = collective_throughput(tree, spec)
+        assert 0 < report.throughput <= optimum + 1e-9
+        result = simulate_collective(tree, spec, num_slices=60, record_trace=False)
+        assert result.relative_error() < 1e-6
+        assert math.isclose(
+            result.analytical_throughput, report.throughput, rel_tol=1e-12
+        )
+
+    def test_multicast_simulation_restricted_to_covered_nodes(self, platform):
+        spec = CollectiveSpec.multicast(0, (1, 3, 5))
+        tree = build_collective_tree(platform, spec)
+        result = simulate_collective(tree, spec, num_slices=40, record_trace=False)
+        assert set(result.arrival_times) == set(tree.nodes)
+        # The event engine agrees with the fast path on covered arrivals.
+        event = simulate_collective(tree, spec, num_slices=40, record_trace=True)
+        assert set(event.arrival_times) == set(tree.nodes)
+        for node in tree.nodes:
+            assert np.allclose(
+                result.arrival_times[node], event.arrival_times[node]
+            ), node
+
+    @pytest.mark.parametrize("model", [None, MultiPortModel(send_fraction=0.8)])
+    def test_scatter_fast_path_matches_reference(self, platform, model):
+        spec = CollectiveSpec.scatter(0, (1, 2, 4, 6, 8))
+        tree = build_collective_tree(platform, spec, model=model, strict_model=False)
+        fast = simulate_collective(tree, spec, num_slices=50, model=model)
+        ref = simulate_collective(tree, spec, num_slices=50, model=model, fast=False)
+        assert fast.arrival_times == ref.arrival_times
+        assert fast.relative_error() < 1e-6
+
+    def test_scatter_reference_exposed(self, platform):
+        spec = CollectiveSpec.scatter(0, (1, 2))
+        tree = build_collective_tree(platform, spec)
+        arrivals = scatter_arrivals_reference(tree, 10)
+        assert set(arrivals) == {1, 2}
+        assert all(len(times) == 10 for times in arrivals.values())
+
+    def test_scatter_rejects_routed_trees_and_greedy(self, platform):
+        spec = CollectiveSpec.scatter(0, (1, 2, 3))
+        routed = build_collective_tree(platform, spec, heuristic="binomial")
+        if not routed.is_direct:
+            with pytest.raises(SimulationError, match="direct"):
+                simulate_collective(routed, spec, num_slices=10)
+        direct = build_collective_tree(platform, spec)
+        with pytest.raises(SimulationError, match="in-order"):
+            simulate_collective(direct, spec, num_slices=10, policy="greedy")
+
+    def test_routed_multicast_tree_accounts_for_relays(self):
+        # A binomial multicast routes through relays outside tree.nodes;
+        # their port occupation must enter the period analysis instead of
+        # crashing it (and they must bound the throughput).
+        plat = generate_random_platform(num_nodes=15, density=0.12, seed=0)
+        spec = CollectiveSpec.multicast(0, (3, 7, 11))
+        tree = build_collective_tree(plat, spec, heuristic="binomial")
+        report = collective_throughput(tree, spec)
+        relays = {
+            n
+            for (u, v) in tree.physical_edge_multiplicities()
+            for n in (u, v)
+        } - set(tree.nodes)
+        assert report.throughput > 0
+        for relay in relays:
+            assert relay in report.periods
+        # Routed trees never promised a tight steady-state match (the
+        # in-order schedule stalls on relay chains, exactly like the
+        # pre-existing spanning binomial simulation); just drive the event
+        # engine end to end.
+        result = simulate_collective(tree, spec, num_slices=50, record_trace=False)
+        assert result.measured_throughput > 0
+        assert set(result.arrival_times) == set(tree.nodes)
+
+    def test_spec_targets_drive_the_analysis_not_tree_targets(self, platform):
+        # A spanning tree asked to scatter to two targets only pays for two
+        # targets' messages.
+        tree = build_broadcast_tree(platform, 0, heuristic="grow-tree")
+        narrow = CollectiveSpec.scatter(0, (1, 2))
+        wide = CollectiveSpec.scatter(0)
+        narrow_tp = collective_throughput(tree, narrow).throughput
+        wide_tp = collective_throughput(tree, wide).throughput
+        assert narrow_tp > wide_tp
+        result = simulate_collective(tree, narrow, num_slices=50)
+        assert set(result.arrival_times) == {0, 1, 2}
+        assert result.relative_error() < 1e-6
+        # Spec targets outside the tree's coverage are rejected.
+        partial = build_collective_tree(platform, CollectiveSpec.multicast(0, (1, 3)))
+        missing = next(n for n in platform.nodes if n not in partial.nodes)
+        from repro.exceptions import TreeError
+
+        with pytest.raises(TreeError, match="does not cover"):
+            collective_throughput(partial, CollectiveSpec.multicast(0, (missing,)))
+
+    def test_lp_heuristics_are_guided_by_the_spec_kind_lp(self, platform):
+        from repro.core.lp_grow import LPGrowTree
+
+        captured = {}
+
+        class Spy(LPGrowTree):
+            def _build(self, platform, source, model, size, lp_solution=None, **kw):
+                captured["solution"] = lp_solution
+                return super()._build(
+                    platform, source, model, size, lp_solution=lp_solution, **kw
+                )
+
+        spec = CollectiveSpec.scatter(0, (1, 3, 5))
+        tree = Spy().build(platform, spec=spec)
+        assert captured["solution"] is not None
+        assert captured["solution"].spec.kind is CollectiveKind.SCATTER
+        assert {1, 3, 5} <= set(tree.nodes)
+
+    def test_user_supplied_lp_solution_reoriented_for_reversed_kinds(self, platform):
+        # A reduce solution reports flows on the original orientation; the
+        # heuristic runs on the reversed platform, so build_collective_tree
+        # must flip the guide back — the result equals letting the heuristic
+        # solve the LP itself.
+        spec = CollectiveSpec.reduce(0)
+        solution = solve_collective_lp(platform, spec)
+        supplied = build_collective_tree(
+            platform, spec, heuristic="lp-grow-tree", lp_solution=solution
+        )
+        internal = build_collective_tree(platform, spec, heuristic="lp-grow-tree")
+        assert supplied.same_structure_as(internal)
+
+    def test_reduce_throughput_equals_broadcast_on_reversed(self, platform):
+        spec = CollectiveSpec.reduce(0)
+        tree = build_collective_tree(platform, spec)
+        report = collective_throughput(tree, spec)
+        from repro.analysis.throughput import tree_throughput
+
+        assert math.isclose(
+            report.throughput, tree_throughput(tree).throughput, rel_tol=1e-12
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Property-based consistency laws (hypothesis)
+# --------------------------------------------------------------------------- #
+from hypothesis import HealthCheck, Phase, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+# Same rationale as tests/test_properties.py: LP solves per example are not
+# free, keep the count moderate and skip shrinking.
+MODERATE = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    phases=(Phase.explicit, Phase.reuse, Phase.generate),
+)
+
+collective_cases = st.tuples(
+    st.integers(min_value=5, max_value=13),      # nodes
+    st.floats(min_value=0.15, max_value=0.5),    # density
+    st.integers(min_value=0, max_value=10_000),  # platform seed
+    st.data(),
+)
+
+
+def _random_case(nodes, density, seed, data):
+    plat = generate_random_platform(num_nodes=nodes, density=density, seed=seed)
+    others = [n for n in plat.nodes if n != 0]
+    targets = tuple(
+        data.draw(
+            st.lists(
+                st.sampled_from(others), min_size=1, max_size=len(others), unique=True
+            ),
+            label="targets",
+        )
+    )
+    return plat, targets
+
+
+class TestConsistencyLaws:
+    @MODERATE
+    @given(collective_cases)
+    def test_multicast_full_is_broadcast_and_subset_matches_reference(self, case):
+        nodes, density, seed, data = case
+        plat, targets = _random_case(nodes, density, seed, data)
+        full = CollectiveSpec.multicast(0, [n for n in plat.nodes if n != 0])
+        assert_same_lp(
+            build_collective_lp(plat, CollectiveSpec.broadcast(0)),
+            build_collective_lp(plat, full),
+        )
+        sub = CollectiveSpec.multicast(0, targets)
+        assert_same_lp(
+            build_collective_lp(plat, sub),
+            build_collective_lp_reference(plat, sub),
+        )
+
+    @MODERATE
+    @given(collective_cases)
+    def test_optima_ordering_and_duality(self, case):
+        nodes, density, seed, data = case
+        plat, targets = _random_case(nodes, density, seed, data)
+        broadcast = solve_steady_state_lp(plat, 0).throughput
+        multicast = solve_collective_lp(plat, CollectiveSpec.multicast(0, targets))
+        scatter = solve_collective_lp(plat, CollectiveSpec.scatter(0, targets))
+        assert multicast.throughput >= broadcast - 1e-7
+        assert scatter.throughput <= multicast.throughput + 1e-7
+        reduce_tp = solve_collective_lp(plat, CollectiveSpec.reduce(0)).throughput
+        dual_tp = solve_steady_state_lp(plat.reversed(), 0).throughput
+        assert math.isclose(reduce_tp, dual_tp, rel_tol=1e-7)
+        gather_tp = solve_collective_lp(
+            plat, CollectiveSpec.gather(0, targets)
+        ).throughput
+        dual_scatter = solve_collective_lp(
+            plat.reversed(), CollectiveSpec.scatter(0, targets)
+        ).throughput
+        assert math.isclose(gather_tp, dual_scatter, rel_tol=1e-7)
+
+    @MODERATE
+    @given(collective_cases)
+    def test_spec_aware_heuristics_full_targets_reproduce_broadcast(self, case):
+        nodes, density, seed, data = case
+        plat, _ = _random_case(nodes, density, seed, data)
+        full = CollectiveSpec.multicast(0, [n for n in plat.nodes if n != 0])
+        for name in ("grow-tree", "prune-degree", "prune-simple"):
+            assert build_collective_tree(plat, full, heuristic=name).same_structure_as(
+                build_broadcast_tree(plat, 0, heuristic=name)
+            ), name
+
+    @MODERATE
+    @given(collective_cases)
+    def test_multicast_trees_cover_and_simulate(self, case):
+        nodes, density, seed, data = case
+        plat, targets = _random_case(nodes, density, seed, data)
+        spec = CollectiveSpec.multicast(0, targets)
+        tree = build_collective_tree(plat, spec)
+        assert set(targets) <= set(tree.nodes)
+        assert all(leaf in targets for leaf in tree.leaves())
+        result = simulate_collective(tree, spec, num_slices=40, record_trace=False)
+        assert result.relative_error() < 1e-6
+        # Scatter on the same tree shape: fast replay == reference replay.
+        scatter = CollectiveSpec.scatter(0, targets)
+        scatter_tree = build_collective_tree(plat, scatter)
+        fast = simulate_collective(scatter_tree, scatter, num_slices=40)
+        ref = simulate_collective(scatter_tree, scatter, num_slices=40, fast=False)
+        assert fast.arrival_times == ref.arrival_times
+
+
+# --------------------------------------------------------------------------- #
+# Experiments artefact
+# --------------------------------------------------------------------------- #
+class TestCollectiveArtefact:
+    def test_scaling_artefact_and_cache_replay(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.experiments import (
+            check_collective_scaling_shape,
+            clear_ensemble_cache,
+            collective_ensemble_records,
+            collective_scaling,
+            scaled_parameters,
+        )
+
+        params = replace(
+            scaled_parameters(0.1, seed=7),
+            collective_nodes=10,
+            collective_target_counts=(2, 5, 9),
+            collective_instances=2,
+        )
+        clear_ensemble_cache()
+        records = collective_ensemble_records(params, cache_dir=tmp_path)
+        assert len(records) == 2 * 3 * 2  # kinds x counts x instances
+        figure = collective_scaling(params, records)
+        check = check_collective_scaling_shape(figure)
+        assert check.ok, check.render()
+        # Cold replay from disk is bit-identical on the deterministic payload.
+        clear_ensemble_cache()
+        replayed = collective_ensemble_records(params, cache_dir=tmp_path)
+        assert [r.deterministic_payload() for r in replayed] == [
+            r.deterministic_payload() for r in records
+        ]
+        clear_ensemble_cache()
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestCollectiveCLI:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["collective", "--collective", "multicast", "--targets", "1,3,5"],
+            ["collective", "--collective", "scatter", "--nodes", "10", "--density", "0.3"],
+            ["collective", "--collective", "reduce", "--nodes", "10", "--density", "0.3"],
+            ["collective", "--collective", "gather", "--targets", "1,2", "--show-tree"],
+        ],
+    )
+    def test_collective_command_runs(self, capsys, argv):
+        from repro.cli import main
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "LP optimum" in out
+        assert "simulation relative error" in out
+
+    def test_bad_targets_flag(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["collective", "--collective", "multicast", "--targets", "a,b"])

@@ -121,6 +121,10 @@ class TestCacheKey:
             "tiers_platforms_per_size": 3,
             "source": 0,
             "seed": 14,
+            "collective_nodes": 25,
+            "collective_density": 0.25,
+            "collective_target_counts": (3, 9),
+            "collective_instances": 2,
             "extra": {"note": "changed"},
         }
         assert set(overrides) == {f.name for f in fields(tiny_parameters)}
