@@ -1,0 +1,201 @@
+"""Benchmark of the ``repro.api`` facade: overhead and cache-hit speedup.
+
+Measures, and records into ``BENCH_api.json`` (repo root by default):
+
+* **facade overhead** — wall-clock of a full cold solve (LP + tree +
+  throughput + relative performance) through ``Session.solve`` versus the
+  same sequence hand-wired on the layer APIs (``solve_steady_state_lp`` +
+  ``build_broadcast_tree`` + ``tree_throughput``).  Asserted <= 5% overhead
+  (median of several fresh-session rounds); the facade adds one canonical
+  JSON hash per cache, which is microseconds against millisecond LP solves.
+* **cache-hit speedup** — a second ``solve`` of the identical job against
+  the session's warm caches (no LP re-solve, no tree rebuild), and a batch
+  replay of the same jobs through ``solve_many``.
+* **equivalence** — the facade numbers are asserted bit-identical to the
+  direct layer calls before any timing is recorded.
+
+Run it as a script::
+
+    PYTHONPATH=src python benchmarks/bench_api.py [--rounds 7]
+        [--output BENCH_api.json] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as host_platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro import (
+    Job,
+    PlatformRecipe,
+    Session,
+    _version,
+    build_broadcast_tree,
+    solve_steady_state_lp,
+    tree_throughput,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (num_nodes, density) cases; the facade overhead must stay negligible on
+#: small platforms too, where the LP is cheapest and overhead proportionally
+#: largest.
+CASES = {"15-nodes": (15, 0.2), "30-nodes": (30, 0.12), "50-nodes": (50, 0.06)}
+
+#: Maximum tolerated median facade overhead vs direct layer calls.
+MAX_OVERHEAD = 0.05
+
+
+def direct_solve(platform, source: int, heuristic: str) -> tuple[float, float]:
+    """The hand-wired sequence every caller used to repeat."""
+    solution = solve_steady_state_lp(platform, source)
+    tree = build_broadcast_tree(
+        platform, source, heuristic=heuristic, strict_model=False
+    )
+    report = tree_throughput(tree)
+    return report.throughput, report.throughput / solution.throughput
+
+
+def bench_case(num_nodes: int, density: float, rounds: int) -> dict:
+    """Cold-solve timings, facade vs direct, plus warm cache-hit timings."""
+    recipe = PlatformRecipe.of("random", num_nodes=num_nodes, density=density, seed=5)
+    job = Job.broadcast(recipe, source=0, heuristic="grow-tree")
+    platform = recipe.build()
+
+    # Equivalence first: the facade must compute the very same numbers.
+    facade = Session().solve(job).materialize()
+    throughput, relative = direct_solve(platform, 0, "grow-tree")
+    assert facade.throughput == throughput, "facade/direct throughput mismatch"
+    assert facade.relative_performance == relative, "facade/direct ratio mismatch"
+
+    direct_times = []
+    facade_times = []
+    warm_times = []
+    for _ in range(rounds):
+        # Both arms start from the declarative description: the direct path
+        # also has to generate the platform before it can solve anything.
+        start = time.perf_counter()
+        direct_solve(recipe.build(), 0, "grow-tree")
+        direct_times.append(time.perf_counter() - start)
+
+        session = Session()  # cold caches: the honest facade cost
+        start = time.perf_counter()
+        session.solve(job).materialize()
+        facade_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        session.solve(Job.from_json(job.to_json())).materialize()
+        warm_times.append(time.perf_counter() - start)
+
+    direct_s = statistics.median(direct_times)
+    facade_s = statistics.median(facade_times)
+    warm_s = statistics.median(warm_times)
+    return {
+        "direct_seconds": round(direct_s, 6),
+        "facade_seconds": round(facade_s, 6),
+        "overhead": round(facade_s / direct_s - 1.0, 4),
+        "cache_hit_seconds": round(warm_s, 6),
+        "cache_hit_speedup": round(facade_s / warm_s, 1),
+    }
+
+
+def bench_batch(rounds: int) -> dict:
+    """solve_many cold vs replay through the same session's caches."""
+    recipe = PlatformRecipe.of("random", num_nodes=25, density=0.15, seed=9)
+    jobs = [
+        Job.broadcast(recipe, source=0, heuristic=name)
+        for name in ("prune-simple", "prune-degree", "grow-tree", "lp-grow-tree",
+                     "lp-prune", "binomial")
+    ]
+    # Equivalence first, against *independent* fresh-session solves: a
+    # session-internal comparison would share payload dicts and prove nothing.
+    reference = [
+        Session().solve(job).materialize().deterministic_metrics() for job in jobs
+    ]
+    cold_times = []
+    replay_times = []
+    for _ in range(rounds):
+        session = Session()
+        start = time.perf_counter()
+        session.solve_many(jobs)
+        cold_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        replayed = session.solve_many(list(jobs))
+        replay_times.append(time.perf_counter() - start)
+        assert [
+            r.deterministic_metrics() for r in replayed
+        ] == reference, "batch replay diverged from sequential solves"
+    cold_s = statistics.median(cold_times)
+    replay_s = statistics.median(replay_times)
+    return {
+        "num_jobs": len(jobs),
+        "cold_seconds": round(cold_s, 6),
+        "replay_seconds": round(replay_s, 6),
+        "replay_speedup": round(cold_s / replay_s, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=7)
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_api.json"))
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer rounds, skip the 50-node case (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+    rounds = 3 if args.quick else args.rounds
+    cases = dict(list(CASES.items())[:2]) if args.quick else CASES
+
+    results = {
+        "benchmark": "api-facade",
+        "version": _version.__version__,
+        "host": {
+            "python": host_platform.python_version(),
+            "machine": host_platform.machine(),
+        },
+        "rounds": rounds,
+        "max_overhead": MAX_OVERHEAD,
+        "cold_solve": {},
+    }
+    worst = -1.0
+    for label, (num_nodes, density) in cases.items():
+        case = bench_case(num_nodes, density, rounds)
+        results["cold_solve"][label] = case
+        worst = max(worst, case["overhead"])
+        print(
+            f"{label}: direct {case['direct_seconds'] * 1000:.2f} ms, "
+            f"facade {case['facade_seconds'] * 1000:.2f} ms "
+            f"({case['overhead']:+.1%}), cache hit {case['cache_hit_speedup']}x"
+        )
+    results["worst_overhead"] = worst
+    results["batch"] = bench_batch(rounds)
+    print(
+        f"batch of {results['batch']['num_jobs']}: cold "
+        f"{results['batch']['cold_seconds'] * 1000:.2f} ms, replay "
+        f"{results['batch']['replay_seconds'] * 1000:.2f} ms "
+        f"({results['batch']['replay_speedup']}x)"
+    )
+
+    results["overhead_within_budget"] = bool(worst <= MAX_OVERHEAD)
+    if not args.quick:
+        # Like the other benchmarks, timing asserts are full-run only: the
+        # 3-round --quick CI smoke records the ratio but must not go red on
+        # shared-runner jitter.
+        assert worst <= MAX_OVERHEAD, (
+            f"facade overhead {worst:.1%} exceeds the {MAX_OVERHEAD:.0%} budget"
+        )
+
+    output = Path(args.output)
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

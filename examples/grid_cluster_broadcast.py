@@ -9,20 +9,15 @@ large input file (say 1 GB, split into 10 MB slices) to every worker.
 The example shows why topology-aware trees matter in this setting: the
 binomial tree used by index-based MPI broadcasts keeps re-crossing the slow
 backbone, while the paper's heuristics cross each wide-area link exactly
-once and fan out locally.
+once and fan out locally.  The whole comparison is one batch of declarative
+jobs on a ``cluster`` platform recipe, solved through one session.
 
 Run with ``python examples/grid_cluster_broadcast.py``.
 """
 
 from __future__ import annotations
 
-from repro import (
-    build_broadcast_tree,
-    generate_cluster_platform,
-    pipelined_makespan,
-    solve_steady_state_lp,
-    tree_throughput,
-)
+from repro import Job, PlatformRecipe, Session
 from repro.utils.ascii_plot import format_table
 
 NUM_SLICES = 100  # 1 GB broadcast as 100 slices of 10 MB
@@ -38,7 +33,8 @@ def backbone_crossings(tree, platform) -> int:
 
 
 def main() -> None:
-    platform = generate_cluster_platform(
+    recipe = PlatformRecipe.of(
+        "cluster",
         num_clusters=3,
         cluster_size=8,
         intra_time_mean=0.1,   # 10 MB over a ~100 MB/s LAN: 0.1 s per slice
@@ -47,26 +43,30 @@ def main() -> None:
         inter_deviation=0.2,
         seed=7,
     )
-    source = 0  # gateway of cluster 0 holds the input data
+    session = Session()
+
+    # source 0: the gateway of cluster 0 holds the input data.
+    jobs = [
+        Job.broadcast(recipe, source=0, heuristic=name, num_slices=NUM_SLICES)
+        for name in ("binomial", "prune-degree", "grow-tree", "lp-grow-tree")
+    ]
+    results = session.solve_many(jobs)
+    platform = results[0].platform
     print(f"platform: {platform} (3 clusters x 8 nodes, slow backbone)\n")
+    print(
+        f"steady-state optimum (multiple trees): {results[0].lp_bound:.3f} slices/s\n"
+    )
 
-    solution = solve_steady_state_lp(platform, source)
-    print(f"steady-state optimum (multiple trees): {solution.throughput:.3f} slices/s\n")
-
-    rows = []
-    for name in ("binomial", "prune-degree", "grow-tree", "lp-grow-tree"):
-        tree = build_broadcast_tree(platform, source, heuristic=name)
-        report = tree_throughput(tree)
-        makespan = pipelined_makespan(tree, NUM_SLICES)
-        rows.append(
-            [
-                name,
-                report.throughput,
-                report.relative_to(solution.throughput),
-                makespan.makespan,
-                backbone_crossings(tree, platform),
-            ]
-        )
+    rows = [
+        [
+            result.job.heuristic,
+            result.throughput,
+            result.relative_performance,
+            result.makespan,
+            backbone_crossings(result.tree, platform),
+        ]
+        for result in results
+    ]
     print(
         format_table(
             [

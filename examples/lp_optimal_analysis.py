@@ -4,7 +4,7 @@
 The paper's key practical insight is that the *value* of the optimal
 multiple-tree throughput (and the per-edge traffic achieving it) is cheap to
 compute, even though extracting the actual set of trees is complicated.
-This example dissects one LP solution:
+This example dissects one LP solution through the facade:
 
 * the optimal throughput and which constraints are saturated,
 * the communication graph (edges weighted by the number of message slices
@@ -12,28 +12,36 @@ This example dissects one LP solution:
 * how the two LP-based heuristics (LP-Prune / LP-Grow-Tree) turn that
   communication graph into a single tree, and how close they land.
 
+The :class:`repro.Session` guarantees the LP is solved exactly once: the
+diagnostic views and both LP-guided heuristics reuse the same cached
+solution.
+
 Run with ``python examples/lp_optimal_analysis.py``.
 """
 
 from __future__ import annotations
 
-from repro import (
-    LPCommunicationGraphPruning,
-    LPGrowTree,
-    build_broadcast_tree,
-    generate_random_platform,
-    solve_steady_state_lp,
-    tree_throughput,
-)
+from repro import Job, PlatformRecipe, Session
 from repro.utils.ascii_plot import format_table
 
 
 def main() -> None:
-    platform = generate_random_platform(num_nodes=25, density=0.15, seed=11)
-    source = 0
-    print(f"platform: {platform}\n")
+    recipe = PlatformRecipe.of("random", num_nodes=25, density=0.15, seed=11)
+    session = Session()
 
-    solution = solve_steady_state_lp(platform, source)
+    names = ("lp-prune", "lp-grow-tree", "grow-tree")
+    results = dict(
+        zip(
+            names,
+            session.solve_many(
+                [Job.broadcast(recipe, source=0, heuristic=name) for name in names]
+            ),
+        )
+    )
+
+    reference = results["lp-prune"]
+    print(f"platform: {reference.platform}\n")
+    solution = reference.lp_solution  # cached: one solve serves everything below
     print(solution.summary())
 
     # Saturated resources at the optimum.
@@ -53,22 +61,21 @@ def main() -> None:
         )
     )
 
-    # Reuse the LP solution for both LP heuristics (no re-solve).
-    rows = []
-    for heuristic in (LPCommunicationGraphPruning(), LPGrowTree()):
-        tree = heuristic.build(platform, source, lp_solution=solution)
-        report = tree_throughput(tree)
-        rows.append(
-            [heuristic.paper_label, report.throughput, report.relative_to(solution.throughput)]
-        )
-    # Topology-only reference.
-    grow = build_broadcast_tree(platform, source, "grow-tree")
-    rows.append(
-        ["Grow Tree (no LP)", tree_throughput(grow).throughput,
-         tree_throughput(grow).relative_to(solution.throughput)]
-    )
+    labels = {
+        "lp-prune": "LP-Prune",
+        "lp-grow-tree": "LP-Grow-Tree",
+        "grow-tree": "Grow Tree (no LP)",
+    }
     print("\nsingle-tree heuristics built from (or without) the LP solution:")
-    print(format_table(["heuristic", "throughput", "vs optimum"], rows))
+    print(
+        format_table(
+            ["heuristic", "throughput", "vs optimum"],
+            [
+                [labels[name], result.throughput, result.relative_performance]
+                for name, result in results.items()
+            ],
+        )
+    )
 
 
 if __name__ == "__main__":

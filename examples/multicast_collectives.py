@@ -2,72 +2,64 @@
 """Collective operations: multicast, scatter, reduce and gather on one platform.
 
 The paper's machinery is broadcast-only; the ``repro.collectives`` subsystem
-generalises it.  This example runs every collective kind end to end on the
-same 20-node platform:
+generalises it and the ``repro.api`` facade makes every kind one declarative
+job.  This example runs every collective kind end to end on the same
+20-node platform:
 
-1. describe the operation with a :class:`~repro.collectives.CollectiveSpec`,
-2. solve the spec-parameterised steady-state LP (the multi-tree optimum),
-3. build a single Steiner tree with the spec-aware grow-tree heuristic
-   (reduce/gather build on the reversed platform automatically),
-4. cross-check the closed-form throughput against the pipelined /
-   distinct-message simulation.
+1. describe the operation as a :class:`repro.Job` (kind, root, target set),
+2. batch-solve the jobs through one :class:`repro.Session` — each job's
+   spec-parameterised steady-state LP (the multi-tree optimum) is solved
+   once and cached,
+3. read the lazy :class:`repro.Result` views: the Steiner tree built by the
+   spec-aware grow-tree heuristic (reduce/gather build on the reversed
+   platform automatically), the closed-form throughput and the pipelined /
+   distinct-message simulation cross-check.
 
 Run with ``python examples/multicast_collectives.py``.
 """
 
 from __future__ import annotations
 
-from repro import (
-    CollectiveSpec,
-    build_collective_tree,
-    collective_throughput,
-    generate_random_platform,
-    simulate_collective,
-    solve_collective_lp,
-)
+from repro import Job, PlatformRecipe, Session
 from repro.utils.ascii_plot import format_table
 
 
 def main() -> None:
-    platform = generate_random_platform(num_nodes=20, density=0.15, seed=7)
+    recipe = PlatformRecipe.of("random", num_nodes=20, density=0.15, seed=7)
     source = 0
-    targets = [1, 3, 5, 9, 13]
-    print(f"platform: {platform}")
-    print(f"targets for the partial collectives: {targets}\n")
+    targets = (1, 3, 5, 9, 13)
 
-    specs = [
-        CollectiveSpec.broadcast(source),
-        CollectiveSpec.multicast(source, targets),
-        CollectiveSpec.scatter(source, targets),
-        CollectiveSpec.reduce(source),
-        CollectiveSpec.gather(source, targets),
+    kinds = [
+        ("broadcast", None),
+        ("multicast", targets),
+        ("scatter", targets),
+        ("reduce", None),
+        ("gather", targets),
+    ]
+    jobs = [
+        Job.of_collective(
+            recipe, kind, source=source, targets=kind_targets,
+            num_slices=80, simulate=True,
+        )
+        for kind, kind_targets in kinds
     ]
 
-    rows = []
-    for spec in specs:
-        # The multi-tree optimum of this collective (LP over the rationals);
-        # reduce/gather are solved on the reversed platform and mapped back.
-        optimum = solve_collective_lp(platform, spec).throughput
+    session = Session()
+    results = session.solve_many(jobs)
+    print(f"platform: {results[0].platform}")
+    print(f"targets for the partial collectives: {list(targets)}\n")
 
-        # One Steiner tree covering the targets (plus any relays it needs).
-        tree = build_collective_tree(platform, spec)
-        analytical = collective_throughput(tree, spec).throughput
-
-        # Ground truth: replay 80 pipelined rounds and measure the
-        # steady-state rate (distinct messages for scatter/gather).
-        result = simulate_collective(tree, spec, num_slices=80, record_trace=False)
-
-        rows.append(
-            [
-                spec.kind.value,
-                len(tree.nodes),
-                optimum,
-                analytical,
-                result.measured_throughput,
-                analytical / optimum,
-            ]
-        )
-
+    rows = [
+        [
+            result.job.collective.kind.value,
+            len(result.tree.nodes),
+            result.lp_bound,
+            result.throughput,
+            result.simulated_throughput,
+            result.relative_performance,
+        ]
+        for result in results
+    ]
     print(
         format_table(
             ["collective", "covered", "LP optimum", "tree TP", "simulated TP", "ratio"],

@@ -1,55 +1,55 @@
 #!/usr/bin/env python3
 """Quickstart: build a broadcast tree on a heterogeneous platform.
 
-This example walks through the full pipeline in ~40 lines:
+This example walks through the full pipeline with the ``repro.api`` facade:
 
-1. generate a random heterogeneous platform (paper Table 2 parameters),
-2. compute the multiple-tree optimal throughput with the steady-state LP,
-3. build single broadcast trees with the paper's heuristics,
-4. compare their pipelined throughput against the optimum.
+1. describe the platform declaratively (a named generator recipe with the
+   paper's Table 2 parameters),
+2. describe one solve per paper heuristic as a :class:`repro.Job`,
+3. batch-solve them through one :class:`repro.Session` — the multiple-tree
+   optimal throughput (the steady-state LP) is solved once and shared by
+   every job as the reference,
+4. compare each tree's pipelined throughput against the optimum.
 
 Run with ``python examples/quickstart.py``.
 """
 
 from __future__ import annotations
 
-from repro import (
-    PAPER_ONE_PORT_HEURISTICS,
-    build_broadcast_tree,
-    generate_random_platform,
-    solve_steady_state_lp,
-    tree_throughput,
-)
+from repro import PAPER_ONE_PORT_HEURISTICS, Job, PlatformRecipe, Session
 from repro.utils.ascii_plot import format_table
 
 
 def main() -> None:
     # 1. A 20-node platform with ~12 % edge density; link rates are Gaussian
     #    (mean 100 MB/s, deviation 20 MB/s) and each edge weight is the time
-    #    to transfer one 100 MB message slice.
-    platform = generate_random_platform(num_nodes=20, density=0.12, seed=42)
-    source = 0
-    print(f"platform: {platform}")
+    #    to transfer one 100 MB message slice.  The recipe is declarative:
+    #    the session instantiates (and shares) the actual graph.
+    recipe = PlatformRecipe.of("random", num_nodes=20, density=0.12, seed=42)
 
-    # 2. The MTP optimum: what several simultaneous broadcast trees could
-    #    achieve.  This is the reference every heuristic is compared to.
-    solution = solve_steady_state_lp(platform, source)
-    print(f"LP reference: {solution.summary()}\n")
+    # 2. One job per paper heuristic, all on the same platform and source.
+    jobs = [
+        Job.broadcast(recipe, source=0, heuristic=name)
+        for name in PAPER_ONE_PORT_HEURISTICS
+    ]
 
-    # 3 + 4. Build one tree per heuristic and measure its throughput.
-    rows = []
-    for name in PAPER_ONE_PORT_HEURISTICS:
-        tree = build_broadcast_tree(platform, source, heuristic=name)
-        report = tree_throughput(tree)
-        rows.append(
-            [
-                name,
-                report.throughput,
-                report.relative_to(solution.throughput),
-                tree.height,
-                str(report.bottleneck),
-            ]
-        )
+    # 3. One session = one LP solve, one platform instance, shared caches.
+    session = Session()
+    results = session.solve_many(jobs)
+    print(f"platform: {results[0].platform}")
+    print(f"LP reference: {results[0].lp_solution.summary()}\n")
+
+    # 4. Compare the trees against the multiple-tree optimum.
+    rows = [
+        [
+            result.job.heuristic,
+            result.throughput,
+            result.relative_performance,
+            result.tree.height,
+            str(result.report.bottleneck),
+        ]
+        for result in results
+    ]
     rows.sort(key=lambda row: -row[1])
     print(
         format_table(
@@ -58,9 +58,9 @@ def main() -> None:
         )
     )
 
-    # Show the best tree.
+    # Show the best tree (already cached in the session — no rebuild).
     best = rows[0][0]
-    tree = build_broadcast_tree(platform, source, heuristic=best)
+    tree = session.solve(Job.broadcast(recipe, source=0, heuristic=best)).tree
     print(f"\nbest single tree ({best}):")
     print(tree.describe())
 

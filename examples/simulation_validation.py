@@ -3,29 +3,25 @@
 
 Every throughput number in this library comes from a closed-form argument
 (the inverse of the busiest node's period).  This example checks that claim
-the hard way: it simulates the pipelined broadcast slice by slice, with
-explicit one-port / multi-port resource occupation, and compares the
-measured steady-state rate with the analytical prediction.  It also prints a
-small Gantt chart of the schedule on a toy platform so the pipelining is
-visible.
+the hard way: each strategy is a :class:`repro.Job` with ``simulate=True``,
+so its :class:`repro.Result` carries both the analytical throughput and the
+measured steady-state rate of an explicit slice-by-slice simulation with
+one-port / multi-port resource occupation.  It also prints a small Gantt
+chart of the schedule on a toy platform so the pipelining is visible (the
+trace-recording simulator is invoked directly for that: facade simulations
+run traceless).
 
 Run with ``python examples/simulation_validation.py``.
 """
 
 from __future__ import annotations
 
-from repro import (
-    MultiPortModel,
-    PlatformBuilder,
-    build_broadcast_tree,
-    generate_random_platform,
-    tree_throughput,
-)
+from repro import Job, PlatformBuilder, PlatformRecipe, Session
 from repro.simulation import render_gantt, simulate_broadcast
 from repro.utils.ascii_plot import format_table
 
 
-def toy_gantt() -> None:
+def toy_gantt(session: Session) -> None:
     """A 5-node toy platform: show the pipelined schedule explicitly."""
     platform = (
         PlatformBuilder(name="toy")
@@ -36,37 +32,44 @@ def toy_gantt() -> None:
         .link(3, 4, 1.0, bidirectional=True)
         .build()
     )
-    tree = build_broadcast_tree(platform, 0, "grow-tree")
+    tree = session.solve(Job.broadcast(platform, source=0, heuristic="grow-tree")).tree
     print(tree.describe())
-    result = simulate_broadcast(tree, num_slices=5)
+    result = simulate_broadcast(tree, num_slices=5)  # record_trace for the Gantt
     print("\nschedule of the first 5 slices (digits are slice indices):")
     print(render_gantt(result.trace))
     print()
 
 
 def main() -> None:
-    toy_gantt()
+    session = Session()
+    toy_gantt(session)
 
-    platform = generate_random_platform(num_nodes=22, density=0.15, seed=13)
-    rows = []
-    for name, model in (
-        ("grow-tree", None),
-        ("prune-degree", None),
-        ("binomial", None),
-        ("multiport-grow-tree", MultiPortModel()),
-    ):
-        tree = build_broadcast_tree(platform, 0, name, model=model, strict_model=False)
-        analytical = tree_throughput(tree, model).throughput
-        result = simulate_broadcast(tree, num_slices=80, model=model, record_trace=False)
-        rows.append(
-            [
-                name + ("" if model is None else " [multi-port]"),
-                analytical,
-                result.measured_throughput,
-                result.relative_error(),
-                result.makespan,
-            ]
-        )
+    recipe = PlatformRecipe.of("random", num_nodes=22, density=0.15, seed=13)
+    strategies = [
+        ("grow-tree", "one-port"),
+        ("prune-degree", "one-port"),
+        ("binomial", "one-port"),
+        ("multiport-grow-tree", "multi-port"),
+    ]
+    results = session.solve_many(
+        [
+            Job.broadcast(
+                recipe, source=0, heuristic=name, model=model,
+                num_slices=80, simulate=True,
+            )
+            for name, model in strategies
+        ]
+    )
+    rows = [
+        [
+            job_label(result),
+            result.throughput,
+            result.simulated_throughput,
+            result.simulation_error,
+            result.simulation.makespan,
+        ]
+        for result in results
+    ]
     print(
         format_table(
             [
@@ -85,6 +88,11 @@ def main() -> None:
         "binomial tree is the only case where the simple FIFO schedule stays "
         "below the steady-state bound (relay contention)."
     )
+
+
+def job_label(result) -> str:
+    job = result.job
+    return job.heuristic + ("" if job.model == "one-port" else " [multi-port]")
 
 
 if __name__ == "__main__":

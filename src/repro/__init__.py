@@ -11,6 +11,25 @@ the paper's evaluation.
 
 Quick start
 -----------
+The recommended entry point is the :mod:`repro.api` facade — describe one
+solve as a declarative :class:`Job`, hand it to a cache-owning
+:class:`Session`, and read lazy metrics off the :class:`Result`:
+
+>>> from repro import Job, PlatformRecipe, Session
+>>> session = Session()
+>>> job = Job.broadcast(
+...     PlatformRecipe.of("random", num_nodes=15, density=0.2, seed=42),
+...     source=0, heuristic="grow-tree",
+... )
+>>> result = session.solve(job)
+>>> result.throughput > 0 and result.lp_bound >= result.throughput
+True
+
+The classic layer-by-layer helpers (:func:`generate_random_platform`,
+:func:`build_broadcast_tree`, :func:`tree_throughput`,
+:func:`solve_steady_state_lp`, ...) remain available as documented thin
+wrappers over the same machinery:
+
 >>> from repro import generate_random_platform, build_broadcast_tree, tree_throughput
 >>> platform = generate_random_platform(num_nodes=15, density=0.2, seed=42)
 >>> tree = build_broadcast_tree(platform, source=0, heuristic="grow-tree")
@@ -20,6 +39,7 @@ True
 """
 
 from ._version import __version__
+from .api import Job, PlatformRecipe, Result, Session, default_session
 from .collectives import CollectiveKind, CollectiveSpec
 from .analysis import (
     BottleneckReport,
@@ -60,6 +80,7 @@ from .core import (
     register_heuristic,
 )
 from .exceptions import (
+    ConfigError,
     DisconnectedPlatformError,
     HeuristicError,
     InfeasibleLPError,
@@ -108,6 +129,12 @@ from .platform import (
 
 __all__ = [
     "__version__",
+    # api facade
+    "Job",
+    "PlatformRecipe",
+    "Result",
+    "Session",
+    "default_session",
     # collectives
     "CollectiveKind",
     "CollectiveSpec",
@@ -153,6 +180,7 @@ __all__ = [
     "improve_tree",
     "register_heuristic",
     # exceptions
+    "ConfigError",
     "DisconnectedPlatformError",
     "HeuristicError",
     "InfeasibleLPError",

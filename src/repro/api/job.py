@@ -1,0 +1,404 @@
+"""Declarative description of one collective solve: the :class:`Job`.
+
+A :class:`Job` freezes everything needed to reproduce one unit of work —
+the platform (inline or as a named generator recipe), the collective
+operation, the heuristic, the port model, the message count/size and
+whether to cross-check with the discrete-event simulation — into one
+immutable, JSON-round-trippable value.  Jobs are what the
+:class:`~repro.api.Session` engine solves, what the CLI subcommands build,
+and what the experiments pipeline fans out over worker processes.
+
+Two jobs with the same :meth:`Job.canonical_payload` are the same work:
+equality, hashing and every cache key in the facade derive from that
+payload (plus the library version), so a batch solve, a repeated single
+solve and a CLI invocation of the same description all share one cache
+entry.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Any, Callable, Mapping
+
+from .._version import __version__
+from ..collectives import CollectiveSpec
+from ..exceptions import ConfigError
+from ..models.port_models import MultiPortModel, OnePortModel, PortModel
+from ..platform.generators.clusters import generate_cluster_platform
+from ..platform.generators.random_graph import generate_random_platform
+from ..platform.generators.structured import (
+    generate_complete_platform,
+    generate_grid_platform,
+    generate_hypercube_platform,
+    generate_ring_platform,
+    generate_star_platform,
+)
+from ..platform.generators.tiers import generate_tiers_platform
+from ..platform.graph import Platform
+from ..platform.serialization import platform_from_dict, platform_to_dict
+from ..runtime import stable_key
+
+__all__ = [
+    "JOB_FORMAT_VERSION",
+    "PLATFORM_GENERATORS",
+    "PlatformRecipe",
+    "Job",
+]
+
+#: Version stamp embedded in every serialized job; bump on breaking changes
+#: to the payload layout.
+JOB_FORMAT_VERSION = 1
+
+#: Named platform generators a :class:`PlatformRecipe` may reference.  All
+#: are deterministic given their keyword parameters (including ``seed``).
+PLATFORM_GENERATORS: dict[str, Callable[..., Platform]] = {
+    "random": generate_random_platform,
+    "tiers": generate_tiers_platform,
+    "cluster": generate_cluster_platform,
+    "star": generate_star_platform,
+    "ring": generate_ring_platform,
+    "grid": generate_grid_platform,
+    "hypercube": generate_hypercube_platform,
+    "complete": generate_complete_platform,
+}
+
+_PORT_MODELS = ("one-port", "multi-port")
+
+
+@dataclass(frozen=True)
+class PlatformRecipe:
+    """A named, deterministic platform-generation recipe.
+
+    ``PlatformRecipe("random", num_nodes=20, density=0.12, seed=0)`` stands
+    for the platform :func:`~repro.platform.generators.random_graph.generate_random_platform`
+    would return for those keywords.  Recipes keep jobs small and fully
+    declarative (no graph payload), and two jobs built from the same recipe
+    share one platform instance — and therefore one LP solve — inside a
+    :class:`~repro.api.Session`.
+    """
+
+    generator: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.generator not in PLATFORM_GENERATORS:
+            raise ConfigError(
+                f"unknown platform generator {self.generator!r}; "
+                f"available: {sorted(PLATFORM_GENERATORS)}"
+            )
+        # A read-only view: recipes are declarative values, so nobody may
+        # mutate the parameters behind the memoized job payloads and keys.
+        object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
+
+    def __hash__(self) -> int:
+        # The generated dataclass hash would choke on the mapping field.
+        return hash((self.generator, stable_key(dict(self.params))))
+
+    def __reduce__(self):
+        # MappingProxyType is not picklable; rebuild from plain data.
+        return (PlatformRecipe, (self.generator, dict(self.params)))
+
+    @classmethod
+    def of(cls, generator: str, **params: Any) -> "PlatformRecipe":
+        """Keyword-style constructor: ``PlatformRecipe.of("random", num_nodes=20)``."""
+        return cls(generator, params)
+
+    def build(self) -> Platform:
+        """Instantiate the platform this recipe describes."""
+        return PLATFORM_GENERATORS[self.generator](**self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {"generator": self.generator, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformRecipe":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(data["generator"], dict(data.get("params", {})))
+
+
+def platform_payload(platform: "Platform | PlatformRecipe") -> dict[str, Any]:
+    """Canonical JSON payload of an inline platform or a recipe.
+
+    Inline serializations are memoized *on the platform instance* per
+    mutation epoch, so the many jobs an evaluation builds on one platform
+    share a single ``platform_to_dict`` pass instead of each paying it.
+    """
+    if isinstance(platform, PlatformRecipe):
+        return {"recipe": platform.to_dict()}
+    if isinstance(platform, Platform):
+        memo = getattr(platform, "_job_payload_memo", None)
+        if memo is None or memo[0] != platform.mutation_epoch:
+            memo = (platform.mutation_epoch, {"inline": platform_to_dict(platform)})
+            platform._job_payload_memo = memo
+        return memo[1]
+    raise ConfigError(
+        f"job platform must be a Platform or a PlatformRecipe, "
+        f"got {type(platform).__name__}"
+    )
+
+
+def platform_from_payload(data: Mapping[str, Any]) -> "Platform | PlatformRecipe":
+    """Inverse of :func:`platform_payload`."""
+    if "recipe" in data:
+        return PlatformRecipe.from_dict(data["recipe"])
+    if "inline" in data:
+        return platform_from_dict(data["inline"])
+    raise ConfigError(
+        f"platform payload must contain 'recipe' or 'inline', got {sorted(data)}"
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class Job:
+    """One frozen, declarative solve description.
+
+    Parameters
+    ----------
+    platform:
+        The target platform, either inline (a :class:`~repro.platform.graph.Platform`)
+        or as a :class:`PlatformRecipe` naming a generator and its
+        parameters.
+    collective:
+        The collective operation to optimise (a
+        :class:`~repro.collectives.CollectiveSpec`).
+    heuristic:
+        Registry name of the tree heuristic (see
+        :func:`repro.core.registry.available_heuristics`).
+    model:
+        Port model name: ``"one-port"`` (paper default) or ``"multi-port"``.
+    send_fraction:
+        Send-overhead fraction of the multi-port model (ignored under
+        one-port).
+    num_slices:
+        Number of message slices for the makespan analysis and the
+        simulation cross-check.
+    size:
+        Message-slice size override; ``None`` uses the platform slice size.
+    simulate:
+        Whether a batch solve materialises the discrete-event simulation
+        cross-check (the :attr:`Result.simulation` view is always available
+        lazily).
+
+    A job's identity (equality, hash, cache keys) *is* its canonical
+    payload.  A job holding an inline :class:`Platform` therefore inherits
+    the platform's mutability: mutating the platform changes the job's
+    identity — by design for cache correctness, but it means such jobs are
+    unreliable set/dict members across mutations.  Use a
+    :class:`PlatformRecipe` (immutable) where stable hashing matters.
+    """
+
+    platform: "Platform | PlatformRecipe"
+    collective: CollectiveSpec
+    heuristic: str = "grow-tree"
+    model: str = "one-port"
+    send_fraction: float = 0.8
+    num_slices: int = 50
+    size: float | None = None
+    simulate: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.platform, (Platform, PlatformRecipe)):
+            raise ConfigError(
+                f"job platform must be a Platform or a PlatformRecipe, "
+                f"got {type(self.platform).__name__}"
+            )
+        if not isinstance(self.collective, CollectiveSpec):
+            raise ConfigError(
+                f"job collective must be a CollectiveSpec, "
+                f"got {type(self.collective).__name__}"
+            )
+        if self.model not in _PORT_MODELS:
+            raise ConfigError(
+                f"unknown port model {self.model!r}; available: {list(_PORT_MODELS)}"
+            )
+        if not 0.0 < self.send_fraction <= 1.0:
+            raise ConfigError(
+                f"send_fraction must lie in (0, 1], got {self.send_fraction!r}"
+            )
+        if self.num_slices < 1:
+            raise ConfigError(f"num_slices must be >= 1, got {self.num_slices!r}")
+        if self.size is not None and self.size <= 0:
+            raise ConfigError(f"size must be positive, got {self.size!r}")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def broadcast(
+        cls, platform: "Platform | PlatformRecipe", source: Any = 0, **options: Any
+    ) -> "Job":
+        """A broadcast job from ``source`` (the paper's core workload)."""
+        return cls(platform, CollectiveSpec.broadcast(source), **options)
+
+    @classmethod
+    def of_collective(
+        cls,
+        platform: "Platform | PlatformRecipe",
+        kind: str,
+        source: Any = 0,
+        targets: Any = None,
+        **options: Any,
+    ) -> "Job":
+        """A job for any collective kind / target set."""
+        return cls(platform, CollectiveSpec(kind, source, targets), **options)
+
+    def but(self, **changes: Any) -> "Job":
+        """A copy of this job with some fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # Derived configuration
+    # ------------------------------------------------------------------ #
+    def port_model(self) -> PortModel:
+        """Instantiate the port model this job runs under."""
+        if self.model == "multi-port":
+            return MultiPortModel(send_fraction=self.send_fraction)
+        return OnePortModel()
+
+    # ------------------------------------------------------------------ #
+    # Serialization and identity
+    # ------------------------------------------------------------------ #
+    def _platform_epoch(self) -> int:
+        """Mutation epoch of an inline platform (-1 for immutable recipes).
+
+        Payload/key memoization is invalidated when this changes, so a job
+        holding a platform that was mutated after the first serialization
+        does not keep handing out the stale snapshot.
+        """
+        if isinstance(self.platform, Platform):
+            return self.platform.mutation_epoch
+        return -1
+
+    def _payload_view(self) -> dict[str, Any]:
+        """The memoized payload — shared and read-only; internal fast path.
+
+        Serializing an inline platform is O(nodes + links); the payload is
+        memoized per platform mutation epoch so repeated key derivations
+        (every cache lookup in the facade) pay it once.  Never hand this
+        object out: its nested dicts are the memo itself.
+        """
+        epoch = self._platform_epoch()
+        cached = self.__dict__.get("_payload_cache")
+        if cached is None or cached[0] != epoch:
+            payload = {
+                "format_version": JOB_FORMAT_VERSION,
+                "platform": platform_payload(self.platform),
+                "collective": {
+                    "kind": self.collective.kind.value,
+                    "source": self.collective.source,
+                    "targets": (
+                        None
+                        if self.collective.targets is None
+                        else list(self.collective.targets)
+                    ),
+                },
+                "heuristic": self.heuristic,
+                "model": self.model,
+                "send_fraction": self.send_fraction,
+                "num_slices": self.num_slices,
+                "size": self.size,
+                "simulate": self.simulate,
+            }
+            object.__setattr__(self, "_payload_cache", (epoch, payload))
+        else:
+            payload = cached[1]
+        return payload
+
+    def canonical_payload(self) -> dict[str, Any]:
+        """The versioned JSON payload that *is* this job's identity.
+
+        Returns an independent deep copy: mutating it (e.g. to derive a
+        variant description for :meth:`from_dict`) cannot corrupt the
+        memoized payload behind this job's cache keys.
+        """
+        return copy.deepcopy(self._payload_view())
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialise to JSON; inverse of :meth:`from_json`."""
+        return json.dumps(self._payload_view(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        """Rebuild a job from :meth:`canonical_payload` output."""
+        version = data.get("format_version", JOB_FORMAT_VERSION)
+        if version != JOB_FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported job format version {version!r} "
+                f"(this build understands {JOB_FORMAT_VERSION})"
+            )
+        collective = data["collective"]
+        targets = collective.get("targets")
+        return cls(
+            platform=platform_from_payload(data["platform"]),
+            collective=CollectiveSpec(
+                collective["kind"],
+                collective["source"],
+                None if targets is None else tuple(targets),
+            ),
+            heuristic=data.get("heuristic", "grow-tree"),
+            model=data.get("model", "one-port"),
+            send_fraction=float(data.get("send_fraction", 0.8)),
+            num_slices=int(data.get("num_slices", 50)),
+            size=data.get("size"),
+            simulate=bool(data.get("simulate", False)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Job":
+        """Rebuild a job from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    # -- keys ---------------------------------------------------------- #
+    def _keys(self) -> dict[str, str]:
+        """The three derived cache keys, memoized per platform epoch."""
+        epoch = self._platform_epoch()
+        cached = self.__dict__.get("_key_cache")
+        if cached is None or cached[0] != epoch:
+            payload = self._payload_view()
+            tree_payload = dict(payload)
+            for name in ("num_slices", "simulate"):
+                tree_payload.pop(name)
+            keys = {
+                "platform": stable_key(payload["platform"]),
+                "tree": stable_key(tree_payload),
+                "cache": stable_key({"job": payload, "version": __version__}),
+            }
+            object.__setattr__(self, "_key_cache", (epoch, keys))
+            return keys
+        return cached[1]
+
+    def platform_key(self) -> str:
+        """Stable key of the platform alone (shared by jobs on one platform)."""
+        return self._keys()["platform"]
+
+    def tree_key(self) -> str:
+        """Stable key of everything that determines the built tree."""
+        return self._keys()["tree"]
+
+    def cache_key(self) -> str:
+        """Stable result-cache key: full payload plus the library version."""
+        return self._keys()["cache"]
+
+    # -- identity ------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Job):
+            return NotImplemented
+        return self._payload_view() == other._payload_view()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
+    def describe(self) -> str:
+        """Short human-readable label used in logs and progress output."""
+        if isinstance(self.platform, PlatformRecipe):
+            where = f"{self.platform.generator} recipe"
+        else:
+            where = self.platform.name
+        return (
+            f"{self.collective.describe()} on {where} "
+            f"[{self.heuristic}, {self.model}]"
+        )

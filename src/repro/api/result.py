@@ -1,0 +1,282 @@
+"""Lazy, memoized, serializable view of one solved :class:`~repro.api.Job`.
+
+A :class:`Result` never computes anything in its constructor: every
+property — :attr:`lp_bound`, :attr:`tree`, :attr:`throughput`,
+:attr:`makespan`, :attr:`simulation`, :attr:`relative_performance` — is
+computed on first access through the owning
+:class:`~repro.api.Session` (which memoizes LP solutions, platforms and
+trees across results) and stored in the result's *metric payload*, a plain
+JSON dictionary.  :meth:`materialize` forces the job's standard metric set
+(what batch solves and the on-disk cache store); :meth:`to_json` /
+:meth:`from_json` round-trip the payload together with the job, so results
+survive process boundaries and cache files without dragging live graph
+objects along.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .._version import __version__
+from ..exceptions import ConfigError
+from .job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.makespan import MakespanReport
+    from ..analysis.throughput import ThroughputReport
+    from ..core.tree import BroadcastTree
+    from ..lp.solution import SteadyStateSolution
+    from ..platform.graph import Platform
+    from ..simulation.broadcast import SimulationResult
+    from .session import Session
+
+__all__ = [
+    "RESULT_FORMAT_VERSION",
+    "BASE_METRICS",
+    "SIMULATION_METRICS",
+    "TIMING_METRICS",
+    "Result",
+]
+
+#: Version stamp embedded in every serialized result.
+RESULT_FORMAT_VERSION = 1
+
+#: Metric keys every materialized result carries.
+BASE_METRICS = (
+    "lp_bound",
+    "throughput",
+    "relative_performance",
+    "lp_seconds",
+    "build_seconds",
+)
+
+#: Extra metric keys materialized when the job asks for simulation.
+SIMULATION_METRICS = (
+    "makespan",
+    "simulated_throughput",
+    "simulation_error",
+    "simulation_makespan",
+)
+
+#: Wall-clock metrics: vary run to run, excluded from determinism checks.
+TIMING_METRICS = ("lp_seconds", "build_seconds")
+
+
+class Result:
+    """What one job produced; see the module docstring for the contract.
+
+    Results are created by :meth:`Session.solve` / :meth:`Session.solve_many`
+    or restored with :meth:`from_json`; they are cheap handles (job +
+    session), safe to create repeatedly for the same job.
+    """
+
+    __slots__ = ("job", "_session")
+
+    def __init__(self, job: Job, session: "Session") -> None:
+        self.job = job
+        self._session = session
+
+    # ------------------------------------------------------------------ #
+    # Payload plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def _payload(self) -> dict[str, Any]:
+        return self._session._payload(self.job)
+
+    def metrics(self) -> dict[str, Any]:
+        """Snapshot of the computed metric payload (no computation)."""
+        return dict(self._payload)
+
+    def deterministic_metrics(self) -> dict[str, Any]:
+        """Metric snapshot minus the timing fields.
+
+        Two solves of the same job — single or batched, serial or across
+        worker processes, fresh or replayed from cache — must agree exactly
+        on this payload.
+        """
+        payload = self.metrics()
+        for name in TIMING_METRICS:
+            payload.pop(name, None)
+        return payload
+
+    def is_materialized(self) -> bool:
+        """Whether the job's standard metric set has been computed."""
+        required = BASE_METRICS + (SIMULATION_METRICS if self.job.simulate else ())
+        payload = self._payload
+        return all(name in payload for name in required)
+
+    def materialize(self) -> "Result":
+        """Compute (and memoize) the job's standard metric set.
+
+        Always: the LP bound, the tree throughput and the relative
+        performance.  When ``job.simulate`` is set: the pipelined makespan
+        and the discrete-event simulation cross-check as well.
+        """
+        _ = self.lp_bound
+        _ = self.throughput
+        _ = self.relative_performance
+        payload = self._payload
+        payload.setdefault("lp_seconds", 0.0)
+        payload.setdefault("build_seconds", 0.0)
+        if self.job.simulate:
+            _ = self.makespan
+            if "simulated_throughput" not in payload:
+                self._session.simulation_for(self.job)
+        # Single solves honour the session's on-disk cache too, not just
+        # solve_many batches.
+        self._session._persist(self.job)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Lazy views
+    # ------------------------------------------------------------------ #
+    @property
+    def platform(self) -> "Platform":
+        """The resolved platform instance (shared across the session)."""
+        return self._session.platform_for(self.job)
+
+    @property
+    def lp_solution(self) -> "SteadyStateSolution":
+        """The full steady-state LP solution of the job's collective."""
+        return self._session.lp_solution_for(self.job)
+
+    @property
+    def lp_bound(self) -> float:
+        """The multi-tree LP optimal throughput (the paper's reference)."""
+        payload = self._payload
+        if "lp_bound" not in payload:
+            self._session.lp_solution_for(self.job)
+        return payload["lp_bound"]
+
+    @property
+    def tree(self) -> "BroadcastTree":
+        """The single tree the job's heuristic built."""
+        return self._session.tree_for(self.job)
+
+    @property
+    def report(self) -> "ThroughputReport":
+        """Full throughput report (per-node periods, bottleneck, ...)."""
+        return self._session.report_for(self.job)
+
+    @property
+    def throughput(self) -> float:
+        """Steady-state throughput of the built tree under the job's model."""
+        payload = self._payload
+        if "throughput" not in payload:
+            self._session.report_for(self.job)
+        return payload["throughput"]
+
+    @property
+    def relative_performance(self) -> float:
+        """Tree throughput over the LP bound (the paper's headline metric)."""
+        payload = self._payload
+        if "relative_performance" not in payload:
+            payload["relative_performance"] = self.throughput / self.lp_bound
+        return payload["relative_performance"]
+
+    @property
+    def makespan(self) -> float:
+        """Makespan of the canonical pipelined schedule of ``num_slices`` slices."""
+        payload = self._payload
+        if "makespan" not in payload:
+            self._session.makespan_for(self.job)
+        return payload["makespan"]
+
+    @property
+    def makespan_report(self) -> "MakespanReport":
+        """Full makespan report (arrival times, critical path, ...)."""
+        return self._session.makespan_for(self.job)
+
+    @property
+    def simulation(self) -> "SimulationResult":
+        """Discrete-event simulation cross-check of ``num_slices`` rounds.
+
+        The full :class:`~repro.simulation.broadcast.SimulationResult` is
+        computed locally on first access; the scalar summary
+        (:attr:`simulated_throughput`, :attr:`simulation_error`) travels
+        with the serialized payload instead.
+        """
+        return self._session.simulation_for(self.job)
+
+    @property
+    def simulated_throughput(self) -> float:
+        """Steady-state throughput measured by the simulation."""
+        payload = self._payload
+        if "simulated_throughput" not in payload:
+            self._session.simulation_for(self.job)
+        return payload["simulated_throughput"]
+
+    @property
+    def simulation_error(self) -> float:
+        """Relative gap between simulated and analytical throughput."""
+        payload = self._payload
+        if "simulation_error" not in payload:
+            self._session.simulation_for(self.job)
+        return payload["simulation_error"]
+
+    @property
+    def lp_seconds(self) -> float:
+        """Wall-clock seconds this job spent solving the LP (0 on reuse)."""
+        return self._payload.get("lp_seconds", 0.0)
+
+    @property
+    def build_seconds(self) -> float:
+        """Wall-clock seconds this job spent building the tree (0 on reuse)."""
+        return self._payload.get("build_seconds", 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned JSON payload: the job plus its materialized metrics."""
+        self.materialize()
+        return {
+            "format_version": RESULT_FORMAT_VERSION,
+            "version": __version__,
+            "job": self.job.canonical_payload(),
+            "metrics": self.metrics(),
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialise to JSON; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], *, session: "Session | None" = None
+    ) -> "Result":
+        """Restore a result; metrics are adopted, lazy views recompute on demand."""
+        version = data.get("format_version", RESULT_FORMAT_VERSION)
+        if version != RESULT_FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported result format version {version!r} "
+                f"(this build understands {RESULT_FORMAT_VERSION})"
+            )
+        library = data.get("version")
+        if library != __version__:
+            # Adopting metrics computed by another library version would
+            # smuggle stale numbers into current-version cache entries —
+            # the staleness the version-keyed cache scheme exists to stop.
+            raise ConfigError(
+                f"result was produced by library version {library!r}; "
+                f"this is {__version__!r} — re-solve the job instead"
+            )
+        if session is None:
+            from .session import default_session  # local: avoid cycle
+
+            session = default_session()
+        job = Job.from_dict(data["job"])
+        payload = session._payload(job)
+        for name, value in data.get("metrics", {}).items():
+            payload.setdefault(name, value)
+        return cls(job, session)
+
+    @classmethod
+    def from_json(cls, text: str, *, session: "Session | None" = None) -> "Result":
+        """Rebuild a result from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text), session=session)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        computed = sorted(self._payload)
+        return f"Result({self.job.describe()}, computed={computed})"

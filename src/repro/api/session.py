@@ -1,0 +1,399 @@
+"""The cache- and executor-owning engine of the facade: :class:`Session`.
+
+One :class:`Session` owns every piece of shared state a solve needs:
+
+* the **LP solution cache** (:class:`~repro.lp.solver.LPSolutionCache`),
+  keyed by platform identity / spec / size, so every heuristic, metric and
+  CLI command on one platform pays for its LP exactly once;
+* the **platform instances** resolved from jobs (inline or recipe) — the
+  session hands out one shared :class:`~repro.platform.graph.Platform` per
+  distinct platform payload, which also makes the per-platform compiled
+  and reversed views (``platform.compiled()`` / ``platform.reversed()``)
+  session-owned;
+* the **built trees** and throughput reports, keyed by the job fields that
+  determine them (platform, collective, heuristic, model, size);
+* the **result cache** (:class:`~repro.runtime.ResultCache`): an in-memory
+  plus optional on-disk store of materialized metric payloads, keyed by
+  the job's canonical payload and the library version;
+* the **executor** (:class:`~repro.runtime.SerialExecutor` /
+  :class:`~repro.runtime.ProcessExecutor`): :meth:`Session.solve_many`
+  fans a batch out through it, so batch work and single solves share one
+  code path and one cache keying scheme.
+
+``session.solve(job)`` is lazy — it returns a
+:class:`~repro.api.Result` immediately and computes on attribute access;
+``session.solve_many(jobs)`` materializes every job's standard metric set
+(through worker processes when the session was built with ``jobs > 1``)
+and persists the payloads into the result cache.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Iterable
+
+from .._version import __version__
+from ..analysis.makespan import MakespanReport, pipelined_makespan
+from ..analysis.throughput import ThroughputReport, collective_throughput
+from ..core.registry import build_collective_tree, get_heuristic
+from ..core.tree import BroadcastTree
+from ..exceptions import ConfigError
+from ..lp.solution import SteadyStateSolution
+from ..lp.solver import LPSolutionCache
+from ..platform.graph import Platform
+from ..runtime import (
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    TaskExecutor,
+    stable_key,
+)
+from ..simulation.broadcast import SimulationResult
+from ..simulation.collective import simulate_collective
+from .job import Job, PlatformRecipe, platform_payload
+from .result import Result
+
+__all__ = ["Session", "default_session"]
+
+
+class Session:
+    """See the module docstring; this is the facade's engine.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for :meth:`solve_many`; 1 (the default) solves
+        batches in-process.
+    cache_dir:
+        Optional directory persisting materialized results on disk, keyed
+        by job payload and library version.
+    executor:
+        Explicit executor instance (overrides ``jobs``).
+    lp_cache / result_cache:
+        Pre-built caches (advanced; lets several sessions share state).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike[str] | None = None,
+        executor: TaskExecutor | None = None,
+        lp_cache: LPSolutionCache | None = None,
+        result_cache: ResultCache | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if executor is None:
+            executor = SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
+        self.executor = executor
+        self.lp_cache = lp_cache if lp_cache is not None else LPSolutionCache()
+        self.results = (
+            result_cache
+            if result_cache is not None
+            else ResultCache(cache_dir, prefix="job", version=__version__)
+        )
+        # Platform entries record the instance's mutation epoch at insert:
+        # a platform mutated after registration is a miss, not a stale hit.
+        self._platforms: dict[str, tuple[Platform, int]] = {}
+        self._trees: dict[str, BroadcastTree] = {}
+        self._reports: dict[str, ThroughputReport] = {}
+        self._makespans: dict[tuple[str, int], MakespanReport] = {}
+        self._simulations: dict[tuple[str, int], SimulationResult] = {}
+        self._payloads: dict[str, dict[str, Any]] = {}
+        # Metric-key count at last persist per job; metrics only ever grow
+        # (setdefault), so an unchanged count means nothing new to write.
+        self._persisted: dict[str, int] = {}
+        # Wall-clock of the *actual* solve per LP identity: every job that
+        # shares an LP reports the platform's real solve time, not the
+        # near-zero cache-hit time of whoever asked second.
+        self._lp_times: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def solve(self, job: Job) -> Result:
+        """Return the lazy :class:`Result` of ``job``.
+
+        Nothing is computed here: previously materialized metrics (from an
+        earlier solve in this session or from the on-disk cache) are
+        attached, everything else is computed on first attribute access and
+        memoized.
+        """
+        self._payload(job)
+        return Result(job, self)
+
+    def solve_many(
+        self, jobs: Iterable[Job], *, materialize: bool = True
+    ) -> list[Result]:
+        """Solve a batch of jobs, fanning out through the session executor.
+
+        Already-cached jobs are skipped; the remainder runs through
+        :class:`~repro.runtime.SerialExecutor` in-process or ships as JSON
+        to a :class:`~repro.runtime.ProcessExecutor` pool.  Either way the
+        metric payloads are bit-identical to sequential :meth:`solve` calls
+        (timing fields excepted) and end up in the session's result cache.
+        """
+        batch = list(jobs)
+        results = [self.solve(job) for job in batch]
+        if not materialize:
+            return results
+        # Deduplicate by job identity: equal jobs share one payload, so one
+        # representative per cache key is enough (and worker processes must
+        # not each pay the full solve for the same description).
+        pending = []
+        dispatched: set[str] = set()
+        for i, result in enumerate(results):
+            if result.is_materialized():
+                continue
+            key = batch[i].cache_key()
+            if key in dispatched:
+                continue
+            dispatched.add(key)
+            pending.append(i)
+        if pending:
+            if isinstance(self.executor, ProcessExecutor):
+                # Worker processes cannot pickle closures over this session:
+                # ship the jobs as JSON and merge the metric payloads back.
+                # Jobs are grouped by platform so the whole group lands in
+                # one worker and its shared LP is solved exactly once —
+                # scattering them would re-solve it once per worker.
+                groups: dict[str, list[int]] = {}
+                for i in pending:
+                    groups.setdefault(batch[i].platform_key(), []).append(i)
+                ordered = list(groups.values())
+                tasks = [[batch[i].to_json() for i in group] for group in ordered]
+                for group, metric_list in zip(
+                    ordered, self.executor.map(_solve_job_group_json, tasks)
+                ):
+                    for i, metrics in zip(group, metric_list):
+                        payload = self._payload(batch[i])
+                        for name, value in metrics.items():
+                            payload.setdefault(name, value)
+            else:
+                # Any in-process executor (serial, threads, custom test
+                # doubles) works on this session's own caches directly;
+                # materialize() fills the shared payloads in place.
+                for _ in self.executor.map(lambda i: results[i].materialize(), pending):
+                    pass
+        for job in batch:
+            self._persist(job)
+        return results
+
+    def platform(self, platform: "Platform | PlatformRecipe") -> Platform:
+        """The session-shared instance of ``platform`` (building recipes once).
+
+        Two jobs describing the same platform — by recipe or by equal
+        inline payload — resolve to the *same* object, so the LP cache
+        (keyed by platform identity) and the per-platform compiled /
+        reversed views are shared between them.
+        """
+        return self._resolve_platform(stable_key(platform_payload(platform)), platform)
+
+    def _resolve_platform(
+        self, key: str, platform: "Platform | PlatformRecipe"
+    ) -> Platform:
+        entry = self._platforms.get(key)
+        if entry is not None:
+            existing, epoch = entry
+            if existing.mutation_epoch == epoch:
+                return existing
+            # The registered instance was mutated since: it no longer
+            # matches the description this key stands for.
+        resolved = platform.build() if isinstance(platform, PlatformRecipe) else platform
+        self._platforms[key] = (resolved, resolved.mutation_epoch)
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    # Per-job computation (called lazily by Result)
+    # ------------------------------------------------------------------ #
+    def _payload(self, job: Job) -> dict[str, Any]:
+        """The live metric payload of ``job`` (attaching cached entries)."""
+        key = job.cache_key()
+        payload = self._payloads.get(key)
+        if payload is None:
+            rows = self.results.get(key)
+            payload = dict(rows[0]) if rows else {}
+            if rows:
+                # The attached content is exactly what the cache holds:
+                # prime the no-rewrite guard so replays don't churn disk.
+                self._persisted[key] = len(payload)
+            self._payloads[key] = payload
+        return payload
+
+    def _persist(self, job: Job) -> None:
+        """Snapshot ``job``'s payload into the two-level result cache.
+
+        Metrics only ever accumulate, so an unchanged key count since the
+        last snapshot means there is nothing new to write — replaying a
+        cached batch must not rewrite every disk entry.
+        """
+        key = job.cache_key()
+        payload = self._payload(job)
+        if self._persisted.get(key) == len(payload):
+            return
+        self.results.put(key, [dict(payload)])
+        self._persisted[key] = len(payload)
+
+    def platform_for(self, job: Job) -> Platform:
+        """Resolve ``job.platform`` through the session platform store."""
+        # The job memoizes its platform key; don't re-serialize the platform.
+        return self._resolve_platform(job.platform_key(), job.platform)
+
+    def lp_solution_for(self, job: Job) -> SteadyStateSolution:
+        """The (cached) LP solution of the job's collective."""
+        platform = self.platform_for(job)
+        payload = self._payload(job)
+        spec = job.collective
+        lp_key = (job.platform_key(), spec.kind.value, spec.source, spec.targets, job.size)
+        start = time.perf_counter()
+        solution = self.lp_cache.solve_collective(platform, spec, job.size)
+        self._lp_times.setdefault(lp_key, time.perf_counter() - start)
+        payload.setdefault("lp_seconds", self._lp_times[lp_key])
+        payload.setdefault("lp_bound", solution.throughput)
+        return solution
+
+    def tree_for(self, job: Job) -> BroadcastTree:
+        """The (cached) tree of the job's heuristic on its platform."""
+        key = job.tree_key()
+        tree = self._trees.get(key)
+        elapsed = 0.0
+        if tree is None:
+            platform = self.platform_for(job)
+            heuristic = get_heuristic(job.heuristic)
+            extra: dict[str, Any] = {}
+            if heuristic.uses_lp_solution:
+                # Share this job's LP solution instead of re-solving inside
+                # the heuristic (the CLI and the runner did this by hand).
+                extra["lp_solution"] = self.lp_solution_for(job)
+            start = time.perf_counter()
+            tree = build_collective_tree(
+                platform,
+                job.collective,
+                heuristic=heuristic,
+                model=job.port_model(),
+                size=job.size,
+                strict_model=False,
+                **extra,
+            )
+            elapsed = time.perf_counter() - start
+            self._trees[key] = tree
+        self._payload(job).setdefault("build_seconds", elapsed)
+        return tree
+
+    def report_for(self, job: Job) -> ThroughputReport:
+        """The (cached) steady-state throughput report of the job's tree."""
+        key = job.tree_key()
+        report = self._reports.get(key)
+        if report is None:
+            report = collective_throughput(
+                self.tree_for(job), job.collective, job.port_model(), job.size
+            )
+            self._reports[key] = report
+        payload = self._payload(job)
+        payload.setdefault("throughput", report.throughput)
+        if "lp_bound" in payload:
+            payload.setdefault(
+                "relative_performance", payload["throughput"] / payload["lp_bound"]
+            )
+        return report
+
+    def makespan_for(self, job: Job) -> MakespanReport:
+        """The (cached) canonical pipelined makespan of ``num_slices`` slices."""
+        # Keyed below cache_key: the ``simulate`` flag (and anything else
+        # outside tree_key/num_slices) does not affect the computation, so
+        # ``job.but(simulate=True)`` twins share it.
+        key = (job.tree_key(), job.num_slices)
+        report = self._makespans.get(key)
+        if report is None:
+            report = pipelined_makespan(
+                self.tree_for(job), job.num_slices, job.port_model(), job.size
+            )
+            self._makespans[key] = report
+        self._payload(job).setdefault("makespan", report.makespan)
+        return report
+
+    def simulation_for(self, job: Job) -> SimulationResult:
+        """The (cached) discrete-event simulation of ``num_slices`` rounds."""
+        key = (job.tree_key(), job.num_slices)
+        sim = self._simulations.get(key)
+        if sim is None:
+            sim = simulate_collective(
+                self.tree_for(job),
+                job.collective,
+                job.num_slices,
+                model=job.port_model(),
+                size=job.size,
+                record_trace=False,
+            )
+            self._simulations[key] = sim
+        payload = self._payload(job)
+        payload.setdefault("simulated_throughput", sim.measured_throughput)
+        payload.setdefault("simulation_error", sim.relative_error())
+        payload.setdefault("simulation_makespan", sim.makespan)
+        return sim
+
+    # ------------------------------------------------------------------ #
+    # Introspection / housekeeping
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> dict[str, int]:
+        """Entry counts of every session-owned cache (diagnostics)."""
+        return {
+            "platforms": len(self._platforms),
+            "lp_solutions": len(self.lp_cache),
+            "trees": len(self._trees),
+            "results": len(self._payloads),
+        }
+
+    def clear(self) -> None:
+        """Drop every in-memory cache (disk result entries are kept)."""
+        self._platforms.clear()
+        self._trees.clear()
+        self._reports.clear()
+        self._makespans.clear()
+        self._simulations.clear()
+        self._payloads.clear()
+        self._persisted.clear()
+        self._lp_times.clear()
+        self.lp_cache.clear()
+        self.results.clear_memory()
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool plumbing and the default session
+# --------------------------------------------------------------------------- #
+#: Bounds of a worker's session: few platforms / few jobs get full cache
+#: sharing across group tasks, while a huge heterogeneous sweep cannot grow
+#: the worker's memory without limit (sessions pin platforms, LP solutions,
+#: trees, simulations and metric payloads alive).
+_WORKER_PLATFORM_LIMIT = 64
+_WORKER_JOB_LIMIT = 4096
+
+
+def _solve_job_group_json(texts: list[str]) -> list[dict[str, Any]]:
+    """Materialize one platform's JSON-shipped jobs; picklable for pools.
+
+    Runs in the worker's process-wide default session, shared across group
+    tasks (and with anything else that process solves).
+    """
+    session = default_session()
+    if (
+        len(session._platforms) >= _WORKER_PLATFORM_LIMIT
+        or len(session._payloads) >= _WORKER_JOB_LIMIT
+    ):
+        session.clear()
+    return [
+        session.solve(Job.from_json(text)).materialize().metrics() for text in texts
+    ]
+
+
+_DEFAULT_SESSION: Session | None = None
+
+
+def default_session() -> Session:
+    """The process-wide shared session (used by the CLI and restored results)."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

@@ -1,6 +1,11 @@
 """Command-line interface for the broadcast-tree reproduction.
 
-The CLI exposes the main workflows without writing Python:
+Every subcommand is a thin constructor over the :mod:`repro.api` facade:
+the shared options build one declarative :class:`~repro.api.Job`, a
+process-wide :class:`~repro.api.Session` solves it (owning the LP /
+platform / tree caches, so e.g. ``--compare-lp`` never re-solves a
+program the command already paid for), and the command prints the lazy
+:class:`~repro.api.Result` views it needs:
 
 ``python -m repro.cli tree --nodes 20 --density 0.12 --heuristic grow-tree``
     generate a platform, build a tree, print its throughput and shape;
@@ -34,14 +39,9 @@ import argparse
 import sys
 from typing import Sequence
 
-from .analysis.throughput import collective_throughput, tree_throughput
+from .api import Job, PlatformRecipe, Session, default_session
 from .collectives import CollectiveSpec
-from .core.registry import (
-    available_heuristics,
-    build_broadcast_tree,
-    build_collective_tree,
-    get_heuristic,
-)
+from .core.registry import available_heuristics
 from .experiments import (
     check_collective_scaling_shape,
     check_figure4_shape,
@@ -54,63 +54,97 @@ from .experiments import (
     scaled_parameters,
     table_3,
 )
-from .lp.solver import solve_collective_lp, solve_steady_state_lp
-from .models.port_models import get_port_model
-from .platform.generators.random_graph import generate_random_platform
-from .platform.generators.tiers import generate_tiers_platform
-from .platform.graph import Platform
-from .simulation.broadcast import simulate_broadcast
-from .simulation.collective import simulate_collective
 from .utils.ascii_plot import format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "job_from_args"]
 
 
-def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--nodes", type=int, default=20, help="number of processors")
-    parser.add_argument("--density", type=float, default=0.12, help="edge density")
-    parser.add_argument(
+# --------------------------------------------------------------------------- #
+# Shared option groups (argparse parent parsers)
+# --------------------------------------------------------------------------- #
+def _platform_options() -> argparse.ArgumentParser:
+    """Options selecting the platform every subcommand works on."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--nodes", type=int, default=20, help="number of processors")
+    parent.add_argument("--density", type=float, default=0.12, help="edge density")
+    parent.add_argument(
         "--tiers", type=int, default=None, help="use a Tiers preset of this size instead"
     )
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
-    parser.add_argument("--source", type=int, default=0, help="broadcast source node")
+    parent.add_argument("--seed", type=int, default=0, help="random seed")
+    parent.add_argument("--source", type=int, default=0, help="collective root node")
+    return parent
 
 
-def _make_platform(args: argparse.Namespace) -> Platform:
+def _heuristic_options() -> argparse.ArgumentParser:
+    """Options selecting the tree heuristic and the port model."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--heuristic", default="grow-tree", choices=available_heuristics()
+    )
+    parent.add_argument("--model", default="one-port", choices=["one-port", "multi-port"])
+    return parent
+
+
+def _parse_targets(raw: str | None) -> tuple[int, ...] | None:
+    """Parse the ``--targets`` flag (comma-separated node names)."""
+    if raw is None:
+        return None
+    try:
+        return tuple(int(item) for item in raw.split(",") if item.strip() != "")
+    except ValueError:
+        raise SystemExit(
+            f"--targets must be a comma-separated list of node ids, got {raw!r}"
+        ) from None
+
+
+def job_from_args(args: argparse.Namespace, *, simulate: bool = False) -> Job:
+    """Build the declarative :class:`Job` one subcommand invocation describes."""
     if args.tiers is not None:
-        return generate_tiers_platform(args.tiers, seed=args.seed)
-    return generate_random_platform(
-        num_nodes=args.nodes, density=args.density, seed=args.seed
+        recipe = PlatformRecipe.of("tiers", size=args.tiers, seed=args.seed)
+    else:
+        recipe = PlatformRecipe.of(
+            "random", num_nodes=args.nodes, density=args.density, seed=args.seed
+        )
+    spec = CollectiveSpec(
+        getattr(args, "collective", "broadcast"),
+        args.source,
+        _parse_targets(getattr(args, "targets", None)),
+    )
+    return Job(
+        recipe,
+        spec,
+        heuristic=getattr(args, "heuristic", "grow-tree"),
+        model=getattr(args, "model", "one-port"),
+        num_slices=getattr(args, "slices", 50),
+        simulate=simulate,
     )
 
 
 # --------------------------------------------------------------------------- #
 # Sub-commands
 # --------------------------------------------------------------------------- #
-def _cmd_tree(args: argparse.Namespace) -> int:
-    platform = _make_platform(args)
-    model = get_port_model(args.model)
-    tree = build_broadcast_tree(
-        platform, args.source, heuristic=args.heuristic, model=model, strict_model=False
-    )
-    report = tree_throughput(tree, model)
-    print(f"platform: {platform}")
+def _cmd_tree(args: argparse.Namespace, session: Session) -> int:
+    result = session.solve(job_from_args(args))
+    report = result.report
+    print(f"platform: {result.platform}")
     print(
-        f"heuristic {args.heuristic!r} ({model.name}): throughput "
+        f"heuristic {args.heuristic!r} ({report.model}): throughput "
         f"{report.throughput:.4f} slices/time-unit, bottleneck node {report.bottleneck!r}"
     )
     if args.compare_lp:
-        optimum = solve_steady_state_lp(platform, args.source).throughput
-        print(f"MTP optimum {optimum:.4f} -> relative performance {report.throughput / optimum:.1%}")
+        print(
+            f"MTP optimum {result.lp_bound:.4f} -> relative performance "
+            f"{result.relative_performance:.1%}"
+        )
     if args.show_tree:
-        print(tree.describe())
+        print(result.tree.describe())
     return 0
 
 
-def _cmd_lp(args: argparse.Namespace) -> int:
-    platform = _make_platform(args)
-    solution = solve_steady_state_lp(platform, args.source)
-    print(f"platform: {platform}")
+def _cmd_lp(args: argparse.Namespace, session: Session) -> int:
+    result = session.solve(job_from_args(args))
+    solution = result.lp_solution
+    print(f"platform: {result.platform}")
     print(solution.summary())
     print("\nbusiest edges (slices per time unit):")
     print(
@@ -122,25 +156,19 @@ def _cmd_lp(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    platform = _make_platform(args)
-    model = get_port_model(args.model)
-    tree = build_broadcast_tree(
-        platform, args.source, heuristic=args.heuristic, model=model, strict_model=False
-    )
-    result = simulate_broadcast(
-        tree, num_slices=args.slices, model=model, record_trace=False
-    )
-    print(f"platform: {platform}")
+def _cmd_simulate(args: argparse.Namespace, session: Session) -> int:
+    result = session.solve(job_from_args(args, simulate=True))
+    simulation = result.simulation
+    print(f"platform: {result.platform}")
     print(
         format_table(
             ["metric", "value"],
             [
-                ["analytical throughput", result.analytical_throughput],
-                ["simulated throughput", result.measured_throughput],
-                ["relative error", result.relative_error()],
-                ["makespan", result.makespan],
-                ["effective throughput", result.effective_throughput],
+                ["analytical throughput", simulation.analytical_throughput],
+                ["simulated throughput", simulation.measured_throughput],
+                ["relative error", simulation.relative_error()],
+                ["makespan", simulation.makespan],
+                ["effective throughput", simulation.effective_throughput],
             ],
             float_format="{:.4f}",
         )
@@ -148,69 +176,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_targets(raw: str | None) -> list[int] | None:
-    """Parse the ``--targets`` flag (comma-separated node names)."""
-    if raw is None:
-        return None
-    try:
-        return [int(item) for item in raw.split(",") if item.strip() != ""]
-    except ValueError:
-        raise SystemExit(
-            f"--targets must be a comma-separated list of node ids, got {raw!r}"
-        ) from None
-
-
-def _cmd_collective(args: argparse.Namespace) -> int:
-    platform = _make_platform(args)
-    model = get_port_model(args.model)
-    targets = _parse_targets(args.targets)
-    spec = CollectiveSpec(args.collective, args.source, targets)
-    solution = solve_collective_lp(platform, spec)
-    heuristic = get_heuristic(args.heuristic)
-    # The LP-guided heuristics would otherwise re-solve the identical LP
-    # inside build(); share this command's solution with them.
-    extra = {"lp_solution": solution} if heuristic.uses_lp_solution else {}
-    tree = build_collective_tree(
-        platform, spec, heuristic=heuristic, model=model, strict_model=False, **extra
+def _cmd_collective(args: argparse.Namespace, session: Session) -> int:
+    result = session.solve(job_from_args(args, simulate=True))
+    job = result.job
+    print(f"platform: {result.platform}")
+    print(
+        f"collective: {job.collective.describe()}  "
+        f"(heuristic {job.heuristic!r}, {result.report.model})"
     )
-    report = collective_throughput(tree, spec, model)
-    result = simulate_collective(
-        tree, spec, num_slices=args.slices, model=model, record_trace=False
-    )
-    print(f"platform: {platform}")
-    print(f"collective: {spec.describe()}  (heuristic {args.heuristic!r}, {model.name})")
-    print(solution.summary())
+    print(result.lp_solution.summary())
     print(
         format_table(
             ["metric", "value"],
             [
-                ["LP optimum (multi-tree)", solution.throughput],
-                ["tree throughput (analytical)", report.throughput],
-                ["tree throughput (simulated)", result.measured_throughput],
-                ["simulation relative error", result.relative_error()],
-                ["relative performance", report.throughput / solution.throughput],
-                ["covered nodes", float(len(tree.nodes))],
+                ["LP optimum (multi-tree)", result.lp_bound],
+                ["tree throughput (analytical)", result.throughput],
+                ["tree throughput (simulated)", result.simulated_throughput],
+                ["simulation relative error", result.simulation_error],
+                ["relative performance", result.relative_performance],
+                ["covered nodes", float(len(result.tree.nodes))],
             ],
             float_format="{:.4f}",
         )
     )
     if args.show_tree:
-        print(tree.describe())
+        print(result.tree.describe())
     return 0
 
 
 _ARTEFACTS = {
-    "fig4a": (figure_4a, check_figure4_shape, "random"),
-    "fig4b": (figure_4b, check_figure4_shape, "random"),
-    "fig5": (figure_5, check_figure5_shape, "random"),
-    "table3": (table_3, check_table3_shape, "tiers"),
-    "collective": (collective_scaling, check_collective_scaling_shape, "collective"),
+    "fig4a": (figure_4a, check_figure4_shape),
+    "fig4b": (figure_4b, check_figure4_shape),
+    "fig5": (figure_5, check_figure5_shape),
+    "table3": (table_3, check_table3_shape),
+    "collective": (collective_scaling, check_collective_scaling_shape),
 }
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _cmd_experiment(args: argparse.Namespace, session: Session) -> int:
     parameters = scaled_parameters(args.scale, seed=args.seed)
-    build, check, _kind = _ARTEFACTS[args.artefact]
+    build, check = _ARTEFACTS[args.artefact]
     artefact = build(parameters, jobs=args.jobs, cache_dir=args.cache_dir)
     print(artefact.render())
     result = check(artefact)
@@ -229,35 +234,37 @@ def build_parser() -> argparse.ArgumentParser:
         description="Broadcast trees for heterogeneous platforms (IPPS 2005 reproduction)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+    platform_options = _platform_options()
+    heuristic_options = _heuristic_options()
 
-    tree = commands.add_parser("tree", help="build a broadcast tree with a heuristic")
-    _add_platform_arguments(tree)
-    tree.add_argument(
-        "--heuristic", default="grow-tree", choices=available_heuristics()
+    tree = commands.add_parser(
+        "tree",
+        parents=[platform_options, heuristic_options],
+        help="build a broadcast tree with a heuristic",
     )
-    tree.add_argument("--model", default="one-port", choices=["one-port", "multi-port"])
     tree.add_argument("--compare-lp", action="store_true", help="also solve the LP reference")
     tree.add_argument("--show-tree", action="store_true", help="print the tree structure")
     tree.set_defaults(handler=_cmd_tree)
 
-    lp = commands.add_parser("lp", help="solve the steady-state LP (MTP optimum)")
-    _add_platform_arguments(lp)
+    lp = commands.add_parser(
+        "lp", parents=[platform_options], help="solve the steady-state LP (MTP optimum)"
+    )
     lp.add_argument("--top", type=int, default=8, help="number of busiest edges to show")
     lp.set_defaults(handler=_cmd_lp)
 
-    simulate = commands.add_parser("simulate", help="discrete-event simulation of a tree")
-    _add_platform_arguments(simulate)
-    simulate.add_argument(
-        "--heuristic", default="grow-tree", choices=available_heuristics()
+    simulate = commands.add_parser(
+        "simulate",
+        parents=[platform_options, heuristic_options],
+        help="discrete-event simulation of a tree",
     )
-    simulate.add_argument("--model", default="one-port", choices=["one-port", "multi-port"])
     simulate.add_argument("--slices", type=int, default=60, help="number of message slices")
     simulate.set_defaults(handler=_cmd_simulate)
 
     collective = commands.add_parser(
-        "collective", help="run a collective operation (LP + tree + simulation)"
+        "collective",
+        parents=[platform_options, heuristic_options],
+        help="run a collective operation (LP + tree + simulation)",
     )
-    _add_platform_arguments(collective)
     collective.add_argument(
         "--collective",
         default="broadcast",
@@ -269,10 +276,6 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated target node ids (default: all other nodes)",
     )
-    collective.add_argument(
-        "--heuristic", default="grow-tree", choices=available_heuristics()
-    )
-    collective.add_argument("--model", default="one-port", choices=["one-port", "multi-port"])
     collective.add_argument("--slices", type=int, default=60, help="simulated rounds")
     collective.add_argument("--show-tree", action="store_true", help="print the tree structure")
     collective.set_defaults(handler=_cmd_collective)
@@ -299,11 +302,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+def main(argv: Sequence[str] | None = None, *, session: Session | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    ``session`` overrides the process-wide default
+    :class:`~repro.api.Session` (tests use this to observe cache sharing
+    between the CLI and programmatic solves).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    return args.handler(args, session if session is not None else default_session())
 
 
 if __name__ == "__main__":

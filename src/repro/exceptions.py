@@ -20,6 +20,7 @@ __all__ = [
     "InfeasibleLPError",
     "SimulationError",
     "ExperimentError",
+    "ConfigError",
 ]
 
 
@@ -71,3 +72,9 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness on invalid configurations."""
+
+
+class ConfigError(ExperimentError):
+    """Raised for invalid user-supplied configuration values: malformed
+    :class:`~repro.api.Job` fields, out-of-range experiment parameters,
+    unparsable environment overrides."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 
-from ..exceptions import ExperimentError
+from ..exceptions import ConfigError
 
 __all__ = ["PaperParameters", "scaled_parameters", "parameters_from_environment", "SCALE_ENV_VAR"]
 
@@ -57,19 +57,19 @@ class PaperParameters:
 
     def __post_init__(self) -> None:
         if not self.node_counts or min(self.node_counts) < 2:
-            raise ExperimentError("node_counts must contain values >= 2")
+            raise ConfigError("node_counts must contain values >= 2")
         if not self.densities or not all(0 < d <= 1 for d in self.densities):
-            raise ExperimentError("densities must be in (0, 1]")
+            raise ConfigError("densities must be in (0, 1]")
         if self.configurations_per_point < 1:
-            raise ExperimentError("configurations_per_point must be >= 1")
+            raise ConfigError("configurations_per_point must be >= 1")
         if self.tiers_platforms_per_size < 1:
-            raise ExperimentError("tiers_platforms_per_size must be >= 1")
+            raise ConfigError("tiers_platforms_per_size must be >= 1")
         if self.collective_instances < 1:
-            raise ExperimentError("collective_instances must be >= 1")
+            raise ConfigError("collective_instances must be >= 1")
         if not self.collective_target_counts or not all(
             1 <= c < self.collective_nodes for c in self.collective_target_counts
         ):
-            raise ExperimentError(
+            raise ConfigError(
                 "collective_target_counts must lie in [1, collective_nodes)"
             )
 
@@ -103,7 +103,7 @@ def scaled_parameters(scale: float = 1.0, *, seed: int | None = None) -> PaperPa
     the curves is preserved.  Values above 1 increase the ensemble sizes.
     """
     if scale <= 0:
-        raise ExperimentError(f"scale must be positive, got {scale}")
+        raise ConfigError(f"scale must be positive, got {scale}")
     base = PaperParameters()
     params = replace(
         base,
@@ -130,7 +130,7 @@ def parameters_from_environment(default_scale: float = 0.3) -> PaperParameters:
     try:
         scale = float(raw)
     except ValueError as exc:
-        raise ExperimentError(
+        raise ConfigError(
             f"{SCALE_ENV_VAR} must be a float, got {raw!r}"
         ) from exc
     return scaled_parameters(scale)

@@ -1,34 +1,35 @@
 """Single-platform evaluation: one LP reference plus every heuristic.
 
-This module holds the *unit of work* of the experiment harness: evaluate
-every paper heuristic on one platform against the steady-state LP optimum
-and produce :class:`EvaluationRecord` rows.  The ensemble machinery — task
-fan-out, executors, caching — lives in :mod:`repro.experiments.pipeline`;
-keeping the unit of work separate lets worker processes import it without
-dragging the whole pipeline along.
+This module holds the *unit of work* of the experiment harness, expressed
+on the :mod:`repro.api` facade: a platform evaluation is a list of
+declarative :class:`~repro.api.Job` descriptions (one per heuristic and
+port model) solved through one :class:`~repro.api.Session`, so the
+steady-state LP is solved exactly once per platform and shared by the
+relative-performance reference and the LP-guided heuristics.  The lazy
+:class:`~repro.api.Result` views are flattened into
+:class:`EvaluationRecord` rows, the stable on-disk/aggregation format the
+figures and tables consume.
+
+The ensemble machinery — task fan-out, executors, caching — lives in
+:mod:`repro.experiments.pipeline`; keeping the unit of work separate lets
+worker processes import it without dragging the whole pipeline along.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping, Sequence
 
-from ..analysis.throughput import collective_throughput, tree_throughput
-from ..collectives import CollectiveSpec
-from ..core.registry import (
-    PAPER_MULTI_PORT_HEURISTICS,
-    PAPER_ONE_PORT_HEURISTICS,
-    build_collective_tree,
-    get_heuristic,
-)
-from ..lp.solver import solve_collective_lp, solve_steady_state_lp
-from ..models.port_models import MultiPortModel, OnePortModel
+from ..api import Job, PlatformRecipe, Result, Session
+from ..collectives import CollectiveKind, CollectiveSpec
+from ..core.registry import PAPER_MULTI_PORT_HEURISTICS, PAPER_ONE_PORT_HEURISTICS
 from ..platform.graph import Platform
 
 __all__ = [
     "EvaluationRecord",
     "PlatformEvaluation",
+    "broadcast_jobs",
+    "record_from_result",
     "evaluate_platform",
     "evaluate_collective_platform",
 ]
@@ -96,8 +97,71 @@ class PlatformEvaluation:
     records: list[EvaluationRecord] = field(default_factory=list)
 
 
+def broadcast_jobs(
+    platform: "Platform | PlatformRecipe",
+    source: NodeName,
+    *,
+    one_port_heuristics: Sequence[str] = PAPER_ONE_PORT_HEURISTICS,
+    multi_port_heuristics: Sequence[str] = PAPER_MULTI_PORT_HEURISTICS,
+    send_fraction: float = 0.8,
+    include_multi_port: bool = True,
+) -> list[Job]:
+    """The paper's per-platform job list: every heuristic under its model.
+
+    All jobs share the platform and the broadcast spec, so a session solves
+    their reference LP once (for both models, like in the paper: the
+    reference optimum is always the one-port LP).
+    """
+    spec = CollectiveSpec.broadcast(source)
+    jobs = [
+        Job(platform, spec, heuristic=name, model="one-port")
+        for name in one_port_heuristics
+    ]
+    if include_multi_port:
+        jobs.extend(
+            Job(
+                platform,
+                spec,
+                heuristic=name,
+                model="multi-port",
+                send_fraction=send_fraction,
+            )
+            for name in multi_port_heuristics
+        )
+    return jobs
+
+
+def record_from_result(
+    result: Result, *, generator: str = "custom", instance_index: int = 0
+) -> EvaluationRecord:
+    """Flatten one lazy :class:`~repro.api.Result` into a record row."""
+    job = result.job
+    platform = result.platform
+    spec = job.collective
+    if spec.kind is CollectiveKind.BROADCAST and spec.targets is None:
+        num_targets = -1
+    else:
+        num_targets = len(spec.resolve_targets(platform))
+    return EvaluationRecord(
+        generator=generator,
+        platform_name=platform.name,
+        num_nodes=platform.num_nodes,
+        density=platform.density,
+        instance_index=instance_index,
+        heuristic=job.heuristic,
+        model=job.model,
+        throughput=result.throughput,
+        optimal_throughput=result.lp_bound,
+        relative_performance=result.relative_performance,
+        build_seconds=result.build_seconds,
+        lp_seconds=result.lp_seconds,
+        collective=spec.kind.value,
+        num_targets=num_targets,
+    )
+
+
 def evaluate_platform(
-    platform: Platform,
+    platform: "Platform | PlatformRecipe",
     source: NodeName,
     *,
     generator: str = "custom",
@@ -106,64 +170,39 @@ def evaluate_platform(
     multi_port_heuristics: Sequence[str] = PAPER_MULTI_PORT_HEURISTICS,
     send_fraction: float = 0.8,
     include_multi_port: bool = True,
+    session: Session | None = None,
 ) -> PlatformEvaluation:
-    """Evaluate every heuristic on one platform.
+    """Evaluate every heuristic on one platform (inline or recipe).
 
-    The steady-state LP is solved exactly once; its throughput is the
-    reference for every relative-performance number and its edge weights are
-    reused by the LP-based heuristics (for both models, like in the paper:
-    the reference optimum is always the one-port LP).
+    The work goes through a :class:`~repro.api.Session`: the steady-state
+    LP is solved exactly once, its throughput is the reference for every
+    relative-performance number, and its edge weights are reused by the
+    LP-based heuristics.
     """
-    lp_start = time.perf_counter()
-    lp_solution = solve_steady_state_lp(platform, source)
-    lp_seconds = time.perf_counter() - lp_start
-    optimal = lp_solution.throughput
-
-    evaluation = PlatformEvaluation(
-        platform=platform, source=source, optimal_throughput=optimal
+    session = session if session is not None else Session()
+    jobs = broadcast_jobs(
+        platform,
+        source,
+        one_port_heuristics=one_port_heuristics,
+        multi_port_heuristics=multi_port_heuristics,
+        send_fraction=send_fraction,
+        include_multi_port=include_multi_port,
     )
-
-    model_plans: list[tuple[str, Any, Sequence[str]]] = [
-        ("one-port", OnePortModel(), one_port_heuristics)
+    results = session.solve_many(jobs)
+    records = [
+        record_from_result(r, generator=generator, instance_index=instance_index)
+        for r in results
     ]
-    if include_multi_port:
-        model_plans.append(
-            ("multi-port", MultiPortModel(send_fraction=send_fraction), multi_port_heuristics)
-        )
-
-    for model_name, model, heuristic_names in model_plans:
-        for name in heuristic_names:
-            heuristic = get_heuristic(name)
-            kwargs: dict[str, Any] = {}
-            if name.startswith("lp-"):
-                kwargs["lp_solution"] = lp_solution
-            build_start = time.perf_counter()
-            tree = heuristic.build(
-                platform, source, model=model, strict_model=False, **kwargs
-            )
-            build_seconds = time.perf_counter() - build_start
-            throughput = tree_throughput(tree, model).throughput
-            evaluation.records.append(
-                EvaluationRecord(
-                    generator=generator,
-                    platform_name=platform.name,
-                    num_nodes=platform.num_nodes,
-                    density=platform.density,
-                    instance_index=instance_index,
-                    heuristic=name,
-                    model=model_name,
-                    throughput=throughput,
-                    optimal_throughput=optimal,
-                    relative_performance=throughput / optimal,
-                    build_seconds=build_seconds,
-                    lp_seconds=lp_seconds,
-                )
-            )
-    return evaluation
+    return PlatformEvaluation(
+        platform=session.platform(platform),
+        source=source,
+        optimal_throughput=results[0].lp_bound if results else 0.0,
+        records=records,
+    )
 
 
 def evaluate_collective_platform(
-    platform: Platform,
+    platform: "Platform | PlatformRecipe",
     source: NodeName,
     *,
     collective: str,
@@ -171,6 +210,7 @@ def evaluate_collective_platform(
     heuristic: str = "grow-tree",
     generator: str = "collective",
     instance_index: int = 0,
+    session: Session | None = None,
 ) -> list[EvaluationRecord]:
     """One point of the collective-scaling sweep (one platform, one kind).
 
@@ -179,34 +219,13 @@ def evaluate_collective_platform(
     non-increasing in ``num_targets`` for each kind, which the shape check
     of the ``collective`` artefact asserts.
     """
-    others = [node for node in platform.nodes if node != source]
-    targets = tuple(others[:num_targets])
-    spec = CollectiveSpec(collective, source, targets)
-
-    lp_start = time.perf_counter()
-    solution = solve_collective_lp(platform, spec)
-    lp_seconds = time.perf_counter() - lp_start
-
-    build_start = time.perf_counter()
-    tree = build_collective_tree(platform, spec, heuristic=heuristic)
-    build_seconds = time.perf_counter() - build_start
-    throughput = collective_throughput(tree, spec).throughput
-
+    session = session if session is not None else Session()
+    resolved = session.platform(platform)
+    others = [node for node in resolved.nodes if node != source]
+    spec = CollectiveSpec(collective, source, tuple(others[:num_targets]))
+    job = Job(platform, spec, heuristic=heuristic, model="one-port")
+    results = session.solve_many([job])
     return [
-        EvaluationRecord(
-            generator=generator,
-            platform_name=platform.name,
-            num_nodes=platform.num_nodes,
-            density=platform.density,
-            instance_index=instance_index,
-            heuristic=heuristic,
-            model="one-port",
-            throughput=throughput,
-            optimal_throughput=solution.throughput,
-            relative_performance=throughput / solution.throughput,
-            build_seconds=build_seconds,
-            lp_seconds=lp_seconds,
-            collective=collective,
-            num_targets=num_targets,
-        )
+        record_from_result(r, generator=generator, instance_index=instance_index)
+        for r in results
     ]

@@ -3,7 +3,8 @@
 The paper's headline artefacts (Figures 4a/4b/5, Table 3) all reduce to the
 same shape of computation: *generate N platforms deterministically, evaluate
 every heuristic on each, aggregate the records*.  This module turns that
-shape into an explicit pipeline:
+shape into an explicit pipeline on top of the shared infrastructure of
+:mod:`repro.runtime` and the :mod:`repro.api` facade:
 
 1. **Tasks** — :func:`random_ensemble_tasks` / :func:`tiers_ensemble_tasks`
    expand a :class:`~repro.experiments.config.PaperParameters` into a flat
@@ -11,15 +12,20 @@ shape into an explicit pipeline:
    carries its own seed (derived with
    :func:`repro.utils.rng.derive_seed`), so evaluation order — and therefore
    parallelism — cannot change the results.
-2. **Executors** — :class:`SerialExecutor` runs tasks in-process;
-   :class:`ProcessExecutor` fans them out over a
-   :class:`concurrent.futures.ProcessPoolExecutor`.  Both preserve task
-   order, so the record stream is identical whichever executor runs it.
-3. **Cache** — :class:`ResultCache` is a two-level (in-memory + optional
-   on-disk JSON) store keyed by a stable hash of the experiment parameters
-   *and the library version*; changing any parameter field or upgrading the
-   library is a cache miss, and corrupted disk entries are silently
-   recomputed.
+2. **Executors** — the order-preserving
+   :class:`~repro.runtime.SerialExecutor` /
+   :class:`~repro.runtime.ProcessExecutor` map shared with
+   :class:`~repro.api.Session`.
+3. **Cache** — :class:`ResultCache` specialises the two-level store of
+   :mod:`repro.runtime` to :class:`EvaluationRecord` rows, keyed by a
+   stable hash of the experiment parameters *and the library version*;
+   changing any parameter field or upgrading the library is a cache miss,
+   and corrupted disk entries are silently recomputed.
+
+Each task runs as a list of declarative :class:`~repro.api.Job` solved
+through a per-task :class:`~repro.api.Session`
+(:func:`run_ensemble_task`), so the ensemble path and one-off facade
+solves share the same code and the same LP-reuse behaviour.
 
 :class:`EvaluationPipeline` glues the three together and is what the
 runner, the CLI (``--jobs`` / ``--cache-dir``) and the benchmarks use.
@@ -27,20 +33,20 @@ runner, the CLI (``--jobs`` / ``--cache-dir``) and the benchmarks use.
 
 from __future__ import annotations
 
-import contextlib
-import hashlib
-import json
 import os
-import tempfile
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields
-from pathlib import Path
-from typing import Any, Callable, Iterable, Iterator, Protocol, Sequence
+from typing import Any
 
 from .. import _version
+from ..api import PlatformRecipe, Session
 from ..exceptions import ExperimentError
-from ..platform.generators.random_graph import generate_random_platform
-from ..platform.generators.tiers import generate_tiers_platform
+from ..runtime import (
+    ProcessExecutor,
+    ResultCache as _GenericResultCache,
+    SerialExecutor,
+    TaskExecutor,
+    stable_key,
+)
 from ..utils.rng import derive_seed
 from .config import PaperParameters
 from .evaluation import EvaluationRecord, evaluate_collective_platform, evaluate_platform
@@ -88,6 +94,21 @@ class EnsembleTask:
     tiers_size: int = 0
     collective: str = "broadcast"
     num_targets: int = 0
+
+    def platform_recipe(self) -> PlatformRecipe:
+        """The declarative platform description this task evaluates."""
+        if self.kind == "tiers":
+            return PlatformRecipe.of("tiers", size=self.tiers_size, seed=self.seed)
+        return PlatformRecipe.of(
+            "random",
+            num_nodes=self.num_nodes,
+            density=self.density,
+            rate_mean=self.rate_mean,
+            rate_deviation=self.rate_deviation,
+            slice_size_mb=self.slice_size_mb,
+            send_fraction=self.send_fraction,
+            seed=self.seed,
+        )
 
 
 def random_ensemble_tasks(
@@ -174,101 +195,36 @@ def collective_ensemble_tasks(parameters: PaperParameters) -> list[EnsembleTask]
 
 
 def run_ensemble_task(task: EnsembleTask) -> list[EvaluationRecord]:
-    """Evaluate one task; module-level so process pools can pickle it."""
+    """Evaluate one task; module-level so process pools can pickle it.
+
+    Every task gets a fresh :class:`~repro.api.Session` (its platform and
+    seed are unique to the task, so there is nothing to share across
+    tasks) and runs its jobs through the facade: the per-platform LP is
+    solved once and shared by every heuristic and by the relative
+    performance reference.
+    """
+    session = Session()
     if task.kind == "collective":
-        platform = generate_random_platform(
-            num_nodes=task.num_nodes,
-            density=task.density,
-            rate_mean=task.rate_mean,
-            rate_deviation=task.rate_deviation,
-            slice_size_mb=task.slice_size_mb,
-            send_fraction=task.send_fraction,
-            seed=task.seed,
-        )
         return evaluate_collective_platform(
-            platform,
+            task.platform_recipe(),
             task.source,
             collective=task.collective,
             num_targets=task.num_targets,
             instance_index=task.instance_index,
+            session=session,
         )
-    if task.kind == "random":
-        platform = generate_random_platform(
-            num_nodes=task.num_nodes,
-            density=task.density,
-            rate_mean=task.rate_mean,
-            rate_deviation=task.rate_deviation,
-            slice_size_mb=task.slice_size_mb,
-            send_fraction=task.send_fraction,
-            seed=task.seed,
-        )
-    elif task.kind == "tiers":
-        platform = generate_tiers_platform(task.tiers_size, seed=task.seed)
-    else:
+    if task.kind not in ("random", "tiers"):
         raise ExperimentError(f"unknown ensemble task kind {task.kind!r}")
     evaluation = evaluate_platform(
-        platform,
+        task.platform_recipe(),
         task.source,
         generator=task.kind,
         instance_index=task.instance_index,
         send_fraction=task.send_fraction,
         include_multi_port=task.include_multi_port,
+        session=session,
     )
     return evaluation.records
-
-
-# --------------------------------------------------------------------------- #
-# Executors
-# --------------------------------------------------------------------------- #
-class TaskExecutor(Protocol):
-    """Order-preserving, lazily-consumable map over a task list."""
-
-    jobs: int
-
-    def map(
-        self,
-        function: Callable[[EnsembleTask], list[EvaluationRecord]],
-        tasks: Sequence[EnsembleTask],
-    ) -> Iterable[list[EvaluationRecord]]: ...
-
-
-class SerialExecutor:
-    """Evaluate tasks one after the other in the calling process."""
-
-    jobs = 1
-
-    def map(
-        self,
-        function: Callable[[EnsembleTask], list[EvaluationRecord]],
-        tasks: Sequence[EnsembleTask],
-    ) -> Iterator[list[EvaluationRecord]]:
-        # Lazy so the pipeline can report progress as tasks complete.
-        return (function(task) for task in tasks)
-
-
-class ProcessExecutor:
-    """Fan tasks out over a process pool, preserving task order."""
-
-    def __init__(self, jobs: int) -> None:
-        if jobs < 1:
-            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-        self.jobs = jobs
-
-    def map(
-        self,
-        function: Callable[[EnsembleTask], list[EvaluationRecord]],
-        tasks: Sequence[EnsembleTask],
-    ) -> Iterator[list[EvaluationRecord]]:
-        if not tasks:
-            return iter(())
-        # Modest chunks amortise pickling without starving short queues.
-        chunksize = max(1, len(tasks) // (self.jobs * 8))
-
-        def stream() -> Iterator[list[EvaluationRecord]]:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                yield from pool.map(function, tasks, chunksize=chunksize)
-
-        return stream()
 
 
 # --------------------------------------------------------------------------- #
@@ -291,18 +247,17 @@ def ensemble_cache_key(
             f.name: getattr(parameters, f.name) for f in fields(parameters)
         },
     }
-    canonical = json.dumps(payload, sort_keys=True, default=repr)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return stable_key(payload)
 
 
-class ResultCache:
-    """Two-level record cache: in-memory dict plus optional on-disk JSON.
+class ResultCache(_GenericResultCache):
+    """Two-level :class:`EvaluationRecord` cache (in-memory + on-disk JSON).
 
-    The memory level returns the *same list object* for repeated lookups in
-    one process (the three artefacts built from one ensemble share it); the
-    disk level survives across processes.  Disk entries embed their key and
-    the record rows; anything unreadable — truncated JSON, missing fields,
-    a key mismatch after a version bump — is treated as a miss.
+    A thin specialisation of :class:`repro.runtime.ResultCache`: rows are
+    encoded with :meth:`EvaluationRecord.to_dict` on the way to disk and
+    rebuilt with :meth:`EvaluationRecord.from_dict` on the way back; every
+    other behaviour (same-list memory hits, write-through, atomic writes,
+    corrupted entries treated as misses) is inherited.
     """
 
     def __init__(
@@ -311,80 +266,14 @@ class ResultCache:
         *,
         memory: dict[str, list[EvaluationRecord]] | None = None,
     ) -> None:
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        if self.cache_dir is not None and self.cache_dir.exists() and not self.cache_dir.is_dir():
-            raise ExperimentError(
-                f"cache_dir {str(self.cache_dir)!r} exists and is not a directory"
-            )
-        self._memory: dict[str, list[EvaluationRecord]] = (
-            memory if memory is not None else {}
+        super().__init__(
+            cache_dir,
+            memory=memory,
+            encode=lambda record: record.to_dict(),
+            decode=EvaluationRecord.from_dict,
+            prefix="ensemble",
+            version=_version.__version__,
         )
-
-    # ------------------------------------------------------------------ #
-    def _path(self, key: str) -> Path:
-        assert self.cache_dir is not None
-        return self.cache_dir / f"ensemble-{key}.json"
-
-    def get(self, key: str) -> list[EvaluationRecord] | None:
-        """Cached records for ``key``, or ``None`` on a miss.
-
-        A memory hit still writes through to an absent disk entry, so a
-        caller that adds ``cache_dir`` after the ensemble was computed
-        in-process gets its records persisted rather than silently dropped.
-        """
-        if key in self._memory:
-            records = self._memory[key]
-            if self.cache_dir is not None and not self._path(key).exists():
-                self._write_disk(key, records)
-            return records
-        if self.cache_dir is None:
-            return None
-        path = self._path(key)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            if payload["key"] != key:
-                return None
-            records = [EvaluationRecord.from_dict(row) for row in payload["records"]]
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing or corrupted entry: recompute rather than crash.
-            return None
-        self._memory[key] = records
-        return records
-
-    def put(self, key: str, records: list[EvaluationRecord]) -> None:
-        """Store ``records`` in memory and (atomically) on disk."""
-        self._memory[key] = records
-        if self.cache_dir is not None:
-            self._write_disk(key, records)
-
-    def _write_disk(self, key: str, records: list[EvaluationRecord]) -> None:
-        assert self.cache_dir is not None
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "key": key,
-            "version": _version.__version__,
-            "records": [record.to_dict() for record in records],
-        }
-        # Unique temp name per writer: concurrent processes computing the
-        # same key must not trample each other's rename source.
-        descriptor, temporary = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=f"ensemble-{key}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                handle.write(json.dumps(payload))
-            os.replace(temporary, self._path(key))
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(temporary)
-            raise
-
-    def clear_memory(self) -> None:
-        """Drop the in-memory level (disk entries are kept)."""
-        self._memory.clear()
-
-    def __len__(self) -> int:
-        return len(self._memory)
 
 
 # --------------------------------------------------------------------------- #

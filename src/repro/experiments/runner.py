@@ -14,12 +14,14 @@ The experiment harness mirrors Section 5 of the paper:
 The records produced here are aggregated by :mod:`repro.experiments.figures`
 and :mod:`repro.experiments.tables` into the paper's Figures 4(a), 4(b), 5
 and Table 3.  The heavy lifting is delegated to
-:class:`~repro.experiments.pipeline.EvaluationPipeline`: the same random
-ensemble feeds three different artefacts, so evaluations are shared through
-a process-wide in-memory cache, optionally persisted on disk
-(``cache_dir``) and fanned out over worker processes (``jobs``).  Per-task
-seeds are derived deterministically, so serial and parallel runs produce
-identical records.
+:class:`~repro.experiments.pipeline.EvaluationPipeline`, whose unit of work
+is a batch of declarative :class:`~repro.api.Job` descriptions solved
+through a :class:`~repro.api.Session` (one LP solve per platform, shared by
+every heuristic): the same random ensemble feeds three different artefacts,
+so evaluations are shared through a process-wide in-memory cache, optionally
+persisted on disk (``cache_dir``) and fanned out over worker processes
+(``jobs``).  Per-task seeds are derived deterministically, so serial and
+parallel runs produce identical records.
 """
 
 from __future__ import annotations

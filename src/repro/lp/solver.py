@@ -206,7 +206,7 @@ def collective_optimal_throughput(
 
 
 class LPSolutionCache:
-    """Memoises LP solutions per (platform identity, source, size).
+    """Memoises LP solutions per (platform identity + mutation epoch, spec, size).
 
     The experiment runner evaluates several heuristics on the same platform;
     two of them (LP-Prune and LP-Grow-Tree) need the LP solution, and the
@@ -216,12 +216,25 @@ class LPSolutionCache:
     """
 
     def __init__(self) -> None:
-        self._cache: dict[tuple, SteadyStateSolution] = {}
+        # Values pair the solution with the platform itself: the strong
+        # reference pins the platform alive, so its id() cannot be recycled
+        # by a new platform while the entry exists (id-keyed caches are
+        # otherwise unsound after garbage collection).
+        self._cache: dict[tuple, tuple[Platform, SteadyStateSolution]] = {}
 
     @staticmethod
     def _key(platform: Platform, spec: CollectiveSpec, size: float | None) -> tuple:
         targets = None if spec.targets is None else tuple(spec.targets)
-        return (id(platform), spec.kind.value, spec.source, targets, size)
+        # The mutation epoch makes a platform mutated after being cached a
+        # miss instead of a stale hit (identity alone cannot tell).
+        return (
+            id(platform),
+            platform.mutation_epoch,
+            spec.kind.value,
+            spec.source,
+            targets,
+            size,
+        )
 
     def solve(
         self, platform: Platform, source: NodeName, size: float | None = None
@@ -235,8 +248,8 @@ class LPSolutionCache:
         """Return the cached solution of ``spec``, solving on first use."""
         key = self._key(platform, spec, size)
         if key not in self._cache:
-            self._cache[key] = solve_collective_lp(platform, spec, size)
-        return self._cache[key]
+            self._cache[key] = (platform, solve_collective_lp(platform, spec, size))
+        return self._cache[key][1]
 
     def clear(self) -> None:
         """Drop every cached solution."""

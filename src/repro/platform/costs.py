@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from ..exceptions import PlatformError
+
 __all__ = ["AffineCost", "LinkCostModel"]
 
 
@@ -44,14 +46,14 @@ class AffineCost:
 
     def __post_init__(self) -> None:
         if self.startup < 0:
-            raise ValueError(f"startup must be non-negative, got {self.startup!r}")
+            raise PlatformError(f"startup must be non-negative, got {self.startup!r}")
         if self.per_unit < 0:
-            raise ValueError(f"per_unit must be non-negative, got {self.per_unit!r}")
+            raise PlatformError(f"per_unit must be non-negative, got {self.per_unit!r}")
 
     def __call__(self, size: float) -> float:
         """Evaluate the cost for a message of ``size`` data units."""
         if size < 0:
-            raise ValueError(f"message size must be non-negative, got {size!r}")
+            raise PlatformError(f"message size must be non-negative, got {size!r}")
         return self.startup + size * self.per_unit
 
     def dominates(self, other: "AffineCost") -> bool:
@@ -61,7 +63,7 @@ class AffineCost:
     def scaled(self, factor: float) -> "AffineCost":
         """Return a copy with both coefficients multiplied by ``factor``."""
         if factor < 0:
-            raise ValueError(f"scaling factor must be non-negative, got {factor!r}")
+            raise PlatformError(f"scaling factor must be non-negative, got {factor!r}")
         return AffineCost(self.startup * factor, self.per_unit * factor)
 
     @classmethod
@@ -78,7 +80,7 @@ class AffineCost:
     def from_bandwidth(cls, bandwidth: float, startup: float = 0.0) -> "AffineCost":
         """Build a cost from a link *bandwidth* (data units per time unit)."""
         if bandwidth <= 0:
-            raise ValueError(f"bandwidth must be positive, got {bandwidth!r}")
+            raise PlatformError(f"bandwidth must be positive, got {bandwidth!r}")
         return cls(startup=startup, per_unit=1.0 / bandwidth)
 
     def to_dict(self) -> dict[str, float]:
@@ -120,7 +122,7 @@ class LinkCostModel:
             if cost is None:
                 continue
             if not self.link.dominates(cost):
-                raise ValueError(
+                raise PlatformError(
                     f"{label} occupation {cost} exceeds link occupation "
                     f"{self.link}; the paper requires send/recv <= T for all sizes"
                 )

@@ -66,6 +66,10 @@ class Platform:
         # also detaches it from its parent's cache.
         self._reversed_cache: "Platform | None" = None
         self._reverse_parent: "Platform | None" = None
+        # Bumped on every mutation; lets value-insensitive caches (the LP
+        # solution cache, Job key memoization) detect that an instance they
+        # hold by identity no longer describes the same platform.
+        self._mutation_epoch: int = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -148,11 +152,21 @@ class Platform:
         """
         self._compiled_cache.clear()
         self._reversed_cache = None
+        self._mutation_epoch += 1
         parent = self._reverse_parent
         if parent is not None:
             if parent._reversed_cache is self:
                 parent._reversed_cache = None
             self._reverse_parent = None
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Counter bumped on every mutation (node/link add or removal).
+
+        Identity-keyed caches pair ``id(platform)`` with this value so a
+        platform mutated after being cached is a miss, not a stale hit.
+        """
+        return self._mutation_epoch
 
     # ------------------------------------------------------------------ #
     # Nodes

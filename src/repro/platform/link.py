@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
+from ..exceptions import InvalidLinkError
 from .costs import AffineCost, LinkCostModel
 
 __all__ = ["Link"]
@@ -41,7 +42,7 @@ class Link:
 
     def __post_init__(self) -> None:
         if self.source == self.target:
-            raise ValueError(f"self-loop link on node {self.source!r} is not allowed")
+            raise InvalidLinkError(f"self-loop link on node {self.source!r} is not allowed")
 
     # ------------------------------------------------------------------ #
     # Convenience constructors

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
+from ..exceptions import PlatformError
+
 __all__ = ["ProcessorNode"]
 
 
@@ -54,11 +56,11 @@ class ProcessorNode:
 
     def __post_init__(self) -> None:
         if self.send_overhead is not None and self.send_overhead < 0:
-            raise ValueError(
+            raise PlatformError(
                 f"send_overhead must be non-negative, got {self.send_overhead!r}"
             )
         if self.recv_overhead is not None and self.recv_overhead < 0:
-            raise ValueError(
+            raise PlatformError(
                 f"recv_overhead must be non-negative, got {self.recv_overhead!r}"
             )
 

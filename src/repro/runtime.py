@@ -1,0 +1,225 @@
+"""Execution and caching infrastructure shared by the facade and the experiments.
+
+This module holds the generic machinery introduced with the evaluation
+pipeline (PR 1) in a dependency-free home so that both
+:mod:`repro.api` (the :class:`~repro.api.Session` facade) and
+:mod:`repro.experiments.pipeline` (the ensemble pipeline) can build on it
+without importing each other:
+
+* **Executors** — :class:`SerialExecutor` maps a function over work items
+  in-process; :class:`ProcessExecutor` fans the same map out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Both preserve item
+  order, so the result stream is identical whichever executor runs it.
+* **ResultCache** — a two-level (in-memory + optional on-disk JSON) store
+  of *row lists* keyed by caller-provided stable hashes.  The row type is
+  pluggable through an ``encode`` / ``decode`` pair (JSON dictionaries by
+  default); corrupted or mismatching disk entries are treated as misses.
+* **stable_key** — the canonical-JSON SHA-256 used to derive those keys.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Protocol, Sequence, TypeVar
+
+from .exceptions import ExperimentError
+
+__all__ = [
+    "TaskExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "ResultCache",
+    "stable_key",
+]
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def stable_key(payload: Any) -> str:
+    """SHA-256 of the canonical (sorted-keys) JSON rendering of ``payload``.
+
+    Non-JSON values fall back to ``repr``, so any change in their printed
+    form changes the key — exactly the conservative behaviour a cache wants.
+    """
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------------- #
+class TaskExecutor(Protocol):
+    """Order-preserving, lazily-consumable map over a work-item list."""
+
+    jobs: int
+
+    def map(
+        self,
+        function: Callable[[ItemT], ResultT],
+        tasks: Sequence[ItemT],
+    ) -> Iterable[ResultT]: ...
+
+
+class SerialExecutor:
+    """Evaluate work items one after the other in the calling process."""
+
+    jobs = 1
+
+    def map(
+        self,
+        function: Callable[[ItemT], ResultT],
+        tasks: Sequence[ItemT],
+    ) -> Iterator[ResultT]:
+        # Lazy so callers can report progress as items complete.
+        return (function(task) for task in tasks)
+
+
+class ProcessExecutor:
+    """Fan work items out over a process pool, preserving item order.
+
+    ``function`` and the items must be picklable (module-level functions,
+    plain data); the facade ships jobs as JSON strings for this reason.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def map(
+        self,
+        function: Callable[[ItemT], ResultT],
+        tasks: Sequence[ItemT],
+    ) -> Iterator[ResultT]:
+        if not tasks:
+            return iter(())
+        # Modest chunks amortise pickling without starving short queues.
+        chunksize = max(1, len(tasks) // (self.jobs * 8))
+
+        def stream() -> Iterator[ResultT]:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                yield from pool.map(function, tasks, chunksize=chunksize)
+
+        return stream()
+
+
+# --------------------------------------------------------------------------- #
+# Cache
+# --------------------------------------------------------------------------- #
+class ResultCache:
+    """Two-level row-list cache: in-memory dict plus optional on-disk JSON.
+
+    The memory level returns the *same list object* for repeated lookups in
+    one process; the disk level survives across processes.  Disk entries
+    embed their key and the encoded rows; anything unreadable — truncated
+    JSON, missing fields, a key mismatch after a version bump — is treated
+    as a miss.
+
+    Parameters
+    ----------
+    cache_dir:
+        Optional directory for the on-disk level.
+    memory:
+        Pre-existing dictionary to use as the in-memory level (lets several
+        caches share one process-wide store).
+    encode / decode:
+        Row codec for the disk level; the defaults pass JSON-compatible
+        dictionaries through unchanged.  The experiments pipeline plugs in
+        the :class:`~repro.experiments.evaluation.EvaluationRecord` codec.
+    prefix:
+        File-name prefix of the disk entries (``<prefix>-<key>.json``).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike[str] | None = None,
+        *,
+        memory: dict[str, list[Any]] | None = None,
+        encode: Callable[[Any], dict[str, Any]] | None = None,
+        decode: Callable[[dict[str, Any]], Any] | None = None,
+        prefix: str = "ensemble",
+        version: str = "",
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None and self.cache_dir.exists() and not self.cache_dir.is_dir():
+            raise ExperimentError(
+                f"cache_dir {str(self.cache_dir)!r} exists and is not a directory"
+            )
+        self._memory: dict[str, list[Any]] = memory if memory is not None else {}
+        self._encode = encode if encode is not None else dict
+        self._decode = decode if decode is not None else dict
+        self._prefix = prefix
+        self._version = version
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{self._prefix}-{key}.json"
+
+    def get(self, key: str) -> list[Any] | None:
+        """Cached rows for ``key``, or ``None`` on a miss.
+
+        A memory hit still writes through to an absent disk entry, so a
+        caller that adds ``cache_dir`` after the rows were computed
+        in-process gets them persisted rather than silently dropped.
+        """
+        if key in self._memory:
+            rows = self._memory[key]
+            if self.cache_dir is not None and not self._path(key).exists():
+                self._write_disk(key, rows)
+            return rows
+        if self.cache_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload["key"] != key:
+                return None
+            rows = [self._decode(row) for row in payload["records"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing or corrupted entry: recompute rather than crash.
+            return None
+        self._memory[key] = rows
+        return rows
+
+    def put(self, key: str, rows: list[Any]) -> None:
+        """Store ``rows`` in memory and (atomically) on disk."""
+        self._memory[key] = rows
+        if self.cache_dir is not None:
+            self._write_disk(key, rows)
+
+    def _write_disk(self, key: str, rows: list[Any]) -> None:
+        assert self.cache_dir is not None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "version": self._version,
+            "records": [self._encode(row) for row in rows],
+        }
+        # Unique temp name per writer: concurrent processes computing the
+        # same key must not trample each other's rename source.
+        descriptor, temporary = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=f"{self._prefix}-{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload))
+            os.replace(temporary, self._path(key))
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temporary)
+            raise
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory level (disk entries are kept)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)

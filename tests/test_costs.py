@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.exceptions import PlatformError
 from repro.platform.costs import AffineCost, LinkCostModel
 
 
@@ -28,17 +29,17 @@ class TestAffineCost:
         assert cost(200.0) == pytest.approx(3.0)
 
     def test_from_bandwidth_rejects_non_positive(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PlatformError):
             AffineCost.from_bandwidth(0.0)
 
     def test_negative_parameters_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PlatformError):
             AffineCost(startup=-1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(PlatformError):
             AffineCost(per_unit=-0.1)
 
     def test_negative_size_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PlatformError):
             AffineCost(1.0, 1.0)(-1.0)
 
     def test_dominates(self):
@@ -52,7 +53,7 @@ class TestAffineCost:
         cost = AffineCost(2.0, 4.0).scaled(0.5)
         assert cost.startup == pytest.approx(1.0)
         assert cost.per_unit == pytest.approx(2.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(PlatformError):
             cost.scaled(-1.0)
 
     def test_round_trip_dict(self):
@@ -79,13 +80,13 @@ class TestLinkCostModel:
         assert model.recv_time(1) == 0.5
 
     def test_send_cannot_exceed_link(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PlatformError):
             LinkCostModel(
                 link=AffineCost.constant(1.0), send=AffineCost.constant(2.0)
             )
 
     def test_recv_cannot_exceed_link(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PlatformError):
             LinkCostModel(
                 link=AffineCost.constant(1.0), recv=AffineCost.constant(2.0)
             )

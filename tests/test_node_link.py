@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.exceptions import InvalidLinkError, PlatformError
 from repro.platform.link import Link
 from repro.platform.node import ProcessorNode
 
@@ -17,9 +18,9 @@ class TestProcessorNode:
         assert node.cluster is None
 
     def test_negative_overheads_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PlatformError):
             ProcessorNode(name=0, send_overhead=-1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(PlatformError):
             ProcessorNode(name=0, recv_overhead=-0.5)
 
     def test_with_send_overhead_returns_copy(self):
@@ -47,7 +48,7 @@ class TestProcessorNode:
 
 class TestLink:
     def test_self_loop_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidLinkError):
             Link.with_transfer_time(0, 0, 1.0)
 
     def test_with_transfer_time(self):
