@@ -24,11 +24,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform as host_platform
 import statistics
 import sys
 import time
 from pathlib import Path
+
+from conftest import record_host
 
 from repro import (
     Job,
@@ -155,10 +156,7 @@ def main(argv=None) -> int:
     results = {
         "benchmark": "api-facade",
         "version": _version.__version__,
-        "host": {
-            "python": host_platform.python_version(),
-            "machine": host_platform.machine(),
-        },
+        "host": record_host(),
         "rounds": rounds,
         "max_overhead": MAX_OVERHEAD,
         "cold_solve": {},

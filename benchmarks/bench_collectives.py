@@ -29,13 +29,13 @@ from __future__ import annotations
 import argparse
 import json
 import math
-import platform as host_platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+from conftest import record_host
 from repro import _version
 from repro.collectives import CollectiveSpec
 from repro.core.registry import build_collective_tree
@@ -181,8 +181,7 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "collectives",
         "version": _version.__version__,
-        "python": sys.version.split()[0],
-        "machine": host_platform.machine(),
+        "host": record_host(),
         "results": results,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")

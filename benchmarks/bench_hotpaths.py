@@ -29,14 +29,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform as host_platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+from conftest import record_host
 from repro import _version
 from repro.core.grow_tree import GrowingMinimumOutDegreeTree
 from repro.core.local_search import improve_tree, improve_tree_reference
@@ -249,11 +248,7 @@ def main(argv=None) -> int:
         "version": _version.__version__,
         "created_unix": round(time.time(), 1),
         "quick": args.quick,
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "python": sys.version.split()[0],
-            "machine": host_platform.machine(),
-        },
+        "host": record_host(),
         "edge_counts": {
             str(n): p.num_links for n, p in kernel_platforms.items()
         },

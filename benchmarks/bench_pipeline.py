@@ -24,13 +24,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform as host_platform
 import sys
 import tempfile
 import time
 from dataclasses import replace
 from pathlib import Path
 
+from conftest import record_host
 from repro import _version, generate_random_platform
 from repro.experiments import EvaluationPipeline, scaled_parameters
 from repro.lp.formulation import build_steady_state_lp, build_steady_state_lp_reference
@@ -138,17 +138,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    import os
 
     record = {
         "benchmark": "pipeline",
         "version": _version.__version__,
         "created_unix": round(time.time(), 1),
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "python": sys.version.split()[0],
-            "machine": host_platform.machine(),
-        },
+        "host": record_host(),
         "ensemble": bench_ensemble(args.platforms, args.jobs),
         "lp_assembly": bench_lp_assembly(),
     }

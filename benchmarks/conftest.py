@@ -12,9 +12,28 @@ share the same evaluated ensemble through the process-wide cache in
 
 from __future__ import annotations
 
+import os
+import platform as host_platform
+import sys
+
 import pytest
 
 from repro.experiments import PaperParameters, parameters_from_environment
+
+
+def record_host() -> dict:
+    """The ``host`` block every ``bench_*.py`` stamps into its JSON record.
+
+    One shared definition keeps the published ``BENCH_*.json`` artefacts
+    field-compatible; the standalone bench scripts import it directly
+    (``from conftest import record_host`` — their directory is on
+    ``sys.path`` when run as scripts).
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "machine": host_platform.machine(),
+    }
 
 
 def pytest_configure(config):

@@ -173,8 +173,13 @@ class Session:
                             payload.setdefault(name, value)
             else:
                 # Any in-process executor (serial, threads, custom test
-                # doubles) works on this session's own caches directly;
-                # materialize() fills the shared payloads in place.
+                # doubles) works on this session's own caches directly.
+                # Compatible jobs (same port model / slice count, direct
+                # trees) first go through one ensemble-batched kernel sweep
+                # priming the makespan/simulation caches, then
+                # materialize() fills the shared payloads in place (and
+                # computes whatever the batch did not cover).
+                self._materialize_batched(batch, pending)
                 for _ in self.executor.map(lambda i: results[i].materialize(), pending):
                     pass
         for job in batch:
@@ -314,6 +319,102 @@ class Session:
         self._payload(job).setdefault("makespan", report.makespan)
         return report
 
+    def _materialize_batched(self, batch: "list[Job]", pending: "list[int]") -> None:
+        """Prime makespan/simulation caches through one ensemble-batched sweep.
+
+        Groups the pending jobs that will need a simulation (``simulate``
+        set, shared-message collective, canonical port model, same slice
+        count) and evaluates every group's *direct* trees through
+        :class:`~repro.kernels.batch.EnsembleBatch` — one vectorized sweep
+        over the whole group instead of one kernel dispatch per job.  The
+        cached values are bit-identical to what the lazy per-job path
+        computes (the batched kernels reproduce the per-item recurrences
+        exactly); everything the batch does not cover — distinct-message
+        collectives, routed trees, custom models — is simply left to
+        ``materialize()``.
+        """
+        from ..analysis.throughput import tree_throughput
+        from ..kernels.batch import (
+            EnsembleBatch,
+            batch_inorder_simulation,
+            batch_pipelined_makespan,
+        )
+        from ..kernels.makespan import supports_model
+        from ..models.port_models import OnePortModel
+        from ..simulation.broadcast import inorder_result_from_run
+
+        groups: dict[tuple, list[int]] = {}
+        for i in pending:
+            job = batch[i]
+            if not job.simulate or job.collective.distinct_messages:
+                continue
+            metric_key = (job.tree_key(), job.num_slices)
+            if metric_key in self._makespans and metric_key in self._simulations:
+                continue
+            model = job.port_model()
+            if not supports_model(model):
+                continue
+            group_key = (
+                type(model).__name__,
+                getattr(model, "send_fraction", None),
+                job.num_slices,
+            )
+            groups.setdefault(group_key, []).append(i)
+
+        for (_, _, num_slices), members in groups.items():
+            items: list[tuple[Job, BroadcastTree, Any]] = []
+            seen: set[tuple[str, int]] = set()
+            for i in members:
+                job = batch[i]
+                metric_key = (job.tree_key(), num_slices)
+                if metric_key in seen:
+                    continue
+                seen.add(metric_key)
+                tree = self.tree_for(job)
+                ctree = tree.compiled(job.size)
+                if ctree.is_direct:
+                    items.append((job, tree, ctree))
+            if len(items) < 2:
+                continue  # nothing to amortize; the lazy path is just as fast
+            model = items[0][0].port_model()
+            ensemble = EnsembleBatch.from_trees([c for _, _, c in items], model)
+            runs = batch_inorder_simulation(ensemble, num_slices)
+            one_port = type(model) is OnePortModel
+            if not one_port:
+                # Multi-port simulation arrivals include receive-port
+                # constraints the canonical makespan recurrence does not:
+                # the makespans need their own sweep.
+                makespans, fills = batch_pipelined_makespan(ensemble, num_slices)
+            for position, ((job, tree, _), run) in enumerate(zip(items, runs)):
+                metric_key = (job.tree_key(), num_slices)
+                if metric_key not in self._makespans:
+                    if one_port:
+                        # One-port simulation arrivals ARE the canonical
+                        # recurrence matrix; reuse it.
+                        makespan = float(run[0][:, num_slices - 1].max())
+                        fill = float(run[0][:, 0].max())
+                    else:
+                        makespan = float(makespans[position])
+                        fill = float(fills[position])
+                    self._makespans[metric_key] = MakespanReport(
+                        makespan=makespan,
+                        num_slices=num_slices,
+                        fill_time=fill,
+                        steady_state_period=tree_throughput(
+                            tree, model, job.size
+                        ).period,
+                    )
+                if metric_key not in self._simulations:
+                    self._simulations[metric_key] = inorder_result_from_run(
+                        tree, num_slices, model, job.size, run
+                    )
+                payload = self._payload(job)
+                payload.setdefault("makespan", self._makespans[metric_key].makespan)
+                sim = self._simulations[metric_key]
+                payload.setdefault("simulated_throughput", sim.measured_throughput)
+                payload.setdefault("simulation_error", sim.relative_error())
+                payload.setdefault("simulation_makespan", sim.makespan)
+
     def simulation_for(self, job: Job) -> SimulationResult:
         """The (cached) discrete-event simulation of ``num_slices`` rounds."""
         key = (job.tree_key(), job.num_slices)
@@ -344,6 +445,59 @@ class Session:
             "lp_solutions": len(self.lp_cache),
             "trees": len(self._trees),
             "results": len(self._payloads),
+        }
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Entry counts *and approximate byte sizes* of the session caches.
+
+        The byte figures make the unbounded-cache question measurable
+        (ROADMAP item 1): compiled platform / tree views report their exact
+        array payload (:attr:`CompiledPlatform.nbytes
+        <repro.platform.compiled.CompiledPlatform.nbytes>` /
+        :attr:`CompiledTree.nbytes <repro.kernels.tree.CompiledTree.nbytes>`),
+        metric payloads a shallow :func:`sys.getsizeof` estimate.  Use
+        :meth:`cache_info` when only entry counts are needed.
+        """
+        import sys as _sys
+
+        compiled_views = 0
+        compiled_bytes = 0
+        for platform, _ in self._platforms.values():
+            for view in getattr(platform, "_compiled_cache", {}).values():
+                compiled_views += 1
+                compiled_bytes += view.nbytes
+        tree_views = 0
+        tree_bytes = 0
+        for tree in self._trees.values():
+            for ctree in tree.__dict__.get("_compiled_tree_cache", {}).values():
+                # Tree arrays only; the platform views they point into are
+                # counted above.
+                tree_views += 1
+                tree_bytes += ctree.nbytes
+        payload_bytes = sum(
+            _sys.getsizeof(payload)
+            + sum(_sys.getsizeof(k) + _sys.getsizeof(v) for k, v in payload.items())
+            for payload in self._payloads.values()
+        )
+        return {
+            "platforms": {
+                "entries": len(self._platforms),
+                "compiled_views": compiled_views,
+                "compiled_bytes": compiled_bytes,
+            },
+            "trees": {
+                "entries": len(self._trees),
+                "compiled_views": tree_views,
+                "compiled_bytes": tree_bytes,
+            },
+            "lp_solutions": {"entries": len(self.lp_cache)},
+            "reports": {"entries": len(self._reports)},
+            "makespans": {"entries": len(self._makespans)},
+            "simulations": {"entries": len(self._simulations)},
+            "results": {
+                "entries": len(self._payloads),
+                "approx_bytes": payload_bytes,
+            },
         }
 
     def clear(self) -> None:
@@ -383,9 +537,10 @@ def _solve_job_group_json(texts: list[str]) -> list[dict[str, Any]]:
         or len(session._payloads) >= _WORKER_JOB_LIMIT
     ):
         session.clear()
-    return [
-        session.solve(Job.from_json(text)).materialize().metrics() for text in texts
-    ]
+    # solve_many (not a solve() loop) so the worker's group also flows
+    # through the ensemble-batched kernel sweep.
+    results = session.solve_many([Job.from_json(text) for text in texts])
+    return [result.metrics() for result in results]
 
 
 _DEFAULT_SESSION: Session | None = None

@@ -23,9 +23,15 @@ shape into an explicit pipeline on top of the shared infrastructure of
    and corrupted disk entries are silently recomputed.
 
 Each task runs as a list of declarative :class:`~repro.api.Job` solved
-through a per-task :class:`~repro.api.Session`
-(:func:`run_ensemble_task`), so the ensemble path and one-off facade
-solves share the same code and the same LP-reuse behaviour.
+through a :class:`~repro.api.Session`, so the ensemble path and one-off
+facade solves share the same code and the same LP-reuse behaviour.
+Worker processes solve one task per call (:func:`run_ensemble_task`,
+whose job groups are batched again inside the worker); the in-process
+serial path instead shares one session across a *chunk* of tasks
+(:func:`run_ensemble_tasks_batched`), handing
+:meth:`Session.solve_many <repro.api.Session.solve_many>` the chunk's
+whole job list at once so compatible jobs from different platforms can be
+stacked into :class:`~repro.kernels.EnsembleBatch` sweeps.
 
 :class:`EvaluationPipeline` glues the three together and is what the
 runner, the CLI (``--jobs`` / ``--cache-dir``) and the benchmarks use.
@@ -35,10 +41,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, fields
-from typing import Any
+from typing import Any, Iterator
 
 from .. import _version
-from ..api import PlatformRecipe, Session
+from ..api import Job, PlatformRecipe, Session
+from ..collectives import CollectiveSpec
 from ..exceptions import ExperimentError
 from ..runtime import (
     ProcessExecutor,
@@ -49,11 +56,18 @@ from ..runtime import (
 )
 from ..utils.rng import derive_seed
 from .config import PaperParameters
-from .evaluation import EvaluationRecord, evaluate_collective_platform, evaluate_platform
+from .evaluation import (
+    EvaluationRecord,
+    broadcast_jobs,
+    evaluate_collective_platform,
+    evaluate_platform,
+    record_from_result,
+)
 
 __all__ = [
     "EnsembleTask",
     "run_ensemble_task",
+    "run_ensemble_tasks_batched",
     "random_ensemble_tasks",
     "tiers_ensemble_tasks",
     "collective_ensemble_tasks",
@@ -227,6 +241,72 @@ def run_ensemble_task(task: EnsembleTask) -> list[EvaluationRecord]:
     return evaluation.records
 
 
+#: Tasks per shared-session chunk on the in-process path.  Bounds the
+#: session's platform / tree / LP caches while still giving
+#: ``Session.solve_many`` dozens of compatible jobs to stack per ensemble
+#: batch; matches the per-group platform limit of the worker protocol.
+_BATCH_CHUNK_TASKS = 32
+
+
+def _task_jobs(task: EnsembleTask, session: Session) -> list[Job]:
+    """The declarative job list of one task.
+
+    Mirrors exactly what :func:`run_ensemble_task` submits through
+    :func:`~repro.experiments.evaluation.evaluate_platform` /
+    :func:`~repro.experiments.evaluation.evaluate_collective_platform`, so
+    the chunked path below solves the same jobs in the same order.
+    """
+    recipe = task.platform_recipe()
+    if task.kind == "collective":
+        resolved = session.platform(recipe)
+        others = [node for node in resolved.nodes if node != task.source]
+        spec = CollectiveSpec(
+            task.collective, task.source, tuple(others[: task.num_targets])
+        )
+        return [Job(recipe, spec, heuristic="grow-tree", model="one-port")]
+    if task.kind not in ("random", "tiers"):
+        raise ExperimentError(f"unknown ensemble task kind {task.kind!r}")
+    return broadcast_jobs(
+        recipe,
+        task.source,
+        send_fraction=task.send_fraction,
+        include_multi_port=task.include_multi_port,
+    )
+
+
+def run_ensemble_tasks_batched(
+    tasks: list[EnsembleTask], *, chunk_tasks: int = _BATCH_CHUNK_TASKS
+) -> Iterator[list[EvaluationRecord]]:
+    """Yield each task's records, solving a chunk of tasks per session.
+
+    The in-process twin of mapping :func:`run_ensemble_task`: instead of a
+    fresh :class:`~repro.api.Session` per task, one session serves
+    ``chunk_tasks`` consecutive tasks and receives the chunk's entire job
+    list in a single :meth:`~repro.api.Session.solve_many` call, which
+    stacks compatible jobs across platforms into
+    :class:`~repro.kernels.EnsembleBatch` sweeps.  Results come back in
+    submission order, so slicing them per task reproduces the per-task
+    record lists bit-identically (timing fields aside).
+    """
+    for start in range(0, len(tasks), chunk_tasks):
+        chunk = tasks[start : start + chunk_tasks]
+        session = Session()
+        job_lists = [_task_jobs(task, session) for task in chunk]
+        results = session.solve_many([job for jobs in job_lists for job in jobs])
+        position = 0
+        for task, jobs in zip(chunk, job_lists):
+            sliced = results[position : position + len(jobs)]
+            position += len(jobs)
+            yield [
+                record_from_result(
+                    result,
+                    generator=task.kind,
+                    instance_index=task.instance_index,
+                )
+                for result in sliced
+            ]
+
+
 # --------------------------------------------------------------------------- #
 # Cache
 # --------------------------------------------------------------------------- #
@@ -346,8 +426,18 @@ class EvaluationPipeline:
         if cached is not None:
             return cached
 
+        if type(self.executor) is SerialExecutor:
+            # In-process runs share one session per chunk of tasks so that
+            # solve_many can stack compatible jobs from different platforms
+            # into ensemble batches (repro.kernels.batch).  Worker pools
+            # keep the one-task-per-call protocol; their job groups are
+            # batched again inside each worker.
+            record_lists = run_ensemble_tasks_batched(tasks)
+        else:
+            record_lists = self.executor.map(run_ensemble_task, tasks)
+
         records: list[EvaluationRecord] = []
-        for task, task_records in zip(tasks, self.executor.map(run_ensemble_task, tasks)):
+        for task, task_records in zip(tasks, record_lists):
             records.extend(task_records)
             if progress and task_records:
                 if task.kind == "random":

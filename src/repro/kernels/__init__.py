@@ -10,6 +10,11 @@ the pure-Python reference implementations spread across ``analysis``,
   makespan recurrence;
 * :mod:`~repro.kernels.simulation` — the event-free in-order simulation
   schedule;
+* :mod:`~repro.kernels.batch` — :class:`EnsembleBatch`, the ragged
+  cross-platform stacking of many compiled trees, with ensemble-batched
+  makespan / simulation sweeps;
+* :mod:`~repro.kernels.batch_lp` — one concatenated COO assembly pass for
+  a whole ensemble of steady-state LPs;
 * :mod:`~repro.kernels.frontier` — lazy min-heap frontier for the growing
   heuristics;
 * :mod:`~repro.kernels.spanning` — incremental reachability oracle for the
@@ -23,6 +28,13 @@ the two agree — bit-identically wherever the arithmetic is not
 re-associated, to ``1e-12`` relative otherwise (see ``tests/test_kernels.py``).
 """
 
+from .batch import (
+    EnsembleBatch,
+    batch_arrival_matrices,
+    batch_inorder_simulation,
+    batch_pipelined_makespan,
+)
+from .batch_lp import LPBatch, batch_lp_assembly
 from .frontier import LazyFrontier
 from .makespan import arrival_matrix, supports_model
 from .periods import PeriodTracker
@@ -33,10 +45,16 @@ from .tree import CompiledTree, compile_tree
 __all__ = [
     "CompiledTree",
     "compile_tree",
+    "EnsembleBatch",
+    "LPBatch",
     "LazyFrontier",
     "PeriodTracker",
     "SpanningOracle",
     "arrival_matrix",
+    "batch_arrival_matrices",
+    "batch_inorder_simulation",
+    "batch_lp_assembly",
+    "batch_pipelined_makespan",
     "supports_model",
     "inorder_direct_run",
     "supports_inorder_fast_path",

@@ -1,0 +1,178 @@
+"""Batched assembly of many steady-state collective LPs in one COO pass.
+
+The per-item assembly (:func:`repro.lp.formulation.build_collective_lp`) is
+already vectorized *within* one platform; a campaign still builds thousands
+of small LPs one ``scipy.sparse`` construction at a time.
+:func:`batch_lp_assembly` runs the shared triplet builder
+(:func:`repro.lp.formulation.collective_lp_triplets` — the *same* code path
+the per-item builder uses, so entries are identical by construction) over a
+whole ensemble and concatenates everything into one block-diagonal COO
+buffer: global ``rows/cols/data`` with per-item row/column/entry offsets.
+
+The concatenated buffer is the contiguous, shareable form ROADMAP item 3's
+shared-memory worker pools need; :meth:`LPBatch.data_for` splits one item
+back out as a solver-ready
+:class:`~repro.lp.formulation.SteadyStateLPData`, and
+:meth:`LPBatch.block_matrices` materialises the whole ensemble as one
+block-diagonal system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..collectives import CollectiveSpec
+from ..lp.formulation import (
+    CollectiveLPTriplets,
+    SteadyStateLPData,
+    collective_lp_triplets,
+)
+from ..platform.graph import Platform
+
+__all__ = ["LPBatch", "batch_lp_assembly"]
+
+NodeName = Any
+
+
+@dataclass(frozen=True, eq=False)  # identity semantics: ndarray fields
+class LPBatch:
+    """Block-diagonal COO buffers of an ensemble of collective LPs.
+
+    ``eq_*`` / ``ub_*`` are the concatenated triplets of every item's
+    equality / inequality system with item ``i``'s rows shifted by
+    ``eq_row_offsets[i]`` (resp. ``ub_row_offsets[i]``) and its columns by
+    ``col_offsets[i]``; its entries occupy
+    ``eq_entry_indptr[i]:eq_entry_indptr[i + 1]`` (resp. ``ub_entry_indptr``),
+    so both the per-item split and the whole-ensemble block matrix are
+    zero-copy views of the same arrays.
+    """
+
+    triplets: tuple[CollectiveLPTriplets, ...]
+    eq_rows: np.ndarray
+    eq_cols: np.ndarray
+    eq_vals: np.ndarray
+    eq_entry_indptr: np.ndarray
+    eq_row_offsets: np.ndarray
+    ub_rows: np.ndarray
+    ub_cols: np.ndarray
+    ub_vals: np.ndarray
+    ub_entry_indptr: np.ndarray
+    ub_row_offsets: np.ndarray
+    col_offsets: np.ndarray
+
+    @property
+    def num_items(self) -> int:
+        """Number of stacked LPs."""
+        return len(self.triplets)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the concatenated COO buffers."""
+        return sum(
+            a.nbytes
+            for a in (
+                self.eq_rows,
+                self.eq_cols,
+                self.eq_vals,
+                self.eq_entry_indptr,
+                self.eq_row_offsets,
+                self.ub_rows,
+                self.ub_cols,
+                self.ub_vals,
+                self.ub_entry_indptr,
+                self.ub_row_offsets,
+                self.col_offsets,
+            )
+        )
+
+    def data_for(self, item: int) -> SteadyStateLPData:
+        """Solver-ready matrices of one item, split back from the buffers.
+
+        Identical (same sparsity, same entries, same bounds) to calling
+        :func:`~repro.lp.formulation.build_collective_lp` on the item alone.
+        """
+        return self.triplets[item].data()
+
+    def block_matrices(self) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        """``(A_eq, A_ub)`` of the whole ensemble as block-diagonal systems."""
+        num_cols = int(self.col_offsets[-1])
+        a_eq = sparse.coo_matrix(
+            (self.eq_vals, (self.eq_rows, self.eq_cols)),
+            shape=(int(self.eq_row_offsets[-1]), num_cols),
+        ).tocsr()
+        a_ub = sparse.coo_matrix(
+            (self.ub_vals, (self.ub_rows, self.ub_cols)),
+            shape=(int(self.ub_row_offsets[-1]), num_cols),
+        ).tocsr()
+        return a_eq, a_ub
+
+    def __repr__(self) -> str:
+        return (
+            f"LPBatch(items={self.num_items}, "
+            f"eq_entries={len(self.eq_vals)}, ub_entries={len(self.ub_vals)})"
+        )
+
+
+def batch_lp_assembly(
+    problems: Sequence[tuple[Platform, CollectiveSpec]],
+    size: float | None = None,
+) -> LPBatch:
+    """Assemble the steady-state LPs of every ``(platform, spec)`` pair.
+
+    One concatenated COO pass over the ensemble; raises
+    :class:`ValueError` on an empty ensemble and propagates the usual
+    :class:`~repro.exceptions.LPError` for malformed specs.
+    """
+    if not problems:
+        raise ValueError("batch_lp_assembly needs at least one (platform, spec) pair")
+    triplets = tuple(
+        collective_lp_triplets(platform, spec, size) for platform, spec in problems
+    )
+
+    eq_entries = np.asarray([len(t.eq_vals) for t in triplets], dtype=np.int64)
+    ub_entries = np.asarray([len(t.ub_vals) for t in triplets], dtype=np.int64)
+    eq_entry_indptr = np.zeros(len(triplets) + 1, dtype=np.int64)
+    np.cumsum(eq_entries, out=eq_entry_indptr[1:])
+    ub_entry_indptr = np.zeros(len(triplets) + 1, dtype=np.int64)
+    np.cumsum(ub_entries, out=ub_entry_indptr[1:])
+
+    def offsets(counts: list[int]) -> np.ndarray:
+        out = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(counts, dtype=np.int64), out=out[1:])
+        return out
+
+    eq_row_offsets = offsets([t.num_eq_rows for t in triplets])
+    ub_row_offsets = offsets([t.num_ub_rows for t in triplets])
+    col_offsets = offsets([t.index.num_variables for t in triplets])
+
+    eq_rows = np.concatenate(
+        [t.eq_rows + off for t, off in zip(triplets, eq_row_offsets[:-1].tolist())]
+    )
+    eq_cols = np.concatenate(
+        [t.eq_cols + off for t, off in zip(triplets, col_offsets[:-1].tolist())]
+    )
+    ub_rows = np.concatenate(
+        [t.ub_rows + off for t, off in zip(triplets, ub_row_offsets[:-1].tolist())]
+    )
+    ub_cols = np.concatenate(
+        [t.ub_cols + off for t, off in zip(triplets, col_offsets[:-1].tolist())]
+    )
+
+    return LPBatch(
+        triplets=triplets,
+        eq_rows=eq_rows,
+        eq_cols=eq_cols,
+        eq_vals=np.concatenate([t.eq_vals for t in triplets]),
+        eq_entry_indptr=eq_entry_indptr,
+        eq_row_offsets=eq_row_offsets,
+        ub_rows=ub_rows,
+        ub_cols=ub_cols,
+        ub_vals=np.concatenate([t.ub_vals for t in triplets]),
+        ub_entry_indptr=ub_entry_indptr,
+        ub_row_offsets=ub_row_offsets,
+        col_offsets=col_offsets,
+    )

@@ -123,6 +123,26 @@ class CompiledTree:
         """Number of nodes spanned by the tree."""
         return self.view.num_nodes
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the tree's own arrays (cache accounting).
+
+        Excludes :attr:`view` — the compiled platform is shared by every
+        tree compiled against it and accounted separately
+        (:attr:`CompiledPlatform.nbytes <repro.platform.compiled.CompiledPlatform.nbytes>`).
+        """
+        return sum(
+            a.nbytes
+            for a in (
+                self.parents,
+                self.bfs,
+                self.child_indptr,
+                self.child_nodes,
+                self.route_indptr,
+                self.route_edge_ids,
+            )
+        )
+
     def children_of(self, index: int) -> np.ndarray:
         """Child indices of node ``index`` (deterministic child order)."""
         return self.child_nodes[self.child_indptr[index] : self.child_indptr[index + 1]]

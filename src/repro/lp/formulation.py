@@ -77,6 +77,8 @@ from ..platform.graph import Platform
 __all__ = [
     "LPVariableIndex",
     "SteadyStateLPData",
+    "CollectiveLPTriplets",
+    "collective_lp_triplets",
     "build_collective_lp",
     "build_collective_lp_reference",
     "build_steady_state_lp",
@@ -219,6 +221,66 @@ def build_steady_state_lp_reference(
     return build_collective_lp_reference(platform, CollectiveSpec.broadcast(source), size)
 
 
+@dataclass(frozen=True)
+class CollectiveLPTriplets:
+    """The assembled sparse triplets of one collective LP, pre-matrix.
+
+    The COO-level product of the vectorized assembly, shared verbatim by
+    :func:`build_collective_lp` (which turns one bundle into a
+    :class:`SteadyStateLPData`) and
+    :func:`repro.kernels.batch_lp.batch_lp_assembly` (which concatenates
+    many bundles into one block-diagonal buffer) — a single assembly path,
+    so batched and per-item matrices are entry-identical by construction.
+    """
+
+    index: LPVariableIndex
+    source: NodeName
+    spec: CollectiveSpec
+    eq_rows: np.ndarray
+    eq_cols: np.ndarray
+    eq_vals: np.ndarray
+    num_eq_rows: int
+    ub_rows: np.ndarray
+    ub_cols: np.ndarray
+    ub_vals: np.ndarray
+    num_ub_rows: int
+    nesting_rows: int
+    zero_flow_cols: np.ndarray
+
+    def data(self) -> SteadyStateLPData:
+        """Materialise the triplets into solver-ready matrices."""
+        num_variables = self.index.num_variables
+        a_eq = sparse.coo_matrix(
+            (self.eq_vals, (self.eq_rows, self.eq_cols)),
+            shape=(self.num_eq_rows, num_variables),
+        ).tocsr()
+        a_ub = sparse.coo_matrix(
+            (self.ub_vals, (self.ub_rows, self.ub_cols)),
+            shape=(self.num_ub_rows, num_variables),
+        ).tocsr()
+        objective = np.zeros(num_variables)
+        objective[self.index.throughput] = -1.0  # linprog minimises; we maximise TP.
+        bounds: list[tuple[float, float | None]] = [(0.0, None)] * num_variables
+        for col in self.zero_flow_cols.tolist():
+            bounds[col] = (0.0, 0.0)
+        return SteadyStateLPData(
+            objective=objective,
+            a_eq=a_eq,
+            b_eq=np.zeros(self.num_eq_rows),
+            a_ub=a_ub,
+            b_ub=np.concatenate(
+                [
+                    np.zeros(self.nesting_rows),
+                    np.ones(self.num_ub_rows - self.nesting_rows),
+                ]
+            ),
+            bounds=bounds,
+            index=self.index,
+            source=self.source,
+            spec=self.spec,
+        )
+
+
 def build_collective_lp(
     platform: Platform,
     spec: CollectiveSpec,
@@ -227,15 +289,25 @@ def build_collective_lp(
     """Assemble the steady-state LP of ``spec`` on ``platform``.
 
     Triplets are built block-wise with numpy from the platform's compiled
-    arrays; the resulting matrices are identical (same row layout, same
-    entries) to :func:`build_collective_lp_reference`, and for a broadcast
-    spec identical to what :func:`build_steady_state_lp` always produced.
+    arrays (:func:`collective_lp_triplets`); the resulting matrices are
+    identical (same row layout, same entries) to
+    :func:`build_collective_lp_reference`, and for a broadcast spec
+    identical to what :func:`build_steady_state_lp` always produced.
 
     Raises :class:`~repro.exceptions.LPError` /
     :class:`~repro.exceptions.DisconnectedPlatformError` when the spec is
     malformed or some target is unreachable (the LP would be infeasible
     anyway, with a much less helpful error message).
     """
+    return collective_lp_triplets(platform, spec, size).data()
+
+
+def collective_lp_triplets(
+    platform: Platform,
+    spec: CollectiveSpec,
+    size: float | None = None,
+) -> CollectiveLPTriplets:
+    """Vectorized COO assembly of the collective LP (see :class:`CollectiveLPTriplets`)."""
     platform, spec = _normalize_collective(platform, spec)
     view = platform.compiled(size)
     src = view.index_of(spec.source)
@@ -319,11 +391,9 @@ def build_collective_lp(
         emit(num_eq_rows + edge_ids, msg_base + edge_ids, np.full(num_edges, -1.0))
         num_eq_rows += num_edges
 
-    a_eq = sparse.coo_matrix(
-        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
-        shape=(num_eq_rows, index.num_variables),
-    ).tocsr()
-    b_eq = np.zeros(num_eq_rows)
+    eq_rows = np.concatenate(rows)
+    eq_cols = np.concatenate(cols)
+    eq_vals = np.concatenate(vals)
 
     # ------------------------------------------------------------------ #
     # Inequality constraints (d), (e)+(h), (f)+(i), (g)+(j).
@@ -358,41 +428,31 @@ def build_collective_lp(
             )
             next_row += 1
 
-    a_ub = sparse.coo_matrix(
-        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
-        shape=(next_row, index.num_variables),
-    ).tocsr()
-    b_ub = np.concatenate(
-        [np.zeros(nesting_rows), np.ones(next_row - nesting_rows)]
-    )
-
-    # ------------------------------------------------------------------ #
-    # Objective and bounds.
-    # ------------------------------------------------------------------ #
-    objective = np.zeros(index.num_variables)
-    objective[tp_col] = -1.0  # linprog minimises; we maximise TP.
-
-    bounds: list[tuple[float, float | None]] = [(0.0, None)] * index.num_variables
     # Flows of commodity w leaving w, or entering the source, are useless and
-    # only blur the communication graph read by the LP heuristics: pin them
-    # to zero.
+    # only blur the communication graph read by the LP heuristics: their
+    # columns get pinned to zero in the bounds.
+    zero_cols: list[int] = []
     for k, d in enumerate(dest_nodes.tolist()):
         for e in view.out_edges_of(d).tolist():
-            bounds[e * num_dests + k] = (0.0, 0.0)
+            zero_cols.append(e * num_dests + k)
     for e in view.in_edges_of(src).tolist():
         for k in range(num_dests):
-            bounds[e * num_dests + k] = (0.0, 0.0)
+            zero_cols.append(e * num_dests + k)
 
-    return SteadyStateLPData(
-        objective=objective,
-        a_eq=a_eq,
-        b_eq=b_eq,
-        a_ub=a_ub,
-        b_ub=b_ub,
-        bounds=bounds,
+    return CollectiveLPTriplets(
         index=index,
         source=spec.source,
         spec=spec,
+        eq_rows=eq_rows,
+        eq_cols=eq_cols,
+        eq_vals=eq_vals,
+        num_eq_rows=num_eq_rows,
+        ub_rows=np.concatenate(rows),
+        ub_cols=np.concatenate(cols),
+        ub_vals=np.concatenate(vals),
+        num_ub_rows=next_row,
+        nesting_rows=nesting_rows,
+        zero_flow_cols=np.asarray(zero_cols, dtype=np.int64),
     )
 
 

@@ -153,6 +153,28 @@ class CompiledPlatform:
         """Number of directed links ``|E|``."""
         return len(self.edge_sources)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the snapshot's arrays (cache accounting).
+
+        Counts the ndarray payloads only; the name tuple and index map are
+        shared with the source platform and typically negligible.
+        """
+        return sum(
+            a.nbytes
+            for a in (
+                self.edge_sources,
+                self.edge_targets,
+                self.transfer_times,
+                self.send_overheads,
+                self.recv_overheads,
+                self.out_indptr,
+                self.out_edge_ids,
+                self.in_indptr,
+                self.in_edge_ids,
+            )
+        )
+
     def index_of(self, name: NodeName) -> int:
         """Index of node ``name``; raises :class:`PlatformError` if unknown."""
         try:

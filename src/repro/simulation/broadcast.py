@@ -44,7 +44,13 @@ from .engine import SimulationEngine
 from .resources import SequentialResource
 from .trace import SimulationTrace, TransferRecord
 
-__all__ = ["PipelinedBroadcastSimulator", "SimulationResult", "simulate_broadcast"]
+__all__ = [
+    "PipelinedBroadcastSimulator",
+    "SimulationResult",
+    "simulate_broadcast",
+    "inorder_result_from_run",
+    "measure_steady_rate",
+]
 
 NodeName = Any
 Edge = tuple[NodeName, NodeName]
@@ -326,35 +332,12 @@ class PipelinedBroadcastSimulator:
 
     def _run_fast(self) -> SimulationResult:
         """Evaluate the in-order schedule directly from the compiled arrays."""
-        from ..analysis.throughput import tree_throughput  # local import: avoid cycle
         from ..kernels.simulation import inorder_direct_run
 
         ctree = self.tree.compiled(self.size)
-        view = ctree.view
-        matrix, send_busy, recv_busy, link_busy = inorder_direct_run(
-            ctree, self.num_slices, self.model
-        )
-        # Only the covered nodes receive slices (a multicast tree is partial).
-        arrivals: dict[NodeName, list[float]] = {
-            name: matrix[view.index_of(name)].tolist() for name in self.tree.nodes
-        }
-        arrivals[self.tree.source] = [0.0] * self.num_slices
-        makespan = max(times[-1] for times in arrivals.values())
-        utilization = {}
-        for index, busy in send_busy.items():
-            utilization[f"send-port:{view.name_of(index)}"] = min(1.0, busy / makespan)
-        for index, busy in recv_busy.items():
-            utilization[f"recv-port:{view.name_of(index)}"] = min(1.0, busy / makespan)
-        for edge_id, busy in link_busy.items():
-            utilization[f"link:{view.edge_list[edge_id]}"] = min(1.0, busy / makespan)
-        return SimulationResult(
-            makespan=makespan,
-            num_slices=self.num_slices,
-            arrival_times=arrivals,
-            measured_throughput=self._measure_throughput(arrivals),
-            analytical_throughput=tree_throughput(self.tree, self.model, self.size).throughput,
-            trace=self.trace,
-            resource_utilization=utilization,
+        run = inorder_direct_run(ctree, self.num_slices, self.model)
+        return inorder_result_from_run(
+            self.tree, self.num_slices, self.model, self.size, run, trace=self.trace
         )
 
     # ------------------------------------------------------------------ #
@@ -413,17 +396,69 @@ class PipelinedBroadcastSimulator:
 
     def _measure_throughput(self, arrivals: Mapping[NodeName, list[float]]) -> float:
         """Steady-state rate: trailing half of the slices at the slowest node."""
-        if self.num_slices < 2:
-            return float("inf")
-        half = self.num_slices // 2
-        if half >= self.num_slices - 1:
-            half = self.num_slices - 2
-        completion_half = max(times[half] for times in arrivals.values())
-        completion_last = max(times[-1] for times in arrivals.values())
-        measured_slices = self.num_slices - 1 - half
-        if completion_last <= completion_half:
-            return float("inf")
-        return measured_slices / (completion_last - completion_half)
+        return measure_steady_rate(arrivals, self.num_slices)
+
+
+def measure_steady_rate(
+    arrivals: Mapping[NodeName, list[float]], num_slices: int
+) -> float:
+    """Steady-state rate over the trailing half of the slices (slowest node)."""
+    if num_slices < 2:
+        return float("inf")
+    half = num_slices // 2
+    if half >= num_slices - 1:
+        half = num_slices - 2
+    completion_half = max(times[half] for times in arrivals.values())
+    completion_last = max(times[-1] for times in arrivals.values())
+    measured_slices = num_slices - 1 - half
+    if completion_last <= completion_half:
+        return float("inf")
+    return measured_slices / (completion_last - completion_half)
+
+
+def inorder_result_from_run(
+    tree: BroadcastTree,
+    num_slices: int,
+    model: PortModel,
+    size: float | None,
+    run: "tuple",
+    trace: SimulationTrace | None = None,
+) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` from an event-free in-order run.
+
+    ``run`` is the ``(arrivals, send_busy, recv_busy, link_busy)`` tuple of
+    :func:`repro.kernels.simulation.inorder_direct_run` (or one item of
+    :func:`repro.kernels.batch.batch_inorder_simulation`, which is the same
+    tuple); this is the single assembly path shared by the per-item fast
+    path and the ensemble-batched :meth:`repro.api.Session.solve_many`, so
+    batched and sequential simulations are identical object for object.
+    """
+    from ..analysis.throughput import tree_throughput  # local import: avoid cycle
+
+    view = tree.compiled(size).view
+    matrix, send_busy, recv_busy, link_busy = run
+    # Only the covered nodes receive slices (a multicast tree is partial).
+    arrivals: dict[NodeName, list[float]] = {
+        name: matrix[view.index_of(name)].tolist() for name in tree.nodes
+    }
+    arrivals[tree.source] = [0.0] * num_slices
+    makespan = max(times[-1] for times in arrivals.values())
+    utilization = {}
+    for index, busy in send_busy.items():
+        utilization[f"send-port:{view.name_of(index)}"] = min(1.0, busy / makespan)
+    for index, busy in recv_busy.items():
+        utilization[f"recv-port:{view.name_of(index)}"] = min(1.0, busy / makespan)
+    for edge_id, busy in link_busy.items():
+        utilization[f"link:{view.edge_list[edge_id]}"] = min(1.0, busy / makespan)
+    return SimulationResult(
+        makespan=makespan,
+        num_slices=num_slices,
+        arrival_times=arrivals,
+        measured_throughput=measure_steady_rate(arrivals, num_slices),
+        analytical_throughput=tree_throughput(tree, model, size).throughput,
+        trace=trace if trace is not None else SimulationTrace(),
+        resource_utilization=utilization,
+    )
 
 
 def simulate_broadcast(

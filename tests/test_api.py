@@ -228,6 +228,78 @@ class TestSession:
         c = session.solve(Job.broadcast(inline))
         assert c.platform is inline
 
+    def test_solve_many_returns_results_in_input_job_order(self):
+        """Fan-out order survives dedupe, platform grouping and batching.
+
+        The batch mixes platforms, models, duplicates and simulate flags in
+        a deliberately shuffled order; ``results[i]`` must still answer
+        ``jobs[i]`` exactly, and each must match its own sequential solve.
+        """
+        other = PlatformRecipe.of("random", num_nodes=8, density=0.4, seed=11)
+        jobs = [
+            Job.broadcast(other, heuristic="binomial"),
+            Job.broadcast(RECIPE, heuristic="grow-tree", simulate=True, num_slices=20),
+            Job.broadcast(RECIPE, heuristic="multiport-grow-tree", model="multi-port"),
+            Job.broadcast(other, heuristic="grow-tree", simulate=True, num_slices=20),
+            Job.broadcast(RECIPE, heuristic="grow-tree", simulate=True, num_slices=20),
+            Job.broadcast(RECIPE, heuristic="prune-degree"),
+            Job.broadcast(other, heuristic="binomial"),
+        ]
+        results = Session().solve_many(jobs)
+        assert len(results) == len(jobs)
+        assert [r.job for r in results] == jobs
+        sequential = [Session().solve(job).materialize() for job in jobs]
+        assert [r.deterministic_metrics() for r in results] == [
+            r.deterministic_metrics() for r in sequential
+        ]
+
+    def test_solve_many_ensemble_batches_match_sequential(self):
+        """Jobs batched into one ensemble sweep == fresh per-job sessions."""
+        recipes = [
+            PlatformRecipe.of("random", num_nodes=n, density=0.4, seed=seed)
+            for n, seed in ((8, 21), (12, 22), (10, 23))
+        ]
+        jobs = [
+            Job.broadcast(recipe, heuristic=heuristic, model=model, simulate=True,
+                          num_slices=25)
+            for recipe in recipes
+            for heuristic, model in (
+                ("grow-tree", "one-port"),
+                ("binomial", "one-port"),
+                ("multiport-grow-tree", "multi-port"),
+            )
+        ]
+        batched = Session().solve_many(jobs)
+        sequential = [Session().solve(job).materialize() for job in jobs]
+        assert [r.deterministic_metrics() for r in batched] == [
+            r.deterministic_metrics() for r in sequential
+        ]
+
+    def test_cache_stats_accounts_entries_and_bytes(self):
+        session = Session()
+        empty = session.cache_stats()
+        assert empty["platforms"]["entries"] == 0
+        assert empty["results"]["entries"] == 0
+        jobs = [
+            Job.broadcast(RECIPE, heuristic=name, simulate=True, num_slices=15)
+            for name in ("grow-tree", "binomial")
+        ]
+        session.solve_many(jobs)
+        stats = session.cache_stats()
+        assert stats["platforms"]["entries"] == 1
+        assert stats["platforms"]["compiled_bytes"] > 0
+        assert stats["trees"]["entries"] == 2
+        assert stats["trees"]["compiled_bytes"] > 0
+        assert stats["lp_solutions"]["entries"] >= 1
+        assert stats["results"]["entries"] == 2
+        assert stats["results"]["approx_bytes"] > 0
+        assert stats["makespans"]["entries"] == 2
+        assert stats["simulations"]["entries"] == 2
+        session.clear()
+        cleared = session.cache_stats()
+        assert cleared["platforms"]["entries"] == 0
+        assert cleared["results"]["entries"] == 0
+
     def test_disk_cache_replays_without_computing(self, tmp_path, count_lp_solves):
         job = Job.broadcast(RECIPE, simulate=True, num_slices=15)
         warm = Session(cache_dir=tmp_path).solve_many([job])[0]

@@ -1,0 +1,245 @@
+"""Ensemble-batched kernels vs their per-item reference twins.
+
+Adversarial batch *shapes* are the point here (``test_kernels.py`` covers
+the per-item kernels themselves): singleton batches, batches of identical
+platforms, maximally ragged batches (an ``n = 2`` line item next to an
+``n = 200`` star), minimal-coverage multicast trees, routed fallback items
+mixed with vector items, and both port models.  Every comparison against
+the per-item kernels is **bit-identical** (``np.array_equal``, no
+tolerance): the batched sweep pads with ``busy = 0.0`` / ``ready = -inf``,
+which leaves IEEE prefix sums and running maxima untouched.
+
+"Empty-target" multicast items cannot reach :class:`EnsembleBatch` at all:
+a multicast spec with no target besides the source is rejected when the
+tree is built (asserted below), so the smallest collective item a batch can
+hold is a single-target multicast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MultiPortModel,
+    OnePortModel,
+    build_broadcast_tree,
+    build_collective_tree,
+    generate_star_platform,
+    pipelined_makespan,
+)
+from repro.collectives import CollectiveSpec
+from repro.exceptions import PlatformError
+from repro.kernels import (
+    EnsembleBatch,
+    arrival_matrix,
+    batch_arrival_matrices,
+    batch_inorder_simulation,
+    batch_lp_assembly,
+    batch_pipelined_makespan,
+    inorder_direct_run,
+)
+from repro.lp.formulation import build_collective_lp, build_collective_lp_reference
+from test_kernels import integer_platform
+
+BOTH_MODELS = (OnePortModel(), MultiPortModel())
+
+
+def compiled_trees(platforms, *, heuristic="grow-tree"):
+    """Grow a broadcast tree from node 0 on every platform and compile it."""
+    trees = [build_broadcast_tree(p, 0, heuristic=heuristic) for p in platforms]
+    return trees, [tree.compiled() for tree in trees]
+
+
+def assert_batch_matches_per_item(trees, ctrees, model, num_slices=23):
+    """Batched sweep == per-item kernels, bit for bit, item by item."""
+    batch = EnsembleBatch.from_trees(ctrees, model)
+    arrivals, _ = batch_arrival_matrices(batch, num_slices)
+    makespans, fills = batch_pipelined_makespan(batch, num_slices)
+    assert arrivals.shape == (batch.total_nodes, num_slices)
+    for item, (tree, ctree) in enumerate(zip(trees, ctrees)):
+        expected = arrival_matrix(ctree, num_slices, model)
+        assert np.array_equal(arrivals[batch.item_rows(item)], expected)
+        report = pipelined_makespan(tree, num_slices, model)
+        assert makespans[item] == report.makespan
+        assert fills[item] == report.fill_time
+    return batch
+
+
+# --------------------------------------------------------------------------- #
+# Adversarial batch shapes
+# --------------------------------------------------------------------------- #
+class TestEnsembleBatchShapes:
+    def test_empty_batch_rejected(self):
+        for model in BOTH_MODELS:
+            with pytest.raises(ValueError):
+                EnsembleBatch.from_trees([], model)
+
+    @pytest.mark.parametrize("model", BOTH_MODELS, ids=["one-port", "multi-port"])
+    def test_singleton_batch(self, model):
+        trees, ctrees = compiled_trees([integer_platform(9, 12, seed=3)])
+        batch = assert_batch_matches_per_item(trees, ctrees, model)
+        assert batch.num_items == 1
+        assert batch.vector_items == (0,)
+
+    @pytest.mark.parametrize("model", BOTH_MODELS, ids=["one-port", "multi-port"])
+    def test_all_identical_platforms(self, model):
+        platform = integer_platform(11, 20, seed=7)
+        trees, ctrees = compiled_trees([platform] * 6)
+        assert_batch_matches_per_item(trees, ctrees, model)
+
+    @pytest.mark.parametrize("model", BOTH_MODELS, ids=["one-port", "multi-port"])
+    def test_maximally_ragged_sizes(self, model):
+        """An n=2 item and an n=200 star in the same batch, plus mid sizes."""
+        platforms = [
+            integer_platform(2, 0, seed=1),
+            generate_star_platform(200, uniform_time=2.0),
+            integer_platform(50, 120, seed=5),
+            integer_platform(2, 0, seed=9),
+        ]
+        trees, ctrees = compiled_trees(platforms)
+        batch = assert_batch_matches_per_item(trees, ctrees, model)
+        assert batch.total_nodes == 2 + 200 + 50 + 2
+
+    def test_minimal_multicast_items(self):
+        """Single-target multicast trees batch next to full broadcasts."""
+        platform = integer_platform(10, 15, seed=11)
+        broadcast_tree = build_broadcast_tree(platform, 0, heuristic="grow-tree")
+        nodes = sorted(n for n in platform.nodes if n != 0)
+        multicast_trees = [
+            build_collective_tree(platform, CollectiveSpec.multicast(0, [target]))
+            for target in nodes[:2]
+        ]
+        trees = [broadcast_tree, *multicast_trees]
+        ctrees = [tree.compiled() for tree in trees]
+        assert_batch_matches_per_item(trees, ctrees, OnePortModel())
+
+    def test_empty_target_multicast_rejected_upstream(self):
+        """No-target multicast never produces a tree to batch."""
+        platform = integer_platform(6, 4, seed=2)
+        with pytest.raises(PlatformError):
+            build_collective_tree(platform, CollectiveSpec.multicast(0, []))
+
+    def test_routed_items_fall_back_inside_the_batch(self):
+        """Binomial (routed) items fall back per item; the rest stay vector."""
+        model = OnePortModel()
+        platforms = [
+            integer_platform(12, 18, seed=21),
+            integer_platform(12, 18, seed=22),
+            integer_platform(12, 18, seed=23),
+        ]
+        trees = [
+            build_broadcast_tree(platforms[0], 0, heuristic="grow-tree"),
+            build_broadcast_tree(platforms[1], 0, heuristic="binomial"),
+            build_broadcast_tree(platforms[2], 0, heuristic="grow-tree"),
+        ]
+        ctrees = [tree.compiled() for tree in trees]
+        batch = assert_batch_matches_per_item(trees, ctrees, model)
+        assert 1 in batch.fallback_items
+        assert set(batch.vector_items) | set(batch.fallback_items) == {0, 1, 2}
+
+    @pytest.mark.parametrize("model", BOTH_MODELS, ids=["one-port", "multi-port"])
+    def test_simulation_runs_match_per_item(self, model):
+        """Batched in-order runs == per-item runs, dict key order included."""
+        platforms = [
+            integer_platform(2, 0, seed=31),
+            integer_platform(20, 40, seed=32, recv_overheads=True),
+            integer_platform(9, 10, seed=33),
+        ]
+        trees, ctrees = compiled_trees(platforms)
+        batch = EnsembleBatch.from_trees(ctrees, model)
+        runs = batch_inorder_simulation(batch, 17)
+        for ctree, run in zip(ctrees, runs):
+            arrivals, send_busy, recv_busy, link_busy = inorder_direct_run(
+                ctree, 17, model
+            )
+            assert np.array_equal(run[0], arrivals)
+            for got, expected in zip(run[1:], (send_busy, recv_busy, link_busy)):
+                assert list(got) == list(expected)  # same keys, same order
+                assert got == expected
+
+    def test_simulation_rejects_routed_items(self):
+        platform = integer_platform(8, 8, seed=41)
+        tree = build_broadcast_tree(platform, 0, heuristic="binomial")
+        batch = EnsembleBatch.from_trees([tree.compiled()], OnePortModel())
+        if batch.fallback_items:
+            with pytest.raises(ValueError):
+                batch_inorder_simulation(batch, 9)
+
+    def test_nbytes_accounting(self):
+        trees, ctrees = compiled_trees([integer_platform(10, 12, seed=51)])
+        ctree = ctrees[0]
+        assert ctree.nbytes == sum(
+            a.nbytes
+            for a in (
+                ctree.parents,
+                ctree.bfs,
+                ctree.child_indptr,
+                ctree.child_nodes,
+                ctree.route_indptr,
+                ctree.route_edge_ids,
+            )
+        )
+        view = ctree.view
+        assert view.nbytes > 0
+        batch = EnsembleBatch.from_trees(ctrees, OnePortModel())
+        assert batch.nbytes > 0
+
+
+# --------------------------------------------------------------------------- #
+# Batched LP assembly
+# --------------------------------------------------------------------------- #
+class TestBatchLPAssembly:
+    @staticmethod
+    def _problems():
+        problems = []
+        for seed in (61, 62):
+            platform = integer_platform(9, 14, seed=seed)
+            nodes = sorted(n for n in platform.nodes if n != 0)
+            problems.append((platform, CollectiveSpec.broadcast(0)))
+            problems.append((platform, CollectiveSpec.multicast(0, nodes[:3])))
+            problems.append((platform, CollectiveSpec.scatter(0, nodes[:4])))
+        return problems
+
+    def test_entries_identical_to_per_item_builders(self):
+        problems = self._problems()
+        batch = batch_lp_assembly(problems)
+        assert batch.num_items == len(problems)
+        for item, (platform, spec) in enumerate(problems):
+            split = batch.data_for(item)
+            for reference in (
+                build_collective_lp(platform, spec),
+                build_collective_lp_reference(platform, spec),
+            ):
+                assert split.a_eq.shape == reference.a_eq.shape
+                assert (split.a_eq != reference.a_eq).nnz == 0
+                assert (split.a_ub != reference.a_ub).nnz == 0
+                assert np.array_equal(split.b_eq, reference.b_eq)
+                assert np.array_equal(split.b_ub, reference.b_ub)
+                assert np.array_equal(split.objective, reference.objective)
+                assert split.bounds == reference.bounds
+
+    def test_block_matrices_are_block_diagonal(self):
+        problems = self._problems()[:3]
+        batch = batch_lp_assembly(problems)
+        a_eq, a_ub = batch.block_matrices()
+        splits = [batch.data_for(i) for i in range(batch.num_items)]
+        assert a_eq.shape == (
+            sum(s.a_eq.shape[0] for s in splits),
+            sum(s.a_eq.shape[1] for s in splits),
+        )
+        assert a_ub.shape[0] == sum(s.a_ub.shape[0] for s in splits)
+        # Off-diagonal blocks are empty: every entry lands in its item's box.
+        row = 0
+        col = 0
+        for split in splits:
+            rows, cols = split.a_eq.shape
+            block = a_eq[row : row + rows, col : col + cols]
+            assert (block != split.a_eq).nnz == 0
+            row += rows
+            col += cols
+        assert a_eq.nnz == sum(s.a_eq.nnz for s in splits)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            batch_lp_assembly([])

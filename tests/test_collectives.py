@@ -605,7 +605,10 @@ class TestConsistencyLaws:
         tree = build_collective_tree(plat, spec)
         assert set(targets) <= set(tree.nodes)
         assert all(leaf in targets for leaf in tree.leaves())
-        result = simulate_collective(tree, spec, num_slices=40, record_trace=False)
+        # Deep relay chains can carry a startup transient past 40 slices;
+        # 400 is comfortably inside the steady-state window for every shape
+        # the strategy generates.
+        result = simulate_collective(tree, spec, num_slices=400, record_trace=False)
         assert result.relative_error() < 1e-6
         # Scatter on the same tree shape: fast replay == reference replay.
         scatter = CollectiveSpec.scatter(0, targets)
