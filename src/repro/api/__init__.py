@@ -34,8 +34,9 @@ True
 True
 """
 
+from ..runtime import RetryPolicy, TaskFailure
 from .job import JOB_FORMAT_VERSION, PLATFORM_GENERATORS, Job, PlatformRecipe
-from .result import RESULT_FORMAT_VERSION, Result
+from .result import RESULT_FORMAT_VERSION, FailedResult, Result
 from .session import Session, default_session
 
 __all__ = [
@@ -45,6 +46,9 @@ __all__ = [
     "Job",
     "PlatformRecipe",
     "Result",
+    "FailedResult",
+    "RetryPolicy",
+    "TaskFailure",
     "Session",
     "default_session",
 ]

@@ -19,7 +19,8 @@ import json
 from typing import TYPE_CHECKING, Any, Mapping
 
 from .._version import __version__
-from ..exceptions import ConfigError
+from ..exceptions import ConfigError, JobFailedError
+from ..runtime import TaskFailure
 from .job import Job
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,6 +38,7 @@ __all__ = [
     "SIMULATION_METRICS",
     "TIMING_METRICS",
     "Result",
+    "FailedResult",
 ]
 
 #: Version stamp embedded in every serialized result.
@@ -76,6 +78,19 @@ class Result:
     def __init__(self, job: Job, session: "Session") -> None:
         self.job = job
         self._session = session
+
+    # ------------------------------------------------------------------ #
+    # Failure-as-data surface
+    # ------------------------------------------------------------------ #
+    @property
+    def ok(self) -> bool:
+        """Whether this result carries metrics (``False`` on :class:`FailedResult`)."""
+        return True
+
+    @property
+    def error(self) -> "TaskFailure | None":
+        """The structured failure record, or ``None`` for a successful result."""
+        return None
 
     # ------------------------------------------------------------------ #
     # Payload plumbing
@@ -267,6 +282,8 @@ class Result:
 
             session = default_session()
         job = Job.from_dict(data["job"])
+        if "error" in data:
+            return FailedResult(job, session, TaskFailure.from_dict(data["error"]))
         payload = session._payload(job)
         for name, value in data.get("metrics", {}).items():
             payload.setdefault(name, value)
@@ -280,3 +297,93 @@ class Result:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         computed = sorted(self._payload)
         return f"Result({self.job.describe()}, computed={computed})"
+
+
+class FailedResult(Result):
+    """The failure variant of :class:`Result`: a job whose solve failed.
+
+    Produced by ``Session.solve_many(..., on_error="collect")`` when a job
+    exhausts its :class:`~repro.runtime.RetryPolicy`.  Carries the
+    structured :class:`~repro.runtime.TaskFailure` instead of metrics:
+    :attr:`ok` is ``False``, :attr:`error` holds the record, and touching
+    any metric raises :class:`~repro.exceptions.JobFailedError` (a
+    :class:`~repro.exceptions.ReproError`) naming the failure — failure is
+    data until the caller actually needs the missing number.
+
+    Serializes/restores through the same versioned envelope as
+    :class:`Result` (an ``"error"`` entry in place of ``"metrics"``), so
+    failed records survive JSON round-trips alongside successful ones.
+    """
+
+    __slots__ = ("failure",)
+
+    def __init__(self, job: Job, session: "Session", failure: TaskFailure) -> None:
+        super().__init__(job, session)
+        self.failure = failure
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    @property
+    def error(self) -> TaskFailure:
+        return self.failure
+
+    def _unavailable(self, what: str) -> JobFailedError:
+        return JobFailedError(
+            f"{what} is unavailable: job {self.job.describe()} failed "
+            f"({self.failure.summary()})",
+            self.failure,
+        )
+
+    def metrics(self) -> dict[str, Any]:
+        return {}
+
+    def deterministic_metrics(self) -> dict[str, Any]:
+        return {}
+
+    def is_materialized(self) -> bool:
+        return False
+
+    def materialize(self) -> "Result":
+        raise self._unavailable("materialize()")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format_version": RESULT_FORMAT_VERSION,
+            "version": __version__,
+            "job": self.job.canonical_payload(),
+            "error": self.failure.to_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FailedResult({self.job.describe()}, {self.failure.summary()!r})"
+
+
+def _failed_metric(name: str) -> property:
+    def getter(self: FailedResult) -> Any:
+        raise self._unavailable(f"metric {name!r}")
+
+    getter.__name__ = name
+    getter.__doc__ = f"Raises :class:`JobFailedError`; the job failed."
+    return property(getter)
+
+
+for _name in (
+    "platform",
+    "lp_solution",
+    "lp_bound",
+    "tree",
+    "report",
+    "throughput",
+    "relative_performance",
+    "makespan",
+    "makespan_report",
+    "simulation",
+    "simulated_throughput",
+    "simulation_error",
+    "lp_seconds",
+    "build_seconds",
+):
+    setattr(FailedResult, _name, _failed_metric(_name))
+del _name

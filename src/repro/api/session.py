@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import replace
 from typing import Any, Iterable
 
 from .._version import __version__
@@ -38,21 +39,24 @@ from ..analysis.makespan import MakespanReport, pipelined_makespan
 from ..analysis.throughput import ThroughputReport, collective_throughput
 from ..core.registry import build_collective_tree, get_heuristic
 from ..core.tree import BroadcastTree
-from ..exceptions import ConfigError
+from ..exceptions import ConfigError, ReproError
 from ..lp.solution import SteadyStateSolution
 from ..lp.solver import LPSolutionCache
 from ..platform.graph import Platform
 from ..runtime import (
     ProcessExecutor,
     ResultCache,
+    RetryPolicy,
     SerialExecutor,
+    SupervisedExecutor,
     TaskExecutor,
+    TaskFailure,
     stable_key,
 )
 from ..simulation.broadcast import SimulationResult
 from ..simulation.collective import simulate_collective
 from .job import Job, PlatformRecipe, platform_payload
-from .result import Result
+from .result import FailedResult, Result
 
 __all__ = ["Session", "default_session"]
 
@@ -70,8 +74,22 @@ class Session:
         by job payload and library version.
     executor:
         Explicit executor instance (overrides ``jobs``).
+    retry_policy:
+        How :meth:`solve_many` supervises its tasks — per-attempt timeout,
+        retry budget, backoff (see :class:`~repro.runtime.RetryPolicy`).
+        Defaults to ``RetryPolicy()`` (two retries, no timeout).
     lp_cache / result_cache:
         Pre-built caches (advanced; lets several sessions share state).
+
+    Error handling
+    --------------
+    Every failure the facade raises derives from
+    :class:`~repro.exceptions.ReproError`, so ``except ReproError`` around a
+    solve catches everything the library can throw — invalid jobs, LP
+    failures, heuristic errors, timeouts, crashed workers and injected
+    faults alike.  With ``solve_many(..., on_error="collect")`` failures do
+    not raise at all: they come back as
+    :class:`~repro.api.result.FailedResult` records.
     """
 
     def __init__(
@@ -80,6 +98,7 @@ class Session:
         jobs: int = 1,
         cache_dir: str | os.PathLike[str] | None = None,
         executor: TaskExecutor | None = None,
+        retry_policy: RetryPolicy | None = None,
         lp_cache: LPSolutionCache | None = None,
         result_cache: ResultCache | None = None,
     ) -> None:
@@ -88,6 +107,7 @@ class Session:
         if executor is None:
             executor = SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
         self.executor = executor
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.lp_cache = lp_cache if lp_cache is not None else LPSolutionCache()
         self.results = (
             result_cache
@@ -125,7 +145,11 @@ class Session:
         return Result(job, self)
 
     def solve_many(
-        self, jobs: Iterable[Job], *, materialize: bool = True
+        self,
+        jobs: Iterable[Job],
+        *,
+        materialize: bool = True,
+        on_error: str = "raise",
     ) -> list[Result]:
         """Solve a batch of jobs, fanning out through the session executor.
 
@@ -134,7 +158,27 @@ class Session:
         to a :class:`~repro.runtime.ProcessExecutor` pool.  Either way the
         metric payloads are bit-identical to sequential :meth:`solve` calls
         (timing fields excepted) and end up in the session's result cache.
+
+        Tasks are supervised under the session's
+        :class:`~repro.runtime.RetryPolicy`: transient failures (injected or
+        organic) are retried with backoff, hung tasks are timed out, and a
+        crashed worker process is respawned once before the surviving items
+        fall back to in-process execution.
+
+        ``on_error`` selects what a *permanent* failure does:
+
+        * ``"raise"`` (default): re-raise the job's original exception —
+          always a :class:`~repro.exceptions.ReproError` for library
+          failures.
+        * ``"collect"``: every failed job becomes a
+          :class:`~repro.api.result.FailedResult` in the returned list
+          (successful batch-mates are unaffected), letting campaigns keep
+          going and account for failures afterwards.
         """
+        if on_error not in ("raise", "collect"):
+            raise ConfigError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}"
+            )
         batch = list(jobs)
         results = [self.solve(job) for job in batch]
         if not materialize:
@@ -152,39 +196,117 @@ class Session:
                 continue
             dispatched.add(key)
             pending.append(i)
+        failures: dict[str, TaskFailure] = {}
         if pending:
             if isinstance(self.executor, ProcessExecutor):
-                # Worker processes cannot pickle closures over this session:
-                # ship the jobs as JSON and merge the metric payloads back.
-                # Jobs are grouped by platform so the whole group lands in
-                # one worker and its shared LP is solved exactly once —
-                # scattering them would re-solve it once per worker.
-                groups: dict[str, list[int]] = {}
-                for i in pending:
-                    groups.setdefault(batch[i].platform_key(), []).append(i)
-                ordered = list(groups.values())
-                tasks = [[batch[i].to_json() for i in group] for group in ordered]
-                for group, metric_list in zip(
-                    ordered, self.executor.map(_solve_job_group_json, tasks)
-                ):
-                    for i, metrics in zip(group, metric_list):
-                        payload = self._payload(batch[i])
-                        for name, value in metrics.items():
-                            payload.setdefault(name, value)
+                self._solve_pending_process(batch, pending, on_error, failures)
             else:
-                # Any in-process executor (serial, threads, custom test
-                # doubles) works on this session's own caches directly.
-                # Compatible jobs (same port model / slice count, direct
-                # trees) first go through one ensemble-batched kernel sweep
-                # priming the makespan/simulation caches, then
-                # materialize() fills the shared payloads in place (and
-                # computes whatever the batch did not cover).
-                self._materialize_batched(batch, pending)
-                for _ in self.executor.map(lambda i: results[i].materialize(), pending):
-                    pass
-        for job in batch:
-            self._persist(job)
+                self._solve_pending_inprocess(
+                    batch, results, pending, on_error, failures
+                )
+        if failures:
+            # Twins deduplicated away share their representative's fate.
+            for i, job in enumerate(batch):
+                failure = failures.get(job.cache_key())
+                if failure is not None:
+                    results[i] = FailedResult(job, self, failure)
+        for i, job in enumerate(batch):
+            if results[i].ok:
+                self._persist(job)
         return results
+
+    def _solve_pending_inprocess(
+        self,
+        batch: "list[Job]",
+        results: "list[Result]",
+        pending: "list[int]",
+        on_error: str,
+        failures: "dict[str, TaskFailure]",
+    ) -> None:
+        """Materialize pending jobs on this session's own caches.
+
+        Any in-process executor (serial, threads, custom test doubles)
+        works directly.  Compatible jobs (same port model / slice count,
+        direct trees) first go through one ensemble-batched kernel sweep
+        priming the makespan/simulation caches, then ``materialize()``
+        fills the shared payloads in place (and computes whatever the
+        batch did not cover).  Supervision labels are the job cache keys,
+        so retries and injected faults are deterministic across runs and
+        process layouts.
+        """
+        self._materialize_batched(batch, pending)
+        labels = [batch[i].cache_key() for i in pending]
+        supervisor = SupervisedExecutor(self.executor, self.retry_policy)
+        outcomes = supervisor.map_outcomes(
+            lambda i: results[i].materialize() and None, pending, labels=labels
+        )
+        for outcome in outcomes:
+            if outcome.ok:
+                continue
+            if on_error == "raise":
+                outcome.raise_if_failed()
+            failures[labels[outcome.index]] = outcome.failure
+
+    def _solve_pending_process(
+        self,
+        batch: "list[Job]",
+        pending: "list[int]",
+        on_error: str,
+        failures: "dict[str, TaskFailure]",
+    ) -> None:
+        """Materialize pending jobs through the process pool.
+
+        Worker processes cannot pickle closures over this session: the
+        jobs ship as JSON and the metric payloads merge back.  Jobs are
+        grouped by platform so the whole group lands in one worker and its
+        shared LP is solved exactly once — scattering them would re-solve
+        it once per worker.  Per-job supervision (retries, timeouts,
+        fault hooks) happens *inside* the worker's own session; the
+        group-level supervision here only has to absorb whole-group
+        hazards — a worker crash breaking the pool — so it runs without a
+        task timeout (a group is many tasks long) and without the per-task
+        fault hook.
+        """
+        groups: dict[str, list[int]] = {}
+        for i in pending:
+            groups.setdefault(batch[i].platform_key(), []).append(i)
+        ordered = list(groups.values())
+        tasks = [
+            {
+                "jobs": [batch[i].to_json() for i in group],
+                "policy": self.retry_policy.to_dict(),
+                "on_error": on_error,
+            }
+            for group in ordered
+        ]
+        labels = [f"group:{batch[group[0]].platform_key()}" for group in ordered]
+        supervisor = SupervisedExecutor(
+            self.executor,
+            replace(self.retry_policy, task_timeout=None),
+            fault_hook=False,
+        )
+        outcomes = supervisor.map_outcomes(
+            _solve_job_group_json, tasks, labels=labels
+        )
+        for outcome in outcomes:
+            group = ordered[outcome.index]
+            if not outcome.ok:
+                if on_error == "raise":
+                    outcome.raise_if_failed()
+                # The whole group is lost (e.g. the pool broke repeatedly):
+                # charge the group failure to each of its jobs.
+                for i in group:
+                    failures[batch[i].cache_key()] = outcome.failure
+                continue
+            for i, entry in zip(group, outcome.value):
+                if "error" in entry:
+                    failures[batch[i].cache_key()] = TaskFailure.from_dict(
+                        entry["error"]
+                    )
+                    continue
+                payload = self._payload(batch[i])
+                for name, value in entry["metrics"].items():
+                    payload.setdefault(name, value)
 
     def platform(self, platform: "Platform | PlatformRecipe") -> Platform:
         """The session-shared instance of ``platform`` (building recipes once).
@@ -236,7 +358,7 @@ class Session:
         """
         key = job.cache_key()
         payload = self._payload(job)
-        if self._persisted.get(key) == len(payload):
+        if not payload or self._persisted.get(key) == len(payload):
             return
         self.results.put(key, [dict(payload)])
         self._persisted[key] = len(payload)
@@ -370,21 +492,31 @@ class Session:
                 if metric_key in seen:
                     continue
                 seen.add(metric_key)
-                tree = self.tree_for(job)
-                ctree = tree.compiled(job.size)
+                try:
+                    tree = self.tree_for(job)
+                    ctree = tree.compiled(job.size)
+                except ReproError:
+                    # A poisoned job must not sink its batch-mates: leave
+                    # it to materialize(), where supervision handles it.
+                    continue
                 if ctree.is_direct:
                     items.append((job, tree, ctree))
             if len(items) < 2:
                 continue  # nothing to amortize; the lazy path is just as fast
             model = items[0][0].port_model()
-            ensemble = EnsembleBatch.from_trees([c for _, _, c in items], model)
-            runs = batch_inorder_simulation(ensemble, num_slices)
-            one_port = type(model) is OnePortModel
-            if not one_port:
-                # Multi-port simulation arrivals include receive-port
-                # constraints the canonical makespan recurrence does not:
-                # the makespans need their own sweep.
-                makespans, fills = batch_pipelined_makespan(ensemble, num_slices)
+            try:
+                ensemble = EnsembleBatch.from_trees([c for _, _, c in items], model)
+                runs = batch_inorder_simulation(ensemble, num_slices)
+                one_port = type(model) is OnePortModel
+                if not one_port:
+                    # Multi-port simulation arrivals include receive-port
+                    # constraints the canonical makespan recurrence does not:
+                    # the makespans need their own sweep.
+                    makespans, fills = batch_pipelined_makespan(ensemble, num_slices)
+            except ReproError:
+                # Graceful degradation: skip the batched sweep for this
+                # group and let every member compute per-item instead.
+                continue
             for position, ((job, tree, _), run) in enumerate(zip(items, runs)):
                 metric_key = (job.tree_key(), num_slices)
                 if metric_key not in self._makespans:
@@ -525,8 +657,16 @@ _WORKER_PLATFORM_LIMIT = 64
 _WORKER_JOB_LIMIT = 4096
 
 
-def _solve_job_group_json(texts: list[str]) -> list[dict[str, Any]]:
+def _solve_job_group_json(task: dict[str, Any]) -> list[dict[str, Any]]:
     """Materialize one platform's JSON-shipped jobs; picklable for pools.
+
+    ``task`` carries the job JSON texts plus the parent session's retry
+    policy and ``on_error`` mode, so per-job supervision (retries,
+    timeouts, deterministic fault hooks keyed on the job cache keys) runs
+    *inside* the worker exactly as it would in-process.  Returns one entry
+    per job: ``{"metrics": ...}`` on success, ``{"error": ...}`` (a
+    serialized :class:`~repro.runtime.TaskFailure`) when the job failed
+    under ``on_error="collect"``.
 
     Runs in the worker's process-wide default session, shared across group
     tasks (and with anything else that process solves).
@@ -537,10 +677,23 @@ def _solve_job_group_json(texts: list[str]) -> list[dict[str, Any]]:
         or len(session._payloads) >= _WORKER_JOB_LIMIT
     ):
         session.clear()
-    # solve_many (not a solve() loop) so the worker's group also flows
-    # through the ensemble-batched kernel sweep.
-    results = session.solve_many([Job.from_json(text) for text in texts])
-    return [result.metrics() for result in results]
+    previous_policy = session.retry_policy
+    session.retry_policy = RetryPolicy.from_dict(task.get("policy", {}))
+    try:
+        # solve_many (not a solve() loop) so the worker's group also flows
+        # through the ensemble-batched kernel sweep.
+        results = session.solve_many(
+            [Job.from_json(text) for text in task["jobs"]],
+            on_error=task.get("on_error", "raise"),
+        )
+    finally:
+        session.retry_policy = previous_policy
+    return [
+        {"metrics": result.metrics()}
+        if result.ok
+        else {"error": result.error.to_dict()}
+        for result in results
+    ]
 
 
 _DEFAULT_SESSION: Session | None = None

@@ -39,7 +39,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .api import Job, PlatformRecipe, Session, default_session
+from .api import Job, PlatformRecipe, RetryPolicy, Session, default_session
 from .collectives import CollectiveSpec
 from .core.registry import available_heuristics
 from .experiments import (
@@ -216,12 +216,31 @@ _ARTEFACTS = {
 def _cmd_experiment(args: argparse.Namespace, session: Session) -> int:
     parameters = scaled_parameters(args.scale, seed=args.seed)
     build, check = _ARTEFACTS[args.artefact]
-    artefact = build(parameters, jobs=args.jobs, cache_dir=args.cache_dir)
+    retry_policy = None
+    if args.retries is not None or args.task_timeout is not None:
+        retry_policy = RetryPolicy(
+            retries=args.retries if args.retries is not None else 2,
+            task_timeout=args.task_timeout,
+        )
+    failures: list = []
+    artefact = build(
+        parameters,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        keep_going=args.keep_going,
+        retry_policy=retry_policy,
+        failures=failures,
+    )
     print(artefact.render())
     result = check(artefact)
     print()
     print(result.render())
-    return 0 if result.ok else 1
+    if failures:
+        print()
+        print(f"{len(failures)} task(s) failed permanently:")
+        for record in failures:
+            print(f"  {record.describe()}")
+    return 0 if result.ok and not failures else 1
 
 
 # --------------------------------------------------------------------------- #
@@ -296,6 +315,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="directory for the on-disk ensemble result cache",
+    )
+    experiment.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="extra attempts per task before its failure is permanent",
+    )
+    experiment.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-attempt wall-clock budget per task, in seconds",
+    )
+    experiment.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "complete the campaign on permanent task failures and report "
+            "them as structured error records (exit code 1); successful "
+            "tasks are written through to --cache-dir, so re-running "
+            "resumes with only the failed tasks"
+        ),
     )
     experiment.set_defaults(handler=_cmd_experiment)
 

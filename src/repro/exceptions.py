@@ -21,6 +21,10 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "ConfigError",
+    "TaskTimeoutError",
+    "WorkerCrashError",
+    "JobFailedError",
+    "InjectedFault",
 ]
 
 
@@ -78,3 +82,33 @@ class ConfigError(ExperimentError):
     """Raised for invalid user-supplied configuration values: malformed
     :class:`~repro.api.Job` fields, out-of-range experiment parameters,
     unparsable environment overrides."""
+
+
+class TaskTimeoutError(ReproError):
+    """Raised when a supervised task exceeds its per-attempt timeout
+    (:attr:`~repro.runtime.RetryPolicy.task_timeout`)."""
+
+
+class WorkerCrashError(ReproError):
+    """Raised when a worker process died (broken pool) while running a
+    supervised task, exhausting the pool-respawn budget."""
+
+
+class JobFailedError(ReproError):
+    """Raised when accessing a metric of a failed :class:`~repro.api.Result`.
+
+    The structured failure record is available as :attr:`failure`
+    (a :class:`~repro.runtime.TaskFailure`).
+    """
+
+    def __init__(self, message: str, failure: object | None = None) -> None:
+        super().__init__(message)
+        self.failure = failure
+
+
+class InjectedFault(ReproError):
+    """Base class of the deterministic faults raised by :mod:`repro.faults`.
+
+    Deriving from :class:`ReproError` keeps the error-handling contract
+    intact under fault injection: ``except ReproError`` catches injected
+    failures exactly like organic ones."""

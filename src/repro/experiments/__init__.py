@@ -10,12 +10,14 @@ from .collectives import COLLECTIVE_SERIES, collective_scaling
 from .figures import FigureData, figure_4a, figure_4b, figure_5
 from .pipeline import (
     EnsembleTask,
+    TaskErrorRecord,
     collective_ensemble_tasks,
     EvaluationPipeline,
     ProcessExecutor,
     ResultCache,
     SerialExecutor,
     ensemble_cache_key,
+    ensemble_task_key,
     random_ensemble_tasks,
     run_ensemble_task,
     tiers_ensemble_tasks,
@@ -52,12 +54,14 @@ __all__ = [
     "figure_4b",
     "figure_5",
     "EnsembleTask",
+    "TaskErrorRecord",
     "collective_ensemble_tasks",
     "EvaluationPipeline",
     "ProcessExecutor",
     "ResultCache",
     "SerialExecutor",
     "ensemble_cache_key",
+    "ensemble_task_key",
     "random_ensemble_tasks",
     "run_ensemble_task",
     "tiers_ensemble_tasks",

@@ -25,6 +25,8 @@ from typing import Iterable, Sequence
 from ..exceptions import ExperimentError
 from .config import PaperParameters
 from .figures import FigureData
+from ..runtime import RetryPolicy
+from .pipeline import TaskErrorRecord
 from .runner import EvaluationRecord, collective_ensemble_records
 
 __all__ = ["collective_scaling", "COLLECTIVE_SERIES"]
@@ -52,6 +54,9 @@ def collective_scaling(
     progress: bool = False,
     jobs: int = 1,
     cache_dir: str | None = None,
+    keep_going: bool = False,
+    retry_policy: "RetryPolicy | None" = None,
+    failures: "list[TaskErrorRecord] | None" = None,
 ) -> FigureData:
     """Throughput vs ``|targets|`` for multicast and scatter.
 
@@ -63,7 +68,13 @@ def collective_scaling(
     parameters = parameters or PaperParameters()
     if records is None:
         records = collective_ensemble_records(
-            parameters, progress=progress, jobs=jobs, cache_dir=cache_dir
+            parameters,
+            progress=progress,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            keep_going=keep_going,
+            retry_policy=retry_policy,
+            failures=failures,
         )
     selected = [r for r in records if r.generator == "collective"]
     if not selected:

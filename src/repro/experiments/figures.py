@@ -27,6 +27,8 @@ from ..core.registry import PAPER_MULTI_PORT_HEURISTICS, PAPER_ONE_PORT_HEURISTI
 from ..exceptions import ExperimentError
 from ..utils.ascii_plot import ascii_chart, format_series_table
 from .config import PaperParameters
+from ..runtime import RetryPolicy
+from .pipeline import TaskErrorRecord
 from .runner import EvaluationRecord, random_ensemble_records
 
 __all__ = ["FigureData", "figure_4a", "figure_4b", "figure_5"]
@@ -130,12 +132,21 @@ def figure_4a(
     progress: bool = False,
     jobs: int = 1,
     cache_dir: str | None = None,
+    keep_going: bool = False,
+    retry_policy: "RetryPolicy | None" = None,
+    failures: "list[TaskErrorRecord] | None" = None,
 ) -> FigureData:
     """Figure 4(a): one-port relative performance vs number of nodes."""
     parameters = parameters or PaperParameters()
     if records is None:
         records = random_ensemble_records(
-            parameters, progress=progress, jobs=jobs, cache_dir=cache_dir
+            parameters,
+            progress=progress,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            keep_going=keep_going,
+            retry_policy=retry_policy,
+            failures=failures,
         )
     return _aggregate(
         records,
@@ -158,12 +169,21 @@ def figure_4b(
     progress: bool = False,
     jobs: int = 1,
     cache_dir: str | None = None,
+    keep_going: bool = False,
+    retry_policy: "RetryPolicy | None" = None,
+    failures: "list[TaskErrorRecord] | None" = None,
 ) -> FigureData:
     """Figure 4(b): one-port relative performance vs platform density."""
     parameters = parameters or PaperParameters()
     if records is None:
         records = random_ensemble_records(
-            parameters, progress=progress, jobs=jobs, cache_dir=cache_dir
+            parameters,
+            progress=progress,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            keep_going=keep_going,
+            retry_policy=retry_policy,
+            failures=failures,
         )
     # Group by the *requested* density bucket rather than the achieved
     # density (which varies slightly per instance): round to the grid.
@@ -200,6 +220,9 @@ def figure_5(
     progress: bool = False,
     jobs: int = 1,
     cache_dir: str | None = None,
+    keep_going: bool = False,
+    retry_policy: "RetryPolicy | None" = None,
+    failures: "list[TaskErrorRecord] | None" = None,
 ) -> FigureData:
     """Figure 5: multi-port relative performance vs number of nodes.
 
@@ -210,7 +233,13 @@ def figure_5(
     parameters = parameters or PaperParameters()
     if records is None:
         records = random_ensemble_records(
-            parameters, progress=progress, jobs=jobs, cache_dir=cache_dir
+            parameters,
+            progress=progress,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            keep_going=keep_going,
+            retry_policy=retry_policy,
+            failures=failures,
         )
     return _aggregate(
         records,

@@ -39,9 +39,11 @@ runner, the CLI (``--jobs`` / ``--cache-dir``) and the benchmarks use.
 
 from __future__ import annotations
 
+import dataclasses
+import functools
 import os
 from dataclasses import dataclass, fields
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 from .. import _version
 from ..api import Job, PlatformRecipe, Session
@@ -50,8 +52,11 @@ from ..exceptions import ExperimentError
 from ..runtime import (
     ProcessExecutor,
     ResultCache as _GenericResultCache,
+    RetryPolicy,
     SerialExecutor,
+    SupervisedExecutor,
     TaskExecutor,
+    TaskFailure,
     stable_key,
 )
 from ..utils.rng import derive_seed
@@ -66,6 +71,7 @@ from .evaluation import (
 
 __all__ = [
     "EnsembleTask",
+    "TaskErrorRecord",
     "run_ensemble_task",
     "run_ensemble_tasks_batched",
     "random_ensemble_tasks",
@@ -76,6 +82,7 @@ __all__ = [
     "ResultCache",
     "EvaluationPipeline",
     "ensemble_cache_key",
+    "ensemble_task_key",
 ]
 
 NodeName = Any
@@ -122,6 +129,60 @@ class EnsembleTask:
             slice_size_mb=self.slice_size_mb,
             send_fraction=self.send_fraction,
             seed=self.seed,
+        )
+
+
+def ensemble_task_key(task: EnsembleTask) -> str:
+    """Stable per-task cache key (task payload + library version).
+
+    The key doubles as the task's supervision label, so retry jitter and
+    the deterministic fault-injection harness key on task *identity*, not
+    position: serial, chunked and process-pool runs, full campaigns and
+    resumed ones all make the same per-task decisions.
+    """
+    return stable_key(
+        {
+            "task": {f.name: getattr(task, f.name) for f in fields(EnsembleTask)},
+            "version": _version.__version__,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class TaskErrorRecord:
+    """One permanently failed ensemble task, as data (``--keep-going``).
+
+    Pairs the full :class:`EnsembleTask` description (enough to re-derive
+    and re-run the task) with its structured
+    :class:`~repro.runtime.TaskFailure`; serializable so campaign reports
+    can persist their failure manifest next to the records.
+    """
+
+    task: EnsembleTask
+    failure: TaskFailure
+
+    def describe(self) -> str:
+        """One-line human summary for campaign logs."""
+        task = self.task
+        if task.kind == "random":
+            what = f"random n={task.num_nodes} d={task.density:g}"
+        elif task.kind == "tiers":
+            what = f"tiers size={task.tiers_size}"
+        else:
+            what = f"{task.collective} |targets|={task.num_targets}"
+        return f"[{what} #{task.instance_index}] {self.failure.summary()}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task": {f.name: getattr(self.task, f.name) for f in fields(EnsembleTask)},
+            "failure": self.failure.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskErrorRecord":
+        return cls(
+            task=EnsembleTask(**dict(data["task"])),
+            failure=TaskFailure.from_dict(data["failure"]),
         )
 
 
@@ -208,16 +269,19 @@ def collective_ensemble_tasks(parameters: PaperParameters) -> list[EnsembleTask]
     return tasks
 
 
-def run_ensemble_task(task: EnsembleTask) -> list[EvaluationRecord]:
+def run_ensemble_task(
+    task: EnsembleTask, retry_policy: RetryPolicy | None = None
+) -> list[EvaluationRecord]:
     """Evaluate one task; module-level so process pools can pickle it.
 
     Every task gets a fresh :class:`~repro.api.Session` (its platform and
     seed are unique to the task, so there is nothing to share across
     tasks) and runs its jobs through the facade: the per-platform LP is
     solved once and shared by every heuristic and by the relative
-    performance reference.
+    performance reference.  ``retry_policy`` propagates the pipeline's
+    policy to the session's own per-job supervision.
     """
-    session = Session()
+    session = Session(retry_policy=retry_policy)
     if task.kind == "collective":
         return evaluate_collective_platform(
             task.platform_recipe(),
@@ -373,6 +437,24 @@ class EvaluationPipeline:
         the runner to share one in-memory cache across pipelines.
     executor:
         Explicit executor instance (overrides ``jobs``).
+    keep_going:
+        Campaign semantics for permanent task failures: instead of
+        aborting the whole evaluation, the failed task becomes a
+        :class:`TaskErrorRecord` in :attr:`failures`, its batch-mates keep
+        their results, and the campaign completes.  Successful tasks are
+        written through to the disk cache *as they finish*, so a crashed
+        or failed campaign resumes where it left off — a second invocation
+        recomputes only the missing tasks.
+    retry_policy:
+        Supervision policy (:class:`~repro.runtime.RetryPolicy`) for the
+        per-task retries/timeouts; setting it (or ``keep_going``) opts the
+        pipeline into the supervised per-task path.
+
+    Attributes
+    ----------
+    failures:
+        :class:`TaskErrorRecord` list accumulated across
+        :meth:`evaluate` calls under ``keep_going`` (empty otherwise).
     """
 
     def __init__(
@@ -382,6 +464,8 @@ class EvaluationPipeline:
         cache_dir: str | os.PathLike[str] | None = None,
         cache: ResultCache | None = None,
         executor: TaskExecutor | None = None,
+        keep_going: bool = False,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
@@ -389,6 +473,9 @@ class EvaluationPipeline:
             executor = SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
         self.executor = executor
         self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.keep_going = bool(keep_going)
+        self.retry_policy = retry_policy
+        self.failures: list[TaskErrorRecord] = []
 
     # ------------------------------------------------------------------ #
     def evaluate(
@@ -426,6 +513,9 @@ class EvaluationPipeline:
         if cached is not None:
             return cached
 
+        if self.keep_going or self.retry_policy is not None:
+            return self._evaluate_supervised(tasks, key, progress)
+
         if type(self.executor) is SerialExecutor:
             # In-process runs share one session per chunk of tasks so that
             # solve_many can stack compatible jobs from different platforms
@@ -440,15 +530,85 @@ class EvaluationPipeline:
         for task, task_records in zip(tasks, record_lists):
             records.extend(task_records)
             if progress and task_records:
-                if task.kind == "random":
-                    label = f"n={task.num_nodes} d={task.density:.2f}"
-                elif task.kind == "collective":
-                    label = f"{task.collective} |targets|={task.num_targets}"
-                else:
-                    label = f"size={task.tiers_size}"
-                print(
-                    f"[{task.kind}] {label} #{task.instance_index}: "
-                    f"optimum={task_records[0].optimal_throughput:.4f}"
-                )
+                self._print_progress(task, task_records)
         self.cache.put(key, records)
+        return records
+
+    @staticmethod
+    def _print_progress(
+        task: EnsembleTask, task_records: "list[EvaluationRecord]"
+    ) -> None:
+        if task.kind == "random":
+            label = f"n={task.num_nodes} d={task.density:.2f}"
+        elif task.kind == "collective":
+            label = f"{task.collective} |targets|={task.num_targets}"
+        else:
+            label = f"size={task.tiers_size}"
+        print(
+            f"[{task.kind}] {label} #{task.instance_index}: "
+            f"optimum={task_records[0].optimal_throughput:.4f}"
+        )
+
+    def _evaluate_supervised(
+        self,
+        tasks: "list[EnsembleTask]",
+        campaign_key: str,
+        progress: bool,
+    ) -> "list[EvaluationRecord]":
+        """Per-task supervised evaluation with resume and ``keep_going``.
+
+        Each task is checked against its *own* cache entry first — a prior
+        run (crashed, failed or simply interrupted) left one entry per
+        completed task, so only the missing tasks are recomputed.  Fresh
+        results are written through as they finish.  Permanent failures
+        either re-raise (default) or, under ``keep_going``, land in
+        :attr:`failures` as :class:`TaskErrorRecord` entries while the
+        rest of the campaign completes.  The campaign-level cache entry is
+        only written when every task succeeded, so a partial campaign can
+        never be replayed as a complete one.
+        """
+        policy = self.retry_policy if self.retry_policy is not None else RetryPolicy()
+        labels = [ensemble_task_key(task) for task in tasks]
+        record_lists: "list[list[EvaluationRecord] | None]" = []
+        pending: list[int] = []
+        for i in range(len(tasks)):
+            resumed = self.cache.get(labels[i])
+            record_lists.append(resumed)
+            if resumed is None:
+                pending.append(i)
+        failed = 0
+        if pending:
+            supervisor = SupervisedExecutor(self.executor, policy)
+            # The task timeout bounds whole tasks here; the session inside
+            # each task inherits the retry/backoff knobs but not the
+            # timeout (a task is many jobs long).
+            inner = dataclasses.replace(policy, task_timeout=None)
+            outcomes = supervisor.map_outcomes(
+                functools.partial(run_ensemble_task, retry_policy=inner),
+                [tasks[i] for i in pending],
+                labels=[labels[i] for i in pending],
+            )
+            for outcome in outcomes:
+                i = pending[outcome.index]
+                if outcome.ok:
+                    record_lists[i] = outcome.value
+                    # Write-through per task: this is what resume reads.
+                    self.cache.put(labels[i], outcome.value)
+                    if progress:
+                        self._print_progress(tasks[i], outcome.value)
+                    continue
+                if not self.keep_going:
+                    outcome.raise_if_failed()
+                failed += 1
+                self.failures.append(TaskErrorRecord(tasks[i], outcome.failure))
+                if progress:
+                    print(f"[failed] {self.failures[-1].describe()}")
+        records = [
+            record
+            for task_records in record_lists
+            if task_records is not None
+            for record in task_records
+        ]
+        if not failed:
+            self.cache.put(campaign_key, records)
         return records

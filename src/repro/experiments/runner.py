@@ -30,13 +30,15 @@ import os
 from typing import Iterable
 
 from ..exceptions import ExperimentError
+from ..runtime import RetryPolicy
 from .config import PaperParameters
 from .evaluation import EvaluationRecord, PlatformEvaluation, evaluate_platform
-from .pipeline import EvaluationPipeline, ResultCache
+from .pipeline import EvaluationPipeline, ResultCache, TaskErrorRecord
 
 __all__ = [
     "EvaluationRecord",
     "PlatformEvaluation",
+    "TaskErrorRecord",
     "evaluate_platform",
     "random_ensemble_records",
     "tiers_ensemble_records",
@@ -52,10 +54,40 @@ _SHARED_MEMORY: dict[str, list[EvaluationRecord]] = {}
 
 
 def _pipeline(
-    jobs: int, cache_dir: str | os.PathLike[str] | None
+    jobs: int,
+    cache_dir: str | os.PathLike[str] | None,
+    keep_going: bool = False,
+    retry_policy: RetryPolicy | None = None,
 ) -> EvaluationPipeline:
     cache = ResultCache(cache_dir, memory=_SHARED_MEMORY)
-    return EvaluationPipeline(jobs=jobs, cache=cache)
+    return EvaluationPipeline(
+        jobs=jobs, cache=cache, keep_going=keep_going, retry_policy=retry_policy
+    )
+
+
+def _evaluate(
+    kind: str,
+    parameters: PaperParameters,
+    *,
+    include_multi_port: bool = True,
+    progress: bool,
+    jobs: int,
+    cache_dir: str | os.PathLike[str] | None,
+    keep_going: bool,
+    retry_policy: RetryPolicy | None,
+    failures: "list[TaskErrorRecord] | None",
+) -> list[EvaluationRecord]:
+    """One ensemble evaluation, surfacing failures into the caller's sink."""
+    pipeline = _pipeline(jobs, cache_dir, keep_going, retry_policy)
+    records = pipeline.evaluate(
+        kind,
+        parameters,
+        include_multi_port=include_multi_port,
+        progress=progress,
+    )
+    if failures is not None:
+        failures.extend(pipeline.failures)
+    return records
 
 
 def clear_ensemble_cache() -> None:
@@ -70,6 +102,9 @@ def random_ensemble_records(
     progress: bool = False,
     jobs: int = 1,
     cache_dir: str | os.PathLike[str] | None = None,
+    keep_going: bool = False,
+    retry_policy: RetryPolicy | None = None,
+    failures: "list[TaskErrorRecord] | None" = None,
 ) -> list[EvaluationRecord]:
     """Evaluate the full random-platform ensemble of Figures 4 and 5.
 
@@ -78,12 +113,20 @@ def random_ensemble_records(
     for the LP solves once per process.  ``jobs`` fans the evaluation out
     over worker processes; ``cache_dir`` additionally persists the records
     on disk, keyed by the full parameter set and the library version.
+    ``keep_going`` / ``retry_policy`` opt into the supervised, resumable
+    path (failed tasks append :class:`TaskErrorRecord` entries to the
+    ``failures`` sink instead of aborting the campaign).
     """
-    return _pipeline(jobs, cache_dir).evaluate(
+    return _evaluate(
         "random",
         parameters,
         include_multi_port=include_multi_port,
         progress=progress,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        keep_going=keep_going,
+        retry_policy=retry_policy,
+        failures=failures,
     )
 
 
@@ -93,10 +136,20 @@ def tiers_ensemble_records(
     progress: bool = False,
     jobs: int = 1,
     cache_dir: str | os.PathLike[str] | None = None,
+    keep_going: bool = False,
+    retry_policy: RetryPolicy | None = None,
+    failures: "list[TaskErrorRecord] | None" = None,
 ) -> list[EvaluationRecord]:
     """Evaluate the Tiers-like ensembles of Table 3 (one-port model only)."""
-    return _pipeline(jobs, cache_dir).evaluate(
-        "tiers", parameters, progress=progress
+    return _evaluate(
+        "tiers",
+        parameters,
+        progress=progress,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        keep_going=keep_going,
+        retry_policy=retry_policy,
+        failures=failures,
     )
 
 
@@ -106,6 +159,9 @@ def collective_ensemble_records(
     progress: bool = False,
     jobs: int = 1,
     cache_dir: str | os.PathLike[str] | None = None,
+    keep_going: bool = False,
+    retry_policy: RetryPolicy | None = None,
+    failures: "list[TaskErrorRecord] | None" = None,
 ) -> list[EvaluationRecord]:
     """Evaluate the collective-scaling sweep (multicast / scatter vs |targets|).
 
@@ -114,8 +170,15 @@ def collective_ensemble_records(
     library version, fans out over ``jobs`` worker processes, and replays
     from ``cache_dir`` on repeat runs.
     """
-    return _pipeline(jobs, cache_dir).evaluate(
-        "collective", parameters, progress=progress
+    return _evaluate(
+        "collective",
+        parameters,
+        progress=progress,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        keep_going=keep_going,
+        retry_policy=retry_policy,
+        failures=failures,
     )
 
 

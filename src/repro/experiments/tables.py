@@ -16,6 +16,8 @@ from ..core.registry import PAPER_ONE_PORT_HEURISTICS, get_heuristic
 from ..exceptions import ExperimentError
 from ..utils.ascii_plot import format_table
 from .config import PaperParameters
+from ..runtime import RetryPolicy
+from .pipeline import TaskErrorRecord
 from .runner import EvaluationRecord, tiers_ensemble_records
 
 __all__ = ["TableData", "table_3"]
@@ -64,12 +66,21 @@ def table_3(
     progress: bool = False,
     jobs: int = 1,
     cache_dir: str | None = None,
+    keep_going: bool = False,
+    retry_policy: "RetryPolicy | None" = None,
+    failures: "list[TaskErrorRecord] | None" = None,
 ) -> TableData:
     """Table 3: one-port heuristics on Tiers-like platforms (30 / 65 nodes)."""
     parameters = parameters or PaperParameters()
     if records is None:
         records = tiers_ensemble_records(
-            parameters, progress=progress, jobs=jobs, cache_dir=cache_dir
+            parameters,
+            progress=progress,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            keep_going=keep_going,
+            retry_policy=retry_policy,
+            failures=failures,
         )
     selected = [
         r for r in records

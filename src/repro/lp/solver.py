@@ -15,6 +15,7 @@ needs it.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any
 
@@ -22,8 +23,9 @@ import numpy as np
 from scipy import optimize
 
 from ..collectives import CollectiveSpec, effective_problem
-from ..exceptions import InfeasibleLPError, LPError
+from ..exceptions import InfeasibleLPError, InjectedFault, LPError
 from ..platform.graph import Platform
+from ..runtime import FAULT_PLAN_ENV
 from .formulation import SteadyStateLPData, build_collective_lp
 from .solution import SteadyStateSolution
 
@@ -40,6 +42,45 @@ Edge = tuple[NodeName, NodeName]
 
 #: Flows below this value are considered numerical noise and dropped.
 _FLOW_TOLERANCE = 1e-9
+
+#: Alternate ``linprog`` methods tried (in order, after the requested one)
+#: before a failed solve becomes an :class:`InfeasibleLPError`.  The chain
+#: covers transient numerical trouble: HiGHS auto-choice, then dual simplex,
+#: then interior point.
+_METHOD_FALLBACKS = ("highs", "highs-ds", "highs-ipm")
+
+#: ``linprog`` status codes that describe the *model*, not the solver run:
+#: 2 = infeasible, 3 = unbounded.  Retrying another method cannot change
+#: these verdicts, so the chain stops immediately.
+_DEFINITIVE_STATUSES = frozenset({2, 3})
+
+
+def _method_chain(method: str) -> tuple[str, ...]:
+    """The requested method followed by the deduplicated fallbacks."""
+    chain = [method]
+    for alternate in _METHOD_FALLBACKS:
+        if alternate not in chain:
+            chain.append(alternate)
+    return tuple(chain)
+
+
+def _run_linprog(
+    data: SteadyStateLPData, method: str, attempt: int
+) -> optimize.OptimizeResult:
+    """One ``linprog`` call; the seam where fault injection plugs in."""
+    if os.environ.get(FAULT_PLAN_ENV):
+        from ..faults import maybe_fail_solver
+
+        maybe_fail_solver(attempt)
+    return optimize.linprog(
+        c=data.objective,
+        A_ub=data.a_ub,
+        b_ub=data.b_ub,
+        A_eq=data.a_eq,
+        b_eq=data.b_eq,
+        bounds=data.bounds,
+        method=method,
+    )
 
 
 def _reverse_solution(
@@ -164,21 +205,28 @@ def solve_collective_lp(
     """
     effective_platform, effective_spec = effective_problem(platform, spec)
     data = build_collective_lp(effective_platform, effective_spec, size)
+    chain = _method_chain(method)
+    failures: list[str] = []
+    result: optimize.OptimizeResult | None = None
     start = time.perf_counter()
-    result = optimize.linprog(
-        c=data.objective,
-        A_ub=data.a_ub,
-        b_ub=data.b_ub,
-        A_eq=data.a_eq,
-        b_eq=data.b_eq,
-        bounds=data.bounds,
-        method=method,
-    )
+    for attempt, candidate in enumerate(chain):
+        try:
+            outcome = _run_linprog(data, candidate, attempt)
+        except InjectedFault as error:
+            failures.append(f"{candidate}: {error}")
+            continue
+        if outcome.success:
+            result = outcome
+            break
+        failures.append(f"{candidate}: {outcome.message}")
+        if int(getattr(outcome, "status", -1)) in _DEFINITIVE_STATUSES:
+            break  # the model, not the method, is at fault
     elapsed = time.perf_counter() - start
-    if not result.success:
+    if result is None:
         raise InfeasibleLPError(
             f"steady-state {spec.kind.value} LP failed for platform "
-            f"{platform.name!r} (source {spec.source!r}): {result.message}"
+            f"{platform.name!r} (source {spec.source!r}); "
+            f"methods tried: {'; '.join(failures)}"
         )
     solution = _extract_solution(effective_platform, data, result, elapsed, size)
     if solution.throughput <= 0:

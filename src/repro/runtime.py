@@ -10,11 +10,27 @@ without importing each other:
   in-process; :class:`ProcessExecutor` fans the same map out over a
   :class:`concurrent.futures.ProcessPoolExecutor`.  Both preserve item
   order, so the result stream is identical whichever executor runs it.
+* **Supervision** — :class:`SupervisedExecutor` wraps either executor with
+  per-task timeouts, bounded retries (exponential backoff, deterministic
+  jitter — see :class:`RetryPolicy`) and broken-pool recovery: a crashed
+  worker pool is respawned once, and if it breaks again the surviving
+  items fall back to in-process execution, with the order and results of
+  already-finished items unchanged.  :meth:`SupervisedExecutor.map_outcomes`
+  turns permanent failures into structured :class:`TaskFailure` records
+  instead of exceptions, which is what ``--keep-going`` campaigns consume.
 * **ResultCache** — a two-level (in-memory + optional on-disk JSON) store
   of *row lists* keyed by caller-provided stable hashes.  The row type is
   pluggable through an ``encode`` / ``decode`` pair (JSON dictionaries by
-  default); corrupted or mismatching disk entries are treated as misses.
+  default).  Corrupted disk entries are quarantined (renamed to
+  ``*.corrupt``) and treated as misses; an unwritable cache directory
+  degrades the cache to memory-only with a single warning instead of
+  aborting the campaign.
 * **stable_key** — the canonical-JSON SHA-256 used to derive those keys.
+
+Error-handling contract: every failure this module raises derives from
+:class:`~repro.exceptions.ReproError` (``except ReproError`` catches
+timeouts, crashed workers and invalid configurations alike); permanent
+task failures surfaced as data use :class:`TaskFailure`.
 """
 
 from __future__ import annotations
@@ -23,17 +39,33 @@ import contextlib
 import hashlib
 import json
 import os
+import re
 import tempfile
+import threading
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable, Iterator, Protocol, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Iterator, Mapping, Protocol, Sequence, TypeVar
 
-from .exceptions import ExperimentError
+from .exceptions import (
+    ExperimentError,
+    JobFailedError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 
 __all__ = [
     "TaskExecutor",
     "SerialExecutor",
     "ProcessExecutor",
+    "SupervisedExecutor",
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskOutcome",
     "ResultCache",
     "stable_key",
 ]
@@ -41,14 +73,72 @@ __all__ = [
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
+#: Environment variable carrying an active fault-injection plan (see
+#: :mod:`repro.faults`).  Environment variables propagate to worker
+#: processes, so one ``inject_faults`` context covers the whole tree.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_IDENTITY_REPR = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+class _IdentityReprError(Exception):
+    """Internal: ``stable_key`` met a value whose repr embeds ``id()``."""
+
+    def __init__(self, value: Any, rendered: str) -> None:
+        super().__init__(rendered)
+        self.value = value
+        self.rendered = rendered
+
+
+def _repr_default(value: Any) -> str:
+    rendered = repr(value)
+    if _IDENTITY_REPR.search(rendered):
+        raise _IdentityReprError(value, rendered)
+    return rendered
+
+
+def _find_identity_field(payload: Any, path: str = "$") -> tuple[str, str] | None:
+    """Locate the first field whose repr embeds a memory address."""
+    if isinstance(payload, Mapping):
+        for key, value in payload.items():
+            found = _find_identity_field(value, f"{path}.{key}")
+            if found is not None:
+                return found
+        return None
+    if isinstance(payload, (list, tuple)):
+        for index, value in enumerate(payload):
+            found = _find_identity_field(value, f"{path}[{index}]")
+            if found is not None:
+                return found
+        return None
+    if isinstance(payload, (str, int, float, bool)) or payload is None:
+        return None
+    rendered = repr(payload)
+    if _IDENTITY_REPR.search(rendered):
+        return path, rendered
+    return None
+
 
 def stable_key(payload: Any) -> str:
     """SHA-256 of the canonical (sorted-keys) JSON rendering of ``payload``.
 
     Non-JSON values fall back to ``repr``, so any change in their printed
     form changes the key — exactly the conservative behaviour a cache wants.
+    Values whose repr embeds their memory address (the default
+    ``<... object at 0x...>`` form) are rejected with an
+    :class:`~repro.exceptions.ExperimentError` naming the offending field:
+    such keys would never match across processes, silently caching garbage.
     """
-    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    try:
+        canonical = json.dumps(payload, sort_keys=True, default=_repr_default)
+    except _IdentityReprError as exc:
+        found = _find_identity_field(payload)
+        where, rendered = found if found is not None else ("$", exc.rendered)
+        raise ExperimentError(
+            f"stable_key: field {where} has an identity-based repr "
+            f"({rendered!r}); its cache key would differ in every process — "
+            f"provide a JSON-compatible value or a value-based repr"
+        ) from None
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -111,6 +201,488 @@ class ProcessExecutor:
 
 
 # --------------------------------------------------------------------------- #
+# Supervision
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a supervised task may fail before its failure becomes permanent.
+
+    Parameters
+    ----------
+    retries:
+        Additional attempts after the first one (so ``retries=2`` means up
+        to three attempts).  ``0`` disables retrying.
+    task_timeout:
+        Per-attempt wall-clock budget in seconds; ``None`` disables the
+        timeout.  Process pools enforce it on the supervisor's wait for the
+        task future; in-process execution runs the attempt on a watchdog
+        thread (the timed-out attempt is abandoned, not interrupted, so
+        supervised functions should be pure).
+    backoff / backoff_factor / max_delay:
+        Exponential backoff schedule between attempts:
+        ``min(backoff * backoff_factor**n, max_delay)`` seconds after the
+        ``n``-th failure, scaled by a deterministic jitter in ``[0.5, 1.0)``
+        derived from the task label — identical runs sleep identically,
+        while concurrent retriers of different tasks spread out.
+    """
+
+    retries: int = 2
+    task_timeout: float | None = None
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ExperimentError(f"retries must be >= 0, got {self.retries}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ExperimentError(
+                f"task_timeout must be positive, got {self.task_timeout!r}"
+            )
+        if self.backoff < 0 or self.backoff_factor < 1.0 or self.max_delay < 0:
+            raise ExperimentError(
+                f"invalid backoff schedule: backoff={self.backoff!r}, "
+                f"factor={self.backoff_factor!r}, max_delay={self.max_delay!r}"
+            )
+
+    @property
+    def attempts(self) -> int:
+        """Total attempt budget (first attempt plus retries)."""
+        return self.retries + 1
+
+    def delay(self, failed_attempts: int, token: str = "") -> float:
+        """Seconds to sleep before the next attempt (deterministic jitter)."""
+        base = min(
+            self.backoff * self.backoff_factor ** max(failed_attempts, 0),
+            self.max_delay,
+        )
+        digest = hashlib.sha256(
+            f"{token}:{failed_attempts}".encode("utf-8")
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (0.5 + 0.5 * fraction)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (shipped to worker processes)."""
+        return {
+            "retries": self.retries,
+            "task_timeout": self.task_timeout,
+            "backoff": self.backoff,
+            "backoff_factor": self.backoff_factor,
+            "max_delay": self.max_delay,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**{name: data[name] for name in cls.__dataclass_fields__ if name in data})
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured, serializable record of one permanently-failed task."""
+
+    label: str
+    error_type: str
+    message: str
+    attempts: int
+
+    def summary(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"{self.label}: {self.error_type}: {self.message} "
+            f"(after {self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "label": self.label,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskFailure":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            label=str(data.get("label", "")),
+            error_type=str(data.get("error_type", "Exception")),
+            message=str(data.get("message", "")),
+            attempts=int(data.get("attempts", 1)),
+        )
+
+    @classmethod
+    def from_exception(
+        cls, label: str, error: BaseException, attempts: int
+    ) -> "TaskFailure":
+        """Flatten an exception into a failure record."""
+        return cls(
+            label=label,
+            error_type=type(error).__name__,
+            message=str(error),
+            attempts=attempts,
+        )
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one supervised task: a value or a failure record.
+
+    ``exception`` carries the original exception object when the failure
+    happened in this process (process-pool failures only have the record).
+    """
+
+    index: int
+    value: Any = None
+    failure: TaskFailure | None = None
+    exception: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def raise_if_failed(self) -> None:
+        """Re-raise the original exception (or a :class:`JobFailedError`)."""
+        if self.failure is None:
+            return
+        if self.exception is not None:
+            raise self.exception
+        raise JobFailedError(self.failure.summary(), self.failure)
+
+
+def _call_with_timeout(
+    function: Callable[[Any], Any], task: Any, timeout: float
+) -> Any:
+    """Run ``function(task)`` on a watchdog thread, bounded by ``timeout``.
+
+    A timed-out attempt keeps running on its daemon thread until it returns
+    (it cannot be interrupted); its eventual result is discarded.  This is
+    the honest best-effort an in-process timeout can offer — supervised
+    functions should be pure so an abandoned attempt has no side effects
+    beyond warm caches.
+    """
+    box: list[tuple[str, Any]] = []
+
+    def runner() -> None:
+        try:
+            box.append(("ok", function(task)))
+        except BaseException as exc:  # ferried back to the caller below
+            box.append(("err", exc))
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if not box and thread.is_alive():
+        raise TaskTimeoutError(
+            f"supervised task exceeded its {timeout:.3g}s timeout"
+        )
+    kind, payload = box[0]
+    if kind == "err":
+        raise payload
+    return payload
+
+
+def _run_attempt(
+    function: Callable[[Any], Any],
+    task: Any,
+    label: str,
+    attempt: int,
+    timeout: float | None,
+    fault_hook: bool = True,
+) -> Any:
+    """One supervised attempt: fault hook, then the call (maybe bounded).
+
+    The fault hook runs *inside* the timed call, so an injected hang
+    overruns the watchdog exactly like an organic one would.
+    """
+    hook_active = bool(fault_hook and os.environ.get(FAULT_PLAN_ENV))
+
+    def attempt_call(item: Any) -> Any:
+        if hook_active:
+            from .faults import maybe_fail_task  # lazy: zero cost when inactive
+
+            maybe_fail_task(label, attempt)
+        return function(item)
+
+    if timeout is None:
+        return attempt_call(task)
+    return _call_with_timeout(attempt_call, task, timeout)
+
+
+def _remote_attempt(payload: tuple) -> Any:
+    """Worker-side attempt runner; module-level so pools can pickle it.
+
+    The per-attempt timeout is enforced by the supervisor's wait on the
+    future, not here; the fault hook *does* run here so crash faults hit
+    the worker process (breaking the pool), not the supervisor.
+    """
+    function, task, label, attempt, fault_hook = payload
+    return _run_attempt(function, task, label, attempt, None, fault_hook)
+
+
+class SupervisedExecutor:
+    """Failure-isolating wrapper around any :class:`TaskExecutor`.
+
+    :meth:`map` is a drop-in for the inner executor's ``map`` — same
+    order-preserving value stream — except that transient failures are
+    retried under the :class:`RetryPolicy` before the (original) exception
+    propagates.  :meth:`map_outcomes` never raises: each task yields a
+    :class:`TaskOutcome` holding either its value or a permanent
+    :class:`TaskFailure` record, which is what ``--keep-going`` campaigns
+    and ``solve_many(on_error="collect")`` consume.
+
+    Process pools additionally get broken-pool recovery: the pool is
+    respawned once after a worker crash, and a second crash degrades the
+    remaining items to in-process execution — finished items keep their
+    order and values either way.
+
+    ``labels`` name tasks in failure records and seed the deterministic
+    retry jitter (and the fault-injection harness); they default to the
+    task position.
+    """
+
+    def __init__(
+        self,
+        inner: TaskExecutor,
+        policy: RetryPolicy | None = None,
+        *,
+        fault_hook: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.jobs = getattr(inner, "jobs", 1)
+        self._fault_hook = fault_hook
+
+    # ------------------------------------------------------------------ #
+    def map(
+        self,
+        function: Callable[[ItemT], ResultT],
+        tasks: Sequence[ItemT],
+        *,
+        labels: Sequence[str] | None = None,
+    ) -> Iterator[ResultT]:
+        """Value stream; permanent failures re-raise their original exception."""
+
+        def stream() -> Iterator[ResultT]:
+            for outcome in self.map_outcomes(function, tasks, labels=labels):
+                outcome.raise_if_failed()
+                yield outcome.value
+
+        return stream()
+
+    def map_outcomes(
+        self,
+        function: Callable[[ItemT], ResultT],
+        tasks: Sequence[ItemT],
+        *,
+        labels: Sequence[str] | None = None,
+    ) -> Iterator[TaskOutcome]:
+        """Outcome stream in task order; never raises for task failures."""
+        items = list(tasks)
+        if labels is None:
+            names = [f"task-{index}" for index in range(len(items))]
+        else:
+            names = [str(label) for label in labels]
+            if len(names) != len(items):
+                raise ExperimentError(
+                    f"labels ({len(names)}) must match tasks ({len(items)})"
+                )
+        if not items:
+            return iter(())
+        # Exact type, not isinstance: pool-level supervision replaces the
+        # executor's own map() with per-future waits, which would silently
+        # bypass the overridden behavior of ProcessExecutor *subclasses*
+        # (recording doubles, instrumented pools).  Those keep their own
+        # code path and get in-process supervision semantics instead.
+        if type(self.inner) is ProcessExecutor:
+            return self._process_outcomes(function, items, names)
+        return self._inprocess_outcomes(function, items, names)
+
+    # ------------------------------------------------------------------ #
+    def _attempt_loop(
+        self,
+        index: int,
+        function: Callable[[Any], Any],
+        task: Any,
+        label: str,
+        start_attempt: int,
+        prior: BaseException | None,
+    ) -> TaskOutcome:
+        """Run attempts ``start_attempt..retries`` in-process; never raises."""
+        policy = self.policy
+        last = prior
+        used = start_attempt
+        for attempt in range(start_attempt, policy.retries + 1):
+            if attempt > 0:
+                time.sleep(policy.delay(attempt - 1, label))
+            try:
+                value = _run_attempt(
+                    function, task, label, attempt, policy.task_timeout,
+                    self._fault_hook,
+                )
+                return TaskOutcome(index, value=value)
+            except Exception as exc:
+                last = exc
+                used = attempt + 1
+        assert last is not None
+        return TaskOutcome(
+            index,
+            failure=TaskFailure.from_exception(label, last, max(used, 1)),
+            exception=last,
+        )
+
+    def _inprocess_outcomes(
+        self,
+        function: Callable[[Any], Any],
+        tasks: list[Any],
+        labels: list[str],
+    ) -> Iterator[TaskOutcome]:
+        policy = self.policy
+
+        def guarded(pair: tuple[int, Any]) -> TaskOutcome:
+            index, task = pair
+            try:
+                value = _run_attempt(
+                    function, task, labels[index], 0, policy.task_timeout,
+                    self._fault_hook,
+                )
+                return TaskOutcome(index, value=value)
+            except Exception as exc:
+                return TaskOutcome(
+                    index,
+                    failure=TaskFailure.from_exception(labels[index], exc, 1),
+                    exception=exc,
+                )
+
+        # The first attempt of every task flows through the inner executor
+        # (keeping custom in-process executors on their own code path);
+        # retries are the exceptional path and run here, serially.
+        for outcome in self.inner.map(guarded, list(enumerate(tasks))):
+            if outcome.ok or policy.retries == 0:
+                yield outcome
+                continue
+            yield self._attempt_loop(
+                outcome.index,
+                function,
+                tasks[outcome.index],
+                labels[outcome.index],
+                1,
+                outcome.exception,
+            )
+
+    def _process_outcomes(
+        self,
+        function: Callable[[Any], Any],
+        tasks: list[Any],
+        labels: list[str],
+    ) -> Iterator[TaskOutcome]:
+        policy = self.policy
+        total = len(tasks)
+        attempts = [0] * total
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        respawns_left = 1
+        serial = False
+        futures: dict[int, Any] = {}
+
+        def submit(index: int) -> None:
+            futures[index] = pool.submit(
+                _remote_attempt,
+                (function, tasks[index], labels[index], attempts[index],
+                 self._fault_hook),
+            )
+
+        try:
+            for index in range(total):
+                submit(index)
+            for index in range(total):
+                if serial:
+                    # The pool is gone: surviving items run in-process with
+                    # whatever attempt budget they have left.
+                    yield self._attempt_loop(
+                        index, function, tasks[index], labels[index],
+                        attempts[index], None,
+                    )
+                    continue
+                while True:
+                    try:
+                        value = futures[index].result(timeout=policy.task_timeout)
+                        yield TaskOutcome(index, value=value)
+                        break
+                    except _FuturesTimeout:
+                        attempts[index] += 1
+                        error: BaseException = TaskTimeoutError(
+                            f"supervised task {labels[index]!r} exceeded its "
+                            f"{policy.task_timeout:.3g}s timeout "
+                            f"(attempt {attempts[index]})"
+                        )
+                        # Best effort; a *running* attempt cannot be
+                        # cancelled and its eventual result is discarded.
+                        futures[index].cancel()
+                    except BrokenProcessPool:
+                        attempts[index] += 1
+                        error = WorkerCrashError(
+                            f"worker process died while running task "
+                            f"{labels[index]!r}"
+                        )
+                        if respawns_left > 0:
+                            respawns_left -= 1
+                            pool.shutdown(wait=False)
+                            pool = ProcessPoolExecutor(max_workers=self.jobs)
+                            # Every unconsumed future died with the pool;
+                            # the crash is charged to this task only, the
+                            # rest get fresh submissions at their current
+                            # attempt count.
+                            if attempts[index] <= policy.retries:
+                                time.sleep(
+                                    policy.delay(attempts[index] - 1, labels[index])
+                                )
+                                for later in range(index, total):
+                                    submit(later)
+                                continue
+                            for later in range(index + 1, total):
+                                submit(later)
+                            yield TaskOutcome(
+                                index,
+                                failure=TaskFailure.from_exception(
+                                    labels[index], error, attempts[index]
+                                ),
+                                exception=error,
+                            )
+                        else:
+                            serial = True
+                            yield self._attempt_loop(
+                                index, function, tasks[index], labels[index],
+                                attempts[index], error,
+                            )
+                        break
+                    except Exception as exc:
+                        attempts[index] += 1
+                        error = exc
+                    # Timeout or organic failure: the remaining attempts run
+                    # in-process while the pool keeps draining later tasks —
+                    # a retry resubmitted behind busy workers would have its
+                    # queue *wait*, not its work, counted against the timeout.
+                    if attempts[index] <= policy.retries:
+                        yield self._attempt_loop(
+                            index, function, tasks[index], labels[index],
+                            attempts[index], error,
+                        )
+                    else:
+                        yield TaskOutcome(
+                            index,
+                            failure=TaskFailure.from_exception(
+                                labels[index], error, attempts[index]
+                            ),
+                            exception=error,
+                        )
+                    break
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+# --------------------------------------------------------------------------- #
 # Cache
 # --------------------------------------------------------------------------- #
 class ResultCache:
@@ -118,9 +690,13 @@ class ResultCache:
 
     The memory level returns the *same list object* for repeated lookups in
     one process; the disk level survives across processes.  Disk entries
-    embed their key and the encoded rows; anything unreadable — truncated
-    JSON, missing fields, a key mismatch after a version bump — is treated
-    as a miss.
+    embed their key, the library version and the encoded rows; anything
+    unreadable — truncated JSON, missing fields, a key mismatch — is
+    quarantined (renamed to ``*.corrupt`` so it is never re-read and
+    re-parsed on the next process start) and treated as a miss.  Entries
+    written by another library version are a plain miss.  A cache directory
+    that turns out to be unwritable degrades the cache to memory-only with
+    a single :class:`RuntimeWarning` instead of crashing the campaign.
 
     Parameters
     ----------
@@ -157,11 +733,35 @@ class ResultCache:
         self._decode = decode if decode is not None else dict
         self._prefix = prefix
         self._version = version
+        self._disk_disabled = False
 
     # ------------------------------------------------------------------ #
     def _path(self, key: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / f"{self._prefix}-{key}.json"
+
+    @property
+    def disk_active(self) -> bool:
+        """Whether the on-disk level is configured and still writable."""
+        return self.cache_dir is not None and not self._disk_disabled
+
+    def _disable_disk(self, error: OSError) -> None:
+        """Degrade to memory-only after a disk failure (warn exactly once)."""
+        if self._disk_disabled:
+            return
+        self._disk_disabled = True
+        warnings.warn(
+            f"result cache directory {str(self.cache_dir)!r} is not writable "
+            f"({error}); continuing with the in-memory level only — results "
+            f"of this run will not be persisted",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupted disk entry aside so it is never re-parsed."""
+        with contextlib.suppress(OSError):
+            os.replace(path, path.with_suffix(".corrupt"))
 
     def get(self, key: str) -> list[Any] | None:
         """Cached rows for ``key``, or ``None`` on a miss.
@@ -172,19 +772,34 @@ class ResultCache:
         """
         if key in self._memory:
             rows = self._memory[key]
-            if self.cache_dir is not None and not self._path(key).exists():
+            if self.disk_active and not self._path(key).exists():
                 self._write_disk(key, rows)
             return rows
-        if self.cache_dir is None:
+        if not self.disk_active:
             return None
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # plain miss: no entry (or unreadable directory)
+        if os.environ.get(FAULT_PLAN_ENV):
+            from .faults import maybe_corrupt_cache_text  # lazy, see above
+
+            text = maybe_corrupt_cache_text(key, text)
+        try:
+            payload = json.loads(text)
             if payload["key"] != key:
+                # The content disagrees with the file name: corruption.
+                self._quarantine(path)
+                return None
+            if payload.get("version", "") != self._version:
+                # A valid entry from another library version: just a miss
+                # (a current-version write will replace it).
                 return None
             rows = [self._decode(row) for row in payload["records"]]
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing or corrupted entry: recompute rather than crash.
+        except (ValueError, KeyError, TypeError):
+            # Truncated / malformed entry: quarantine and recompute.
+            self._quarantine(path)
             return None
         self._memory[key] = rows
         return rows
@@ -192,26 +807,36 @@ class ResultCache:
     def put(self, key: str, rows: list[Any]) -> None:
         """Store ``rows`` in memory and (atomically) on disk."""
         self._memory[key] = rows
-        if self.cache_dir is not None:
+        if self.disk_active:
             self._write_disk(key, rows)
 
     def _write_disk(self, key: str, rows: list[Any]) -> None:
         assert self.cache_dir is not None
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         payload = {
             "key": key,
             "version": self._version,
             "records": [self._encode(row) for row in rows],
         }
-        # Unique temp name per writer: concurrent processes computing the
-        # same key must not trample each other's rename source.
-        descriptor, temporary = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=f"{self._prefix}-{key}.", suffix=".tmp"
-        )
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            # Unique temp name per writer: concurrent processes computing the
+            # same key must not trample each other's rename source.
+            descriptor, temporary = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=f"{self._prefix}-{key}.", suffix=".tmp"
+            )
+        except OSError as error:
+            # Read-only or vanished directory: keep the campaign alive on
+            # the memory level alone.
+            self._disable_disk(error)
+            return
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 handle.write(json.dumps(payload))
             os.replace(temporary, self._path(key))
+        except OSError as error:
+            with contextlib.suppress(OSError):
+                os.unlink(temporary)
+            self._disable_disk(error)
         except BaseException:
             with contextlib.suppress(OSError):
                 os.unlink(temporary)

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro import (
@@ -13,6 +17,39 @@ from repro import (
     generate_star_platform,
     generate_tiers_platform,
 )
+
+
+# --------------------------------------------------------------------------- #
+# Per-test timeout (SIGALRM watchdog; no pytest-timeout dependency)
+# --------------------------------------------------------------------------- #
+#: Seconds one test may run before it is failed; 0 disables the watchdog.
+#: Generous on purpose: the guard exists so a hung worker pool or an
+#: unrecovered injected fault fails one test instead of wedging the suite.
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "180"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if (
+        _TEST_TIMEOUT <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {_TEST_TIMEOUT:g}s per-test timeout "
+            f"(REPRO_TEST_TIMEOUT to adjust)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # --------------------------------------------------------------------------- #

@@ -206,8 +206,10 @@ class TestSession:
                 self.tasks = []
 
             def map(self, function, tasks):
-                self.tasks.append([len(group) for group in tasks])
-                return [function(group) for group in tasks]
+                # Supervision wraps tasks as (index, payload) pairs; the
+                # payload dict carries each group's jobs plus the policy.
+                self.tasks.append([len(payload["jobs"]) for _, payload in tasks])
+                return [function(task) for task in tasks]
 
         pool = RecordingPool()
         session = Session(executor=pool)

@@ -1,0 +1,653 @@
+"""Fault-injection suite: the fault-tolerant runtime under deterministic faults.
+
+The acceptance scenario of the fault-tolerant runtime: a 200-task campaign
+with ~20% injected worker errors / hangs / crashes completes under
+``keep_going``, its surviving records are bit-identical to the fault-free
+run, every injected fault is accounted for as a structured error record,
+and a second invocation resumes from the disk cache, recomputing only the
+failed tasks.
+
+Every fault decision is a pure function of the plan seed and the task /
+job labels (:func:`repro.faults.classify_task`), so the tests *predict*
+the exact failure set up front and assert the runtime matches it.  Fault
+plans are selected by scanning seeds against the prediction rather than
+pinned: labels embed the library version, so pinned seeds would silently
+change meaning on a version bump.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import (
+    FailedResult,
+    Job,
+    PlatformRecipe,
+    Result,
+    RetryPolicy,
+    Session,
+    TaskFailure,
+)
+from repro.collectives import CollectiveSpec
+from repro.exceptions import (
+    ConfigError,
+    ExperimentError,
+    JobFailedError,
+    ReproError,
+    TaskTimeoutError,
+)
+from repro.experiments import (
+    EvaluationPipeline,
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    ensemble_task_key,
+    random_ensemble_tasks,
+    scaled_parameters,
+)
+from repro.experiments.pipeline import _task_jobs
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    InjectedCrashError,
+    InjectedWorkerError,
+    active_plan,
+    classify_task,
+    inject_faults,
+)
+from repro.runtime import ResultCache as RuntimeResultCache
+from repro.runtime import SupervisedExecutor, stable_key
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+class CountingSerial(SerialExecutor):
+    """Serial executor counting how many tasks were actually submitted."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def map(self, function, tasks):
+        tasks = list(tasks)
+        self.calls += len(tasks)
+        return super().map(function, tasks)
+
+
+def _campaign_parameters(configurations: int, seed: int):
+    return replace(
+        scaled_parameters(0.1),
+        node_counts=(5,),
+        densities=(0.4,),
+        configurations_per_point=configurations,
+        tiers_sizes=(),
+        seed=seed,
+    )
+
+
+def _task_labels_and_job_keys(tasks):
+    """Per-task supervision label plus the job labels its session will roll."""
+    session = Session()
+    task_keys = [ensemble_task_key(task) for task in tasks]
+    job_keys = [
+        [job.cache_key() for job in _task_jobs(task, session)] for task in tasks
+    ]
+    return task_keys, job_keys
+
+
+def _first_fault(plan, task_key, job_keys):
+    """The first fault site a task hits, or ``None`` when it survives.
+
+    Mirrors the runtime's two supervision layers: the pipeline rolls the
+    task label first (the hook runs before the task body), then the
+    session inside the task rolls each job label in submission order.
+    """
+    kind = classify_task(plan, task_key)
+    if kind != "ok":
+        return kind
+    for key in job_keys:
+        kind = classify_task(plan, key)
+        if kind != "ok":
+            return kind
+    return None
+
+
+def _predict_failures(plan, task_keys, job_keys):
+    """Map of task index -> fault kind for every task the plan fails."""
+    predicted = {}
+    for i, task_key in enumerate(task_keys):
+        kind = _first_fault(plan, task_key, job_keys[i])
+        if kind is not None:
+            predicted[i] = kind
+    return predicted
+
+
+def _payloads(records):
+    return [record.deterministic_payload() for record in records]
+
+
+#: Fault kind -> exception type the runtime surfaces for it (serial runs;
+#: crash faults downgrade to :class:`InjectedCrashError` outside workers).
+_SERIAL_ERROR_TYPES = {
+    "error": "InjectedWorkerError",
+    "timeout": "TaskTimeoutError",
+    "crash": "InjectedCrashError",
+}
+
+
+# --------------------------------------------------------------------------- #
+# The plan: validation, serialization, deterministic classification
+# --------------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(task_error_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(solver_error_rate=-0.1)
+
+    def test_task_rates_must_partition(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(task_error_rate=0.5, task_timeout_rate=0.4, task_crash_rate=0.2)
+
+    def test_hang_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(hang_seconds=0.0)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=9,
+            task_error_rate=0.125,
+            task_crash_rate=0.25,
+            solver_error_rate=0.5,
+            hang_seconds=1.5,
+            persistent=True,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_classification_is_deterministic_and_partitioned(self):
+        plan = FaultPlan(
+            seed=3, task_error_rate=0.1, task_timeout_rate=0.2, task_crash_rate=0.1
+        )
+        labels = [f"label-{i}" for i in range(2000)]
+        kinds = [classify_task(plan, label) for label in labels]
+        assert kinds == [classify_task(plan, label) for label in labels]
+        fractions = {
+            kind: kinds.count(kind) / len(kinds)
+            for kind in ("error", "timeout", "crash", "ok")
+        }
+        assert fractions["error"] == pytest.approx(0.1, abs=0.04)
+        assert fractions["timeout"] == pytest.approx(0.2, abs=0.04)
+        assert fractions["crash"] == pytest.approx(0.1, abs=0.04)
+        assert fractions["ok"] == pytest.approx(0.6, abs=0.04)
+
+    def test_inject_faults_publishes_and_restores_environment(self):
+        assert active_plan() is None
+        outer = FaultPlan(seed=1, task_error_rate=0.1)
+        inner = FaultPlan(seed=2, task_error_rate=0.2)
+        with inject_faults(outer):
+            assert active_plan() == outer
+            assert FAULT_PLAN_ENV in os.environ
+            with inject_faults(inner):
+                assert active_plan() == inner
+            assert active_plan() == outer
+        assert active_plan() is None
+        assert FAULT_PLAN_ENV not in os.environ
+
+    def test_keyword_rates_shortcut(self):
+        with inject_faults(seed=5, task_error_rate=0.5) as plan:
+            assert plan.task_error_rate == 0.5
+        with pytest.raises(ConfigError):
+            inject_faults(FaultPlan(), task_error_rate=0.5)
+
+
+class TestStableKeyGuard:
+    def test_identity_repr_is_rejected_with_field_name(self):
+        with pytest.raises(ExperimentError, match=r"\$\.options\.callback"):
+            stable_key({"seed": 3, "options": {"callback": object()}})
+
+    def test_value_reprs_still_accepted(self):
+        assert stable_key({"a": (1, 2)}) == stable_key({"a": (1, 2)})
+
+
+# --------------------------------------------------------------------------- #
+# Supervision units under injection
+# --------------------------------------------------------------------------- #
+class TestSupervisionUnderInjection:
+    def test_transient_faults_are_recovered_by_one_retry(self):
+        supervisor = SupervisedExecutor(
+            SerialExecutor(), RetryPolicy(retries=1, backoff=0.0)
+        )
+        with inject_faults(seed=0, task_error_rate=1.0):
+            values = list(supervisor.map(lambda x: x * x, [1, 2, 3]))
+        assert values == [1, 4, 9]
+
+    def test_exhausted_retries_become_structured_failures(self):
+        supervisor = SupervisedExecutor(
+            SerialExecutor(), RetryPolicy(retries=2, backoff=0.0)
+        )
+        plan = FaultPlan(seed=0, task_error_rate=1.0, persistent=True)
+        with inject_faults(plan):
+            outcomes = list(
+                supervisor.map_outcomes(lambda x: x, [1, 2], labels=["a", "b"])
+            )
+        assert [o.ok for o in outcomes] == [False, False]
+        assert [o.failure.label for o in outcomes] == ["a", "b"]
+        assert all(o.failure.attempts == 3 for o in outcomes)
+        assert all(o.failure.error_type == "InjectedWorkerError" for o in outcomes)
+
+    def test_map_raises_the_original_exception_type(self):
+        supervisor = SupervisedExecutor(
+            SerialExecutor(), RetryPolicy(retries=0, backoff=0.0)
+        )
+        plan = FaultPlan(seed=0, task_error_rate=1.0, persistent=True)
+        with inject_faults(plan):
+            with pytest.raises(InjectedWorkerError):
+                list(supervisor.map(lambda x: x, [1]))
+
+    def test_injected_hang_trips_the_watchdog_then_recovers(self):
+        supervisor = SupervisedExecutor(
+            SerialExecutor(),
+            RetryPolicy(retries=1, task_timeout=0.1, backoff=0.0),
+        )
+        plan = FaultPlan(seed=0, task_timeout_rate=1.0, hang_seconds=0.4)
+        with inject_faults(plan):
+            values = list(supervisor.map(lambda x: x + 1, [41]))
+        assert values == [42]
+
+    def test_injected_hang_is_permanent_without_retries(self):
+        supervisor = SupervisedExecutor(
+            SerialExecutor(),
+            RetryPolicy(retries=0, task_timeout=0.1, backoff=0.0),
+        )
+        plan = FaultPlan(
+            seed=0, task_timeout_rate=1.0, hang_seconds=0.4, persistent=True
+        )
+        with inject_faults(plan):
+            outcomes = list(supervisor.map_outcomes(lambda x: x, [1]))
+        assert not outcomes[0].ok
+        assert outcomes[0].failure.error_type == "TaskTimeoutError"
+        assert isinstance(outcomes[0].exception, TaskTimeoutError)
+
+    def test_crash_faults_downgrade_to_exceptions_in_process(self):
+        supervisor = SupervisedExecutor(
+            SerialExecutor(), RetryPolicy(retries=0, backoff=0.0)
+        )
+        plan = FaultPlan(seed=0, task_crash_rate=1.0, persistent=True)
+        with inject_faults(plan):
+            outcomes = list(supervisor.map_outcomes(lambda x: x, [1]))
+        assert not outcomes[0].ok
+        assert outcomes[0].failure.error_type == "InjectedCrashError"
+        assert isinstance(outcomes[0].exception, InjectedCrashError)
+
+
+# --------------------------------------------------------------------------- #
+# LP solver: transient failures recovered by the method-fallback chain
+# --------------------------------------------------------------------------- #
+class TestSolverFallback:
+    def _job(self):
+        recipe = PlatformRecipe.of("random", num_nodes=6, density=0.4, seed=3)
+        return Job(
+            recipe,
+            CollectiveSpec("broadcast", 0),
+            heuristic="grow-tree",
+            model="one-port",
+        )
+
+    def test_method_chain_starts_with_the_request_without_duplicates(self):
+        from repro.lp.solver import _method_chain
+
+        assert _method_chain("highs") == ("highs", "highs-ds", "highs-ipm")
+        chain = _method_chain("highs-ds")
+        assert chain[0] == "highs-ds"
+        assert len(chain) == len(set(chain))
+
+    def test_every_solve_recovers_through_the_alternate_method(self):
+        baseline = Session().solve(self._job()).lp_bound
+        plan = FaultPlan(seed=0, solver_error_rate=1.0)
+        with inject_faults(plan):
+            recovered = Session().solve(self._job()).lp_bound
+        assert recovered == pytest.approx(baseline, abs=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Facade: failure as data
+# --------------------------------------------------------------------------- #
+class TestFailedResult:
+    def _failure(self):
+        return TaskFailure(
+            label="job-x",
+            error_type="InjectedWorkerError",
+            message="boom",
+            attempts=2,
+        )
+
+    def _job(self):
+        recipe = PlatformRecipe.of("random", num_nodes=5, density=0.4, seed=11)
+        return Job(
+            recipe,
+            CollectiveSpec("broadcast", 0),
+            heuristic="binomial",
+            model="one-port",
+        )
+
+    def test_failure_is_data_until_a_metric_is_touched(self):
+        result = FailedResult(self._job(), Session(), self._failure())
+        assert result.ok is False
+        assert result.error == self._failure()
+        assert result.metrics() == {}
+        assert result.is_materialized() is False
+        with pytest.raises(JobFailedError):
+            result.throughput
+        with pytest.raises(JobFailedError):
+            result.materialize()
+        with pytest.raises(ReproError):  # the library-wide contract
+            result.lp_bound
+
+    def test_serialization_round_trip(self):
+        session = Session()
+        result = FailedResult(self._job(), session, self._failure())
+        restored = Result.from_json(result.to_json(), session=session)
+        assert isinstance(restored, FailedResult)
+        assert restored.ok is False
+        assert restored.error == self._failure()
+        assert restored.job.cache_key() == self._job().cache_key()
+
+    def _two_jobs_and_plan(self):
+        """Two jobs on one platform plus a plan failing exactly the first."""
+        recipe = PlatformRecipe.of("random", num_nodes=5, density=0.4, seed=11)
+        jobs = [
+            Job(
+                recipe,
+                CollectiveSpec("broadcast", 0),
+                heuristic=heuristic,
+                model="one-port",
+            )
+            for heuristic in ("binomial", "grow-tree")
+        ]
+        keys = [job.cache_key() for job in jobs]
+        for seed in range(500):
+            plan = FaultPlan(seed=seed, task_error_rate=0.4, persistent=True)
+            kinds = [classify_task(plan, key) for key in keys]
+            if kinds == ["error", "ok"]:
+                return jobs, plan
+        raise AssertionError("no seed fails exactly the first job")
+
+    def test_collect_mode_substitutes_failed_results(self):
+        jobs, plan = self._two_jobs_and_plan()
+        baseline = Session().solve_many(jobs)
+        session = Session(retry_policy=RetryPolicy(retries=0, backoff=0.0))
+        with inject_faults(plan):
+            results = session.solve_many(jobs, on_error="collect")
+        assert [r.ok for r in results] == [False, True]
+        assert isinstance(results[0], FailedResult)
+        assert results[0].error.error_type == "InjectedWorkerError"
+        assert results[0].error.label == jobs[0].cache_key()
+        # The surviving batch-mate is untouched by its neighbour's failure.
+        assert results[1].deterministic_metrics() == baseline[1].deterministic_metrics()
+
+    def test_raise_mode_propagates_the_original_exception(self):
+        jobs, plan = self._two_jobs_and_plan()
+        session = Session(retry_policy=RetryPolicy(retries=0, backoff=0.0))
+        with inject_faults(plan):
+            with pytest.raises(InjectedWorkerError):
+                session.solve_many(jobs, on_error="raise")
+
+    def test_unknown_on_error_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            Session().solve_many([], on_error="ignore")
+
+    def test_failed_results_are_never_persisted(self, tmp_path):
+        jobs, plan = self._two_jobs_and_plan()
+        session = Session(
+            cache_dir=tmp_path, retry_policy=RetryPolicy(retries=0, backoff=0.0)
+        )
+        with inject_faults(plan):
+            session.solve_many(jobs, on_error="collect")
+        # A fresh session sees only the survivor on disk: the failed job is
+        # recomputed (and now succeeds) instead of replaying its failure.
+        fresh = Session(cache_dir=tmp_path)
+        results = fresh.solve_many(jobs)
+        assert all(r.ok for r in results)
+
+
+# --------------------------------------------------------------------------- #
+# Cache corruption faults
+# --------------------------------------------------------------------------- #
+class TestCacheCorruptionFaults:
+    def test_corrupted_reads_are_quarantined_and_recomputed(self, tmp_path):
+        RuntimeResultCache(tmp_path, version="v").put("k", [{"value": 1}])
+        entry = tmp_path / "ensemble-k.json"
+        assert entry.exists()
+        fresh = RuntimeResultCache(tmp_path, version="v")
+        with inject_faults(seed=0, cache_corrupt_rate=1.0):
+            assert fresh.get("k") is None  # truncated payload: a miss
+        assert not entry.exists()
+        assert entry.with_suffix(".corrupt").exists()
+        # Recompute-and-rewrite restores normal service.
+        fresh.put("k", [{"value": 2}])
+        assert RuntimeResultCache(tmp_path, version="v").get("k") == [{"value": 2}]
+
+
+# --------------------------------------------------------------------------- #
+# The acceptance campaign: 200 tasks, ~20% faults, keep_going + resume
+# --------------------------------------------------------------------------- #
+CAMPAIGN_TASKS = 200
+
+_CAMPAIGN_POLICY = RetryPolicy(retries=0, task_timeout=1.0, backoff=0.001)
+
+
+def _pick_campaign_plan(task_keys, job_keys):
+    """First seed failing 25-55 tasks in all three ways, few timeout waits.
+
+    Each predicted ``timeout`` costs one full ``task_timeout`` wait, so the
+    scan bounds them to keep the suite fast; the bounds also pin the
+    "roughly 20% of tasks fail" shape of the acceptance scenario.
+    """
+    for seed in range(300):
+        plan = FaultPlan(
+            seed=seed,
+            task_error_rate=0.015,
+            task_timeout_rate=0.0025,
+            task_crash_rate=0.010,
+            persistent=True,
+            hang_seconds=2.5,
+        )
+        predicted = _predict_failures(plan, task_keys, job_keys)
+        kinds = set(predicted.values())
+        timeouts = sum(1 for kind in predicted.values() if kind == "timeout")
+        if 25 <= len(predicted) <= 55 and timeouts <= 2 and kinds == {
+            "error",
+            "timeout",
+            "crash",
+        }:
+            return plan, predicted
+    raise AssertionError("no campaign seed matches the scenario shape")
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """Run the whole scenario once; the tests below assert its pieces."""
+    parameters = _campaign_parameters(CAMPAIGN_TASKS, seed=77)
+    tasks = random_ensemble_tasks(parameters, include_multi_port=False)
+    assert len(tasks) == CAMPAIGN_TASKS
+    task_keys, job_keys = _task_labels_and_job_keys(tasks)
+    plan, predicted = _pick_campaign_plan(task_keys, job_keys)
+
+    # Fault-free reference, through the same supervised per-task path.
+    baseline_pipe = EvaluationPipeline(
+        cache=ResultCache(tmp_path_factory.mktemp("baseline")),
+        keep_going=True,
+        retry_policy=RetryPolicy(retries=0),
+    )
+    baseline = baseline_pipe.evaluate("random", parameters, include_multi_port=False)
+    assert not baseline_pipe.failures
+    per_task = [baseline_pipe.cache.get(key) for key in task_keys]
+    assert all(records for records in per_task)
+
+    # The faulted campaign.
+    cache_dir = tmp_path_factory.mktemp("campaign")
+    pipe = EvaluationPipeline(
+        cache=ResultCache(cache_dir),
+        keep_going=True,
+        retry_policy=_CAMPAIGN_POLICY,
+    )
+    with inject_faults(plan):
+        survivors = pipe.evaluate("random", parameters, include_multi_port=False)
+
+    return SimpleNamespace(
+        parameters=parameters,
+        tasks=tasks,
+        task_keys=task_keys,
+        plan=plan,
+        predicted=predicted,
+        baseline=baseline,
+        per_task=per_task,
+        survivors=survivors,
+        failures=list(pipe.failures),
+        cache_dir=cache_dir,
+    )
+
+
+class TestCampaignUnderFaults:
+    def test_scenario_shape(self, campaign):
+        fraction = len(campaign.predicted) / CAMPAIGN_TASKS
+        assert 0.1 <= fraction <= 0.3  # "roughly 20% of tasks fail"
+
+    def test_campaign_completes_with_every_failure_accounted(self, campaign):
+        assert len(campaign.failures) == len(campaign.predicted)
+        failed_keys = {
+            ensemble_task_key(record.task) for record in campaign.failures
+        }
+        assert failed_keys == {
+            campaign.task_keys[i] for i in campaign.predicted
+        }
+        by_key = {
+            ensemble_task_key(record.task): record for record in campaign.failures
+        }
+        for index, kind in campaign.predicted.items():
+            record = by_key[campaign.task_keys[index]]
+            assert record.failure.error_type == _SERIAL_ERROR_TYPES[kind]
+            assert record.failure.attempts == 1  # retries=0: one attempt
+            assert record.failure.label == campaign.task_keys[index]
+            assert record.describe()  # human-readable line renders
+
+    def test_error_records_survive_serialization(self, campaign):
+        from repro.experiments import TaskErrorRecord
+
+        for record in campaign.failures:
+            assert TaskErrorRecord.from_dict(record.to_dict()) == record
+
+    def test_survivors_bit_identical_to_fault_free_run(self, campaign):
+        expected = [
+            payload
+            for i, records in enumerate(campaign.per_task)
+            if i not in campaign.predicted
+            for payload in _payloads(records)
+        ]
+        assert _payloads(campaign.survivors) == expected
+
+    def test_resume_recomputes_only_the_failed_tasks(self, campaign):
+        counting = CountingSerial()
+        resume = EvaluationPipeline(
+            cache=ResultCache(campaign.cache_dir),
+            executor=counting,
+            keep_going=True,
+            retry_policy=_CAMPAIGN_POLICY,
+        )
+        records = resume.evaluate(
+            "random", campaign.parameters, include_multi_port=False
+        )
+        assert counting.calls == len(campaign.predicted)
+        assert not resume.failures
+        assert _payloads(records) == _payloads(campaign.baseline)
+
+        # The completed campaign wrote its campaign-level entry: a third
+        # invocation replays it without executing a single task.
+        replay_counting = CountingSerial()
+        replay = EvaluationPipeline(
+            cache=ResultCache(campaign.cache_dir),
+            executor=replay_counting,
+            keep_going=True,
+            retry_policy=_CAMPAIGN_POLICY,
+        )
+        replayed = replay.evaluate(
+            "random", campaign.parameters, include_multi_port=False
+        )
+        assert replay_counting.calls == 0
+        assert _payloads(replayed) == _payloads(campaign.baseline)
+
+    def test_partial_campaign_is_never_replayed_as_complete(self, campaign):
+        # The faulted run must not have written the campaign-level entry:
+        # a fresh pipeline over the same disk cache still sees per-task
+        # entries only (it would recompute the failed tasks).
+        from repro.experiments.pipeline import ensemble_cache_key
+
+        key = ensemble_cache_key(
+            "random", campaign.parameters, include_multi_port=False
+        )
+        probe = ResultCache(campaign.cache_dir)
+        # Reading straight from disk (fresh memory): per-task entries hit,
+        # the campaign entry was deferred until the resume run above.
+        assert probe.get(campaign.task_keys[0]) is not None
+
+
+class TestCampaignOverProcessPool:
+    def test_worker_crashes_break_and_recover_the_pool(self, tmp_path):
+        parameters = _campaign_parameters(12, seed=99)
+        tasks = random_ensemble_tasks(parameters, include_multi_port=False)
+        task_keys, job_keys = _task_labels_and_job_keys(tasks)
+        plan = predicted = None
+        for seed in range(200):
+            candidate = FaultPlan(seed=seed, task_crash_rate=0.04, persistent=True)
+            hits = _predict_failures(candidate, task_keys, job_keys)
+            if 2 <= len(hits) <= 3:
+                plan, predicted = candidate, hits
+                break
+        assert plan is not None, "no crash-plan seed matches"
+
+        baseline_pipe = EvaluationPipeline(
+            cache=ResultCache(tmp_path / "baseline"),
+            keep_going=True,
+            retry_policy=RetryPolicy(retries=0),
+        )
+        baseline = baseline_pipe.evaluate(
+            "random", parameters, include_multi_port=False
+        )
+        per_task = [baseline_pipe.cache.get(key) for key in task_keys]
+
+        pipe = EvaluationPipeline(
+            executor=ProcessExecutor(2),
+            cache=ResultCache(tmp_path / "campaign"),
+            keep_going=True,
+            retry_policy=RetryPolicy(retries=0, backoff=0.001),
+        )
+        with inject_faults(plan):
+            survivors = pipe.evaluate("random", parameters, include_multi_port=False)
+
+        assert len(pipe.failures) == len(predicted)
+        assert {ensemble_task_key(r.task) for r in pipe.failures} == {
+            task_keys[i] for i in predicted
+        }
+        # Crashes surface as the pool break (WorkerCrashError) or, after
+        # the pool has degraded to in-process execution, as the downgraded
+        # InjectedCrashError — both structured, both accounted.
+        assert all(
+            record.failure.error_type in ("WorkerCrashError", "InjectedCrashError")
+            for record in pipe.failures
+        )
+        expected = [
+            payload
+            for i, records in enumerate(per_task)
+            if i not in predicted
+            for payload in _payloads(records)
+        ]
+        assert _payloads(survivors) == expected
+        assert not baseline_pipe.failures
+        assert _payloads(baseline) == [
+            payload for records in per_task for payload in _payloads(records)
+        ]

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import json
+import threading
+import warnings
 from dataclasses import fields, replace
 
 import pytest
 
 from repro import _version
+from repro.runtime import ResultCache as RuntimeResultCache
 from repro.exceptions import ExperimentError
 from repro.experiments import (
     EvaluationPipeline,
@@ -221,6 +224,78 @@ class TestResultCache:
         cache.put("k", [self._record()])
         cache.clear_memory()
         assert cache.get("k") is None
+
+
+class TestCacheRobustness:
+    """Failure modes of the two-level cache: corruption, bad dirs, races."""
+
+    def _rows(self, value: int = 1) -> list[dict]:
+        return [{"value": value}]
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        RuntimeResultCache(tmp_path, version="v").put("k", self._rows())
+        entry = tmp_path / "ensemble-k.json"
+        entry.write_text(entry.read_text(encoding="utf-8")[:10], encoding="utf-8")
+        assert RuntimeResultCache(tmp_path, version="v").get("k") is None
+        # The corrupted file is moved aside, never re-parsed on later runs.
+        assert not entry.exists()
+        assert entry.with_suffix(".corrupt").exists()
+        assert RuntimeResultCache(tmp_path, version="v").get("k") is None
+
+    def test_key_mismatch_is_quarantined(self, tmp_path):
+        RuntimeResultCache(tmp_path, version="v").put("k", self._rows())
+        entry = tmp_path / "ensemble-k.json"
+        imposter = tmp_path / "ensemble-other.json"
+        entry.rename(imposter)
+        assert RuntimeResultCache(tmp_path, version="v").get("other") is None
+        assert not imposter.exists()
+        assert imposter.with_suffix(".corrupt").exists()
+
+    def test_other_version_entry_is_a_miss_not_corruption(self, tmp_path):
+        RuntimeResultCache(tmp_path, version="1.0").put("k", self._rows(1))
+        entry = tmp_path / "ensemble-k.json"
+        newer = RuntimeResultCache(tmp_path, version="2.0")
+        assert newer.get("k") is None
+        assert entry.exists()  # valid entry, just stale: not quarantined
+        newer.put("k", self._rows(2))
+        assert RuntimeResultCache(tmp_path, version="2.0").get("k") == self._rows(2)
+
+    def test_unwritable_cache_dir_degrades_to_memory_with_one_warning(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("occupied", encoding="utf-8")
+        # The directory cannot be created (its parent is a file), which is
+        # only discovered on first write.
+        cache = RuntimeResultCache(blocker / "cache", version="v")
+        assert cache.disk_active
+        with pytest.warns(RuntimeWarning, match="in-memory level only"):
+            cache.put("k", self._rows())
+        assert not cache.disk_active
+        assert cache.get("k") == self._rows()  # memory level still serves
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # degraded exactly once: no rewarn
+            cache.put("k2", self._rows(2))
+        assert cache.get("k2") == self._rows(2)
+
+    def test_concurrent_same_key_writers_leave_a_parsable_entry(self, tmp_path):
+        written = [self._rows(i) for i in range(8)]
+        barrier = threading.Barrier(len(written))
+
+        def writer(rows: list[dict]) -> None:
+            cache = RuntimeResultCache(tmp_path, version="v")
+            barrier.wait()
+            for _ in range(25):
+                cache.put("k", rows)
+
+        threads = [
+            threading.Thread(target=writer, args=(rows,)) for rows in written
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        final = RuntimeResultCache(tmp_path, version="v").get("k")
+        assert final in written  # atomic replace: one writer's rows, intact
+        assert not list(tmp_path.glob("*.corrupt"))
 
 
 class TestPipelineCacheIntegration:
