@@ -1,0 +1,246 @@
+"""Solve-service request latency: warm caches and batch dedup over HTTP.
+
+The service (``repro.service``) keeps one byte-budgeted
+:class:`~repro.api.Session` alive across requests, so what a client pays
+per request depends almost entirely on cache temperature.  This benchmark
+runs a real ``ThreadingHTTPServer`` on an ephemeral port and measures,
+end to end (JSON encode, HTTP round trip, admission, solve, JSON decode):
+
+* ``latency`` — per-request wall clock for a *cold* pass (every job new)
+  vs a *warm* replay of the identical requests, asserting on every run
+  that warm replies are byte-identical to cold replies and that the warm
+  pass re-solves no LP (the ``/statz`` miss counter must not move);
+* ``dedup`` — one batch request holding each job four times, asserting
+  the service solves each distinct job once (LP misses == distinct jobs)
+  and returns four identical copies of each reply;
+* ``overhead`` — warm service request vs a warm in-process
+  ``Session.solve``, i.e. what the HTTP + JSON envelope costs once the
+  solve itself is a cache hit.
+
+Run ``--quick`` in CI for a small smoke sweep; the full run publishes the
+repository's ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.request
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+
+from conftest import record_host
+from repro import _version
+from repro.api import Job, PlatformRecipe, Session
+from repro.service import ServiceApp, ServiceConfig, SolveService
+from repro.service.server import _make_handler
+from bench_hotpaths import check
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_jobs(count: int) -> list[Job]:
+    """``count`` distinct broadcast jobs on mid-size random platforms."""
+    return [
+        Job.broadcast(
+            PlatformRecipe.of(
+                "random", num_nodes=16, density=0.4, seed=5000 + index
+            ),
+            source=0,
+            heuristic=("grow-tree", "prune-degree")[index % 2],
+        )
+        for index in range(count)
+    ]
+
+
+class ServiceUnderTest:
+    """A live service + HTTP server on an ephemeral port."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.service = SolveService(config or ServiceConfig(port=0))
+        self.service.start()
+        handler = _make_handler(ServiceApp(self.service))
+        self.httpd = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self.thread.start()
+        host, port = self.httpd.server_address[:2]
+        self.base_url = f"http://{host}:{port}"
+
+    def post_solve(self, jobs: list[Job]) -> tuple[float, bytes]:
+        """POST one request; return (seconds, raw reply bytes)."""
+        body = json.dumps(
+            {"jobs": [job.canonical_payload() for job in jobs], "deadline": 300}
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}/solve",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        start = time.perf_counter()
+        with urllib.request.urlopen(request, timeout=300) as response:
+            payload = response.read()
+        return time.perf_counter() - start, payload
+
+    def statz(self) -> dict:
+        with urllib.request.urlopen(
+            f"{self.base_url}/statz", timeout=30
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.service.stop()
+
+
+def latency_stats(seconds: list[float]) -> dict:
+    ordered = sorted(seconds)
+    return {
+        "requests": len(ordered),
+        "total_seconds": round(sum(ordered), 5),
+        "mean_seconds": round(sum(ordered) / len(ordered), 5),
+        "p50_seconds": round(ordered[len(ordered) // 2], 5),
+        "max_seconds": round(ordered[-1], 5),
+    }
+
+
+def bench_latency(under_test: ServiceUnderTest, jobs: list[Job]) -> dict:
+    cold_times, cold_replies = [], []
+    for job in jobs:
+        seconds, reply = under_test.post_solve([job])
+        cold_times.append(seconds)
+        cold_replies.append(reply)
+
+    misses_before = under_test.statz()["caches"]["lp_solutions"]["misses"]
+    warm_times = []
+    for index, job in enumerate(jobs):
+        seconds, reply = under_test.post_solve([job])
+        warm_times.append(seconds)
+        check(
+            reply == cold_replies[index],
+            f"warm reply identical to cold reply, job {index}",
+        )
+    misses_after = under_test.statz()["caches"]["lp_solutions"]["misses"]
+    check(
+        misses_after == misses_before,
+        "warm replay re-solved an LP (cache miss counter moved)",
+    )
+
+    cold, warm = latency_stats(cold_times), latency_stats(warm_times)
+    return {
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": round(cold["mean_seconds"] / warm["mean_seconds"], 2),
+        "identical": True,
+    }
+
+
+def bench_dedup(jobs: list[Job], copies: int) -> dict:
+    """A fresh service fed one batch holding each job ``copies`` times."""
+    batch: list[Job] = [job for job in jobs for _ in range(copies)]
+    # Admission limits sized for the batch: this measures dedup, not 429s.
+    under_test = ServiceUnderTest(
+        ServiceConfig(
+            port=0,
+            max_queued_jobs=len(batch),
+            tenant_quota=len(batch),
+            max_batch_jobs=len(batch),
+        )
+    )
+    try:
+        seconds, reply = under_test.post_solve(batch)
+        payload = json.loads(reply.decode("utf-8"))
+        results = payload["results"]
+        check(len(results) == len(batch), "one reply entry per submitted job")
+        for index, job in enumerate(jobs):
+            group = results[index * copies : (index + 1) * copies]
+            check(
+                all(entry == group[0] for entry in group),
+                f"duplicate submissions of job {index} got identical replies",
+            )
+        stats = under_test.statz()["caches"]["lp_solutions"]
+        check(
+            stats["misses"] == len(jobs),
+            "batch dedup: distinct LP solves must equal distinct jobs",
+        )
+        return {
+            "jobs_submitted": len(batch),
+            "jobs_distinct": len(jobs),
+            "batch_seconds": round(seconds, 5),
+            "lp_misses": stats["misses"],
+            "dedup_ratio": round(len(batch) / stats["misses"], 2),
+            "identical": True,
+        }
+    finally:
+        under_test.close()
+
+
+def bench_overhead(under_test: ServiceUnderTest, job: Job, rounds: int) -> dict:
+    """Warm HTTP request vs warm in-process solve of the same job."""
+    session = Session()
+    session.solve(job).materialize()  # warm the in-process caches too
+    under_test.post_solve([job])
+
+    service_seconds = min(
+        under_test.post_solve([job])[0] for _ in range(rounds)
+    )
+
+    def in_process() -> float:
+        start = time.perf_counter()
+        session.solve(job).materialize().deterministic_metrics()
+        return time.perf_counter() - start
+
+    session_seconds = min(in_process() for _ in range(rounds))
+    return {
+        "warm_request_seconds": round(service_seconds, 5),
+        "warm_session_seconds": round(session_seconds, 5),
+        "envelope_seconds": round(service_seconds - session_seconds, 5),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sweep (CI smoke): 6 jobs, 2 dedup copies",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="where to write the benchmark record",
+    )
+    args = parser.parse_args(argv)
+
+    num_jobs, copies, rounds = (6, 2, 3) if args.quick else (24, 4, 10)
+    jobs = make_jobs(num_jobs)
+
+    under_test = ServiceUnderTest()
+    try:
+        record = {
+            "benchmark": "service",
+            "version": _version.__version__,
+            "created_unix": round(time.time(), 1),
+            "quick": args.quick,
+            "host": record_host(),
+            "latency": bench_latency(under_test, jobs),
+            "dedup": bench_dedup(jobs, copies),
+            "overhead": bench_overhead(under_test, jobs[0], rounds),
+        }
+    finally:
+        under_test.close()
+
+    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

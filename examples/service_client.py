@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Talk to the long-lived solve service over plain HTTP.
+
+This example exercises the deployment surface end to end:
+
+1. launch ``repro serve`` as a subprocess on an ephemeral port,
+2. POST a batch of versioned :class:`repro.Job` payloads to ``/solve``
+   and rebuild :class:`repro.Result` objects from the JSON wire format,
+3. repeat the batch to show the warm cross-request session caches (the
+   LP is not re-solved; ``/statz`` proves it),
+4. send a malformed request to show the structured error contract —
+   the service answers JSON for *every* input, it never stack-traces,
+5. shut the service down with SIGTERM and confirm the graceful drain
+   (exit code 0).
+
+Run with ``python examples/service_client.py``.  Only the standard
+library is needed on the client side: the wire format is plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.api import Job, PlatformRecipe, Result
+from repro.utils.ascii_plot import format_table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def launch_service() -> tuple[subprocess.Popen, str]:
+    """Start ``repro serve`` on an ephemeral port; return (process, base url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    assert process.stdout is not None
+    line = process.stdout.readline().strip()
+    # "repro solve service listening on http://127.0.0.1:PORT"
+    base_url = line.rsplit(" ", 1)[-1]
+    return process, base_url
+
+
+def post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def main() -> None:
+    process, base_url = launch_service()
+    try:
+        print(f"service up at {base_url}")
+
+        # One batch: every paper one-port heuristic on the same platform.
+        recipe = PlatformRecipe.of("random", num_nodes=16, density=0.3, seed=7)
+        jobs = [
+            Job.broadcast(recipe, source=0, heuristic=name)
+            for name in ("grow-tree", "prune-degree", "prune-simple")
+        ]
+        payload = {"jobs": [job.canonical_payload() for job in jobs], "deadline": 60}
+
+        reply = post(f"{base_url}/solve", payload)
+        results = [Result.from_dict(entry) for entry in reply["results"]]
+        rows = [
+            [r.job.heuristic, r.throughput, r.relative_performance]
+            for r in results
+        ]
+        print(format_table(["heuristic", "throughput", "vs optimum"], rows))
+
+        # The session caches survive between requests: replaying the batch
+        # re-solves nothing (the LP miss counter does not move).
+        before = get(f"{base_url}/statz")["caches"]["lp_solutions"]["misses"]
+        replay = post(f"{base_url}/solve", payload)
+        after = get(f"{base_url}/statz")["caches"]["lp_solutions"]["misses"]
+        assert replay["results"] == reply["results"], "warm replay must match"
+        assert after == before, "warm replay must not re-solve the LP"
+        print(f"warm replay: identical results, LP misses still {after}")
+
+        # Garbage in, structured JSON out — never a stack trace.
+        try:
+            post(f"{base_url}/solve", {"jobs": "not-a-list"})
+        except urllib.error.HTTPError as error:
+            detail = json.loads(error.read().decode("utf-8"))
+            print(
+                f"malformed request -> HTTP {error.code} "
+                f"{detail['error']['kind']}: {detail['error']['message']}"
+            )
+
+        stats = get(f"{base_url}/statz")
+        print(
+            f"served {stats['counters']['requests_total']} requests, "
+            f"{stats['counters']['jobs_solved']} jobs solved, "
+            f"cache {stats['caches']['total']['bytes']} bytes"
+        )
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            code = process.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise
+        print(f"SIGTERM -> drained and exited with code {code}")
+        if code != 0:
+            raise SystemExit(code)
+
+
+if __name__ == "__main__":
+    main()

@@ -257,6 +257,19 @@ class Result:
         """Serialise to JSON; inverse of :meth:`from_json`."""
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
+    def wire_dict(self) -> dict[str, Any]:
+        """The solve service's per-job wire form.
+
+        :meth:`to_dict` plus an explicit ``"ok"`` discriminator, so clients
+        branch on one boolean instead of probing for the ``"error"`` key —
+        the contract documented in the README's Service section.  Works for
+        both successful results (``ok: true`` + ``"metrics"``) and
+        :class:`FailedResult` records (``ok: false`` + ``"error"``).
+        """
+        data = self.to_dict()
+        data["ok"] = self.ok
+        return data
+
     @classmethod
     def from_dict(
         cls, data: Mapping[str, Any], *, session: "Session | None" = None

@@ -44,6 +44,8 @@ from ..lp.solution import SteadyStateSolution
 from ..lp.solver import LPSolutionCache
 from ..platform.graph import Platform
 from ..runtime import (
+    BoundedCache,
+    ByteBudget,
     ProcessExecutor,
     ResultCache,
     RetryPolicy,
@@ -51,6 +53,7 @@ from ..runtime import (
     SupervisedExecutor,
     TaskExecutor,
     TaskFailure,
+    approx_nbytes,
     stable_key,
 )
 from ..simulation.broadcast import SimulationResult
@@ -59,6 +62,19 @@ from .job import Job, PlatformRecipe, platform_payload
 from .result import FailedResult, Result
 
 __all__ = ["Session", "default_session"]
+
+
+def _tree_nbytes(tree: "BroadcastTree") -> int:
+    """Tree cache charge: own structure + compiled arrays, not the platform.
+
+    The platform a tree points back into is charged by the platform cache;
+    counting it again here would make every tree look platform-sized and
+    starve the tree cache under a shared byte budget.
+    """
+    total = approx_nbytes(tree.parents) + approx_nbytes(tree.routes)
+    for view in tree.__dict__.get("_compiled_tree_cache", {}).values():
+        total += view.nbytes
+    return total
 
 
 class Session:
@@ -80,6 +96,16 @@ class Session:
         Defaults to ``RetryPolicy()`` (two retries, no timeout).
     lp_cache / result_cache:
         Pre-built caches (advanced; lets several sessions share state).
+    max_cache_entries / max_cache_bytes:
+        Budgets for the session-owned caches.  ``max_cache_entries`` bounds
+        each memo cache (platforms, trees, reports, makespans, simulations,
+        metric payloads, LP solutions) individually; ``max_cache_bytes`` is
+        *one shared byte ceiling* across all of them, enforced by global
+        least-recently-used eviction (:class:`~repro.runtime.ByteBudget`).
+        Evicted entries are recomputed (or re-read from the disk result
+        cache) on the next access — correctness is unaffected, memory stays
+        bounded, which is what a long-lived solve service needs.  The
+        defaults (``None``) keep the historical unbounded behaviour.
 
     Error handling
     --------------
@@ -101,6 +127,8 @@ class Session:
         retry_policy: RetryPolicy | None = None,
         lp_cache: LPSolutionCache | None = None,
         result_cache: ResultCache | None = None,
+        max_cache_entries: int | None = None,
+        max_cache_bytes: int | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -108,27 +136,54 @@ class Session:
             executor = SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
         self.executor = executor
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
-        self.lp_cache = lp_cache if lp_cache is not None else LPSolutionCache()
+        #: Shared byte ceiling across every session-owned cache (or None).
+        self.cache_budget = (
+            ByteBudget(max_cache_bytes) if max_cache_bytes is not None else None
+        )
+
+        def bounded(name: str, sizeof: Any = None) -> BoundedCache:
+            return BoundedCache(
+                max_cache_entries,
+                budget=self.cache_budget,
+                sizeof=sizeof,
+                name=name,
+            )
+
+        self.lp_cache = (
+            lp_cache
+            if lp_cache is not None
+            else LPSolutionCache(max_cache_entries, budget=self.cache_budget)
+        )
         self.results = (
             result_cache
             if result_cache is not None
-            else ResultCache(cache_dir, prefix="job", version=__version__)
+            else ResultCache(
+                cache_dir,
+                prefix="job",
+                version=__version__,
+                memory=bounded("result-rows"),
+            )
         )
         # Platform entries record the instance's mutation epoch at insert:
         # a platform mutated after registration is a miss, not a stale hit.
-        self._platforms: dict[str, tuple[Platform, int]] = {}
-        self._trees: dict[str, BroadcastTree] = {}
-        self._reports: dict[str, ThroughputReport] = {}
-        self._makespans: dict[tuple[str, int], MakespanReport] = {}
-        self._simulations: dict[tuple[str, int], SimulationResult] = {}
-        self._payloads: dict[str, dict[str, Any]] = {}
+        self._platforms: BoundedCache = bounded("platforms")
+        self._trees: BoundedCache = bounded("trees", sizeof=_tree_nbytes)
+        self._reports: BoundedCache = bounded("reports")
+        self._makespans: BoundedCache = bounded("makespans")
+        self._simulations: BoundedCache = bounded("simulations")
+        self._payloads: BoundedCache = bounded("payloads")
         # Metric-key count at last persist per job; metrics only ever grow
         # (setdefault), so an unchanged count means nothing new to write.
-        self._persisted: dict[str, int] = {}
+        # Entry-bounded only: the values are a handful of bytes each.
+        self._persisted: BoundedCache = BoundedCache(
+            max_cache_entries, name="persisted"
+        )
         # Wall-clock of the *actual* solve per LP identity: every job that
         # shares an LP reports the platform's real solve time, not the
         # near-zero cache-hit time of whoever asked second.
-        self._lp_times: dict[tuple, float] = {}
+        self._lp_times: BoundedCache = BoundedCache(
+            max_cache_entries, name="lp-times"
+        )
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -150,6 +205,7 @@ class Session:
         *,
         materialize: bool = True,
         on_error: str = "raise",
+        retry_policy: RetryPolicy | None = None,
     ) -> list[Result]:
         """Solve a batch of jobs, fanning out through the session executor.
 
@@ -174,11 +230,16 @@ class Session:
           :class:`~repro.api.result.FailedResult` in the returned list
           (successful batch-mates are unaffected), letting campaigns keep
           going and account for failures afterwards.
+
+        ``retry_policy`` overrides the session policy for this call only —
+        the solve service uses it to thread each request's remaining
+        deadline into the per-task timeouts.
         """
         if on_error not in ("raise", "collect"):
             raise ConfigError(
                 f"on_error must be 'raise' or 'collect', got {on_error!r}"
             )
+        policy = retry_policy if retry_policy is not None else self.retry_policy
         batch = list(jobs)
         results = [self.solve(job) for job in batch]
         if not materialize:
@@ -199,10 +260,12 @@ class Session:
         failures: dict[str, TaskFailure] = {}
         if pending:
             if isinstance(self.executor, ProcessExecutor):
-                self._solve_pending_process(batch, pending, on_error, failures)
+                self._solve_pending_process(
+                    batch, pending, on_error, failures, policy
+                )
             else:
                 self._solve_pending_inprocess(
-                    batch, results, pending, on_error, failures
+                    batch, results, pending, on_error, failures, policy
                 )
         if failures:
             # Twins deduplicated away share their representative's fate.
@@ -222,6 +285,7 @@ class Session:
         pending: "list[int]",
         on_error: str,
         failures: "dict[str, TaskFailure]",
+        policy: RetryPolicy,
     ) -> None:
         """Materialize pending jobs on this session's own caches.
 
@@ -236,7 +300,7 @@ class Session:
         """
         self._materialize_batched(batch, pending)
         labels = [batch[i].cache_key() for i in pending]
-        supervisor = SupervisedExecutor(self.executor, self.retry_policy)
+        supervisor = SupervisedExecutor(self.executor, policy)
         outcomes = supervisor.map_outcomes(
             lambda i: results[i].materialize() and None, pending, labels=labels
         )
@@ -253,6 +317,7 @@ class Session:
         pending: "list[int]",
         on_error: str,
         failures: "dict[str, TaskFailure]",
+        policy: RetryPolicy,
     ) -> None:
         """Materialize pending jobs through the process pool.
 
@@ -274,7 +339,7 @@ class Session:
         tasks = [
             {
                 "jobs": [batch[i].to_json() for i in group],
-                "policy": self.retry_policy.to_dict(),
+                "policy": policy.to_dict(),
                 "on_error": on_error,
             }
             for group in ordered
@@ -282,7 +347,7 @@ class Session:
         labels = [f"group:{batch[group[0]].platform_key()}" for group in ordered]
         supervisor = SupervisedExecutor(
             self.executor,
-            replace(self.retry_policy, task_timeout=None),
+            replace(policy, task_timeout=None),
             fault_hook=False,
         )
         outcomes = supervisor.map_outcomes(
@@ -580,15 +645,20 @@ class Session:
         }
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
-        """Entry counts *and approximate byte sizes* of the session caches.
+        """Usage snapshot of every session cache: entries, bytes, hits,
+        misses and evictions.
 
         The byte figures make the unbounded-cache question measurable
         (ROADMAP item 1): compiled platform / tree views report their exact
         array payload (:attr:`CompiledPlatform.nbytes
         <repro.platform.compiled.CompiledPlatform.nbytes>` /
         :attr:`CompiledTree.nbytes <repro.kernels.tree.CompiledTree.nbytes>`),
-        metric payloads a shallow :func:`sys.getsizeof` estimate.  Use
-        :meth:`cache_info` when only entry counts are needed.
+        everything else the :func:`~repro.runtime.approx_nbytes` estimate
+        the eviction budgets use.  The ``total`` block aggregates the
+        budget-charged bytes (and the configured ceiling, when the session
+        was built with ``max_cache_bytes``) — the number the solve
+        service's ``/statz`` endpoint reports and its soak test asserts.
+        Use :meth:`cache_info` when only entry counts are needed.
         """
         import sys as _sys
 
@@ -611,26 +681,54 @@ class Session:
             + sum(_sys.getsizeof(k) + _sys.getsizeof(v) for k, v in payload.items())
             for payload in self._payloads.values()
         )
-        return {
+        lp_stats = (
+            self.lp_cache.stats() if hasattr(self.lp_cache, "stats") else {}
+        )
+        stats = {
             "platforms": {
-                "entries": len(self._platforms),
+                **self._platforms.stats(),
                 "compiled_views": compiled_views,
                 "compiled_bytes": compiled_bytes,
             },
             "trees": {
-                "entries": len(self._trees),
+                **self._trees.stats(),
                 "compiled_views": tree_views,
                 "compiled_bytes": tree_bytes,
             },
-            "lp_solutions": {"entries": len(self.lp_cache)},
-            "reports": {"entries": len(self._reports)},
-            "makespans": {"entries": len(self._makespans)},
-            "simulations": {"entries": len(self._simulations)},
+            "lp_solutions": {"entries": len(self.lp_cache), **lp_stats},
+            "reports": self._reports.stats(),
+            "makespans": self._makespans.stats(),
+            "simulations": self._simulations.stats(),
             "results": {
-                "entries": len(self._payloads),
+                **self._payloads.stats(),
                 "approx_bytes": payload_bytes,
             },
+            "result_rows": self.results.memory_stats(),
         }
+        tracked = (
+            "platforms",
+            "trees",
+            "lp_solutions",
+            "reports",
+            "makespans",
+            "simulations",
+            "results",
+            "result_rows",
+        )
+        stats["total"] = {
+            "bytes": (
+                self.cache_budget.total_bytes
+                if self.cache_budget is not None
+                else sum(int(stats[name].get("bytes", 0)) for name in tracked)
+            ),
+            "max_bytes": (
+                self.cache_budget.max_bytes if self.cache_budget is not None else None
+            ),
+            "evictions": sum(
+                int(stats[name].get("evictions", 0)) for name in tracked
+            ),
+        }
+        return stats
 
     def clear(self) -> None:
         """Drop every in-memory cache (disk result entries are kept)."""

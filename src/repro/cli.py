@@ -26,7 +26,12 @@ program the command already paid for), and the command prints the lazy
 ``python -m repro.cli experiment --artefact fig4a --scale 0.1``
     regenerate one of the paper's artefacts (``fig4a``, ``fig4b``, ``fig5``,
     ``table3``) or the collective-scaling sweep (``collective``) at a chosen
-    ensemble scale.
+    ensemble scale;
+
+``python -m repro.cli serve --port 8642``
+    run the long-lived HTTP/JSON solve service (:mod:`repro.service`):
+    warm byte-budgeted caches, admission control with per-tenant quotas,
+    request deadlines, and SIGTERM-drained shutdown.
 
 Every command accepts ``--tiers SIZE`` instead of ``--nodes/--density`` to
 use the Tiers-like hierarchical generator, and ``--seed`` for
@@ -243,6 +248,31 @@ def _cmd_experiment(args: argparse.Namespace, session: Session) -> int:
     return 0 if result.ok and not failures else 1
 
 
+def _cmd_serve(args: argparse.Namespace, session: Session) -> int:
+    # Imported here so every other subcommand stays free of the service
+    # stack; the shared default session is deliberately NOT reused — the
+    # server owns a bounded session sized by its own flags.
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_queued_jobs=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        default_deadline=args.deadline,
+        drain_timeout=args.drain_timeout,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_cache_entries=args.max_cache_entries,
+        max_cache_bytes=args.max_cache_bytes,
+    )
+
+    def announce(host: str, port: int) -> None:
+        print(f"repro solve service listening on http://{host}:{port}", flush=True)
+
+    return serve(config, ready_callback=announce)
+
+
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
@@ -339,6 +369,57 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     experiment.set_defaults(handler=_cmd_experiment)
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived HTTP/JSON solve service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="total jobs admitted but not yet solved before 429s",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=32,
+        help="per-tenant in-flight job ceiling (X-Tenant header)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="default per-request deadline, seconds",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="how long SIGTERM waits for in-flight jobs, seconds",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, help="session worker processes"
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, help="on-disk result cache directory"
+    )
+    serve.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=512,
+        help="per-cache entry bound of the server session",
+    )
+    serve.add_argument(
+        "--max-cache-bytes",
+        type=int,
+        default=256 * 1024 * 1024,
+        help="shared byte budget across the server session's caches",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -24,6 +24,9 @@ __all__ = [
     "TaskTimeoutError",
     "WorkerCrashError",
     "JobFailedError",
+    "ServiceError",
+    "AdmissionError",
+    "DeadlineExceededError",
     "InjectedFault",
 ]
 
@@ -104,6 +107,35 @@ class JobFailedError(ReproError):
     def __init__(self, message: str, failure: object | None = None) -> None:
         super().__init__(message)
         self.failure = failure
+
+
+class ServiceError(ReproError):
+    """Base class of the solve-service request failures (:mod:`repro.service`).
+
+    Every subclass carries the HTTP status its structured JSON error body
+    is served with, so the transport layer never has to guess."""
+
+    status = 500
+
+
+class AdmissionError(ServiceError):
+    """Raised when admission control rejects a request (queue full or
+    tenant quota exhausted).  Served as HTTP 429 with a ``Retry-After``
+    hint of :attr:`retry_after` seconds."""
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's deadline expires before its jobs finish.
+    Served as HTTP 504; the solve may still complete in the background and
+    warm the caches for a retry."""
+
+    status = 504
 
 
 class InjectedFault(ReproError):

@@ -41,7 +41,12 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import json
 import os
+import signal
+import tempfile
+import threading
+import time
 from dataclasses import dataclass, fields
 from typing import Any, Iterator, Mapping
 
@@ -81,6 +86,7 @@ __all__ = [
     "ProcessExecutor",
     "ResultCache",
     "EvaluationPipeline",
+    "INTERRUPT_MANIFEST",
     "ensemble_cache_key",
     "ensemble_task_key",
 ]
@@ -421,6 +427,50 @@ class ResultCache(_GenericResultCache):
 
 
 # --------------------------------------------------------------------------- #
+# Interrupts
+# --------------------------------------------------------------------------- #
+#: Manifest file a supervised campaign leaves in its cache directory when a
+#: SIGINT/SIGTERM interrupts it mid-run.
+INTERRUPT_MANIFEST = "interrupt-manifest.json"
+
+
+class _campaign_interrupt_guard:
+    """Turn SIGTERM into an exception so campaigns can exit cleanly.
+
+    SIGINT already raises :class:`KeyboardInterrupt` between bytecodes;
+    SIGTERM by default kills the process wherever it stands — including
+    halfway through a cache write-through loop.  Inside the guard, SIGTERM
+    raises :class:`SystemExit` (with the conventional ``128 + signum``
+    code) instead, so the supervised loop's ``except`` path runs: the
+    current atomic cache write completes, the interrupt manifest is
+    written, and the process exits with campaign state on disk.
+
+    Installs nothing when not on the main thread (``signal.signal`` is
+    main-thread-only); the campaign then keeps the host application's
+    handling.
+    """
+
+    def __init__(self) -> None:
+        self._previous: Any = None
+        self._installed = False
+
+    @staticmethod
+    def _raise_exit(signum: int, frame: Any) -> None:
+        raise SystemExit(128 + signum)
+
+    def __enter__(self) -> "_campaign_interrupt_guard":
+        if threading.current_thread() is threading.main_thread():
+            self._previous = signal.signal(signal.SIGTERM, self._raise_exit)
+            self._installed = True
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._installed:
+            signal.signal(signal.SIGTERM, self._previous)
+            self._installed = False
+
+
+# --------------------------------------------------------------------------- #
 # Pipeline
 # --------------------------------------------------------------------------- #
 class EvaluationPipeline:
@@ -588,21 +638,31 @@ class EvaluationPipeline:
                 [tasks[i] for i in pending],
                 labels=[labels[i] for i in pending],
             )
-            for outcome in outcomes:
-                i = pending[outcome.index]
-                if outcome.ok:
-                    record_lists[i] = outcome.value
-                    # Write-through per task: this is what resume reads.
-                    self.cache.put(labels[i], outcome.value)
-                    if progress:
-                        self._print_progress(tasks[i], outcome.value)
-                    continue
-                if not self.keep_going:
-                    outcome.raise_if_failed()
-                failed += 1
-                self.failures.append(TaskErrorRecord(tasks[i], outcome.failure))
-                if progress:
-                    print(f"[failed] {self.failures[-1].describe()}")
+            try:
+                with _campaign_interrupt_guard():
+                    for outcome in outcomes:
+                        i = pending[outcome.index]
+                        if outcome.ok:
+                            record_lists[i] = outcome.value
+                            # Write-through per task: this is what resume reads.
+                            self.cache.put(labels[i], outcome.value)
+                            if progress:
+                                self._print_progress(tasks[i], outcome.value)
+                            continue
+                        if not self.keep_going:
+                            outcome.raise_if_failed()
+                        failed += 1
+                        self.failures.append(
+                            TaskErrorRecord(tasks[i], outcome.failure)
+                        )
+                        if progress:
+                            print(f"[failed] {self.failures[-1].describe()}")
+            except (KeyboardInterrupt, SystemExit) as interruption:
+                # Completed tasks are already on disk (each cache write is
+                # atomic and happened before this point); record what state
+                # the campaign stopped in, then let the interrupt proceed.
+                self._write_interrupt_manifest(tasks, labels, record_lists, interruption)
+                raise
         records = [
             record
             for task_records in record_lists
@@ -612,3 +672,52 @@ class EvaluationPipeline:
         if not failed:
             self.cache.put(campaign_key, records)
         return records
+
+    def _write_interrupt_manifest(
+        self,
+        tasks: "list[EnsembleTask]",
+        labels: "list[str]",
+        record_lists: "list[list[EvaluationRecord] | None]",
+        interruption: BaseException,
+    ) -> None:
+        """Leave a resume manifest in the cache directory on interrupt.
+
+        Records which tasks completed (and are on disk), which are still
+        pending, and the structured failures collected so far — so an
+        operator inspecting an interrupted campaign knows exactly what a
+        re-run will recompute.  Written atomically (temp file + rename)
+        next to the per-task entries; skipped silently when the pipeline
+        has no disk cache (nothing survives the process then anyway).
+        """
+        cache_dir = getattr(self.cache, "cache_dir", None)
+        if cache_dir is None:
+            return
+        manifest = {
+            "interrupted_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "reason": type(interruption).__name__,
+            "exit_code": (
+                interruption.code
+                if isinstance(interruption, SystemExit)
+                else None
+            ),
+            "tasks_total": len(tasks),
+            "tasks_completed": sum(
+                1 for task_records in record_lists if task_records is not None
+            ),
+            "pending_labels": [
+                labels[i]
+                for i in range(len(tasks))
+                if record_lists[i] is None
+            ],
+            "failures": [record.to_dict() for record in self.failures],
+        }
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=cache_dir, prefix="interrupt-manifest.", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+            os.replace(temp_path, os.path.join(cache_dir, INTERRUPT_MANIFEST))
+        except OSError:
+            pass  # a full/readonly disk must not mask the interrupt itself

@@ -10,7 +10,11 @@ which tasks fail and assert that every injected fault is accounted for:
   exercising the dual-simplex / interior-point fallback chain of
   :mod:`repro.lp.solver`;
 * **cache reads** return corrupted payloads, exercising the
-  quarantine-and-recompute path of :class:`~repro.runtime.ResultCache`.
+  quarantine-and-recompute path of :class:`~repro.runtime.ResultCache`;
+* **service requests** fail inside the solve service's request handling
+  (:class:`InjectedRequestError`), exercising the structured-error path of
+  :mod:`repro.service` — the server must answer with a JSON error body,
+  never a traceback or a dead connection.
 
 Every decision is a pure function of the :class:`FaultPlan` seed and a
 stable token (the supervised task's label, the cache key, the solver call
@@ -52,6 +56,7 @@ __all__ = [
     "InjectedWorkerError",
     "InjectedCrashError",
     "InjectedSolverError",
+    "InjectedRequestError",
 ]
 
 #: Exit code of a worker process killed by an injected crash fault.
@@ -77,12 +82,20 @@ class InjectedSolverError(InjectedFault):
     """A transient LP solver failure (recovered by the method fallback)."""
 
 
+class InjectedRequestError(InjectedFault):
+    """A solve-service request made to fail by the fault plan.
+
+    The service answers it with a structured JSON 500 — the soak test's way
+    of proving that internal errors never escape as tracebacks."""
+
+
 _RATE_FIELDS = (
     "task_error_rate",
     "task_timeout_rate",
     "task_crash_rate",
     "solver_error_rate",
     "cache_corrupt_rate",
+    "request_error_rate",
 )
 
 
@@ -107,6 +120,7 @@ class FaultPlan:
     task_crash_rate: float = 0.0
     solver_error_rate: float = 0.0
     cache_corrupt_rate: float = 0.0
+    request_error_rate: float = 0.0
     hang_seconds: float = 0.5
     persistent: bool = False
 
@@ -270,6 +284,21 @@ def maybe_fail_solver(method_attempt: int) -> None:
         raise InjectedSolverError(
             f"injected transient solver fault (call #{token})"
         )
+
+
+def maybe_fail_request(token: str) -> None:
+    """Fault hook inside the solve service's request handling.
+
+    ``token`` is a stable per-request identifier (the service uses its
+    request ordinal), so a given burst always injects failures into the
+    same positions — tests can predict exactly which requests get the
+    structured 500.
+    """
+    plan = active_plan()
+    if plan is None or plan.request_error_rate <= 0.0:
+        return
+    if _uniform(plan.seed, "request", token) < plan.request_error_rate:
+        raise InjectedRequestError(f"injected request fault (request {token})")
 
 
 def maybe_corrupt_cache_text(key: str, text: str) -> str:

@@ -25,7 +25,7 @@ from scipy import optimize
 from ..collectives import CollectiveSpec, effective_problem
 from ..exceptions import InfeasibleLPError, InjectedFault, LPError
 from ..platform.graph import Platform
-from ..runtime import FAULT_PLAN_ENV
+from ..runtime import FAULT_PLAN_ENV, BoundedCache, ByteBudget
 from .formulation import SteadyStateLPData, build_collective_lp
 from .solution import SteadyStateSolution
 
@@ -261,14 +261,31 @@ class LPSolutionCache:
     relative-performance metric needs the optimal throughput.  Caching keyed
     on the platform object identity keeps each LP solved exactly once per
     platform without requiring platforms to be hashable by value.
+
+    ``max_entries`` / ``max_bytes`` (or a shared
+    :class:`~repro.runtime.ByteBudget`) bound the cache with LRU eviction —
+    essential for long-lived processes, because every entry pins its
+    platform (and thereby the platform's compiled views) alive.  The byte
+    estimate covers the solution payload *and* the pinned platform, since
+    evicting the entry is what releases both.  Defaults keep the historical
+    unbounded behaviour; :meth:`stats` reports hits / misses / evictions /
+    bytes either way.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        *,
+        budget: "ByteBudget | None" = None,
+    ) -> None:
         # Values pair the solution with the platform itself: the strong
         # reference pins the platform alive, so its id() cannot be recycled
         # by a new platform while the entry exists (id-keyed caches are
         # otherwise unsound after garbage collection).
-        self._cache: dict[tuple, tuple[Platform, SteadyStateSolution]] = {}
+        self._cache: BoundedCache = BoundedCache(
+            max_entries, max_bytes, budget=budget, name="lp-solutions"
+        )
 
     @staticmethod
     def _key(platform: Platform, spec: CollectiveSpec, size: float | None) -> tuple:
@@ -295,9 +312,15 @@ class LPSolutionCache:
     ) -> SteadyStateSolution:
         """Return the cached solution of ``spec``, solving on first use."""
         key = self._key(platform, spec, size)
-        if key not in self._cache:
-            self._cache[key] = (platform, solve_collective_lp(platform, spec, size))
-        return self._cache[key][1]
+        entry = self._cache.get(key)
+        if entry is None:
+            entry = (platform, solve_collective_lp(platform, spec, size))
+            self._cache[key] = entry
+        return entry[1]
+
+    def stats(self) -> dict:
+        """Usage snapshot (entries / bytes / hits / misses / evictions)."""
+        return self._cache.stats()
 
     def clear(self) -> None:
         """Drop every cached solution."""

@@ -18,13 +18,24 @@ without importing each other:
   already-finished items unchanged.  :meth:`SupervisedExecutor.map_outcomes`
   turns permanent failures into structured :class:`TaskFailure` records
   instead of exceptions, which is what ``--keep-going`` campaigns consume.
+* **BoundedCache / ByteBudget** — thread-safe LRU mappings with entry and
+  byte budgets plus hit/miss/eviction counters, the primitive behind every
+  long-lived cache in the library (the session memos, the LP solution
+  cache, the :class:`ResultCache` memory tier).  A :class:`ByteBudget` lets
+  several caches share one byte ceiling with *global* least-recently-used
+  eviction across all of them — the memory-pressure story of the solve
+  service (ROADMAP item 1: unbounded caches are a blocker for any
+  long-lived process).
 * **ResultCache** — a two-level (in-memory + optional on-disk JSON) store
   of *row lists* keyed by caller-provided stable hashes.  The row type is
   pluggable through an ``encode`` / ``decode`` pair (JSON dictionaries by
   default).  Corrupted disk entries are quarantined (renamed to
   ``*.corrupt``) and treated as misses; an unwritable cache directory
   degrades the cache to memory-only with a single warning instead of
-  aborting the campaign.
+  aborting the campaign.  The memory tier can be bounded
+  (``max_memory_entries`` / ``max_memory_bytes``): evicted rows fall back
+  to the disk tier on the next lookup instead of growing the process
+  without limit.
 * **stable_key** — the canonical-JSON SHA-256 used to derive those keys.
 
 Error-handling contract: every failure this module raises derives from
@@ -40,10 +51,12 @@ import hashlib
 import json
 import os
 import re
+import sys
 import tempfile
 import threading
 import time
 import warnings
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -66,6 +79,9 @@ __all__ = [
     "RetryPolicy",
     "TaskFailure",
     "TaskOutcome",
+    "BoundedCache",
+    "ByteBudget",
+    "approx_nbytes",
     "ResultCache",
     "stable_key",
 ]
@@ -683,6 +699,314 @@ class SupervisedExecutor:
 
 
 # --------------------------------------------------------------------------- #
+# Bounded caches
+# --------------------------------------------------------------------------- #
+def approx_nbytes(value: Any, max_depth: int = 4) -> int:
+    """Best-effort byte footprint of ``value`` for cache budgeting.
+
+    Exact where it matters — anything exposing an integer ``nbytes``
+    (NumPy arrays, compiled platform/tree views) reports that — and a
+    bounded-depth ``sys.getsizeof`` walk everywhere else: builtin
+    containers recurse into their elements, arbitrary objects into their
+    ``__dict__``, with an id-based guard against cycles and shared
+    sub-objects.  The result is an *estimate* (attribute slots, interned
+    strings and sharing across entries are approximated), which is exactly
+    what an eviction budget needs: stable, cheap, and roughly proportional
+    to the real footprint.
+    """
+    seen: set[int] = set()
+
+    def walk(item: Any, depth: int) -> int:
+        nbytes = getattr(item, "nbytes", None)
+        if isinstance(nbytes, int) and not isinstance(item, (bool, int)):
+            return nbytes + 64  # array payload plus object overhead
+        if isinstance(item, (int, float, bool, complex)) or item is None:
+            return sys.getsizeof(item)
+        if isinstance(item, (str, bytes, bytearray)):
+            return sys.getsizeof(item)
+        if id(item) in seen or depth <= 0:
+            return sys.getsizeof(item) if depth <= 0 and id(item) not in seen else 0
+        seen.add(id(item))
+        total = sys.getsizeof(item)
+        if isinstance(item, Mapping):
+            for key, value_ in item.items():
+                total += walk(key, depth - 1) + walk(value_, depth - 1)
+            return total
+        if isinstance(item, (list, tuple, set, frozenset)):
+            for value_ in item:
+                total += walk(value_, depth - 1)
+            return total
+        attributes = getattr(item, "__dict__", None)
+        if isinstance(attributes, dict):
+            total += walk(attributes, depth - 1)
+        return total
+
+    return walk(value, max_depth)
+
+
+class ByteBudget:
+    """One byte ceiling shared by several :class:`BoundedCache` members.
+
+    Member caches charge their entries against the shared total; whenever
+    the total exceeds ``max_bytes``, the budget evicts the *globally*
+    least-recently-used entry across every member (each touch stamps a
+    monotonic clock) until the total fits again.  All members share the
+    budget's re-entrant lock, so charging, touching and rebalancing are
+    mutually consistent under concurrent requests — the locking story of
+    the long-lived solve service.
+
+    ``max_bytes=None`` disables the ceiling (the budget still aggregates
+    byte totals for introspection).
+    """
+
+    def __init__(self, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ExperimentError(f"max_bytes must be positive, got {max_bytes!r}")
+        self.max_bytes = max_bytes
+        self.lock = threading.RLock()
+        self._members: list["BoundedCache"] = []
+        self._clock = 0
+
+    def register(self, cache: "BoundedCache") -> None:
+        """Add ``cache`` to the member set (done by the cache constructor)."""
+        with self.lock:
+            self._members.append(cache)
+
+    def tick(self) -> int:
+        """Next value of the shared recency clock."""
+        self._clock += 1
+        return self._clock
+
+    @property
+    def total_bytes(self) -> int:
+        """Current charged bytes across every member cache."""
+        with self.lock:
+            return sum(member.current_bytes for member in self._members)
+
+    @property
+    def total_evictions(self) -> int:
+        """Evictions performed across every member cache."""
+        with self.lock:
+            return sum(member.evictions for member in self._members)
+
+    def rebalance(self) -> None:
+        """Evict globally-oldest entries until the total fits the ceiling.
+
+        An entry bigger than the whole ceiling is kept once it is the only
+        thing left to evict — a cache must be able to hold the item it was
+        just asked to hold; the budget converges to "that entry alone".
+        """
+        if self.max_bytes is None:
+            return
+        with self.lock:
+            while self.total_bytes > self.max_bytes:
+                if sum(len(member) for member in self._members) <= 1:
+                    break  # the single remaining entry is the overage
+                oldest: "BoundedCache | None" = None
+                oldest_tick = 0
+                for member in self._members:
+                    tick = member._oldest_tick()
+                    if tick is None:
+                        continue
+                    if oldest is None or tick < oldest_tick:
+                        oldest, oldest_tick = member, tick
+                if oldest is None:
+                    break
+                oldest._evict_one()
+
+
+class BoundedCache:
+    """Thread-safe LRU mapping with entry/byte budgets and usage counters.
+
+    A drop-in replacement for the plain dictionaries behind the library's
+    long-lived memo caches: ``get`` / ``__getitem__`` / ``__setitem__`` /
+    ``__contains__`` / ``pop`` / ``clear`` / ``len`` / ``values`` behave
+    like ``dict`` (with ``get`` and ``__getitem__`` refreshing recency),
+    while every insert enforces the budgets by evicting the
+    least-recently-used entries and counts hits, misses and evictions for
+    :meth:`stats`.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry-count ceiling; ``None`` disables it.
+    max_bytes:
+        Byte ceiling over the ``sizeof`` estimates of the stored values;
+        ``None`` disables it.  Ignored when ``budget`` is given (the shared
+        budget governs bytes then).
+    sizeof:
+        Value-size estimator; defaults to :func:`approx_nbytes`.  Sizes are
+        sampled at insert time — values mutated in place afterwards keep
+        their recorded charge.
+    budget:
+        Optional shared :class:`ByteBudget`; the cache registers itself and
+        uses the budget's lock, so several caches can be evicted against
+        one global ceiling.
+    name:
+        Diagnostic label surfaced by :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        *,
+        sizeof: Callable[[Any], int] | None = None,
+        budget: ByteBudget | None = None,
+        name: str = "cache",
+    ) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ExperimentError(
+                f"max_entries must be positive, got {max_entries!r}"
+            )
+        if max_bytes is not None and max_bytes <= 0:
+            raise ExperimentError(f"max_bytes must be positive, got {max_bytes!r}")
+        self.name = name
+        self.max_entries = max_entries
+        self.max_bytes = None if budget is not None else max_bytes
+        self._sizeof = sizeof if sizeof is not None else approx_nbytes
+        self._budget = budget
+        self._lock = budget.lock if budget is not None else threading.RLock()
+        # key -> [value, nbytes, tick]; insertion/touch order is LRU order.
+        self._entries: "OrderedDict[Any, list[Any]]" = OrderedDict()
+        self._clock = 0
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        if budget is not None:
+            budget.register(self)
+
+    # ------------------------------------------------------------------ #
+    def _tick(self) -> int:
+        if self._budget is not None:
+            return self._budget.tick()
+        self._clock += 1
+        return self._clock
+
+    def _oldest_tick(self) -> int | None:
+        """Recency stamp of the least-recently-used entry (budget hook)."""
+        if not self._entries:
+            return None
+        return next(iter(self._entries.values()))[2]
+
+    def _evict_one(self) -> None:
+        """Drop the least-recently-used entry (callers hold the lock)."""
+        _, entry = self._entries.popitem(last=False)
+        self.current_bytes -= entry[1]
+        self.evictions += 1
+
+    def _shrink(self) -> None:
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._evict_one()
+        if self.max_bytes is not None:
+            while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+                self._evict_one()
+
+    # ------------------------------------------------------------------ #
+    _MISSING = object()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return default
+            self.hits += 1
+            entry[2] = self._tick()
+            self._entries.move_to_end(key)
+            return entry[0]
+
+    def __getitem__(self, key: Any) -> Any:
+        value = self.get(key, self._MISSING)
+        if value is self._MISSING:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        nbytes = max(int(self._sizeof(value)), 0)
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.current_bytes -= previous[1]
+            self._entries[key] = [value, nbytes, self._tick()]
+            self.current_bytes += nbytes
+            self._shrink()
+            if self._budget is not None:
+                self._budget.rebalance()
+
+    put = __setitem__
+
+    def __contains__(self, key: Any) -> bool:
+        # Membership does not refresh recency and is not counted: the
+        # idiomatic ``if key in cache: cache[key]`` pair must count one hit.
+        with self._lock:
+            return key in self._entries
+
+    def setdefault(self, key: Any, default: Any) -> Any:
+        with self._lock:
+            value = self.get(key, self._MISSING)
+            if value is self._MISSING:
+                self[key] = default
+                return default
+            return value
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return default
+            self.current_bytes -= entry[1]
+            return entry[0]
+
+    def clear(self) -> None:
+        """Drop every entry (usage counters are kept — they describe the run)."""
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[Any]:
+        with self._lock:
+            return list(self._entries)
+
+    def values(self) -> list[Any]:
+        with self._lock:
+            return [entry[0] for entry in self._entries.values()]
+
+    def items(self) -> list[tuple[Any, Any]]:
+        with self._lock:
+            return [(key, entry[0]) for key, entry in self._entries.items()]
+
+    def stats(self) -> dict[str, Any]:
+        """Usage snapshot: entries / bytes / hits / misses / evictions."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "max_entries": self.max_entries,
+                "max_bytes": (
+                    self._budget.max_bytes
+                    if self._budget is not None
+                    else self.max_bytes
+                ),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BoundedCache({self.name}, entries={len(self._entries)}, "
+            f"bytes={self.current_bytes})"
+        )
+
+
+# --------------------------------------------------------------------------- #
 # Cache
 # --------------------------------------------------------------------------- #
 class ResultCache:
@@ -703,32 +1027,51 @@ class ResultCache:
     cache_dir:
         Optional directory for the on-disk level.
     memory:
-        Pre-existing dictionary to use as the in-memory level (lets several
-        caches share one process-wide store).
+        Pre-existing dictionary (or :class:`BoundedCache`) to use as the
+        in-memory level (lets several caches share one process-wide store).
     encode / decode:
         Row codec for the disk level; the defaults pass JSON-compatible
         dictionaries through unchanged.  The experiments pipeline plugs in
         the :class:`~repro.experiments.evaluation.EvaluationRecord` codec.
     prefix:
         File-name prefix of the disk entries (``<prefix>-<key>.json``).
+    max_memory_entries / max_memory_bytes:
+        Budgets for the in-memory level (a :class:`BoundedCache` is created
+        to hold it).  Evicted rows are *not* lost when a disk level is
+        configured — the next lookup re-reads them from disk; with no disk
+        level they are recomputed.  Mutually exclusive with ``memory``.
     """
 
     def __init__(
         self,
         cache_dir: str | os.PathLike[str] | None = None,
         *,
-        memory: dict[str, list[Any]] | None = None,
+        memory: "dict[str, list[Any]] | BoundedCache | None" = None,
         encode: Callable[[Any], dict[str, Any]] | None = None,
         decode: Callable[[dict[str, Any]], Any] | None = None,
         prefix: str = "ensemble",
         version: str = "",
+        max_memory_entries: int | None = None,
+        max_memory_bytes: int | None = None,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None and self.cache_dir.exists() and not self.cache_dir.is_dir():
             raise ExperimentError(
                 f"cache_dir {str(self.cache_dir)!r} exists and is not a directory"
             )
-        self._memory: dict[str, list[Any]] = memory if memory is not None else {}
+        bounded = max_memory_entries is not None or max_memory_bytes is not None
+        if memory is not None and bounded:
+            raise ExperimentError(
+                "pass either a shared `memory` store or memory budgets, not both"
+            )
+        if memory is not None:
+            self._memory: "dict[str, list[Any]] | BoundedCache" = memory
+        elif bounded:
+            self._memory = BoundedCache(
+                max_memory_entries, max_memory_bytes, name=f"{prefix}-memory"
+            )
+        else:
+            self._memory = {}
         self._encode = encode if encode is not None else dict
         self._decode = decode if decode is not None else dict
         self._prefix = prefix
@@ -770,8 +1113,8 @@ class ResultCache:
         caller that adds ``cache_dir`` after the rows were computed
         in-process gets them persisted rather than silently dropped.
         """
-        if key in self._memory:
-            rows = self._memory[key]
+        rows = self._memory.get(key)
+        if rows is not None:
             if self.disk_active and not self._path(key).exists():
                 self._write_disk(key, rows)
             return rows
@@ -845,6 +1188,17 @@ class ResultCache:
     def clear_memory(self) -> None:
         """Drop the in-memory level (disk entries are kept)."""
         self._memory.clear()
+
+    def memory_stats(self) -> dict[str, Any]:
+        """Usage snapshot of the in-memory level.
+
+        Bounded memory tiers report the full :meth:`BoundedCache.stats`
+        block; unbounded ones report entry count only (byte accounting is
+        not maintained for plain dictionaries).
+        """
+        if isinstance(self._memory, BoundedCache):
+            return self._memory.stats()
+        return {"entries": len(self._memory)}
 
     def __len__(self) -> int:
         return len(self._memory)

@@ -1,0 +1,50 @@
+"""A robust, long-lived HTTP/JSON solve service over :mod:`repro.api`.
+
+ROADMAP item 1 made concrete: one process holds a warm, *byte-budgeted*
+:class:`~repro.api.Session` and serves versioned :class:`~repro.api.Job`
+payloads over plain :mod:`http.server` — no third-party dependency — with
+the three robustness layers a server needs before it needs features:
+
+* **bounded memory** — every session cache lives under a shared
+  :class:`~repro.runtime.ByteBudget` with global-LRU eviction, surfaced
+  via ``GET /statz``;
+* **admission control** — a bounded queue plus per-tenant quotas answer
+  overload with HTTP 429 + ``Retry-After`` *before* latency degrades, and
+  per-request deadlines become supervised task timeouts;
+* **graceful degradation** — malformed input is a structured 400, a failed
+  job is a :class:`~repro.api.FailedResult` inside a 200 batch response,
+  an injected or organic internal error is a structured 500, and SIGTERM
+  drains in-flight work instead of dropping it.
+
+Quick start::
+
+    python -m repro.cli serve --port 8642 --max-cache-bytes 268435456
+
+    curl -s -X POST localhost:8642/solve -d "$(python - <<'EOF'
+    from repro.api import Job, PlatformRecipe
+    print(Job.broadcast(PlatformRecipe.of("random", num_nodes=12,
+          density=0.25, seed=7), source=0).to_json())
+    EOF
+    )"
+
+See ``examples/service_client.py`` for a complete client and the README's
+*Service* section for the wire contract.
+"""
+
+from .admission import AdmissionController, Deadline
+from .handlers import ServiceApp, error_payload, parse_solve_request
+from .quotas import TenantLedger
+from .server import ServiceConfig, ServiceUnavailableError, SolveService, serve
+
+__all__ = [
+    "AdmissionController",
+    "Deadline",
+    "ServiceApp",
+    "ServiceConfig",
+    "ServiceUnavailableError",
+    "SolveService",
+    "TenantLedger",
+    "error_payload",
+    "parse_solve_request",
+    "serve",
+]

@@ -1,0 +1,117 @@
+"""Admission control and request deadlines for the solve service.
+
+Two small primitives keep an overloaded server honest instead of slow:
+
+* :class:`Deadline` — a monotonic-clock budget carried by every request.
+  The HTTP handler waits on it, the solve loop threads the *remaining*
+  budget into :class:`~repro.runtime.RetryPolicy.task_timeout`, and an
+  expired deadline becomes a structured HTTP 504 — never an unbounded
+  hang.
+* :class:`AdmissionController` — a byte-simple bounded counter over the
+  *total* queued/solving jobs, combined with the per-tenant
+  :class:`~repro.service.quotas.TenantLedger`.  A request that does not
+  fit is rejected immediately with :class:`~repro.exceptions.AdmissionError`
+  (HTTP 429 + ``Retry-After``): back-pressure is explicit and early, so
+  queue latency stays bounded by design instead of by luck.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..exceptions import AdmissionError
+from .quotas import TenantLedger
+
+__all__ = ["Deadline", "AdmissionController"]
+
+
+class Deadline:
+    """A wall-clock budget anchored on the monotonic clock.
+
+    ``Deadline.after(5.0)`` expires five seconds from now; ``remaining()``
+    never goes negative (an expired deadline reports ``0.0``).  Carried per
+    request so every layer — handler wait, solve-loop task timeout — spends
+    from the same budget.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(time.monotonic() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry, floored at zero."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return time.monotonic() >= self.expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class AdmissionController:
+    """Bounded admission over total queued jobs plus per-tenant quotas.
+
+    ``max_queued_jobs`` bounds the number of jobs admitted but not yet
+    fulfilled across *all* tenants; ``ledger`` enforces the per-tenant
+    share.  ``admit`` either charges both counters atomically or raises
+    :class:`AdmissionError` with a ``Retry-After`` hint — partial charges
+    never leak (a tenant rejection rolls the global charge back).
+    """
+
+    def __init__(
+        self,
+        max_queued_jobs: int,
+        ledger: TenantLedger,
+        *,
+        retry_after: float = 1.0,
+    ) -> None:
+        if max_queued_jobs < 1:
+            raise ValueError(
+                f"max_queued_jobs must be >= 1, got {max_queued_jobs}"
+            )
+        self.max_queued_jobs = max_queued_jobs
+        self.ledger = ledger
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._queued = 0
+        self.rejections = 0
+
+    def admit(self, tenant: str, n_jobs: int) -> None:
+        """Admit ``n_jobs`` for ``tenant`` or raise :class:`AdmissionError`."""
+        with self._lock:
+            if self._queued + n_jobs > self.max_queued_jobs:
+                self.rejections += 1
+                raise AdmissionError(
+                    f"request queue full: {self._queued} job(s) queued + "
+                    f"{n_jobs} requested > {self.max_queued_jobs} allowed",
+                    retry_after=self.retry_after,
+                )
+            self._queued += n_jobs
+        try:
+            self.ledger.acquire(tenant, n_jobs, retry_after=self.retry_after)
+        except AdmissionError:
+            with self._lock:
+                self._queued -= n_jobs
+            raise
+
+    def release(self, tenant: str, n_jobs: int) -> None:
+        """Return ``n_jobs`` slots (request fulfilled, expired or failed)."""
+        with self._lock:
+            self._queued = max(0, self._queued - n_jobs)
+        self.ledger.release(tenant, n_jobs)
+
+    @property
+    def queued_jobs(self) -> int:
+        """Jobs currently admitted (queued or solving)."""
+        with self._lock:
+            return self._queued

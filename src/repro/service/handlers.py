@@ -1,0 +1,226 @@
+"""Route logic of the solve service, independent of any transport.
+
+:class:`ServiceApp` maps ``(method, path, body, headers)`` to
+``(status, payload, extra_headers)`` — a WSGI-thin contract the
+:mod:`http.server` glue in :mod:`repro.service.server` forwards verbatim
+and tests drive directly, without sockets.
+
+Every response body is JSON.  The error contract is uniform::
+
+    {"ok": false,
+     "error": {"kind": "<machine tag>", "message": "<human text>"}}
+
+with the HTTP status carrying the same information positionally
+(400 malformed payload, 404 unknown route, 429 over admission with a
+``Retry-After`` header, 504 deadline exceeded, 503 draining, 500
+internal/injected).  Exceptions never escape :meth:`ServiceApp.handle` —
+a traceback is a bug by this module's definition, and the CI soak test
+enforces it under fault injection.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..api import Job
+from ..exceptions import (
+    AdmissionError,
+    ConfigError,
+    InjectedFault,
+    ReproError,
+    ServiceError,
+)
+from ..faults import maybe_fail_request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .server import SolveService
+
+__all__ = ["ServiceApp", "error_payload", "parse_solve_request"]
+
+#: Upper bound on request bodies (bytes of text); a backstop against a
+#: client streaming garbage into a JSON parse.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def error_payload(kind: str, message: str) -> dict[str, Any]:
+    """The uniform structured error body."""
+    return {"ok": False, "error": {"kind": kind, "message": message}}
+
+
+def parse_solve_request(body: str) -> tuple[list[Job], float | None]:
+    """Parse a ``POST /solve`` body into jobs and an optional deadline.
+
+    Accepts either one job payload (the exact :meth:`Job.canonical_payload`
+    form) or an envelope ``{"jobs": [<payload>, ...], "deadline": <sec>}``.
+    Raises :class:`ConfigError` — never anything else — on malformed input;
+    :meth:`Job.from_dict` inside already rejects over-version payloads the
+    same way.
+    """
+    if len(body.encode("utf-8", "replace")) > MAX_BODY_BYTES:
+        raise ConfigError(
+            f"request body exceeds {MAX_BODY_BYTES} bytes"
+        )
+    try:
+        data = json.loads(body) if body.strip() else None
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"request body is not valid JSON: {error}") from None
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            "request body must be a JSON object: one job payload or "
+            '{"jobs": [...]}'
+        )
+    deadline: float | None = None
+    if "jobs" in data:
+        payloads = data["jobs"]
+        if not isinstance(payloads, list) or not payloads:
+            raise ConfigError('"jobs" must be a non-empty JSON array')
+        raw_deadline = data.get("deadline")
+        if raw_deadline is not None:
+            try:
+                deadline = float(raw_deadline)
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f'"deadline" must be a number of seconds, got {raw_deadline!r}'
+                ) from None
+            if deadline <= 0:
+                raise ConfigError(
+                    f'"deadline" must be positive, got {deadline!r}'
+                )
+    else:
+        payloads = [data]
+    jobs: list[Job] = []
+    for index, payload in enumerate(payloads):
+        if not isinstance(payload, Mapping):
+            raise ConfigError(f"job #{index} is not a JSON object")
+        try:
+            jobs.append(Job.from_dict(payload))
+        except ConfigError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigError(
+                f"job #{index} is malformed: {error!r}"
+            ) from None
+    return jobs, deadline
+
+
+class ServiceApp:
+    """The solve service's routes over a :class:`~repro.service.server.SolveService`.
+
+    ============  ======  ===========================================
+    path          method  behaviour
+    ============  ======  ===========================================
+    ``/solve``    POST    admit, batch-solve, return per-job results
+    ``/healthz``  GET     liveness (200 while the process runs)
+    ``/readyz``   GET     readiness (503 while paused/draining/stopped)
+    ``/statz``    GET     queue depth, counters, cache stats
+    ============  ======  ===========================================
+    """
+
+    def __init__(self, service: "SolveService") -> None:
+        self.service = service
+        self._lock = threading.Lock()
+        self._solve_ordinal = 0
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def handle(
+        self, method: str, path: str, body: str, headers: Mapping[str, str]
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Serve one request; returns ``(status, payload, extra_headers)``.
+
+        Guaranteed not to raise: every failure mode — malformed input,
+        admission rejection, deadline expiry, worker faults, injected
+        request faults, plain bugs — maps to a structured JSON error body.
+        """
+        try:
+            return self._route(method, path.split("?", 1)[0], body, headers)
+        except AdmissionError as error:
+            self._count("requests_rejected")
+            return (
+                error.status,
+                error_payload("admission_rejected", str(error)),
+                {"Retry-After": f"{max(error.retry_after, 0.0):.3f}"},
+            )
+        except ConfigError as error:
+            self._count("requests_malformed")
+            return 400, error_payload("invalid_request", str(error)), {}
+        except ServiceError as error:
+            kind = (
+                "deadline_exceeded" if error.status == 504 else "unavailable"
+                if error.status == 503 else "service_error"
+            )
+            return error.status, error_payload(kind, str(error)), {}
+        except InjectedFault as error:
+            self._count("requests_injected")
+            return 500, error_payload("injected_fault", str(error)), {}
+        except ReproError as error:
+            self._count("requests_failed")
+            return 500, error_payload("solve_failed", str(error)), {}
+        except Exception as error:  # noqa: BLE001 - the no-traceback contract
+            self._count("requests_failed")
+            return (
+                500,
+                error_payload(
+                    "internal_error", f"{type(error).__name__}: {error}"
+                ),
+                {},
+            )
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def _route(
+        self, method: str, path: str, body: str, headers: Mapping[str, str]
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True, "status": "alive"}, {}
+        if path == "/readyz" and method == "GET":
+            if self.service.ready:
+                return 200, {"ok": True, "status": "ready"}, {}
+            return 503, error_payload("unavailable", "service not ready"), {}
+        if path == "/statz" and method == "GET":
+            return 200, {"ok": True, **self.service.stats()}, {}
+        if path == "/solve" and method == "POST":
+            return self._solve(body, headers)
+        return (
+            404,
+            error_payload("not_found", f"no route for {method} {path}"),
+            {},
+        )
+
+    def _solve(
+        self, body: str, headers: Mapping[str, str]
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        with self._lock:
+            ordinal = self._solve_ordinal
+            self._solve_ordinal += 1
+        # Deterministic service-level fault site: under an injected plan a
+        # predictable subset of requests dies *here*, and the except-chain
+        # above must turn each into a structured 500.
+        maybe_fail_request(str(ordinal))
+        jobs, deadline_seconds = parse_solve_request(body)
+        tenant = str(headers.get("X-Tenant") or "default")
+        self._count("requests_total")
+        results = self.service.submit(
+            jobs, tenant=tenant, deadline_seconds=deadline_seconds
+        )
+        wire = [result.wire_dict() for result in results]
+        failed = sum(1 for entry in wire if not entry["ok"])
+        # Per-job failures are data, not transport errors: the batch itself
+        # succeeded, so the response is 200 with explicit partiality.
+        return (
+            200,
+            {
+                "ok": True,
+                "partial": failed > 0,
+                "failed": failed,
+                "results": wire,
+            },
+            {},
+        )
+
+    def _count(self, name: str) -> None:
+        self.service.count(name)

@@ -1,0 +1,72 @@
+"""Per-tenant in-flight job accounting for the solve service.
+
+A :class:`TenantLedger` counts how many jobs each tenant currently has in
+the system (queued or solving) and rejects an acquisition that would push
+a tenant past its quota.  The ledger is deliberately dumb — no time
+windows, no token buckets — because the service's real capacity limit is
+the shared bounded queue (:class:`~repro.service.admission.AdmissionController`);
+the per-tenant quota only stops one chatty client from monopolising it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..exceptions import AdmissionError
+
+__all__ = ["TenantLedger"]
+
+
+class TenantLedger:
+    """Thread-safe per-tenant in-flight counters with a shared quota.
+
+    ``max_inflight`` is the per-tenant ceiling on concurrently admitted
+    jobs; ``None`` disables the quota (every tenant admitted).  Counters
+    drop back to zero — and the tenant's entry disappears — when all of a
+    tenant's jobs are released, so the ledger cannot grow without bound in
+    a long-lived server accepting many distinct tenant names.
+    """
+
+    def __init__(self, max_inflight: int | None = None) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._inflight: dict[str, int] = {}
+        self.rejections = 0
+
+    def acquire(self, tenant: str, n: int, *, retry_after: float = 1.0) -> None:
+        """Charge ``n`` jobs to ``tenant`` or raise :class:`AdmissionError`."""
+        with self._lock:
+            current = self._inflight.get(tenant, 0)
+            if (
+                self.max_inflight is not None
+                and current + n > self.max_inflight
+            ):
+                self.rejections += 1
+                raise AdmissionError(
+                    f"tenant {tenant!r} quota exhausted: {current} job(s) in "
+                    f"flight + {n} requested > {self.max_inflight} allowed",
+                    retry_after=retry_after,
+                )
+            self._inflight[tenant] = current + n
+
+    def release(self, tenant: str, n: int) -> None:
+        """Return ``n`` job slots for ``tenant``."""
+        with self._lock:
+            current = self._inflight.get(tenant, 0)
+            remaining = max(0, current - n)
+            if remaining:
+                self._inflight[tenant] = remaining
+            else:
+                self._inflight.pop(tenant, None)
+
+    def snapshot(self) -> dict[str, int]:
+        """Current in-flight count per tenant (for ``/statz``)."""
+        with self._lock:
+            return dict(self._inflight)
+
+    def total_inflight(self) -> int:
+        """Jobs currently admitted across every tenant."""
+        with self._lock:
+            return sum(self._inflight.values())

@@ -651,3 +651,187 @@ class TestCampaignOverProcessPool:
         assert _payloads(baseline) == [
             payload for records in per_task for payload in _payloads(records)
         ]
+
+
+# --------------------------------------------------------------------------- #
+# Concurrent same-session access under injection
+# --------------------------------------------------------------------------- #
+class TestConcurrentSessionUnderFaults:
+    """Threaded ``solve_many`` calls racing on one shared ``Session``.
+
+    The solve service assumes a session's caches tolerate concurrent
+    requests; here several threads push overlapping batches — with
+    persistent injected faults — through one session and every thread must
+    observe the exact fate ``classify_task`` predicts, with survivor
+    metrics bit-identical to a fresh fault-free serial session.
+    """
+
+    def _threaded_jobs(self):
+        return [
+            Job.broadcast(
+                PlatformRecipe.of(
+                    "random", num_nodes=7, density=0.35, seed=200 + seed
+                ),
+                source=0,
+            )
+            for seed in range(6)
+        ]
+
+    def _mixed_plan(self, jobs):
+        keys = [job.cache_key() for job in jobs]
+        for seed in range(300):
+            plan = FaultPlan(seed=seed, task_error_rate=0.35, persistent=True)
+            fates = [classify_task(plan, key) for key in keys]
+            if "error" in fates and fates.count("ok") >= 2:
+                return plan
+        raise AssertionError("no seed produced a mixed-fate plan")
+
+    def test_threads_racing_one_session_agree_with_prediction(self):
+        import threading
+
+        jobs = self._threaded_jobs()
+        plan = self._mixed_plan(jobs)
+        expected = {
+            job.cache_key(): classify_task(plan, job.cache_key())
+            for job in jobs
+        }
+        session = Session(retry_policy=RetryPolicy(retries=0, backoff=0.001))
+        # Overlapping batches: every thread shares some jobs with its
+        # neighbours, so the memo caches are hit from several threads at
+        # once for the same keys.
+        batches = [jobs[0:4], jobs[2:6], jobs[::2], jobs[1::2], list(jobs)]
+        outcomes: dict[int, list] = {}
+        errors: list = []
+
+        def run(index, batch):
+            try:
+                outcomes[index] = session.solve_many(batch, on_error="collect")
+            except BaseException as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=(i, batch))
+            for i, batch in enumerate(batches)
+        ]
+        # One plan activation around all threads: the plan travels in a
+        # process-wide environment variable, so per-thread contexts would
+        # race on it.
+        with inject_faults(plan):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+        assert not errors
+        assert sorted(outcomes) == list(range(len(batches)))
+
+        reference = Session()
+        reference_metrics = {
+            job.cache_key(): reference.solve(job)
+            .materialize()
+            .deterministic_metrics()
+            for job in jobs
+            if expected[job.cache_key()] == "ok"
+        }
+        for index, batch in enumerate(batches):
+            for job, result in zip(batch, outcomes[index]):
+                fate = expected[job.cache_key()]
+                if fate == "error":
+                    assert isinstance(result, FailedResult), (index, fate)
+                    assert result.error.error_type == "InjectedWorkerError"
+                else:
+                    assert result.ok, (index, job.describe())
+                    assert (
+                        result.deterministic_metrics()
+                        == reference_metrics[job.cache_key()]
+                    )
+
+
+# --------------------------------------------------------------------------- #
+# Campaign interruption (SIGTERM/SIGINT)
+# --------------------------------------------------------------------------- #
+class TestCampaignInterrupt:
+    def test_sigterm_flushes_cache_and_writes_manifest(self, tmp_path):
+        import json
+        import signal as _signal
+
+        from repro.experiments.pipeline import INTERRUPT_MANIFEST
+
+        parameters = _campaign_parameters(configurations=4, seed=11)
+        tasks = random_ensemble_tasks(parameters, include_multi_port=False)
+        labels = [ensemble_task_key(task) for task in tasks]
+        cache = ResultCache(tmp_path / "campaign")
+        pipe = EvaluationPipeline(
+            cache=cache, retry_policy=RetryPolicy(retries=0, backoff=0.001)
+        )
+        # SIGTERM the process right after the first task's write-through;
+        # the campaign guard must convert it to a clean SystemExit *after*
+        # finishing the write and leaving a manifest behind.
+        original_put = cache.put
+        fired = []
+
+        def put_then_sigterm(key, rows):
+            original_put(key, rows)
+            if not fired:
+                fired.append(True)
+                os.kill(os.getpid(), _signal.SIGTERM)
+
+        cache.put = put_then_sigterm
+        before = _signal.getsignal(_signal.SIGTERM)
+        with pytest.raises(SystemExit) as excinfo:
+            pipe.evaluate("random", parameters, include_multi_port=False)
+        assert excinfo.value.code == 128 + _signal.SIGTERM
+        # The handler is restored after the guarded region.
+        assert _signal.getsignal(_signal.SIGTERM) == before
+
+        manifest_path = tmp_path / "campaign" / INTERRUPT_MANIFEST
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["reason"] == "SystemExit"
+        assert manifest["exit_code"] == 128 + _signal.SIGTERM
+        assert manifest["tasks_total"] == len(tasks)
+        assert manifest["tasks_completed"] == 1
+        assert set(manifest["pending_labels"]) == set(labels[1:])
+        assert manifest["failures"] == []
+
+        # The completed task survived the interrupt on disk ...
+        cache.put = original_put
+        assert cache.get(labels[0]) is not None
+        # ... so a re-run resumes: only the pending tasks are recomputed.
+        resumed = EvaluationPipeline(
+            cache=ResultCache(tmp_path / "campaign"),
+            retry_policy=RetryPolicy(retries=0, backoff=0.001),
+        )
+        records = resumed.evaluate("random", parameters, include_multi_port=False)
+        fresh = EvaluationPipeline(
+            cache=ResultCache(tmp_path / "fresh")
+        ).evaluate("random", parameters, include_multi_port=False)
+        assert _payloads(records) == _payloads(fresh)
+
+    def test_keyboard_interrupt_also_writes_manifest(self, tmp_path):
+        import json
+
+        from repro.experiments.pipeline import INTERRUPT_MANIFEST
+
+        parameters = _campaign_parameters(configurations=3, seed=12)
+        cache = ResultCache(tmp_path / "campaign")
+        pipe = EvaluationPipeline(
+            cache=cache, retry_policy=RetryPolicy(retries=0, backoff=0.001)
+        )
+        original_put = cache.put
+        fired = []
+
+        def put_then_interrupt(key, rows):
+            original_put(key, rows)
+            if not fired:
+                fired.append(True)
+                raise KeyboardInterrupt
+
+        cache.put = put_then_interrupt
+        with pytest.raises(KeyboardInterrupt):
+            pipe.evaluate("random", parameters, include_multi_port=False)
+        manifest = json.loads(
+            (tmp_path / "campaign" / INTERRUPT_MANIFEST).read_text()
+        )
+        assert manifest["reason"] == "KeyboardInterrupt"
+        assert manifest["exit_code"] is None
+        assert manifest["tasks_completed"] == 1
