@@ -21,19 +21,28 @@ import pytest
 from repro.experiments import PaperParameters, parameters_from_environment
 
 
-def record_host() -> dict:
+def record_host(pool: dict | None = None) -> dict:
     """The ``host`` block every ``bench_*.py`` stamps into its JSON record.
 
     One shared definition keeps the published ``BENCH_*.json`` artefacts
     field-compatible; the standalone bench scripts import it directly
     (``from conftest import record_host`` — their directory is on
     ``sys.path`` when run as scripts).
+
+    When a worker-``pool`` block is passed, the cpu_count *at bench time*
+    is stamped into it too: the pool speedup assertions are conditional on
+    core count, so the block must carry the value the decision was made
+    with (containers can present a different count than the artefact
+    reader's host).
     """
-    return {
+    host = {
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
         "machine": host_platform.machine(),
     }
+    if pool is not None:
+        pool["cpu_count"] = host["cpu_count"]
+    return host
 
 
 def pytest_configure(config):

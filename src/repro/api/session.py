@@ -39,7 +39,7 @@ from ..analysis.makespan import MakespanReport, pipelined_makespan
 from ..analysis.throughput import ThroughputReport, collective_throughput
 from ..core.registry import build_collective_tree, get_heuristic
 from ..core.tree import BroadcastTree
-from ..exceptions import ConfigError, ReproError
+from ..exceptions import ConfigError, ReproError, WorkerCrashError
 from ..lp.solution import SteadyStateSolution
 from ..lp.solver import LPSolutionCache
 from ..platform.graph import Platform
@@ -54,6 +54,7 @@ from ..runtime import (
     TaskExecutor,
     TaskFailure,
     approx_nbytes,
+    make_executor,
     stable_key,
 )
 from ..simulation.broadcast import SimulationResult
@@ -61,7 +62,7 @@ from ..simulation.collective import simulate_collective
 from .job import Job, PlatformRecipe, platform_payload
 from .result import FailedResult, Result
 
-__all__ = ["Session", "default_session"]
+__all__ = ["Session", "PendingBatch", "default_session"]
 
 
 def _tree_nbytes(tree: "BroadcastTree") -> int:
@@ -89,7 +90,14 @@ class Session:
         Optional directory persisting materialized results on disk, keyed
         by job payload and library version.
     executor:
-        Explicit executor instance (overrides ``jobs``).
+        Explicit executor instance (overrides ``jobs`` and ``backend``).
+    backend:
+        Executor backend name (``"serial"`` / ``"process"`` /
+        ``"warm-pool"``; see :func:`~repro.runtime.make_executor`).  The
+        default ``None`` picks automatically: serial for ``jobs == 1``,
+        the warm worker pool for ``jobs > 1`` — except on single-CPU hosts,
+        where the call warns and runs the batched serial path instead of a
+        pool that could only lose.  Naming a backend forces it.
     retry_policy:
         How :meth:`solve_many` supervises its tasks — per-attempt timeout,
         retry budget, backoff (see :class:`~repro.runtime.RetryPolicy`).
@@ -124,6 +132,7 @@ class Session:
         jobs: int = 1,
         cache_dir: str | os.PathLike[str] | None = None,
         executor: TaskExecutor | None = None,
+        backend: str | None = None,
         retry_policy: RetryPolicy | None = None,
         lp_cache: LPSolutionCache | None = None,
         result_cache: ResultCache | None = None,
@@ -132,9 +141,19 @@ class Session:
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if executor is not None and backend is not None:
+            raise ConfigError("pass either an executor instance or a backend name, not both")
         if executor is None:
-            executor = SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
+            executor = make_executor(backend, jobs)
         self.executor = executor
+        #: Warm-pool dispatch counters surfaced by :meth:`cache_stats`.
+        self._worker_stats: dict[str, int] = {
+            "groups_dispatched": 0,
+            "jobs_shipped": 0,
+            "warm_reuse_hits": 0,
+            "shm_attached": 0,
+            "degraded_groups": 0,
+        }
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         #: Shared byte ceiling across every session-owned cache (or None).
         self.cache_budget = (
@@ -259,7 +278,11 @@ class Session:
             pending.append(i)
         failures: dict[str, TaskFailure] = {}
         if pending:
-            if isinstance(self.executor, ProcessExecutor):
+            if getattr(self.executor, "supervises_as_pool", False):
+                _WarmDispatch(self, batch, pending, on_error, policy).settle(
+                    failures
+                )
+            elif isinstance(self.executor, ProcessExecutor):
                 self._solve_pending_process(
                     batch, pending, on_error, failures, policy
                 )
@@ -267,6 +290,62 @@ class Session:
                 self._solve_pending_inprocess(
                     batch, results, pending, on_error, failures, policy
                 )
+        return self._finalize_many(batch, results, failures)
+
+    def solve_many_async(
+        self,
+        jobs: Iterable[Job],
+        *,
+        on_error: str = "raise",
+        retry_policy: RetryPolicy | None = None,
+    ) -> "PendingBatch":
+        """Dispatch a batch without blocking on it; settle via the handle.
+
+        On a warm-pool session the job groups are published and submitted
+        *now* and the returned :class:`PendingBatch` settles them on
+        :meth:`PendingBatch.result` — which is how the solve service
+        overlaps micro-batches with in-flight pool work.  On every other
+        executor the batch solves synchronously here and the handle is
+        already complete (same results, no concurrency).
+        """
+        if on_error not in ("raise", "collect"):
+            raise ConfigError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}"
+            )
+        if not getattr(self.executor, "supervises_as_pool", False):
+            return PendingBatch(
+                self, [], [], None,
+                final=self.solve_many(
+                    jobs, on_error=on_error, retry_policy=retry_policy
+                ),
+            )
+        policy = retry_policy if retry_policy is not None else self.retry_policy
+        batch = list(jobs)
+        results = [self.solve(job) for job in batch]
+        pending = []
+        dispatched: set[str] = set()
+        for i, result in enumerate(results):
+            if result.is_materialized():
+                continue
+            key = batch[i].cache_key()
+            if key in dispatched:
+                continue
+            dispatched.add(key)
+            pending.append(i)
+        dispatch = (
+            _WarmDispatch(self, batch, pending, on_error, policy)
+            if pending
+            else None
+        )
+        return PendingBatch(self, batch, results, dispatch)
+
+    def _finalize_many(
+        self,
+        batch: "list[Job]",
+        results: "list[Result]",
+        failures: "dict[str, TaskFailure]",
+    ) -> "list[Result]":
+        """Shared solve_many tail: substitute failures, persist successes."""
         if failures:
             # Twins deduplicated away share their representative's fate.
             for i, job in enumerate(batch):
@@ -372,6 +451,81 @@ class Session:
                 payload = self._payload(batch[i])
                 for name, value in entry["metrics"].items():
                     payload.setdefault(name, value)
+
+    #: Distinct message sizes published into shared memory per job group;
+    #: sizes beyond the cap simply compile worker-locally (correctness is
+    #: unaffected, the segments stay bounded).
+    _SHM_SIZES_PER_GROUP = 4
+
+    def _publish_group_platform(
+        self, platform_key: str, jobs: "list[Job]"
+    ) -> tuple[list[dict[str, Any]], list[Any]]:
+        """Publish one group's compiled platform arrays into shared memory.
+
+        Returns the shared-memory references to embed in the group task
+        (segment name, array layout, scalar sidecar) plus the registry keys
+        the caller must release once the group settles.  Publication is an
+        optimization: any failure here returns empty refs and the workers
+        compile locally — bit-identical results either way.
+        """
+        registry = getattr(self.executor, "registry", None)
+        if registry is None or not jobs:
+            return [], []
+        refs: list[dict[str, Any]] = []
+        keys: list[Any] = []
+        try:
+            platform = self.platform_for(jobs[0])
+            sizes: list[float] = []
+            for job in jobs:
+                size = platform.slice_size if job.size is None else float(job.size)
+                if size not in sizes:
+                    sizes.append(size)
+                if len(sizes) >= self._SHM_SIZES_PER_GROUP:
+                    break
+            for size in sizes:
+                compiled = platform.compiled(size)
+                key = (platform_key, compiled.size)
+                segment, layout = registry.publish(key, compiled.array_bundle())
+                registry.acquire(key)
+                keys.append(key)
+                refs.append(
+                    {
+                        "segment": segment,
+                        "layout": layout,
+                        "meta": {
+                            "platform_name": compiled.platform_name,
+                            "slice_size": compiled.slice_size,
+                            "size": compiled.size,
+                            "node_names": list(compiled.node_names),
+                        },
+                    }
+                )
+        except Exception:
+            for key in keys:
+                registry.release(key)
+            return [], []
+        return refs, keys
+
+    def _merge_group_value(
+        self,
+        batch: "list[Job]",
+        group: "list[int]",
+        value: dict[str, Any],
+        failures: "dict[str, TaskFailure]",
+    ) -> None:
+        """Fold one warm group's reply into payloads, failures and stats."""
+        rider = value.get("worker", {})
+        self._worker_stats["warm_reuse_hits"] += int(rider.get("platform_reuse", 0))
+        self._worker_stats["shm_attached"] += int(rider.get("shm_attached", 0))
+        for i, entry in zip(group, value["entries"]):
+            if "error" in entry:
+                failures[batch[i].cache_key()] = TaskFailure.from_dict(
+                    entry["error"]
+                )
+                continue
+            payload = self._payload(batch[i])
+            for name, metric in entry["metrics"].items():
+                payload.setdefault(name, metric)
 
     def platform(self, platform: "Platform | PlatformRecipe") -> Platform:
         """The session-shared instance of ``platform`` (building recipes once).
@@ -728,6 +882,22 @@ class Session:
                 int(stats[name].get("evictions", 0)) for name in tracked
             ),
         }
+        # Executor/worker block: backend identity, pool health (size,
+        # respawns, shared-segment count/bytes) and the warm dispatch
+        # counters.  Present for every backend so /statz consumers never
+        # have to feature-test; pool-specific keys appear only when the
+        # executor exposes stats().
+        workers: dict[str, Any] = {
+            "backend": getattr(
+                self.executor, "name", type(self.executor).__name__
+            ),
+            "jobs": getattr(self.executor, "jobs", 1),
+            **self._worker_stats,
+        }
+        pool_stats = getattr(self.executor, "stats", None)
+        if callable(pool_stats):
+            workers["pool"] = pool_stats()
+        stats["workers"] = workers
         return stats
 
     def clear(self) -> None:
@@ -742,6 +912,212 @@ class Session:
         self._lp_times.clear()
         self.lp_cache.clear()
         self.results.clear_memory()
+
+    def close(self) -> None:
+        """Release the executor (warm workers, shared segments); idempotent.
+
+        Serial and per-``map`` process executors hold nothing, so closing
+        is free there; a warm-pool session retires its workers and unlinks
+        every shared segment.  The session itself stays usable for solves
+        only insofar as its executor does — treat ``close()`` as final.
+        """
+        closer = getattr(self.executor, "close", None)
+        if callable(closer):
+            closer()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# Warm-pool dispatch
+# --------------------------------------------------------------------------- #
+class _WarmDispatch:
+    """One solve_many batch's job groups, in flight on the warm pool.
+
+    Construction groups the pending jobs by platform (so each platform's
+    LP is solved exactly once pool-wide), publishes each group's compiled
+    platform arrays into shared memory and submits every group task —
+    without blocking.  :meth:`settle` then waits for the group replies,
+    supervising at group granularity: a crashed worker gets the group
+    resubmitted while the retry budget and pool health allow, and an
+    unhealthy pool degrades the group to an in-process run (the broken-
+    pool degradation contract); per-*job* supervision happens inside the
+    workers.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        batch: "list[Job]",
+        pending: "list[int]",
+        on_error: str,
+        policy: RetryPolicy,
+    ) -> None:
+        self.session = session
+        self.batch = batch
+        self.on_error = on_error
+        # Group-level supervision runs without a task timeout (a group is
+        # many jobs long); the per-job timeout applies inside the workers.
+        self.policy = replace(policy, task_timeout=None)
+        grouped: dict[str, list[int]] = {}
+        for i in pending:
+            grouped.setdefault(batch[i].platform_key(), []).append(i)
+        self.groups = list(grouped.items())
+        self.tasks: list[dict[str, Any]] = []
+        self.shm_keys: list[list[Any]] = []
+        self.futures: list[Any] = []
+        pool = session.executor
+        for platform_key, group in self.groups:
+            refs, keys = session._publish_group_platform(
+                platform_key, [batch[i] for i in group]
+            )
+            task = {
+                "jobs": [batch[i].to_json() for i in group],
+                "policy": policy.to_dict(),
+                "on_error": on_error,
+                "platform_key": platform_key,
+                "shm": refs,
+            }
+            self.tasks.append(task)
+            self.shm_keys.append(keys)
+            # The per-job fault hook runs inside the worker's session;
+            # hooking the group label too would double-inject.
+            self.futures.append(
+                pool.submit(
+                    _solve_job_group_warm,
+                    task,
+                    label=f"group:{platform_key}",
+                    fault_hook=False,
+                )
+            )
+            session._worker_stats["groups_dispatched"] += 1
+            session._worker_stats["jobs_shipped"] += len(group)
+        self._settled = False
+
+    def done(self) -> bool:
+        """Whether every submitted group future has resolved (advisory)."""
+        return self._settled or all(future.done() for future in self.futures)
+
+    def settle(self, failures: "dict[str, TaskFailure]") -> None:
+        """Wait for every group, supervising crashes; fold in the replies."""
+        if self._settled:
+            return
+        self._settled = True
+        pool = self.session.executor
+        policy = self.policy
+        registry = getattr(pool, "registry", None)
+        for position, (platform_key, group) in enumerate(self.groups):
+            label = f"group:{platform_key}"
+            future = self.futures[position]
+            attempts = 0
+            value: dict[str, Any] | None = None
+            error: BaseException | None = None
+            try:
+                while True:
+                    try:
+                        value = future.result()
+                        break
+                    except WorkerCrashError as exc:
+                        attempts += 1
+                        error = exc
+                        if attempts <= policy.retries and pool.healthy:
+                            time.sleep(policy.delay(attempts - 1, label))
+                            future = pool.submit(
+                                _solve_job_group_warm,
+                                self.tasks[position],
+                                label=label,
+                                fault_hook=False,
+                            )
+                            continue
+                        # Pool exhausted: the group's last chance runs
+                        # in-process, sharing this process's warm session.
+                        try:
+                            value = _solve_job_group_warm(self.tasks[position])
+                            self.session._worker_stats["degraded_groups"] += 1
+                        except Exception as fallback_exc:
+                            attempts += 1
+                            error = fallback_exc
+                        break
+                    except Exception as exc:
+                        attempts += 1
+                        error = exc
+                        if attempts <= policy.retries:
+                            time.sleep(policy.delay(attempts - 1, label))
+                            future = pool.submit(
+                                _solve_job_group_warm,
+                                self.tasks[position],
+                                label=label,
+                                fault_hook=False,
+                            )
+                            continue
+                        break
+            finally:
+                if registry is not None:
+                    for key in self.shm_keys[position]:
+                        registry.release(key)
+            if value is None:
+                assert error is not None
+                if self.on_error == "raise":
+                    raise error
+                failure = TaskFailure.from_exception(label, error, max(attempts, 1))
+                for i in group:
+                    failures[self.batch[i].cache_key()] = failure
+                continue
+            self.session._merge_group_value(self.batch, group, value, failures)
+
+
+class PendingBatch:
+    """Handle of a :meth:`Session.solve_many_async` dispatch.
+
+    :meth:`result` settles the batch (waits for the pool, substitutes
+    failures, persists successes) and memoizes the final result list;
+    :meth:`done` / :meth:`wait` observe progress without settling.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        batch: "list[Job]",
+        results: "list[Result]",
+        dispatch: _WarmDispatch | None,
+        *,
+        final: "list[Result] | None" = None,
+    ) -> None:
+        self._session = session
+        self._batch = batch
+        self._results = results
+        self._dispatch = dispatch
+        self._final = final
+
+    def done(self) -> bool:
+        """Whether the in-flight pool work has resolved (advisory)."""
+        if self._final is not None or self._dispatch is None:
+            return True
+        return self._dispatch.done()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block up to ``timeout`` seconds for the pool work; return :meth:`done`."""
+        if self._final is not None or self._dispatch is None:
+            return True
+        from concurrent.futures import wait as _wait
+
+        _wait(self._dispatch.futures, timeout=timeout)
+        return self.done()
+
+    def result(self) -> "list[Result]":
+        """The settled result list (same contract as :meth:`Session.solve_many`)."""
+        if self._final is None:
+            failures: dict[str, TaskFailure] = {}
+            if self._dispatch is not None:
+                self._dispatch.settle(failures)
+            self._final = self._session._finalize_many(
+                self._batch, self._results, failures
+            )
+        return self._final
 
 
 # --------------------------------------------------------------------------- #
@@ -792,6 +1168,88 @@ def _solve_job_group_json(task: dict[str, Any]) -> list[dict[str, Any]]:
         else {"error": result.error.to_dict()}
         for result in results
     ]
+
+
+_WARM_SESSION: Session | None = None
+
+
+def _warm_worker_session() -> Session:
+    """The warm worker's process-lifetime session (entry-bounded caches).
+
+    Warm workers live across many group submissions, so their session must
+    self-evict (LRU) instead of relying on the per-batch ``clear()`` cliff
+    the per-``map`` worker path uses.
+    """
+    global _WARM_SESSION
+    if _WARM_SESSION is None:
+        _WARM_SESSION = Session(max_cache_entries=128)
+    return _WARM_SESSION
+
+
+def _solve_job_group_warm(task: dict[str, Any]) -> dict[str, Any]:
+    """Warm-pool variant of :func:`_solve_job_group_json`.
+
+    Same contract — materialize one platform's jobs under the shipped
+    policy and ``on_error`` mode — plus the warm-pool extras: the solve
+    runs on the worker's *persistent* session (platforms, compiled views,
+    LP solutions and trees survive across submissions), shared-memory
+    platform arrays from ``task["shm"]`` are attached as read-only views
+    and installed into the platform's compiled cache before the solve
+    (any attach failure degrades to local compilation — results are
+    bit-identical either way), and the reply carries a ``worker`` rider
+    (pid, warm-platform reuse, attach count) for the parent's
+    ``cache_stats()['workers']`` block.
+    """
+    session = _warm_worker_session()
+    jobs = [Job.from_json(text) for text in task["jobs"]]
+    reuse = int(bool(jobs) and task.get("platform_key", "") in session._platforms)
+    attached = 0
+    if jobs and task.get("shm"):
+        try:
+            from ..platform.compiled import CompiledPlatform
+            from ..shm import attach_arrays_cached
+
+            platform = session.platform_for(jobs[0])
+            cache = platform._compiled_cache
+            for ref in task["shm"]:
+                meta = ref["meta"]
+                key = float(meta["size"])
+                if key in cache:
+                    continue
+                views = attach_arrays_cached(ref["segment"], ref["layout"])
+                compiled = CompiledPlatform.from_array_bundle(
+                    views,
+                    platform_name=meta["platform_name"],
+                    slice_size=meta["slice_size"],
+                    size=meta["size"],
+                    node_names=tuple(meta["node_names"]),
+                )
+                while len(cache) >= platform._COMPILED_CACHE_LIMIT:
+                    cache.pop(next(iter(cache)))
+                cache[key] = compiled
+                attached += 1
+        except Exception:
+            attached = 0  # optimization only; the solve compiles locally
+    previous_policy = session.retry_policy
+    session.retry_policy = RetryPolicy.from_dict(task.get("policy", {}))
+    try:
+        results = session.solve_many(jobs, on_error=task.get("on_error", "raise"))
+    finally:
+        session.retry_policy = previous_policy
+    entries = [
+        {"metrics": result.metrics()}
+        if result.ok
+        else {"error": result.error.to_dict()}
+        for result in results
+    ]
+    return {
+        "entries": entries,
+        "worker": {
+            "pid": os.getpid(),
+            "platform_reuse": reuse,
+            "shm_attached": attached,
+        },
+    }
 
 
 _DEFAULT_SESSION: Session | None = None

@@ -262,6 +262,8 @@ def _cmd_serve(args: argparse.Namespace, session: Session) -> int:
         default_deadline=args.deadline,
         drain_timeout=args.drain_timeout,
         jobs=args.jobs,
+        backend=args.backend,
+        max_inflight_batches=args.max_inflight_batches,
         cache_dir=args.cache_dir,
         max_cache_entries=args.max_cache_entries,
         max_cache_bytes=args.max_cache_bytes,
@@ -339,7 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for the ensemble evaluation (1 = serial)",
+        help=(
+            "worker processes for the ensemble evaluation (1 = serial; "
+            "> 1 selects the warm worker pool, falling back to the "
+            "batched serial path on single-CPU hosts)"
+        ),
     )
     experiment.add_argument(
         "--cache-dir",
@@ -402,7 +408,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long SIGTERM waits for in-flight jobs, seconds",
     )
     serve.add_argument(
-        "--jobs", type=int, default=1, help="session worker processes"
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "session worker processes (1 = serial; > 1 selects the warm "
+            "worker pool and overlapped micro-batch dispatch)"
+        ),
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("serial", "process", "warm-pool"),
+        default=None,
+        help="force a session executor backend instead of the --jobs auto-choice",
+    )
+    serve.add_argument(
+        "--max-inflight-batches",
+        type=int,
+        default=2,
+        help=(
+            "micro-batches allowed in flight on the worker pool at once "
+            "(1 disables overlapped dispatch)"
+        ),
     )
     serve.add_argument(
         "--cache-dir", default=None, help="on-disk result cache directory"

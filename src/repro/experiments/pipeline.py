@@ -62,6 +62,7 @@ from ..runtime import (
     SupervisedExecutor,
     TaskExecutor,
     TaskFailure,
+    make_executor,
     stable_key,
 )
 from ..utils.rng import derive_seed
@@ -479,14 +480,24 @@ class EvaluationPipeline:
     Parameters
     ----------
     jobs:
-        Number of worker processes; 1 (the default) evaluates in-process.
+        Number of worker processes; 1 (the default) evaluates in-process,
+        ``> 1`` dispatches to the warm worker pool
+        (:class:`~repro.pool.WarmPoolExecutor`) — long-lived workers that
+        keep a warm session and attach published platform arrays over
+        shared memory — falling back to the batched serial path (with a
+        :class:`RuntimeWarning`) on single-CPU hosts.
+    backend:
+        Executor backend name (``"serial"``, ``"process"``,
+        ``"warm-pool"``; see :func:`~repro.runtime.available_backends`)
+        to force instead of the automatic ``jobs``-based choice.
+        Mutually exclusive with ``executor``.
     cache_dir:
         Optional directory for the on-disk result cache.
     cache:
         Pre-built :class:`ResultCache` (overrides ``cache_dir``); used by
         the runner to share one in-memory cache across pipelines.
     executor:
-        Explicit executor instance (overrides ``jobs``).
+        Explicit executor instance (overrides ``jobs`` and ``backend``).
     keep_going:
         Campaign semantics for permanent task failures: instead of
         aborting the whole evaluation, the failed task becomes a
@@ -511,6 +522,7 @@ class EvaluationPipeline:
         self,
         *,
         jobs: int = 1,
+        backend: str | None = None,
         cache_dir: str | os.PathLike[str] | None = None,
         cache: ResultCache | None = None,
         executor: TaskExecutor | None = None,
@@ -519,13 +531,30 @@ class EvaluationPipeline:
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if executor is not None and backend is not None:
+            raise ExperimentError(
+                "pass either an executor instance or a backend name, not both"
+            )
         if executor is None:
-            executor = SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
+            executor = make_executor(backend, jobs)
         self.executor = executor
         self.cache = cache if cache is not None else ResultCache(cache_dir)
         self.keep_going = bool(keep_going)
         self.retry_policy = retry_policy
         self.failures: list[TaskErrorRecord] = []
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the executor (stops warm-pool workers, unlinks segments)."""
+        closer = getattr(self.executor, "close", None)
+        if callable(closer):
+            closer()
+
+    def __enter__(self) -> "EvaluationPipeline":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def evaluate(

@@ -53,6 +53,7 @@ __all__ = [
     "inject_faults",
     "active_plan",
     "classify_task",
+    "in_pool_worker",
     "InjectedWorkerError",
     "InjectedCrashError",
     "InjectedSolverError",
@@ -61,6 +62,17 @@ __all__ = [
 
 #: Exit code of a worker process killed by an injected crash fault.
 CRASH_EXIT_CODE = 23
+
+
+def in_pool_worker() -> bool:
+    """Whether this process is a pool worker (has a multiprocessing parent).
+
+    Crash faults are only allowed to genuinely kill the process here: a
+    dead worker is a recoverable event for the supervisor (both the
+    per-``map`` process pool and the warm pool respawn it), while killing
+    the main process would take the whole campaign down.
+    """
+    return multiprocessing.parent_process() is not None
 
 
 class InjectedWorkerError(InjectedFault):
@@ -253,7 +265,7 @@ def maybe_fail_task(label: str, attempt: int) -> None:
         time.sleep(plan.hang_seconds)
         return
     if kind == "crash":
-        if multiprocessing.parent_process() is not None:
+        if in_pool_worker():
             os._exit(CRASH_EXIT_CODE)  # kill the pool worker mid-task
         raise InjectedCrashError(
             f"injected crash fault for task {label!r} (attempt {attempt}, "

@@ -101,6 +101,19 @@ class EnsembleBatch:
         Precomputed padded rectangles, one per BFS depth of the batch.
     """
 
+    #: The stacked ndarray attributes, in a stable order — the payload of
+    #: :meth:`array_bundle` (shared-memory publication to pool workers).
+    ARRAY_FIELDS = (
+        "node_offsets",
+        "item_slot_indptr",
+        "slot_counts",
+        "slot_indptr",
+        "slot_child",
+        "slot_hop",
+        "slot_busy",
+        "slot_first_edge_local",
+    )
+
     trees: tuple[CompiledTree, ...]
     model: PortModel
     node_offsets: np.ndarray
@@ -238,19 +251,20 @@ class EnsembleBatch:
         """Sum of the items' node counts (rows of the global arrival matrix)."""
         return int(self.node_offsets[-1])
 
+    def array_bundle(self) -> "dict[str, np.ndarray]":
+        """The stacked arrays as a name → ndarray mapping.
+
+        This is the shape :func:`repro.shm.pack_arrays` consumes, so a
+        batch built once can be published into a shared-memory segment and
+        re-viewed zero-copy by warm pool workers (the trees themselves are
+        rebuilt worker-side from the shared compiled-platform arrays).
+        """
+        return {name: getattr(self, name) for name in self.ARRAY_FIELDS}
+
     @property
     def nbytes(self) -> int:
         """Bytes held by the stacked arrays (excluding the compiled views)."""
-        arrays = [
-            self.node_offsets,
-            self.item_slot_indptr,
-            self.slot_counts,
-            self.slot_indptr,
-            self.slot_child,
-            self.slot_hop,
-            self.slot_busy,
-            self.slot_first_edge_local,
-        ]
+        arrays = [getattr(self, name) for name in self.ARRAY_FIELDS]
         total = sum(a.nbytes for a in arrays)
         for level in self.levels:
             total += (

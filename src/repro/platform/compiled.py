@@ -141,6 +141,58 @@ class CompiledPlatform:
         )
 
     # ------------------------------------------------------------------ #
+    # Shared-memory transport
+    # ------------------------------------------------------------------ #
+    #: The ndarray fields, in a fixed order; the payload a warm-pool parent
+    #: publishes into a shared segment and a worker reattaches.
+    ARRAY_FIELDS = (
+        "edge_sources",
+        "edge_targets",
+        "transfer_times",
+        "send_overheads",
+        "recv_overheads",
+        "out_indptr",
+        "out_edge_ids",
+        "in_indptr",
+        "in_edge_ids",
+    )
+
+    def array_bundle(self) -> dict[str, np.ndarray]:
+        """The contiguous arrays by field name (for :func:`repro.shm.pack_arrays`)."""
+        return {name: getattr(self, name) for name in self.ARRAY_FIELDS}
+
+    @classmethod
+    def from_array_bundle(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        platform_name: str,
+        slice_size: float,
+        size: float,
+        node_names: tuple[NodeName, ...],
+    ) -> "CompiledPlatform":
+        """Rebuild a view around ``arrays`` (typically shared-memory views).
+
+        The arrays are adopted as-is — zero copies — so a view built over a
+        shared segment stays backed by it; the scalar sidecar travels in
+        the task payload.
+        """
+        missing = [name for name in cls.ARRAY_FIELDS if name not in arrays]
+        if missing:
+            raise PlatformError(
+                f"array bundle for platform {platform_name!r} is missing "
+                f"field(s): {', '.join(missing)}"
+            )
+        return cls(
+            platform_name=platform_name,
+            slice_size=float(slice_size),
+            size=float(size),
+            node_names=tuple(node_names),
+            node_index={name: i for i, name in enumerate(node_names)},
+            **{name: arrays[name] for name in cls.ARRAY_FIELDS},
+        )
+
+    # ------------------------------------------------------------------ #
     # Identity
     # ------------------------------------------------------------------ #
     @property

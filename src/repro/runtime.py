@@ -73,9 +73,13 @@ from .exceptions import (
 
 __all__ = [
     "TaskExecutor",
+    "ExecutorBackend",
     "SerialExecutor",
     "ProcessExecutor",
     "SupervisedExecutor",
+    "register_backend",
+    "available_backends",
+    "make_executor",
     "RetryPolicy",
     "TaskFailure",
     "TaskOutcome",
@@ -176,6 +180,7 @@ class TaskExecutor(Protocol):
 class SerialExecutor:
     """Evaluate work items one after the other in the calling process."""
 
+    name = "serial"
     jobs = 1
 
     def map(
@@ -186,6 +191,9 @@ class SerialExecutor:
         # Lazy so callers can report progress as items complete.
         return (function(task) for task in tasks)
 
+    def close(self) -> None:
+        """Nothing to release (backend-protocol symmetry)."""
+
 
 class ProcessExecutor:
     """Fan work items out over a process pool, preserving item order.
@@ -194,10 +202,15 @@ class ProcessExecutor:
     plain data); the facade ships jobs as JSON strings for this reason.
     """
 
+    name = "process"
+
     def __init__(self, jobs: int) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+
+    def close(self) -> None:
+        """Nothing persistent to release: each ``map`` owns its pool."""
 
     def map(
         self,
@@ -214,6 +227,106 @@ class ProcessExecutor:
                 yield from pool.map(function, tasks, chunksize=chunksize)
 
         return stream()
+
+
+# --------------------------------------------------------------------------- #
+# Pluggable backends
+# --------------------------------------------------------------------------- #
+class ExecutorBackend(Protocol):
+    """What :func:`make_executor` produces: an executor with a lifecycle.
+
+    Every :class:`TaskExecutor` qualifies once it carries a ``name`` and
+    (possibly no-op) ``close``; backends that also expose the pool surface
+    (``submit`` / ``abandon`` / ``healthy`` plus a true
+    ``supervises_as_pool`` attribute) get per-future supervision from
+    :class:`SupervisedExecutor` instead of the in-process fallback.
+    """
+
+    name: str
+    jobs: int
+
+    def map(
+        self,
+        function: Callable[[ItemT], ResultT],
+        tasks: Sequence[ItemT],
+    ) -> Iterable[ResultT]: ...
+
+    def close(self) -> None: ...
+
+
+_BACKEND_FACTORIES: dict[str, Callable[[int], Any]] = {}
+
+
+def register_backend(name: str, factory: Callable[[int], Any]) -> None:
+    """Register an executor ``factory`` (``jobs -> executor``) under ``name``.
+
+    Later registrations replace earlier ones, so embedders can override the
+    built-ins (``serial`` / ``process`` / ``warm-pool``).
+    """
+    _BACKEND_FACTORIES[str(name)] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names (the warm pool registers on first use)."""
+    _load_pool_backend()
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def _load_pool_backend() -> None:
+    """Import :mod:`repro.pool` on demand (it registers ``warm-pool``).
+
+    The import is deferred because :mod:`repro.pool` builds on this module;
+    a top-level import here would be a cycle.
+    """
+    if "warm-pool" not in _BACKEND_FACTORIES:
+        from . import pool  # noqa: F401  (import registers the backend)
+
+
+def make_executor(
+    backend: str | None = None,
+    jobs: int = 1,
+    *,
+    warn_single_cpu: bool = True,
+) -> Any:
+    """Build the executor for ``jobs``-way parallelism.
+
+    With ``backend=None`` (the default used by ``Session(jobs=...)`` and
+    the pipeline) the choice is automatic: ``jobs == 1`` runs the batched
+    serial path, ``jobs > 1`` the warm worker pool — except on single-CPU
+    hosts, where a process pool is pure overhead, so the call warns once
+    and falls back to the serial path instead of silently running slower
+    than ``jobs=1``.  Naming a backend explicitly always honours it, single
+    CPU or not (that is how the fallback itself is tested).
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if backend is None:
+        if jobs == 1:
+            return SerialExecutor()
+        if warn_single_cpu and (os.cpu_count() or 1) < 2:
+            warnings.warn(
+                f"jobs={jobs} requested but this host has a single CPU; "
+                f"a worker pool would only add dispatch overhead — running "
+                f"the batched serial path instead (pass an explicit "
+                f"backend to force a pool)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return SerialExecutor()
+        backend = "warm-pool"
+    if backend == "warm-pool":
+        _load_pool_backend()
+    factory = _BACKEND_FACTORIES.get(backend)
+    if factory is None:
+        known = ", ".join(sorted(_BACKEND_FACTORIES)) or "none"
+        raise ExperimentError(
+            f"unknown executor backend {backend!r} (registered: {known})"
+        )
+    return factory(jobs)
+
+
+register_backend("serial", lambda jobs: SerialExecutor())
+register_backend("process", lambda jobs: ProcessExecutor(jobs))
 
 
 # --------------------------------------------------------------------------- #
@@ -507,6 +620,11 @@ class SupervisedExecutor:
                 )
         if not items:
             return iter(())
+        # Persistent pools advertise their own supervision surface
+        # (submit/abandon/healthy); tasks stay on the warm workers across
+        # retries instead of degrading in-process on the first hiccup.
+        if getattr(self.inner, "supervises_as_pool", False):
+            return self._pool_outcomes(function, items, names)
         # Exact type, not isinstance: pool-level supervision replaces the
         # executor's own map() with per-future waits, which would silently
         # bypass the overridden behavior of ProcessExecutor *subclasses*
@@ -587,6 +705,85 @@ class SupervisedExecutor:
                 1,
                 outcome.exception,
             )
+
+    def _pool_outcomes(
+        self,
+        function: Callable[[Any], Any],
+        tasks: list[Any],
+        labels: list[str],
+    ) -> Iterator[TaskOutcome]:
+        """Supervise a persistent pool through its own submission surface.
+
+        All tasks are submitted upfront (the pool keeps its workers busy);
+        outcomes are consumed in task order.  A crashed worker charges the
+        crash to its task and the task is *resubmitted to the pool* while
+        attempts and pool health allow — unlike the per-``map`` process
+        pool there is no whole-pool respawn, because slots respawn
+        individually inside the pool.  Timeouts put the hung worker down
+        via ``abandon`` (freeing the slot) and finish the task's remaining
+        attempts in-process, exactly like :meth:`_process_outcomes`.
+        """
+        policy = self.policy
+        pool = self.inner
+        total = len(tasks)
+        attempts = [0] * total
+        futures: dict[int, Any] = {}
+
+        def submit(index: int) -> None:
+            futures[index] = pool.submit(
+                function,
+                tasks[index],
+                label=labels[index],
+                attempt=attempts[index],
+                fault_hook=self._fault_hook,
+            )
+
+        for index in range(total):
+            submit(index)
+        for index in range(total):
+            while True:
+                try:
+                    value = futures[index].result(timeout=policy.task_timeout)
+                    yield TaskOutcome(index, value=value)
+                    break
+                except _FuturesTimeout:
+                    attempts[index] += 1
+                    error: BaseException = TaskTimeoutError(
+                        f"supervised task {labels[index]!r} exceeded its "
+                        f"{policy.task_timeout:.3g}s timeout "
+                        f"(attempt {attempts[index]})"
+                    )
+                    # The attempt is still occupying a worker: put that
+                    # worker down so the slot frees up (it respawns lazily).
+                    pool.abandon(futures[index])
+                except WorkerCrashError as exc:
+                    attempts[index] += 1
+                    error = exc
+                    if attempts[index] <= policy.retries and pool.healthy:
+                        time.sleep(
+                            policy.delay(attempts[index] - 1, labels[index])
+                        )
+                        submit(index)
+                        continue
+                except Exception as exc:
+                    attempts[index] += 1
+                    error = exc
+                # Timeout, organic failure, or an unhealthy pool: remaining
+                # attempts run in-process (degradation semantics).
+                if attempts[index] <= policy.retries:
+                    yield self._attempt_loop(
+                        index, function, tasks[index], labels[index],
+                        attempts[index], error,
+                    )
+                else:
+                    yield TaskOutcome(
+                        index,
+                        failure=TaskFailure.from_exception(
+                            labels[index], error, attempts[index]
+                        ),
+                        exception=error,
+                    )
+                break
 
     def _process_outcomes(
         self,

@@ -22,6 +22,7 @@ import json
 import queue
 import signal
 import threading
+from collections import deque
 from dataclasses import dataclass, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Sequence
@@ -69,6 +70,15 @@ class ServiceConfig:
     drain_timeout: float = 30.0
     #: Worker processes of the owned session (1 = serial in-process).
     jobs: int = 1
+    #: Executor backend of the owned session (``None`` = auto by ``jobs``:
+    #: serial at 1, the warm worker pool above — see
+    #: :func:`~repro.runtime.make_executor`).
+    backend: str | None = None
+    #: Micro-batches allowed in flight at once when the session runs on a
+    #: worker pool: the solve loop dispatches the next batch while the
+    #: pool still chews on the previous one, overlapping batching latency
+    #: with pool work.  1 restores the strictly sequential loop.
+    max_inflight_batches: int = 2
     #: Optional on-disk result cache directory for the owned session.
     cache_dir: str | None = None
     #: Per-cache entry bound of the owned session.
@@ -84,6 +94,11 @@ class ServiceConfig:
         if self.max_batch_jobs < 1:
             raise ConfigError(
                 f"max_batch_jobs must be >= 1, got {self.max_batch_jobs!r}"
+            )
+        if self.max_inflight_batches < 1:
+            raise ConfigError(
+                "max_inflight_batches must be >= 1, "
+                f"got {self.max_inflight_batches!r}"
             )
 
 
@@ -116,11 +131,13 @@ class SolveService:
         self, config: ServiceConfig | None = None, *, session: Session | None = None
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
+        self._owns_session = session is None
         self.session = (
             session
             if session is not None
             else Session(
                 jobs=self.config.jobs,
+                backend=self.config.backend,
                 cache_dir=self.config.cache_dir,
                 max_cache_entries=self.config.max_cache_entries,
                 max_cache_bytes=self.config.max_cache_bytes,
@@ -202,6 +219,9 @@ class SolveService:
                 "service stopped before the request was solved"
             )
             self._finish(request)
+        if self._owns_session:
+            # Stops warm-pool workers and unlinks their shared segments.
+            self.session.close()
 
     # ------------------------------------------------------------------ #
     # Request path
@@ -246,46 +266,71 @@ class SolveService:
     # Solve loop
     # ------------------------------------------------------------------ #
     def _solve_loop(self) -> None:
-        while not self._stop.is_set():
-            if not self._gate.is_set():
-                self._gate.wait(timeout=0.05)
-                continue
-            try:
-                first = self._queue.get(timeout=0.05)
-            except queue.Empty:
-                continue
-            if self._stop.is_set():
-                # Stopped while this get() was in flight: hand the request
-                # back for stop()'s flush to fail with a structured 503.
-                self._queue.put(first)
-                break
-            if not self._gate.is_set():
-                # Paused while this get() was already in flight: hand the
-                # request back and go wait on the gate.
-                self._queue.put(first)
-                continue
-            batch = [first]
-            total = len(first.jobs)
-            # Micro-batching: whatever is *already* queued rides along (up
-            # to the cap), with no artificial latency added to gather more.
-            while total < self.config.max_batch_jobs:
+        # Sessions running on a worker pool expose async submission
+        # (solve_many_async), which lets the loop overlap micro-batches:
+        # dispatch the next batch while the pool still chews on the
+        # previous one, up to ``max_inflight_batches`` deep.
+        overlapped = (
+            self.config.max_inflight_batches > 1
+            and getattr(self.session.executor, "supervises_as_pool", False)
+        )
+        inflight: "deque[tuple[Any, list[_PendingRequest]]]" = deque()
+        try:
+            while not self._stop.is_set():
+                self._reap(inflight, block=False)
+                if not self._gate.is_set():
+                    self._gate.wait(timeout=0.05)
+                    continue
                 try:
-                    request = self._queue.get_nowait()
+                    first = self._queue.get(timeout=0.05)
                 except queue.Empty:
+                    continue
+                if self._stop.is_set():
+                    # Stopped while this get() was in flight: hand the request
+                    # back for stop()'s flush to fail with a structured 503.
+                    self._queue.put(first)
                     break
-                batch.append(request)
-                total += len(request.jobs)
-            try:
-                self._solve_batch(batch)
-            except BaseException as error:  # noqa: BLE001 - loop must survive
-                for request in batch:
-                    if not request.done.is_set():
-                        request.error = ServiceError(
-                            f"solve loop error: {type(error).__name__}: {error}"
-                        )
-                        self._finish(request)
+                if not self._gate.is_set():
+                    # Paused while this get() was already in flight: hand the
+                    # request back and go wait on the gate.
+                    self._queue.put(first)
+                    continue
+                batch = [first]
+                total = len(first.jobs)
+                # Micro-batching: whatever is *already* queued rides along (up
+                # to the cap), with no artificial latency added to gather more.
+                while total < self.config.max_batch_jobs:
+                    try:
+                        request = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    batch.append(request)
+                    total += len(request.jobs)
+                try:
+                    if overlapped:
+                        while len(inflight) >= self.config.max_inflight_batches:
+                            self._reap(inflight, block=True)
+                        entry = self._dispatch_batch_async(batch)
+                        if entry is not None:
+                            inflight.append(entry)
+                    else:
+                        self._solve_batch(batch)
+                except BaseException as error:  # noqa: BLE001 - loop must survive
+                    for request in batch:
+                        if not request.done.is_set():
+                            request.error = ServiceError(
+                                f"solve loop error: {type(error).__name__}: {error}"
+                            )
+                            self._finish(request)
+        finally:
+            while inflight:
+                self._reap(inflight, block=True)
 
-    def _solve_batch(self, batch: "list[_PendingRequest]") -> None:
+    # ------------------------------------------------------------------ #
+    def _live_requests(
+        self, batch: "list[_PendingRequest]"
+    ) -> "list[_PendingRequest]":
+        """Drop batch members whose deadline expired while queued."""
         live: list[_PendingRequest] = []
         for request in batch:
             if request.deadline.expired:
@@ -294,13 +339,16 @@ class SolveService:
                 self._finish(request)
                 continue
             live.append(request)
-        if not live:
-            return
-        jobs = [job for request in live for job in request.jobs]
-        # The whole batch runs under the tightest remaining deadline: one
-        # solve_many call means one supervision scope, and a task that
-        # cannot finish inside the most urgent request's budget should be
-        # timed out, retried, and eventually failed *as data*.
+        return live
+
+    def _batch_policy(self, live: "list[_PendingRequest]") -> Any:
+        """The batch's retry policy: tightest remaining deadline wins.
+
+        The whole batch runs under the most urgent request's budget: one
+        solve_many call means one supervision scope, and a task that
+        cannot finish inside that budget should be timed out, retried,
+        and eventually failed *as data*.
+        """
         remaining = max(
             0.001, min(request.deadline.remaining() for request in live)
         )
@@ -310,17 +358,12 @@ class SolveService:
             if policy.task_timeout is None
             else min(policy.task_timeout, remaining)
         )
-        try:
-            results = self.session.solve_many(
-                jobs,
-                on_error="collect",
-                retry_policy=replace(policy, task_timeout=task_timeout),
-            )
-        except ReproError as error:
-            for request in live:
-                request.error = error
-                self._finish(request)
-            return
+        return replace(policy, task_timeout=task_timeout)
+
+    def _distribute(
+        self, live: "list[_PendingRequest]", results: "list[Result]"
+    ) -> None:
+        """Slice batch results back onto their requests and release them."""
         self.count("batches_solved")
         offset = 0
         for request in live:
@@ -330,6 +373,71 @@ class SolveService:
             self.count("jobs_solved", len(request.jobs) - failed)
             self.count("jobs_failed", failed)
             self._finish(request)
+
+    def _solve_batch(self, batch: "list[_PendingRequest]") -> None:
+        live = self._live_requests(batch)
+        if not live:
+            return
+        jobs = [job for request in live for job in request.jobs]
+        try:
+            results = self.session.solve_many(
+                jobs,
+                on_error="collect",
+                retry_policy=self._batch_policy(live),
+            )
+        except ReproError as error:
+            for request in live:
+                request.error = error
+                self._finish(request)
+            return
+        self._distribute(live, results)
+
+    def _dispatch_batch_async(
+        self, batch: "list[_PendingRequest]"
+    ) -> "tuple[Any, list[_PendingRequest]] | None":
+        """Ship one micro-batch to the pool without waiting for it."""
+        live = self._live_requests(batch)
+        if not live:
+            return None
+        jobs = [job for request in live for job in request.jobs]
+        handle = self.session.solve_many_async(
+            jobs,
+            on_error="collect",
+            retry_policy=self._batch_policy(live),
+        )
+        self.count("batches_overlapped")
+        return handle, live
+
+    def _reap(
+        self,
+        inflight: "deque[tuple[Any, list[_PendingRequest]]]",
+        *,
+        block: bool,
+    ) -> None:
+        """Settle finished in-flight batches (oldest first).
+
+        ``block=True`` waits for the oldest batch (freeing one in-flight
+        slot), then keeps reaping whatever else already finished.
+        """
+        while inflight and (block or inflight[0][0].done()):
+            handle, live = inflight.popleft()
+            block = False
+            try:
+                results = handle.result()
+            except ReproError as error:
+                for request in live:
+                    request.error = error
+                    self._finish(request)
+                continue
+            except BaseException as error:  # noqa: BLE001 - loop must survive
+                for request in live:
+                    if not request.done.is_set():
+                        request.error = ServiceError(
+                            f"solve loop error: {type(error).__name__}: {error}"
+                        )
+                        self._finish(request)
+                continue
+            self._distribute(live, results)
 
     def _finish(self, request: _PendingRequest) -> None:
         self.admission.release(request.tenant, len(request.jobs))

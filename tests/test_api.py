@@ -174,6 +174,18 @@ class TestSession:
             r.deterministic_metrics() for r in serial
         ]
 
+    def test_solve_many_warm_pool_matches_serial(self):
+        jobs = [
+            Job.broadcast(RECIPE, heuristic=name)
+            for name in ("grow-tree", "binomial")
+        ]
+        with Session(jobs=2, backend="warm-pool") as session:
+            warm = session.solve_many(jobs)
+        serial = Session().solve_many(jobs)
+        assert [r.deterministic_metrics() for r in warm] == [
+            r.deterministic_metrics() for r in serial
+        ]
+
     def test_solve_many_dispatches_duplicate_jobs_once(self):
         """Equal jobs in one batch ship to the executor exactly once."""
 

@@ -86,11 +86,22 @@ class TestExecutorDeterminism:
         parallel_render = figure_4a(tiny_parameters, records=parallel).render()
         assert serial_render == parallel_render
 
+    def test_warm_pool_records_identical(self, tiny_parameters, serial_records):
+        with EvaluationPipeline(jobs=2, backend="warm-pool") as pipeline:
+            warm = pipeline.evaluate("random", tiny_parameters)
+        assert [r.deterministic_payload() for r in serial_records] == [
+            r.deterministic_payload() for r in warm
+        ]
+
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ExperimentError):
             EvaluationPipeline(jobs=0)
         with pytest.raises(ExperimentError):
             ProcessExecutor(0)
+
+    def test_executor_and_backend_are_mutually_exclusive(self):
+        with pytest.raises(ExperimentError, match="not both"):
+            EvaluationPipeline(executor=SerialExecutor(), backend="serial")
 
     def test_serial_executor_preserves_order(self):
         executor = SerialExecutor()
