@@ -1,0 +1,248 @@
+"""Benchmark of the dynamic-platform subsystem.
+
+Measures, and records into ``BENCH_dynamics.json`` (repo root by default):
+
+* **replay throughput** — events/sec of a full trace replay (batched
+  window mutations + recompile per window) on a churny, congested trace;
+* **batching amortization** — the same drift stream applied as one
+  ``batch_mutate`` per window vs one ``update_link_costs`` per event,
+  recompiling after every mutation (what any consumer of
+  ``Platform.compiled()`` pays).  The epoch accounting is asserted before
+  timing anything: the batched replay bumps ``mutation_epoch`` once per
+  non-empty window, the per-event path once per event;
+* **adaptive vs static** — :func:`repro.dynamics.run_dynamic` on a
+  drifting trace; the run *asserts* that the adaptive policy measurably
+  beats the static tree's mean achieved/bound ratio while re-planning
+  strictly fewer times than the per-epoch oracle, and records the
+  campaign wall-clock.
+
+Run it as a script::
+
+    PYTHONPATH=src python benchmarks/bench_dynamics.py [--quick]
+        [--rounds 3] [--output BENCH_dynamics.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from conftest import record_host
+from repro import _version
+from repro.dynamics import TraceReplayer, TraceSpec, generate_trace, run_dynamic
+from repro.platform.generators.random_graph import generate_random_platform
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# The drifting-trace fixture of the adaptive comparison: enough smooth
+# drift that the initial tree goes stale mid-campaign, enough persistence
+# (rho) that re-planning pays for itself before the platform moves again.
+ADAPTIVE_PLATFORM = dict(num_nodes=14, density=0.3, seed=11)
+ADAPTIVE_TRACE = TraceSpec(
+    seed=5, horizon=10, drift=0.25, drift_rho=0.7, congestion_rate=0.2
+)
+
+
+def _best_of(rounds: int, fn, *args, **kwargs):
+    best, result = math.inf, None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_replay(num_nodes: int, horizon: int, rounds: int) -> dict:
+    """Events/sec of a full batched replay, recompiling every window."""
+    platform = generate_random_platform(num_nodes=num_nodes, density=0.3, seed=11)
+    spec = TraceSpec(
+        seed=5, horizon=horizon, drift=0.3, congestion_rate=0.5, churn_rate=0.2
+    )
+    trace = generate_trace(platform, spec, protect=(0,))
+
+    def run() -> None:
+        replayer = TraceReplayer(platform, trace)
+        while not replayer.done:
+            replayer.apply_next_window()
+            replayer.platform.compiled()
+
+    seconds, _ = _best_of(rounds, run)
+    return {
+        "num_nodes": num_nodes,
+        "num_edges": platform.num_links,
+        "windows": trace.num_windows,
+        "events": trace.num_events,
+        "seconds": seconds,
+        "events_per_second": trace.num_events / seconds,
+    }
+
+
+def bench_batching(
+    num_nodes: int, horizon: int, rounds: int, assert_timings: bool
+) -> dict:
+    """One batch per window vs one singleton update per event."""
+    platform = generate_random_platform(num_nodes=num_nodes, density=0.3, seed=11)
+    spec = TraceSpec(seed=3, horizon=horizon, drift=0.4)  # drift-only: cost events
+    trace = generate_trace(platform, spec)
+    base = {edge: platform.link(*edge).cost for edge in platform.edges}
+
+    # Epoch accounting, asserted before timing anything: this is the whole
+    # point of the batch API, so the bench fails loudly if it regresses.
+    batched = TraceReplayer(platform, trace)
+    start_epoch = batched.platform.mutation_epoch
+    while not batched.done:
+        batched.apply_next_window()
+    nonempty = sum(1 for window in trace.windows if window)
+    assert batched.platform.mutation_epoch - start_epoch == nonempty, (
+        "batched replay must bump mutation_epoch once per non-empty window"
+    )
+    per_event = platform.copy("per-event")
+    start_epoch = per_event.mutation_epoch
+    for window in trace.windows:
+        for event in window:
+            per_event.update_link_costs(
+                {event.edge: base[event.edge].scaled(event.factor)}
+            )
+    assert per_event.mutation_epoch - start_epoch == trace.num_events, (
+        "singleton updates must bump mutation_epoch once per event"
+    )
+
+    def run_batched() -> None:
+        replayer = TraceReplayer(platform, trace)
+        while not replayer.done:
+            replayer.apply_next_window()
+            replayer.platform.compiled()
+
+    def run_per_event() -> None:
+        work = platform.copy("per-event-timed")
+        for window in trace.windows:
+            for event in window:
+                work.update_link_costs(
+                    {event.edge: base[event.edge].scaled(event.factor)}
+                )
+                work.compiled()
+
+    batched_seconds, _ = _best_of(rounds, run_batched)
+    per_event_seconds, _ = _best_of(rounds, run_per_event)
+    # Full runs gate on the amortization actually amortizing; the --quick
+    # CI smoke only records the ratio (shared-runner timing jitter).
+    if assert_timings:
+        assert batched_seconds < per_event_seconds, (
+            batched_seconds,
+            per_event_seconds,
+        )
+    return {
+        "num_nodes": num_nodes,
+        "windows": trace.num_windows,
+        "events": trace.num_events,
+        "batched_seconds": batched_seconds,
+        "per_event_seconds": per_event_seconds,
+        "speedup": per_event_seconds / batched_seconds,
+        "batched_epoch_bumps": nonempty,
+        "per_event_epoch_bumps": trace.num_events,
+    }
+
+
+def bench_adaptive(rounds: int) -> dict:
+    """Adaptive vs static vs oracle on the drifting fixture, asserted."""
+    platform = generate_random_platform(**ADAPTIVE_PLATFORM)
+    trace = generate_trace(platform, ADAPTIVE_TRACE, protect=(0,))
+    seconds, outcome = _best_of(
+        rounds,
+        run_dynamic,
+        platform,
+        trace,
+        source=0,
+        threshold=0.15,
+        replan_cost=0.1,
+    )
+    static = outcome.timeline("static")
+    oracle = outcome.timeline("oracle")
+    adaptive = outcome.timeline("adaptive")
+    # The subsystem's headline claims, asserted on every run (the outcome
+    # is deterministic, so these are safe to gate CI on):
+    assert adaptive.mean_ratio > static.mean_ratio + 0.02, (
+        adaptive.mean_ratio,
+        static.mean_ratio,
+    )
+    assert adaptive.replans < oracle.replans, (adaptive.replans, oracle.replans)
+    assert static.replans == 0
+    return {
+        "num_nodes": ADAPTIVE_PLATFORM["num_nodes"],
+        "horizon": ADAPTIVE_TRACE.horizon,
+        "events": trace.num_events,
+        "campaign_seconds": seconds,
+        "mean_ratio": {
+            "static": static.mean_ratio,
+            "oracle": oracle.mean_ratio,
+            "adaptive": adaptive.mean_ratio,
+        },
+        "replans": {
+            "static": static.replans,
+            "oracle": oracle.replans,
+            "adaptive": adaptive.replans,
+        },
+        "adaptive_over_static": adaptive.mean_ratio / static.mean_ratio,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke sweep")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_dynamics.json"))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        replay_sizes, horizon = [12], 10
+    else:
+        replay_sizes, horizon = [12, 20, 30], 20
+
+    replay = [bench_replay(size, horizon, args.rounds) for size in replay_sizes]
+    batching = [
+        bench_batching(size, horizon, args.rounds, assert_timings=not args.quick)
+        for size in replay_sizes
+    ]
+    adaptive = bench_adaptive(args.rounds)
+
+    payload = {
+        "benchmark": "dynamics",
+        "version": _version.__version__,
+        "host": record_host(),
+        "replay": replay,
+        "batching": batching,
+        "adaptive": adaptive,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    for row in replay:
+        print(
+            f"replay   n={row['num_nodes']:3d}  {row['events']:4d} events / "
+            f"{row['windows']} windows: {row['seconds'] * 1000:7.2f} ms "
+            f"({row['events_per_second']:8.0f} events/s)"
+        )
+    for row in batching:
+        print(
+            f"batching n={row['num_nodes']:3d}  batched {row['batched_seconds'] * 1000:7.2f} ms "
+            f"({row['batched_epoch_bumps']} epochs) vs per-event "
+            f"{row['per_event_seconds'] * 1000:7.2f} ms "
+            f"({row['per_event_epoch_bumps']} epochs): {row['speedup']:.1f}x"
+        )
+    ratios = adaptive["mean_ratio"]
+    print(
+        f"adaptive n={adaptive['num_nodes']:3d}  mean ratio "
+        f"{ratios['adaptive']:.3f} vs static {ratios['static']:.3f} "
+        f"({adaptive['adaptive_over_static']:.2f}x), re-plans "
+        f"{adaptive['replans']['adaptive']} vs oracle "
+        f"{adaptive['replans']['oracle']}, campaign "
+        f"{adaptive['campaign_seconds']:.2f} s"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,8 +39,17 @@ True
 """
 
 from ._version import __version__
-from .api import Job, PlatformRecipe, Result, Session, default_session
+from .api import (
+    DynamicJob,
+    DynamicResult,
+    Job,
+    PlatformRecipe,
+    Result,
+    Session,
+    default_session,
+)
 from .collectives import CollectiveKind, CollectiveSpec
+from .dynamics import PlatformTrace, TraceSpec, generate_trace, replay_tree, run_dynamic
 from .analysis import (
     BottleneckReport,
     MakespanReport,
@@ -135,6 +144,14 @@ __all__ = [
     "Result",
     "Session",
     "default_session",
+    "DynamicJob",
+    "DynamicResult",
+    # dynamics
+    "TraceSpec",
+    "PlatformTrace",
+    "generate_trace",
+    "replay_tree",
+    "run_dynamic",
     # collectives
     "CollectiveKind",
     "CollectiveSpec",

@@ -35,6 +35,7 @@ True
 """
 
 from ..runtime import RetryPolicy, TaskFailure
+from .dynamic import DYNAMIC_JOB_FORMAT_VERSION, DynamicJob, DynamicResult
 from .job import JOB_FORMAT_VERSION, PLATFORM_GENERATORS, Job, PlatformRecipe
 from .result import RESULT_FORMAT_VERSION, FailedResult, Result
 from .session import Session, default_session
@@ -42,11 +43,14 @@ from .session import Session, default_session
 __all__ = [
     "JOB_FORMAT_VERSION",
     "RESULT_FORMAT_VERSION",
+    "DYNAMIC_JOB_FORMAT_VERSION",
     "PLATFORM_GENERATORS",
     "Job",
     "PlatformRecipe",
     "Result",
     "FailedResult",
+    "DynamicJob",
+    "DynamicResult",
     "RetryPolicy",
     "TaskFailure",
     "Session",

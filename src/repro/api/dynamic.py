@@ -1,0 +1,437 @@
+"""Declarative dynamic-platform campaigns: :class:`DynamicJob` / :class:`DynamicResult`.
+
+A :class:`DynamicJob` freezes everything needed to reproduce one dynamic
+campaign — the platform (inline or recipe), the :class:`~repro.dynamics.TraceSpec`
+(including its seed), the source, heuristic, port model, and the adaptive
+controller's knobs — into one immutable, JSON-round-trippable value with
+the same identity contract as :class:`~repro.api.Job`: equality, hashing
+and the result-cache key all derive from the canonical payload plus the
+library version, so a repeated campaign replays from cache instead of
+re-running the trace.
+
+A :class:`DynamicResult` is the lazy view: nothing is computed until a
+time-series property is touched, at which point the owning
+:class:`~repro.api.Session` generates the trace, replays it once and runs
+every requested policy (see :func:`repro.dynamics.run_dynamic`), storing
+the whole outcome in the job's metric payload.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .._version import __version__
+from ..core.registry import available_heuristics
+from ..dynamics.adaptive import POLICIES, DynamicOutcome, PolicyTimeline
+from ..dynamics.trace import TraceSpec
+from ..exceptions import ConfigError
+from ..models.port_models import MultiPortModel, OnePortModel, PortModel
+from ..platform.graph import Platform
+from ..runtime import stable_key
+from ..utils.ascii_plot import format_table, sparkline
+from .job import PlatformRecipe, platform_from_payload, platform_payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import Session
+
+__all__ = ["DYNAMIC_JOB_FORMAT_VERSION", "DynamicJob", "DynamicResult"]
+
+#: Version stamp embedded in every serialized dynamic job.
+DYNAMIC_JOB_FORMAT_VERSION = 1
+
+_PORT_MODELS = ("one-port", "multi-port")
+
+#: Wall-clock keys excluded from :meth:`DynamicResult.deterministic_metrics`.
+_TIMING_METRICS = ("solve_seconds",)
+
+
+@dataclass(frozen=True, eq=False)
+class DynamicJob:
+    """One frozen, declarative dynamic-platform campaign description.
+
+    Parameters
+    ----------
+    platform:
+        The *pristine* platform the trace perturbs, inline or as a
+        :class:`~repro.api.PlatformRecipe`.
+    trace:
+        The :class:`~repro.dynamics.TraceSpec` describing drift, congestion
+        and churn; its ``seed`` makes the whole campaign deterministic.
+        The trace generator always protects the ``source`` from churn.
+    source:
+        Broadcast source node.
+    heuristic / model / send_fraction / size:
+        As on :class:`~repro.api.Job` — the tree heuristic and port model
+        used for planning and re-planning.
+    threshold:
+        The adaptive policy re-plans when the relative drift of its
+        achieved-vs-bound ratio since its last plan exceeds this.
+    replan_cost:
+        Fraction of a re-planning epoch's throughput charged for the
+        re-plan (tearing down an in-flight pipelined broadcast is not free).
+    policies:
+        Which policies to run (subset of
+        :data:`repro.dynamics.POLICIES`); order is preserved.
+    """
+
+    platform: "Platform | PlatformRecipe"
+    trace: TraceSpec = TraceSpec()
+    source: Any = 0
+    heuristic: str = "grow-tree"
+    model: str = "one-port"
+    send_fraction: float = 0.8
+    size: float | None = None
+    threshold: float = 0.15
+    replan_cost: float = 0.1
+    policies: tuple[str, ...] = POLICIES
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.platform, (Platform, PlatformRecipe)):
+            raise ConfigError(
+                f"dynamic job platform must be a Platform or a PlatformRecipe, "
+                f"got {type(self.platform).__name__}"
+            )
+        if not isinstance(self.trace, TraceSpec):
+            raise ConfigError(
+                f"dynamic job trace must be a TraceSpec, "
+                f"got {type(self.trace).__name__}"
+            )
+        if self.heuristic not in available_heuristics():
+            raise ConfigError(
+                f"unknown heuristic {self.heuristic!r}; "
+                f"available: {available_heuristics()}"
+            )
+        if self.model not in _PORT_MODELS:
+            raise ConfigError(
+                f"unknown port model {self.model!r}; available: {list(_PORT_MODELS)}"
+            )
+        if not 0.0 < self.send_fraction <= 1.0:
+            raise ConfigError(
+                f"send_fraction must lie in (0, 1], got {self.send_fraction!r}"
+            )
+        if self.size is not None and self.size <= 0:
+            raise ConfigError(f"size must be positive, got {self.size!r}")
+        if self.threshold <= 0:
+            raise ConfigError(f"threshold must be positive, got {self.threshold!r}")
+        if not 0.0 <= self.replan_cost < 1.0:
+            raise ConfigError(
+                f"replan_cost must lie in [0, 1), got {self.replan_cost!r}"
+            )
+        object.__setattr__(self, "policies", tuple(self.policies))
+        if not self.policies:
+            raise ConfigError("dynamic job needs at least one policy")
+        unknown = set(self.policies) - set(POLICIES)
+        if unknown:
+            raise ConfigError(
+                f"unknown policies {sorted(unknown)}; available: {list(POLICIES)}"
+            )
+
+    def but(self, **changes: Any) -> "DynamicJob":
+        """A copy with some fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    def port_model(self) -> PortModel:
+        """Instantiate the port model this campaign plans under."""
+        if self.model == "multi-port":
+            return MultiPortModel(send_fraction=self.send_fraction)
+        return OnePortModel()
+
+    # ------------------------------------------------------------------ #
+    # Serialization and identity (same scheme as Job)
+    # ------------------------------------------------------------------ #
+    def _platform_epoch(self) -> int:
+        if isinstance(self.platform, Platform):
+            return self.platform.mutation_epoch
+        return -1
+
+    def _payload_view(self) -> dict[str, Any]:
+        """Memoized canonical payload; internal — never hand this out."""
+        epoch = self._platform_epoch()
+        cached = self.__dict__.get("_payload_cache")
+        if cached is None or cached[0] != epoch:
+            payload = {
+                "format_version": DYNAMIC_JOB_FORMAT_VERSION,
+                "kind": "dynamic",
+                "platform": platform_payload(self.platform),
+                "trace": self.trace.to_dict(),
+                "source": self.source,
+                "heuristic": self.heuristic,
+                "model": self.model,
+                "send_fraction": self.send_fraction,
+                "size": self.size,
+                "threshold": self.threshold,
+                "replan_cost": self.replan_cost,
+                "policies": list(self.policies),
+            }
+            object.__setattr__(self, "_payload_cache", (epoch, payload))
+        else:
+            payload = cached[1]
+        return payload
+
+    def canonical_payload(self) -> dict[str, Any]:
+        """The versioned JSON payload that *is* this job's identity."""
+        return copy.deepcopy(self._payload_view())
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialise to JSON; inverse of :meth:`from_json`."""
+        return json.dumps(self._payload_view(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DynamicJob":
+        """Rebuild from :meth:`canonical_payload` output."""
+        version = data.get("format_version", DYNAMIC_JOB_FORMAT_VERSION)
+        if version != DYNAMIC_JOB_FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported dynamic job format version {version!r} "
+                f"(this build understands {DYNAMIC_JOB_FORMAT_VERSION})"
+            )
+        return cls(
+            platform=platform_from_payload(data["platform"]),
+            trace=TraceSpec.from_dict(data["trace"]),
+            source=data.get("source", 0),
+            heuristic=data.get("heuristic", "grow-tree"),
+            model=data.get("model", "one-port"),
+            send_fraction=float(data.get("send_fraction", 0.8)),
+            size=data.get("size"),
+            threshold=float(data.get("threshold", 0.15)),
+            replan_cost=float(data.get("replan_cost", 0.1)),
+            policies=tuple(data.get("policies", POLICIES)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DynamicJob":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    # -- keys ---------------------------------------------------------- #
+    def _keys(self) -> dict[str, str]:
+        epoch = self._platform_epoch()
+        cached = self.__dict__.get("_key_cache")
+        if cached is None or cached[0] != epoch:
+            payload = self._payload_view()
+            keys = {
+                "platform": stable_key(payload["platform"]),
+                "cache": stable_key({"dynamic_job": payload, "version": __version__}),
+            }
+            object.__setattr__(self, "_key_cache", (epoch, keys))
+            return keys
+        return cached[1]
+
+    def platform_key(self) -> str:
+        """Stable key of the pristine platform alone."""
+        return self._keys()["platform"]
+
+    def cache_key(self) -> str:
+        """Stable result-cache key: full payload plus the library version."""
+        return self._keys()["cache"]
+
+    # -- identity ------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynamicJob):
+            return NotImplemented
+        return self._payload_view() == other._payload_view()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
+    def describe(self) -> str:
+        """Short human-readable label used in logs and progress output."""
+        if isinstance(self.platform, PlatformRecipe):
+            where = f"{self.platform.generator} recipe"
+        else:
+            where = self.platform.name
+        return (
+            f"dynamic broadcast from {self.source!r} on {where} "
+            f"[{self.heuristic}, {self.model}, "
+            f"trace seed {self.trace.seed}, {self.trace.horizon} windows]"
+        )
+
+
+class DynamicResult:
+    """Lazy view of one dynamic campaign; see the module docstring.
+
+    Cheap handle (job + session): the campaign runs on first access to any
+    time-series property and lands in the session's metric payload / result
+    cache, so repeated views and cache replays never re-run the trace.
+    """
+
+    __slots__ = ("job", "_session")
+
+    def __init__(self, job: DynamicJob, session: "Session") -> None:
+        self.job = job
+        self._session = session
+
+    # ------------------------------------------------------------------ #
+    # Payload plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def _payload(self) -> dict[str, Any]:
+        return self._session._payload(self.job)
+
+    def metrics(self) -> dict[str, Any]:
+        """Snapshot of the computed metric payload (no computation)."""
+        return dict(self._payload)
+
+    def deterministic_metrics(self) -> dict[str, Any]:
+        """Metric snapshot minus wall-clock timing fields.
+
+        Two runs of the same dynamic job — fresh or replayed from cache,
+        serial or through a warm worker pool — must agree exactly on this.
+        """
+        payload = self.metrics()
+        for name in _TIMING_METRICS:
+            payload.pop(name, None)
+        return payload
+
+    def is_materialized(self) -> bool:
+        """Whether the campaign has been run (or replayed from cache)."""
+        return "timelines" in self._payload
+
+    def materialize(self) -> "DynamicResult":
+        """Run (and persist) the campaign if it has not run yet."""
+        self._session.dynamic_payload_for(self.job)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Time-series views
+    # ------------------------------------------------------------------ #
+    @property
+    def outcome(self) -> DynamicOutcome:
+        """The full structured outcome (rebuilt from the stored payload)."""
+        return DynamicOutcome.from_payload(self.materialize()._payload)
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        """Epoch timestamps, ``0.0`` first (the pre-trace baseline)."""
+        return tuple(self.materialize()._payload["times"])
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """Per-epoch LP optimal throughput (shared by all policies)."""
+        return tuple(self.materialize()._payload["bounds"])
+
+    @property
+    def alive(self) -> tuple[int, ...]:
+        """Per-epoch count of alive nodes."""
+        return tuple(self.materialize()._payload["alive"])
+
+    @property
+    def events(self) -> tuple[int, ...]:
+        """Per-epoch count of applied trace events."""
+        return tuple(self.materialize()._payload["events"])
+
+    def timeline(self, policy: str) -> PolicyTimeline:
+        """One policy's trajectory (samples plus re-plan decisions)."""
+        payload = self.materialize()._payload
+        try:
+            data = payload["timelines"][policy]
+        except KeyError as exc:
+            raise ConfigError(
+                f"no timeline for policy {policy!r}; "
+                f"available: {sorted(payload['timelines'])}"
+            ) from exc
+        return PolicyTimeline.from_dict(data)
+
+    def ratios(self, policy: str) -> tuple[float, ...]:
+        """One policy's achieved-vs-bound ratio series."""
+        return self.timeline(policy).ratios
+
+    def replans(self, policy: str) -> int:
+        """How many times one policy re-planned over the trace."""
+        return self.timeline(policy).replans
+
+    def mean_ratio(self, policy: str) -> float:
+        """One policy's mean achieved-vs-bound ratio."""
+        return self.timeline(policy).mean_ratio
+
+    @property
+    def solve_seconds(self) -> float:
+        """Wall-clock seconds the campaign took (0 on cache replay)."""
+        return self.materialize()._payload.get("solve_seconds", 0.0)
+
+    def summary(self) -> str:
+        """Terminal summary: per-policy table plus ratio sparklines."""
+        payload = self.materialize()._payload
+        policies = payload["policies"]
+        timelines = {policy: self.timeline(policy) for policy in policies}
+        table = format_table(
+            ["policy", "mean ratio", "final ratio", "replans"],
+            [
+                [
+                    policy,
+                    timelines[policy].mean_ratio,
+                    timelines[policy].ratios[-1],
+                    timelines[policy].replans,
+                ]
+                for policy in policies
+            ],
+        )
+        width = max(len(policy) for policy in policies)
+        sparks = "\n".join(
+            f"{policy.ljust(width)}  {sparkline(timelines[policy].ratios, lo=0.0, hi=1.0)}"
+            for policy in policies
+        )
+        return (
+            f"{self.job.describe()}\n"
+            f"epochs: {payload['num_epochs']}, "
+            f"events: {sum(payload['events'])}\n\n"
+            f"{table}\n\nachieved / LP bound over time (0..1):\n{sparks}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned JSON payload: the job plus its materialized series."""
+        self.materialize()
+        return {
+            "format_version": DYNAMIC_JOB_FORMAT_VERSION,
+            "version": __version__,
+            "job": self.job.canonical_payload(),
+            "metrics": self.metrics(),
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialise to JSON; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], *, session: "Session | None" = None
+    ) -> "DynamicResult":
+        """Restore a result; metrics are adopted instead of recomputed."""
+        version = data.get("format_version", DYNAMIC_JOB_FORMAT_VERSION)
+        if version != DYNAMIC_JOB_FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported dynamic result format version {version!r} "
+                f"(this build understands {DYNAMIC_JOB_FORMAT_VERSION})"
+            )
+        library = data.get("version")
+        if library != __version__:
+            raise ConfigError(
+                f"dynamic result was produced by library version {library!r}; "
+                f"this is {__version__!r} — re-run the job instead"
+            )
+        if session is None:
+            from .session import default_session  # local: avoid cycle
+
+            session = default_session()
+        job = DynamicJob.from_dict(data["job"])
+        payload = session._payload(job)
+        for name, value in data.get("metrics", {}).items():
+            payload.setdefault(name, value)
+        return cls(job, session)
+
+    @classmethod
+    def from_json(
+        cls, text: str, *, session: "Session | None" = None
+    ) -> "DynamicResult":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text), session=session)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "materialized" if self.is_materialized() else "lazy"
+        return f"DynamicResult({self.job.describe()}, {state})"

@@ -59,6 +59,7 @@ from ..runtime import (
 )
 from ..simulation.broadcast import SimulationResult
 from ..simulation.collective import simulate_collective
+from .dynamic import DynamicJob, DynamicResult
 from .job import Job, PlatformRecipe, platform_payload
 from .result import FailedResult, Result
 
@@ -217,6 +218,18 @@ class Session:
         """
         self._payload(job)
         return Result(job, self)
+
+    def solve_dynamic(self, job: DynamicJob) -> DynamicResult:
+        """Return the lazy :class:`DynamicResult` of a dynamic campaign.
+
+        Nothing runs here: the trace generation, replay and policy
+        comparison happen on first access to any time-series property (or
+        :meth:`DynamicResult.materialize`), land in the job's metric
+        payload, and persist through the same two-level result cache as
+        ordinary solves — a repeated campaign replays instead of re-running.
+        """
+        self._payload(job)
+        return DynamicResult(job, self)
 
     def solve_many(
         self,
@@ -659,6 +672,44 @@ class Session:
             self._makespans[key] = report
         self._payload(job).setdefault("makespan", report.makespan)
         return report
+
+    def dynamic_payload_for(self, job: DynamicJob) -> dict[str, Any]:
+        """Run (or replay from cache) a dynamic campaign; return its payload.
+
+        The trace is generated from ``job.trace`` (protecting the source
+        from churn), replayed once window-by-window, and every requested
+        policy is driven over the same evolving platform copy — the
+        session's shared pristine platform instance is never mutated.  The
+        per-epoch LP bounds go through the session LP cache, and the final
+        time-series payload persists into the result cache keyed by the
+        job's canonical payload, so an identical campaign later (same spec,
+        same seed, same version) attaches instead of recomputing.
+        """
+        payload = self._payload(job)
+        if "timelines" not in payload:
+            from ..dynamics import generate_trace, run_dynamic  # local: heavy
+
+            platform = self._resolve_platform(job.platform_key(), job.platform)
+            start = time.perf_counter()
+            trace = generate_trace(platform, job.trace, protect=(job.source,))
+            outcome = run_dynamic(
+                platform,
+                trace,
+                source=job.source,
+                heuristic=job.heuristic,
+                model=job.port_model(),
+                size=job.size,
+                threshold=job.threshold,
+                replan_cost=job.replan_cost,
+                policies=job.policies,
+                lp_cache=self.lp_cache,
+            )
+            elapsed = time.perf_counter() - start
+            for name, value in outcome.to_payload().items():
+                payload.setdefault(name, value)
+            payload.setdefault("solve_seconds", elapsed)
+        self._persist(job)
+        return payload
 
     def _materialize_batched(self, batch: "list[Job]", pending: "list[int]") -> None:
         """Prime makespan/simulation caches through one ensemble-batched sweep.

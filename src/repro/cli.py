@@ -44,15 +44,18 @@ import argparse
 import sys
 from typing import Sequence
 
-from .api import Job, PlatformRecipe, RetryPolicy, Session, default_session
+from .api import DynamicJob, Job, PlatformRecipe, RetryPolicy, Session, default_session
 from .collectives import CollectiveSpec
 from .core.registry import available_heuristics
+from .dynamics import TraceSpec
 from .experiments import (
     check_collective_scaling_shape,
+    check_dynamic_scaling_shape,
     check_figure4_shape,
     check_figure5_shape,
     check_table3_shape,
     collective_scaling,
+    dynamic_scaling,
     figure_4a,
     figure_4b,
     figure_5,
@@ -209,12 +212,43 @@ def _cmd_collective(args: argparse.Namespace, session: Session) -> int:
     return 0
 
 
+def _cmd_dynamic(args: argparse.Namespace, session: Session) -> int:
+    if args.tiers is not None:
+        recipe = PlatformRecipe.of("tiers", size=args.tiers, seed=args.seed)
+    else:
+        recipe = PlatformRecipe.of(
+            "random", num_nodes=args.nodes, density=args.density, seed=args.seed
+        )
+    trace = TraceSpec(
+        seed=args.trace_seed,
+        horizon=args.horizon,
+        window=args.window,
+        drift=args.drift,
+        drift_rho=args.drift_rho,
+        congestion_rate=args.congestion,
+        churn_rate=args.churn,
+    )
+    job = DynamicJob(
+        recipe,
+        trace=trace,
+        source=args.source,
+        heuristic=args.heuristic,
+        model=args.model,
+        threshold=args.threshold,
+        replan_cost=args.replan_cost,
+    )
+    result = session.solve_dynamic(job)
+    print(result.summary())
+    return 0
+
+
 _ARTEFACTS = {
     "fig4a": (figure_4a, check_figure4_shape),
     "fig4b": (figure_4b, check_figure4_shape),
     "fig5": (figure_5, check_figure5_shape),
     "table3": (table_3, check_table3_shape),
     "collective": (collective_scaling, check_collective_scaling_shape),
+    "dynamic": (dynamic_scaling, check_dynamic_scaling_shape),
 }
 
 
@@ -330,6 +364,49 @@ def build_parser() -> argparse.ArgumentParser:
     collective.add_argument("--slices", type=int, default=60, help="simulated rounds")
     collective.add_argument("--show-tree", action="store_true", help="print the tree structure")
     collective.set_defaults(handler=_cmd_collective)
+
+    dynamic = commands.add_parser(
+        "dynamic",
+        parents=[platform_options, heuristic_options],
+        help="replay a dynamic platform trace and compare re-scheduling policies",
+    )
+    dynamic.add_argument(
+        "--trace-seed", type=int, default=0, help="seed of the platform trace"
+    )
+    dynamic.add_argument(
+        "--horizon", type=int, default=8, help="number of trace windows (epochs)"
+    )
+    dynamic.add_argument(
+        "--window", type=float, default=1.0, help="duration of one trace window"
+    )
+    dynamic.add_argument(
+        "--drift", type=float, default=0.15, help="per-window log-bandwidth drift scale"
+    )
+    dynamic.add_argument(
+        "--drift-rho", type=float, default=0.6, help="AR(1) persistence of the drift"
+    )
+    dynamic.add_argument(
+        "--congestion",
+        type=float,
+        default=0.2,
+        help="expected congestion episodes per window",
+    )
+    dynamic.add_argument(
+        "--churn", type=float, default=0.0, help="probability a node leaves per window"
+    )
+    dynamic.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative ratio drift that triggers an adaptive re-plan",
+    )
+    dynamic.add_argument(
+        "--replan-cost",
+        type=float,
+        default=0.1,
+        help="fraction of an epoch's throughput charged per re-plan",
+    )
+    dynamic.set_defaults(handler=_cmd_dynamic)
 
     experiment = commands.add_parser("experiment", help="regenerate a paper artefact")
     experiment.add_argument("--artefact", choices=sorted(_ARTEFACTS), default="fig4a")

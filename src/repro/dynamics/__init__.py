@@ -1,0 +1,58 @@
+"""Dynamic-platform subsystem: traces, replay, and adaptive re-scheduling.
+
+The paper's model is static — one platform, one steady-state tree.  This
+package asks what happens when the platform moves: link bandwidths drift,
+congestion episodes flare, nodes churn.  It provides
+
+* :mod:`~repro.dynamics.trace` — seeded, serializable platform traces;
+* :mod:`~repro.dynamics.replay` — epoch-batched trace application and
+  fixed-tree replay against per-epoch LP bounds;
+* :mod:`~repro.dynamics.adaptive` — the static / oracle / adaptive
+  re-scheduling policy comparison.
+"""
+
+from .adaptive import (
+    POLICIES,
+    DynamicOutcome,
+    PolicyDecision,
+    PolicyTimeline,
+    run_dynamic,
+)
+from .replay import (
+    EpochSample,
+    ReplaySeries,
+    TraceReplayer,
+    achieved_throughput,
+    build_epoch_tree,
+    epoch_bound,
+    epoch_spec,
+    replay_tree,
+)
+from .trace import (
+    TRACE_FORMAT_VERSION,
+    PlatformTrace,
+    TraceEvent,
+    TraceSpec,
+    generate_trace,
+)
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TraceSpec",
+    "TraceEvent",
+    "PlatformTrace",
+    "generate_trace",
+    "EpochSample",
+    "ReplaySeries",
+    "TraceReplayer",
+    "achieved_throughput",
+    "build_epoch_tree",
+    "epoch_bound",
+    "epoch_spec",
+    "replay_tree",
+    "POLICIES",
+    "PolicyDecision",
+    "PolicyTimeline",
+    "DynamicOutcome",
+    "run_dynamic",
+]

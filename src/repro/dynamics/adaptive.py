@@ -1,0 +1,356 @@
+"""Adaptive re-scheduling against a platform trace.
+
+The controller replays a trace once and drives three scheduling policies
+over the same evolving platform:
+
+* ``static`` — plan once on the pristine platform, never re-plan (the
+  degradation baseline);
+* ``oracle`` — re-run the heuristic every epoch, paying the re-planning
+  charge every time (the upper envelope of what re-planning can buy);
+* ``adaptive`` — monitor the *drift*, the relative change of the
+  achieved-vs-LP-optimal throughput ratio since the last plan, and re-plan
+  only when it crosses a threshold (or churn broke the tree outright).
+
+All three see identical platform states: the trace evolution is
+schedule-independent, so one replay pass and one LP bound per epoch are
+shared across policies (the LP solution cache keys on the platform's
+mutation epoch, which the batched window application bumps exactly once).
+Re-planning charges a configurable fraction of that epoch's throughput —
+the cost of tearing down and redistributing an in-flight pipelined
+broadcast — so the adaptive policy wins by re-planning *rarely but well*:
+close to the oracle's ratio at a fraction of its re-plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from ..collectives import CollectiveSpec
+from ..exceptions import ConfigError
+from ..lp.solver import LPSolutionCache
+from ..models.port_models import PortModel, get_port_model
+from ..platform.graph import Platform
+from .replay import (
+    EpochSample,
+    TraceReplayer,
+    achieved_throughput,
+    build_epoch_tree,
+    epoch_bound,
+    epoch_spec,
+)
+from .trace import PlatformTrace
+
+__all__ = [
+    "POLICIES",
+    "PolicyDecision",
+    "PolicyTimeline",
+    "DynamicOutcome",
+    "run_dynamic",
+]
+
+NodeName = Any
+
+#: The supported scheduling policies, in canonical order.
+POLICIES: tuple[str, ...] = ("static", "oracle", "adaptive")
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One epoch's re-plan decision of one policy."""
+
+    epoch: int
+    replanned: bool
+    drift: float
+    reason: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "epoch": self.epoch,
+            "replanned": self.replanned,
+            "drift": self.drift,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolicyDecision":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            epoch=int(data["epoch"]),
+            replanned=bool(data["replanned"]),
+            drift=float(data["drift"]),
+            reason=data["reason"],
+        )
+
+
+@dataclass(frozen=True)
+class PolicyTimeline:
+    """One policy's full trajectory: per-epoch samples plus decisions."""
+
+    policy: str
+    samples: tuple[EpochSample, ...]
+    decisions: tuple[PolicyDecision, ...]
+
+    @property
+    def ratios(self) -> tuple[float, ...]:
+        """Per-epoch achieved / bound (net of re-planning charges)."""
+        return tuple(sample.ratio for sample in self.samples)
+
+    @property
+    def replans(self) -> int:
+        """Total number of re-plans over the trace."""
+        return sum(1 for decision in self.decisions if decision.replanned)
+
+    @property
+    def mean_ratio(self) -> float:
+        """Average achieved-vs-bound ratio over the whole trace."""
+        if not self.samples:
+            return 0.0
+        return sum(self.ratios) / len(self.samples)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (derived aggregates included for reports)."""
+        return {
+            "policy": self.policy,
+            "samples": [sample.to_dict() for sample in self.samples],
+            "decisions": [decision.to_dict() for decision in self.decisions],
+            "replans": self.replans,
+            "mean_ratio": self.mean_ratio,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolicyTimeline":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            policy=data["policy"],
+            samples=tuple(EpochSample.from_dict(s) for s in data["samples"]),
+            decisions=tuple(PolicyDecision.from_dict(d) for d in data["decisions"]),
+        )
+
+
+@dataclass(frozen=True)
+class DynamicOutcome:
+    """Result of one dynamic campaign: shared epochs plus per-policy lines."""
+
+    source: NodeName
+    heuristic: str
+    model: str
+    threshold: float
+    replan_cost: float
+    times: tuple[float, ...]
+    bounds: tuple[float, ...]
+    alive: tuple[int, ...]
+    events: tuple[int, ...]
+    timelines: Mapping[str, PolicyTimeline]
+
+    def timeline(self, policy: str) -> PolicyTimeline:
+        """The trajectory of one policy."""
+        try:
+            return self.timelines[policy]
+        except KeyError as exc:
+            raise ConfigError(
+                f"no timeline for policy {policy!r}; "
+                f"available: {sorted(self.timelines)}"
+            ) from exc
+
+    def to_payload(self) -> dict[str, Any]:
+        """Flat JSON payload (the lazy ``DynamicResult``'s metric store)."""
+        return {
+            "source": self.source,
+            "heuristic": self.heuristic,
+            "model": self.model,
+            "threshold": self.threshold,
+            "replan_cost": self.replan_cost,
+            "num_epochs": len(self.times),
+            "times": list(self.times),
+            "bounds": list(self.bounds),
+            "alive": list(self.alive),
+            "events": list(self.events),
+            "policies": sorted(self.timelines),
+            "timelines": {
+                policy: timeline.to_dict()
+                for policy, timeline in self.timelines.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, Any]) -> "DynamicOutcome":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            source=data["source"],
+            heuristic=data["heuristic"],
+            model=data["model"],
+            threshold=float(data["threshold"]),
+            replan_cost=float(data["replan_cost"]),
+            times=tuple(data["times"]),
+            bounds=tuple(data["bounds"]),
+            alive=tuple(data["alive"]),
+            events=tuple(data["events"]),
+            timelines={
+                policy: PolicyTimeline.from_dict(timeline)
+                for policy, timeline in data["timelines"].items()
+            },
+        )
+
+
+def run_dynamic(
+    platform: Platform,
+    trace: PlatformTrace,
+    *,
+    source: NodeName = 0,
+    heuristic: str = "grow-tree",
+    model: "PortModel | str | None" = None,
+    size: "float | None" = None,
+    threshold: float = 0.15,
+    replan_cost: float = 0.1,
+    policies: Iterable[str] = POLICIES,
+    lp_cache: "LPSolutionCache | None" = None,
+) -> DynamicOutcome:
+    """Replay ``trace`` once, driving every requested policy in lock-step.
+
+    Epoch 0 is the pre-trace baseline (identical across policies); each
+    subsequent epoch applies one window as a single batched mutation,
+    solves one shared LP bound, evaluates each policy's current tree under
+    the new costs, and lets the policy decide whether to re-plan.  A
+    re-planning epoch records the *new* tree's throughput scaled by
+    ``1 - replan_cost``.
+
+    Fully deterministic: the only randomness lives in the trace itself.
+    """
+    policies = tuple(policies)
+    if not policies:
+        raise ConfigError("at least one policy is required")
+    unknown = set(policies) - set(POLICIES)
+    if unknown:
+        raise ConfigError(
+            f"unknown policies {sorted(unknown)}; available: {list(POLICIES)}"
+        )
+    if threshold <= 0:
+        raise ConfigError(f"threshold must be positive, got {threshold!r}")
+    if not 0.0 <= replan_cost < 1.0:
+        raise ConfigError(f"replan_cost must lie in [0, 1), got {replan_cost!r}")
+
+    port_model = get_port_model(model)
+    replayer = TraceReplayer(platform, trace)
+    evolving = replayer.platform
+    base_spec = CollectiveSpec.broadcast(source)
+    initial_tree = build_epoch_tree(
+        evolving,
+        base_spec,
+        heuristic=heuristic,
+        model=port_model,
+        size=size,
+        lp_cache=lp_cache,
+    )
+
+    bound = epoch_bound(evolving, base_spec, size, lp_cache)
+    base_achieved = achieved_throughput(initial_tree, base_spec, port_model, size)
+    base_ratio = base_achieved / bound if bound > 0 else 0.0
+    baseline = EpochSample(
+        index=0,
+        time=0.0,
+        events=0,
+        alive=len(replayer.alive),
+        bound=bound,
+        achieved=base_achieved,
+        ratio=base_ratio,
+    )
+
+    times = [0.0]
+    bounds = [bound]
+    alive_counts = [len(replayer.alive)]
+    event_counts = [0]
+    state: dict[str, dict[str, Any]] = {
+        policy: {
+            "tree": initial_tree,
+            "anchor": base_ratio,
+            "samples": [baseline],
+            "decisions": [],
+        }
+        for policy in policies
+    }
+
+    for window in range(trace.num_windows):
+        events = replayer.apply_next_window()
+        now = (window + 1) * trace.spec.window
+        current = epoch_spec(evolving, source, replayer.alive)
+        bound = epoch_bound(evolving, current, size, lp_cache)
+        times.append(now)
+        bounds.append(bound)
+        alive_counts.append(len(replayer.alive))
+        event_counts.append(events)
+
+        for policy in policies:
+            st = state[policy]
+            achieved = achieved_throughput(st["tree"], current, port_model, size)
+            ratio = achieved / bound if bound > 0 else 0.0
+            anchor = st["anchor"]
+            drift = abs(anchor - ratio) / anchor if anchor > 0 else (0.0 if ratio > 0 else 1.0)
+
+            if policy == "static":
+                replan, reason = False, "static policy never re-plans"
+            elif policy == "oracle":
+                replan, reason = True, "oracle re-plans every epoch"
+            elif ratio <= 0.0:
+                replan, reason = True, "schedule broken (achieved throughput 0)"
+            elif drift > threshold:
+                replan, reason = True, f"drift {drift:.4f} > threshold {threshold:g}"
+            else:
+                replan, reason = False, f"drift {drift:.4f} <= threshold {threshold:g}"
+
+            if replan and current is not None and bound > 0:
+                tree = build_epoch_tree(
+                    evolving,
+                    current,
+                    heuristic=heuristic,
+                    model=port_model,
+                    size=size,
+                    lp_cache=lp_cache,
+                )
+                st["tree"] = tree
+                fresh = achieved_throughput(tree, current, port_model, size)
+                effective = fresh * (1.0 - replan_cost)
+                st["anchor"] = fresh / bound
+                replanned = True
+            else:
+                effective = achieved
+                replanned = False
+                reason = reason if current is not None and bound > 0 else "no feasible collective this epoch"
+
+            st["decisions"].append(
+                PolicyDecision(
+                    epoch=window + 1, replanned=replanned, drift=drift, reason=reason
+                )
+            )
+            st["samples"].append(
+                EpochSample(
+                    index=window + 1,
+                    time=now,
+                    events=events,
+                    alive=len(replayer.alive),
+                    bound=bound,
+                    achieved=effective,
+                    ratio=effective / bound if bound > 0 else 0.0,
+                )
+            )
+
+    return DynamicOutcome(
+        source=source,
+        heuristic=heuristic,
+        model=port_model.name,
+        threshold=threshold,
+        replan_cost=replan_cost,
+        times=tuple(times),
+        bounds=tuple(bounds),
+        alive=tuple(alive_counts),
+        events=tuple(event_counts),
+        timelines={
+            policy: PolicyTimeline(
+                policy=policy,
+                samples=tuple(state[policy]["samples"]),
+                decisions=tuple(state[policy]["decisions"]),
+            )
+            for policy in policies
+        },
+    )

@@ -1,0 +1,412 @@
+"""Trace replay: evolve a platform through epoch windows, batched per window.
+
+:class:`TraceReplayer` owns a private working copy of the platform and
+applies one trace window at a time.  All of a window's events — link-cost
+factors, churn link removals, rejoin re-additions — are folded into a
+single :meth:`~repro.platform.graph.Platform.batch_mutate` call, so the
+compiled arrays, the reversed view and the LP solution cache are
+invalidated **once per window, not once per event**; the per-epoch
+``mutation_epoch`` then keys fresh LP bounds for free through the existing
+epoch-aware caches.
+
+:func:`replay_tree` is the fixed-schedule simulation mode: build a tree
+once on the pristine platform, replay the trace underneath it, and report
+the achieved steady-state throughput of that (increasingly stale) tree
+against the per-epoch LP bound — the time series the adaptive controller
+in :mod:`repro.dynamics.adaptive` monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from ..analysis.throughput import collective_throughput
+from ..collectives import CollectiveSpec
+from ..core.registry import build_collective_tree, get_heuristic
+from ..core.tree import BroadcastTree
+from ..exceptions import InvalidLinkError, PlatformError, TreeError
+from ..lp.solver import LPSolutionCache, solve_collective_lp
+from ..models.port_models import PortModel, get_port_model
+from ..platform.costs import LinkCostModel
+from ..platform.graph import Platform
+from ..platform.link import Link
+from .trace import PlatformTrace
+
+__all__ = [
+    "EpochSample",
+    "ReplaySeries",
+    "TraceReplayer",
+    "epoch_spec",
+    "epoch_bound",
+    "achieved_throughput",
+    "build_epoch_tree",
+    "replay_tree",
+]
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+@dataclass(frozen=True)
+class EpochSample:
+    """One epoch of a replay time series.
+
+    ``achieved`` is the effective throughput of the schedule under that
+    epoch's costs (0 when churn broke the tree; already net of any
+    re-planning charge), ``bound`` the LP optimum over the epoch's reachable
+    alive targets, and ``ratio`` their quotient — the drift metric.
+    """
+
+    index: int
+    time: float
+    events: int
+    alive: int
+    bound: float
+    achieved: float
+    ratio: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "index": self.index,
+            "time": self.time,
+            "events": self.events,
+            "alive": self.alive,
+            "bound": self.bound,
+            "achieved": self.achieved,
+            "ratio": self.ratio,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EpochSample":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            index=int(data["index"]),
+            time=float(data["time"]),
+            events=int(data["events"]),
+            alive=int(data["alive"]),
+            bound=float(data["bound"]),
+            achieved=float(data["achieved"]),
+            ratio=float(data["ratio"]),
+        )
+
+
+@dataclass(frozen=True)
+class ReplaySeries:
+    """Fixed-tree replay result: achieved vs LP bound over the trace."""
+
+    tree_name: str
+    heuristic: str
+    model: str
+    samples: tuple[EpochSample, ...]
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        """Epoch timestamps."""
+        return tuple(sample.time for sample in self.samples)
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """Per-epoch LP optima."""
+        return tuple(sample.bound for sample in self.samples)
+
+    @property
+    def achieved(self) -> tuple[float, ...]:
+        """Per-epoch achieved throughput of the fixed tree."""
+        return tuple(sample.achieved for sample in self.samples)
+
+    @property
+    def ratios(self) -> tuple[float, ...]:
+        """Per-epoch achieved / bound."""
+        return tuple(sample.ratio for sample in self.samples)
+
+    @property
+    def mean_ratio(self) -> float:
+        """Average achieved-vs-bound ratio over the whole trace."""
+        if not self.samples:
+            return 0.0
+        return sum(self.ratios) / len(self.samples)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "tree_name": self.tree_name,
+            "heuristic": self.heuristic,
+            "model": self.model,
+            "samples": [sample.to_dict() for sample in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReplaySeries":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            tree_name=data["tree_name"],
+            heuristic=data["heuristic"],
+            model=data["model"],
+            samples=tuple(EpochSample.from_dict(s) for s in data["samples"]),
+        )
+
+
+class TraceReplayer:
+    """Applies a trace to a working copy of a platform, window by window.
+
+    Parameters
+    ----------
+    platform:
+        The base platform; by default a private copy is made so replay never
+        mutates the caller's instance (pass ``copy=False`` to evolve the
+        given instance in place).
+    trace:
+        The event stream to apply; factors are interpreted relative to the
+        *base* costs captured at construction.
+    """
+
+    def __init__(
+        self, platform: Platform, trace: PlatformTrace, *, copy: bool = True
+    ) -> None:
+        self.platform = platform.copy(f"{platform.name}~dynamic") if copy else platform
+        self.trace = trace
+        self._base_links: dict[Edge, Link] = {
+            (link.source, link.target): link for link in self.platform.iter_links()
+        }
+        self._base_costs: dict[Edge, LinkCostModel] = {
+            edge: link.cost for edge, link in self._base_links.items()
+        }
+        self._incident: dict[NodeName, list[Edge]] = {}
+        for edge in self._base_links:
+            self._incident.setdefault(edge[0], []).append(edge)
+            self._incident.setdefault(edge[1], []).append(edge)
+        self.alive: set[NodeName] = set(self.platform.nodes)
+        self.next_window = 0
+
+    @property
+    def done(self) -> bool:
+        """Whether every trace window has been applied."""
+        return self.next_window >= self.trace.num_windows
+
+    def apply_next_window(self) -> int:
+        """Apply the next window as one batched mutation; return event count.
+
+        The window's events are resolved into a net set of link removals,
+        re-additions and cost updates (an edge both re-added and removed in
+        one window cancels out), then applied through a single
+        :meth:`~repro.platform.graph.Platform.batch_mutate` — one
+        ``mutation_epoch`` bump per non-empty window.
+        """
+        if self.done:
+            raise PlatformError(
+                f"trace {self.trace.platform_name!r} has only "
+                f"{self.trace.num_windows} windows"
+            )
+        events = self.trace.windows[self.next_window]
+        self.next_window += 1
+
+        actual = set(self.platform.edges)
+        pending_add: dict[Edge, Link] = {}
+        pending_remove: dict[Edge, None] = {}
+        costs: dict[Edge, LinkCostModel] = {}
+
+        def present(edge: Edge) -> bool:
+            if edge in pending_add:
+                return True
+            return edge in actual and edge not in pending_remove
+
+        for event in events:
+            if event.kind == "node-join":
+                self.alive.add(event.node)
+                for edge in self._incident.get(event.node, ()):
+                    u, v = edge
+                    if u not in self.alive or v not in self.alive:
+                        continue
+                    if edge in pending_remove:
+                        # The platform still holds the (drifted) record;
+                        # restore the base cost explicitly instead.
+                        del pending_remove[edge]
+                        costs[edge] = self._base_costs[edge]
+                    elif not present(edge):
+                        pending_add[edge] = self._base_links[edge]
+            elif event.kind == "node-leave":
+                self.alive.discard(event.node)
+                for edge in self._incident.get(event.node, ()):
+                    if edge in pending_add:
+                        del pending_add[edge]
+                        costs.pop(edge, None)
+                    elif edge in actual and edge not in pending_remove:
+                        pending_remove[edge] = None
+                        costs.pop(edge, None)
+            elif event.kind == "link-cost":
+                if present(event.edge):
+                    costs[event.edge] = self._base_costs[event.edge].scaled(
+                        event.factor
+                    )
+            else:
+                raise PlatformError(f"unknown trace event kind {event.kind!r}")
+
+        self.platform.batch_mutate(
+            costs=costs,
+            remove=list(pending_remove),
+            add=list(pending_add.values()),
+        )
+        return len(events)
+
+
+def epoch_spec(
+    platform: Platform, source: NodeName, alive: Iterable[NodeName]
+) -> "CollectiveSpec | None":
+    """The collective the platform can still run this epoch, or ``None``.
+
+    Targets are the alive nodes currently reachable from the source (in
+    platform insertion order), so the epoch LP is feasible by construction
+    even under churn; ``None`` means the source has nobody left to serve.
+    """
+    alive_set = set(alive)
+    reachable = platform.reachable_from(source)
+    targets = tuple(
+        node
+        for node in platform.nodes
+        if node != source and node in alive_set and node in reachable
+    )
+    if not targets:
+        return None
+    return CollectiveSpec.multicast(source, targets)
+
+
+def epoch_bound(
+    platform: Platform,
+    spec: "CollectiveSpec | None",
+    size: "float | None" = None,
+    lp_cache: "LPSolutionCache | None" = None,
+) -> float:
+    """LP-optimal throughput of this epoch's collective (0 when degenerate).
+
+    Passing a shared ``lp_cache`` makes the per-epoch solve free for every
+    caller after the first: the cache keys on the platform's mutation epoch,
+    which the batched window application bumps exactly once.
+    """
+    if spec is None:
+        return 0.0
+    if lp_cache is not None:
+        return float(lp_cache.solve_collective(platform, spec, size).throughput)
+    return float(solve_collective_lp(platform, spec, size).throughput)
+
+
+def achieved_throughput(
+    tree: BroadcastTree,
+    spec: "CollectiveSpec | None",
+    model: "PortModel | str | None" = None,
+    size: "float | None" = None,
+) -> float:
+    """Steady-state throughput of a (possibly stale) tree under current costs.
+
+    The tree reads link costs live through its platform, so after a replay
+    window this is the throughput the old schedule actually achieves.  A
+    tree broken by churn — a missing link, or an epoch target it never
+    covered — achieves 0: the pipelined broadcast stalls until re-planned.
+    """
+    if spec is None:
+        return 0.0
+    try:
+        report = collective_throughput(tree, spec, model, size)
+    except (TreeError, InvalidLinkError, PlatformError, KeyError):
+        return 0.0
+    if report.throughput == float("inf"):
+        return 0.0
+    return float(report.throughput)
+
+
+def build_epoch_tree(
+    platform: Platform,
+    spec: CollectiveSpec,
+    *,
+    heuristic: str = "grow-tree",
+    model: "PortModel | str | None" = None,
+    size: "float | None" = None,
+    lp_cache: "LPSolutionCache | None" = None,
+) -> BroadcastTree:
+    """Run the configured heuristic against the platform's current state."""
+    factory = get_heuristic(heuristic)
+    extra: dict[str, Any] = {}
+    if factory.uses_lp_solution:
+        extra["lp_solution"] = (
+            lp_cache.solve_collective(platform, spec, size)
+            if lp_cache is not None
+            else solve_collective_lp(platform, spec, size)
+        )
+    return build_collective_tree(
+        platform,
+        spec,
+        heuristic=factory,
+        model=get_port_model(model),
+        size=size,
+        strict_model=False,
+        **extra,
+    )
+
+
+def replay_tree(
+    platform: Platform,
+    trace: PlatformTrace,
+    *,
+    source: NodeName = 0,
+    heuristic: str = "grow-tree",
+    model: "PortModel | str | None" = None,
+    size: "float | None" = None,
+    lp_cache: "LPSolutionCache | None" = None,
+) -> ReplaySeries:
+    """Replay ``trace`` under a tree planned once on the pristine platform.
+
+    Sample 0 is the pre-trace baseline (the tree at its planning optimum);
+    samples ``1..n`` follow each applied window.  This is exactly the
+    ``static`` policy of :func:`repro.dynamics.adaptive.run_dynamic`,
+    exposed directly for callers that only want the degradation curve.
+    """
+    port_model = get_port_model(model)
+    replayer = TraceReplayer(platform, trace)
+    evolving = replayer.platform
+    spec = CollectiveSpec.broadcast(source)
+    tree = build_epoch_tree(
+        evolving,
+        spec,
+        heuristic=heuristic,
+        model=port_model,
+        size=size,
+        lp_cache=lp_cache,
+    )
+
+    samples: list[EpochSample] = []
+    bound = epoch_bound(evolving, spec, size, lp_cache)
+    achieved = achieved_throughput(tree, spec, port_model, size)
+    samples.append(
+        EpochSample(
+            index=0,
+            time=0.0,
+            events=0,
+            alive=len(replayer.alive),
+            bound=bound,
+            achieved=achieved,
+            ratio=achieved / bound if bound > 0 else 0.0,
+        )
+    )
+    for window in range(trace.num_windows):
+        events = replayer.apply_next_window()
+        current = epoch_spec(evolving, source, replayer.alive)
+        bound = epoch_bound(evolving, current, size, lp_cache)
+        achieved = achieved_throughput(tree, current, port_model, size)
+        samples.append(
+            EpochSample(
+                index=window + 1,
+                time=(window + 1) * trace.spec.window,
+                events=events,
+                alive=len(replayer.alive),
+                bound=bound,
+                achieved=achieved,
+                ratio=achieved / bound if bound > 0 else 0.0,
+            )
+        )
+    return ReplaySeries(
+        tree_name=tree.name,
+        heuristic=heuristic,
+        model=port_model.name,
+        samples=tuple(samples),
+    )

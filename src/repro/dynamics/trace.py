@@ -1,0 +1,377 @@
+"""Seeded, deterministic platform traces: bandwidth drift, congestion, churn.
+
+A :class:`PlatformTrace` is a timestamped event stream describing how a
+platform evolves over a horizon of fixed-length *windows* (the replay
+epochs).  Three stochastic processes contribute events, all driven by one
+:class:`numpy.random.Generator` seeded from the :class:`TraceSpec`:
+
+* **bandwidth drift** — every link's cost is multiplied by a factor
+  following a bounded AR(1) random walk in log space
+  (``x_t = rho * x_{t-1} + sigma * N(0, 1)``, factor ``exp(x_t)`` clipped
+  to ``[1/span, span]``), the classic model for slowly varying background
+  load on a shared link;
+* **congestion episodes** — Poisson-arriving bursts of background traffic
+  pin a *hot node* and scale every link incident to it by a constant
+  factor for a few windows;
+* **node churn** — nodes leave (all their incident links disappear) and
+  rejoin after a fixed downtime; protected nodes (the collective source)
+  never churn.
+
+Events carry *factors relative to the base platform cost*, never absolute
+costs: scaling all three affine occupations of a link by one factor
+preserves the paper's ``send, recv <= T`` dominance invariant, so every
+intermediate platform is valid.
+
+Like :class:`repro.api.Job`, both the spec and the generated trace are
+versioned, JSON-round-trippable values; their canonical payloads are what
+the dynamic result caches key on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Mapping
+
+from .._version import __version__
+from ..exceptions import ConfigError
+from ..platform.graph import Platform
+from ..runtime import stable_key
+from ..utils.rng import as_generator
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TraceSpec",
+    "TraceEvent",
+    "PlatformTrace",
+    "generate_trace",
+]
+
+#: Version stamp embedded in serialized specs and traces; bump on breaking
+#: changes to the payload layout.
+TRACE_FORMAT_VERSION = 1
+
+NodeName = Any
+Edge = tuple[NodeName, NodeName]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative description of one stochastic platform trace.
+
+    Parameters
+    ----------
+    seed:
+        Master seed of the trace; same spec + same platform => bit-identical
+        event stream.
+    horizon:
+        Number of epoch windows the trace spans.
+    window:
+        Duration of one window in platform time units.
+    drift:
+        Innovation scale ``sigma`` of the log-space AR(1) bandwidth walk;
+        0 disables drift entirely (no per-link events).
+    drift_rho:
+        AR(1) persistence in ``[0, 1)``; higher values drift slower but
+        wander further.
+    drift_span:
+        Clamp for the drift factor: it stays within ``[1/span, span]``.
+    congestion_rate:
+        Expected number of new congestion episodes per window (Poisson).
+    congestion_factor:
+        Cost multiplier applied to a hot node's incident links while an
+        episode is active (compounds with drift).
+    congestion_windows:
+        Duration of one episode, in windows.
+    churn_rate:
+        Per-window probability that one alive, unprotected node leaves.
+    churn_downtime:
+        Number of windows a departed node stays away before rejoining.
+    """
+
+    seed: int = 0
+    horizon: int = 8
+    window: float = 1.0
+    drift: float = 0.15
+    drift_rho: float = 0.6
+    drift_span: float = 4.0
+    congestion_rate: float = 0.0
+    congestion_factor: float = 3.0
+    congestion_windows: int = 2
+    churn_rate: float = 0.0
+    churn_downtime: int = 2
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ConfigError(f"horizon must be >= 1, got {self.horizon!r}")
+        if self.window <= 0:
+            raise ConfigError(f"window must be positive, got {self.window!r}")
+        if self.drift < 0:
+            raise ConfigError(f"drift must be non-negative, got {self.drift!r}")
+        if not 0.0 <= self.drift_rho < 1.0:
+            raise ConfigError(f"drift_rho must lie in [0, 1), got {self.drift_rho!r}")
+        if self.drift_span <= 1.0:
+            raise ConfigError(f"drift_span must exceed 1, got {self.drift_span!r}")
+        if self.congestion_rate < 0:
+            raise ConfigError(
+                f"congestion_rate must be non-negative, got {self.congestion_rate!r}"
+            )
+        if self.congestion_factor < 1.0:
+            raise ConfigError(
+                f"congestion_factor must be >= 1, got {self.congestion_factor!r}"
+            )
+        if self.congestion_windows < 1:
+            raise ConfigError(
+                f"congestion_windows must be >= 1, got {self.congestion_windows!r}"
+            )
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ConfigError(f"churn_rate must lie in [0, 1], got {self.churn_rate!r}")
+        if self.churn_downtime < 1:
+            raise ConfigError(
+                f"churn_downtime must be >= 1, got {self.churn_downtime!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned JSON-compatible payload; inverse of :meth:`from_dict`."""
+        payload: dict[str, Any] = {"format_version": TRACE_FORMAT_VERSION}
+        for spec_field in fields(self):
+            payload[spec_field.name] = getattr(self, spec_field.name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        version = data.get("format_version", TRACE_FORMAT_VERSION)
+        if version != TRACE_FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported trace format version {version!r} "
+                f"(this build understands {TRACE_FORMAT_VERSION})"
+            )
+        known = {spec_field.name for spec_field in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped platform change.
+
+    ``kind`` is ``"link-cost"`` (``edge`` + ``factor`` set), ``"node-leave"``
+    or ``"node-join"`` (``node`` set).  Factors are relative to the *base*
+    platform cost of the edge, so replaying a window never accumulates
+    rounding across epochs.
+    """
+
+    time: float
+    kind: str
+    edge: "Edge | None" = None
+    factor: "float | None" = None
+    node: NodeName = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Compact JSON form (``None`` fields omitted)."""
+        payload: dict[str, Any] = {"time": self.time, "kind": self.kind}
+        if self.edge is not None:
+            payload["edge"] = list(self.edge)
+        if self.factor is not None:
+            payload["factor"] = self.factor
+        if self.node is not None:
+            payload["node"] = self.node
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        """Rebuild from :meth:`to_dict` output."""
+        edge = data.get("edge")
+        return cls(
+            time=float(data["time"]),
+            kind=data["kind"],
+            edge=None if edge is None else (edge[0], edge[1]),
+            factor=data.get("factor"),
+            node=data.get("node"),
+        )
+
+
+@dataclass(frozen=True)
+class PlatformTrace:
+    """A generated event stream, grouped by epoch window.
+
+    ``windows[i]`` holds the events of window ``i`` in application order
+    (joins first, then leaves, then link-cost events in platform edge
+    order) — the replay layer applies one window as a single batched
+    platform mutation.
+    """
+
+    platform_name: str
+    spec: TraceSpec
+    protect: tuple[NodeName, ...]
+    windows: tuple[tuple[TraceEvent, ...], ...]
+
+    @property
+    def num_windows(self) -> int:
+        """Number of epoch windows (= ``spec.horizon``)."""
+        return len(self.windows)
+
+    @property
+    def num_events(self) -> int:
+        """Total number of events across all windows."""
+        return sum(len(window) for window in self.windows)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned JSON-compatible payload; inverse of :meth:`from_dict`."""
+        return {
+            "format_version": TRACE_FORMAT_VERSION,
+            "platform_name": self.platform_name,
+            "spec": self.spec.to_dict(),
+            "protect": list(self.protect),
+            "windows": [
+                [event.to_dict() for event in window] for window in self.windows
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        version = data.get("format_version", TRACE_FORMAT_VERSION)
+        if version != TRACE_FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported trace format version {version!r} "
+                f"(this build understands {TRACE_FORMAT_VERSION})"
+            )
+        return cls(
+            platform_name=data["platform_name"],
+            spec=TraceSpec.from_dict(data["spec"]),
+            protect=tuple(data.get("protect", ())),
+            windows=tuple(
+                tuple(TraceEvent.from_dict(event) for event in window)
+                for window in data["windows"]
+            ),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialise to JSON; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PlatformTrace":
+        """Rebuild a trace from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def trace_key(self) -> str:
+        """Stable cache key of this trace (payload plus library version)."""
+        return stable_key({"trace": self.to_dict(), "version": __version__})
+
+
+def generate_trace(
+    platform: Platform,
+    spec: TraceSpec,
+    *,
+    protect: Iterable[NodeName] = (),
+) -> PlatformTrace:
+    """Generate the deterministic event stream of ``spec`` on ``platform``.
+
+    The generator only reads the platform's node and edge lists (insertion
+    order), so the same platform description and spec always produce a
+    bit-identical trace — the determinism law the dynamic caches rely on.
+    Nodes in ``protect`` (typically the collective source) never churn.
+
+    Link-cost events for a window carry the *total* factor (drift times any
+    active congestion) and are only emitted when the factor changed and both
+    endpoints are alive; when a node rejoins, every restored link re-emits
+    its current factor so replay can re-add links at base cost and correct
+    them in the same batch.
+    """
+    rng = as_generator(spec.seed)
+    nodes = platform.nodes
+    edges = platform.edges
+    protected = set(protect)
+    unknown = protected - set(nodes)
+    if unknown:
+        raise ConfigError(
+            f"protected nodes {sorted(map(repr, unknown))} are not part of "
+            f"platform {platform.name!r}"
+        )
+    log_state: dict[Edge, float] = {edge: 0.0 for edge in edges}
+    emitted: dict[Edge, float] = {edge: 1.0 for edge in edges}
+    away: dict[NodeName, int] = {}
+    episodes: list[tuple[frozenset[Edge], int]] = []
+    # Keep a majority of the platform alive so the broadcast never collapses
+    # to a degenerate single-node problem.
+    min_alive = max(2, (len(nodes) + 1) // 2)
+    lo, hi = 1.0 / spec.drift_span, spec.drift_span
+
+    windows: list[tuple[TraceEvent, ...]] = []
+    for index in range(spec.horizon):
+        now = index * spec.window
+        events: list[TraceEvent] = []
+
+        # -- churn: rejoins first, then at most one departure ------------- #
+        rejoined: set[NodeName] = set()
+        if away:
+            for node in list(away):
+                away[node] -= 1
+                if away[node] <= 0:
+                    del away[node]
+                    rejoined.add(node)
+                    events.append(TraceEvent(time=now, kind="node-join", node=node))
+        if spec.churn_rate > 0.0:
+            draw = float(rng.random())
+            candidates = [
+                node
+                for node in nodes
+                if node not in away and node not in protected and node not in rejoined
+            ]
+            if (
+                draw < spec.churn_rate
+                and candidates
+                and len(nodes) - len(away) > min_alive
+            ):
+                victim = candidates[int(rng.integers(len(candidates)))]
+                away[victim] = spec.churn_downtime
+                events.append(TraceEvent(time=now, kind="node-leave", node=victim))
+
+        # -- congestion episodes ------------------------------------------ #
+        congested: set[Edge] = set()
+        if spec.congestion_rate > 0.0:
+            episodes = [
+                (edge_set, remaining - 1)
+                for edge_set, remaining in episodes
+                if remaining > 1
+            ]
+            for _ in range(int(rng.poisson(spec.congestion_rate))):
+                hot = nodes[int(rng.integers(len(nodes)))]
+                edge_set = frozenset(
+                    edge for edge in edges if hot == edge[0] or hot == edge[1]
+                )
+                episodes.append((edge_set, spec.congestion_windows))
+            for edge_set, _ in episodes:
+                congested.update(edge_set)
+
+        # -- bandwidth drift + factor events ------------------------------ #
+        for edge in edges:
+            if spec.drift > 0.0:
+                log_state[edge] = spec.drift_rho * log_state[edge] + spec.drift * float(
+                    rng.normal()
+                )
+            factor = min(max(math.exp(log_state[edge]), lo), hi)
+            if edge in congested:
+                factor *= spec.congestion_factor
+            factor = float(factor)
+            u, v = edge
+            if u in away or v in away:
+                continue
+            restored = u in rejoined or v in rejoined
+            if not restored and factor == emitted[edge]:
+                continue
+            events.append(
+                TraceEvent(time=now, kind="link-cost", edge=edge, factor=factor)
+            )
+            emitted[edge] = factor
+        windows.append(tuple(events))
+
+    return PlatformTrace(
+        platform_name=platform.name,
+        spec=spec,
+        protect=tuple(sorted(protected, key=str)),
+        windows=tuple(windows),
+    )

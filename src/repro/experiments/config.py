@@ -53,6 +53,18 @@ class PaperParameters:
     collective_density: float = 0.15
     collective_target_counts: tuple[int, ...] = (2, 4, 8, 12, 16, 19)
     collective_instances: int = 5
+    #: Dynamic-platform artefact (beyond the paper): platform family, trace
+    #: shape and controller knobs of the static/oracle/adaptive comparison
+    #: (:func:`repro.experiments.dynamics.dynamic_scaling`).
+    dynamic_nodes: int = 16
+    dynamic_density: float = 0.3
+    dynamic_seeds: int = 6
+    dynamic_horizon: int = 8
+    dynamic_drift: float = 0.2
+    dynamic_congestion: float = 0.2
+    dynamic_churn: float = 0.0
+    dynamic_threshold: float = 0.15
+    dynamic_replan_cost: float = 0.05
     extra: dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -72,6 +84,22 @@ class PaperParameters:
             raise ConfigError(
                 "collective_target_counts must lie in [1, collective_nodes)"
             )
+        if self.dynamic_nodes < 2:
+            raise ConfigError("dynamic_nodes must be >= 2")
+        if not 0 < self.dynamic_density <= 1:
+            raise ConfigError("dynamic_density must be in (0, 1]")
+        if self.dynamic_seeds < 1:
+            raise ConfigError("dynamic_seeds must be >= 1")
+        if self.dynamic_horizon < 1:
+            raise ConfigError("dynamic_horizon must be >= 1")
+        if self.dynamic_drift < 0 or self.dynamic_congestion < 0:
+            raise ConfigError("dynamic_drift and dynamic_congestion must be >= 0")
+        if not 0 <= self.dynamic_churn <= 1:
+            raise ConfigError("dynamic_churn must be in [0, 1]")
+        if self.dynamic_threshold <= 0:
+            raise ConfigError("dynamic_threshold must be positive")
+        if not 0 <= self.dynamic_replan_cost < 1:
+            raise ConfigError("dynamic_replan_cost must lie in [0, 1)")
 
     @property
     def total_random_platforms(self) -> int:
@@ -110,6 +138,7 @@ def scaled_parameters(scale: float = 1.0, *, seed: int | None = None) -> PaperPa
         configurations_per_point=max(1, round(base.configurations_per_point * scale)),
         tiers_platforms_per_size=max(1, round(base.tiers_platforms_per_size * scale)),
         collective_instances=max(1, round(base.collective_instances * scale)),
+        dynamic_seeds=max(1, round(base.dynamic_seeds * scale)),
     )
     if seed is not None:
         params = replace(params, seed=seed)

@@ -65,7 +65,7 @@ from ..runtime import (
     make_executor,
     stable_key,
 )
-from ..utils.rng import derive_seed
+from ..utils.rng import spawn_seeds
 from .config import PaperParameters
 from .evaluation import (
     EvaluationRecord,
@@ -200,18 +200,19 @@ def random_ensemble_tasks(
     tasks: list[EnsembleTask] = []
     for num_nodes in parameters.node_counts:
         for density in parameters.densities:
-            for instance in range(parameters.configurations_per_point):
+            seeds = spawn_seeds(
+                parameters.seed,
+                parameters.configurations_per_point,
+                "random",
+                num_nodes,
+                int(density * 1000),
+            )
+            for instance, seed in enumerate(seeds):
                 tasks.append(
                     EnsembleTask(
                         kind="random",
                         instance_index=instance,
-                        seed=derive_seed(
-                            parameters.seed,
-                            "random",
-                            num_nodes,
-                            int(density * 1000),
-                            instance,
-                        ),
+                        seed=seed,
                         source=parameters.source,
                         send_fraction=parameters.send_fraction,
                         include_multi_port=include_multi_port,
@@ -229,12 +230,15 @@ def tiers_ensemble_tasks(parameters: PaperParameters) -> list[EnsembleTask]:
     """Tasks of the Tiers-like ensembles of Table 3 (one-port only)."""
     tasks: list[EnsembleTask] = []
     for size in parameters.tiers_sizes:
-        for instance in range(parameters.tiers_platforms_per_size):
+        seeds = spawn_seeds(
+            parameters.seed, parameters.tiers_platforms_per_size, "tiers", size
+        )
+        for instance, seed in enumerate(seeds):
             tasks.append(
                 EnsembleTask(
                     kind="tiers",
                     instance_index=instance,
-                    seed=derive_seed(parameters.seed, "tiers", size, instance),
+                    seed=seed,
                     source=parameters.source,
                     send_fraction=parameters.send_fraction,
                     include_multi_port=False,
@@ -253,14 +257,17 @@ def collective_ensemble_tasks(parameters: PaperParameters) -> list[EnsembleTask]
     platforms; the monotonicity the shape check asserts is then exact.
     """
     tasks: list[EnsembleTask] = []
+    instance_seeds = spawn_seeds(
+        parameters.seed, parameters.collective_instances, "collective"
+    )
     for kind in ("multicast", "scatter"):
         for count in parameters.collective_target_counts:
-            for instance in range(parameters.collective_instances):
+            for instance, seed in enumerate(instance_seeds):
                 tasks.append(
                     EnsembleTask(
                         kind="collective",
                         instance_index=instance,
-                        seed=derive_seed(parameters.seed, "collective", instance),
+                        seed=seed,
                         source=parameters.source,
                         send_fraction=parameters.send_fraction,
                         include_multi_port=False,

@@ -25,6 +25,7 @@ __all__ = [
     "check_figure5_shape",
     "check_table3_shape",
     "check_collective_scaling_shape",
+    "check_dynamic_scaling_shape",
     "render_report",
 ]
 
@@ -192,6 +193,58 @@ def check_collective_scaling_shape(figure: FigureData) -> ShapeCheck:
             f"({ratio:.2f})",
             ratio >= 0.4,
         )
+    return check
+
+
+def check_dynamic_scaling_shape(figure: "FigureData") -> ShapeCheck:
+    """Structural expectations of the dynamic-scaling artefact.
+
+    ``figure`` is a :class:`~repro.experiments.dynamics.DynamicScalingData`
+    (duck-typed here: a :class:`FigureData` with ``replans`` /
+    ``mean_ratios`` mappings riding along).
+
+    * every ratio lies in ``[0, 1]`` — a single tree never beats that
+      epoch's multi-tree LP optimum, and a re-planning charge only lowers
+      it;
+    * all policies start from the same baseline epoch (same initial tree);
+    * adaptive's mean ratio is at least static's — monitoring drift and
+      re-planning past the threshold must not lose to never re-planning;
+    * the oracle re-plans at least as often as every other policy (it pays
+      the re-plan charge every epoch, so its *ratio* may trail static on a
+      mild trace — only its re-plan count is structurally extremal);
+    * adaptive re-plans strictly fewer times than the per-epoch oracle —
+      the whole point of the threshold is paying for fewer re-plans.
+    """
+    check = ShapeCheck(artefact="Dynamic scaling")
+    tolerance = 1e-7
+    for label, values in figure.series.items():
+        check.record(
+            f"{label}: every ratio within [0, 1]",
+            all(-tolerance <= v <= 1.0 + tolerance for v in values),
+        )
+    baselines = {round(values[0], 9) for values in figure.series.values()}
+    check.record(
+        "all policies share the epoch-0 baseline ratio", len(baselines) == 1
+    )
+    replans = figure.replans
+    mean_ratios = figure.mean_ratios
+    check.record(
+        f"adaptive mean ratio ({mean_ratios['adaptive']:.3f}) >= "
+        f"static ({mean_ratios['static']:.3f})",
+        mean_ratios["adaptive"] >= mean_ratios["static"] - tolerance,
+    )
+    check.record(
+        f"oracle re-plans most often ({replans['oracle']:.2f})",
+        all(count <= replans["oracle"] for count in replans.values()),
+    )
+    check.record(
+        f"adaptive re-plans ({replans['adaptive']:.2f}) strictly below "
+        f"oracle ({replans['oracle']:.2f})",
+        replans["adaptive"] < replans["oracle"],
+    )
+    check.record(
+        "static never re-plans", replans["static"] == 0.0
+    )
     return check
 
 

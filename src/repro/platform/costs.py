@@ -149,6 +149,21 @@ class LinkCostModel:
         """``recv_{u,v}(size)``."""
         return self.effective_recv(size)
 
+    def scaled(self, factor: float) -> "LinkCostModel":
+        """All three occupations multiplied by ``factor``.
+
+        Scaling ``link``, ``send`` and ``recv`` by the same non-negative
+        factor preserves the dominance invariant ``send, recv <= link``, so
+        the result is always a valid cost model.  This is how dynamic traces
+        model bandwidth drift and congestion: a factor relative to the base
+        cost, never an absolute replacement.
+        """
+        return LinkCostModel(
+            link=self.link.scaled(factor),
+            send=None if self.send is None else self.send.scaled(factor),
+            recv=None if self.recv is None else self.recv.scaled(factor),
+        )
+
     def to_dict(self) -> dict[str, Any]:
         """Serialise to a plain dictionary."""
         return {

@@ -142,6 +142,83 @@ class Platform:
         self._graph.remove_edge(source, target)
         self._invalidate_caches()
 
+    def update_link_costs(
+        self, updates: Mapping[Edge, LinkCostModel]
+    ) -> int:
+        """Replace the cost models of many links in one mutation.
+
+        Trace replay applies a whole window of bandwidth events at once;
+        paying one compiled-cache rebuild per *link* would make the epoch
+        cost quadratic in the event rate.  This entry point validates every
+        update first (unknown edges and non-``LinkCostModel`` values raise
+        before anything is touched), swaps the frozen link records in place
+        and invalidates the derived views **exactly once**: the observable
+        contract is ``mutation_epoch`` delta 1 per non-empty batch, 0 for an
+        empty one.
+
+        Returns the number of links updated.
+        """
+        return self.batch_mutate(costs=updates)
+
+    def batch_mutate(
+        self,
+        *,
+        costs: "Mapping[Edge, LinkCostModel] | None" = None,
+        remove: Iterable[Edge] = (),
+        add: Iterable[Link] = (),
+    ) -> int:
+        """Apply link removals, additions and cost updates as one mutation.
+
+        The general form behind :meth:`update_link_costs`, used by trace
+        replay to fold a window's churn (link removals / re-additions) and
+        bandwidth events into a single ``_invalidate_caches`` call.
+        Operations are validated up front and applied in the order
+        ``remove``, ``add``, ``costs`` — so a cost update may target a link
+        added in the same batch.  Returns the number of operations applied;
+        an empty batch leaves :attr:`mutation_epoch` untouched.
+        """
+        costs = {} if costs is None else dict(costs)
+        remove = list(remove)
+        add = list(add)
+        present = set(self._graph.edges)
+        for u, v in remove:
+            if (u, v) not in present:
+                raise InvalidLinkError(f"no link {u!r} -> {v!r} in {self.name!r}")
+            present.discard((u, v))
+        for link in add:
+            if not isinstance(link, Link):
+                raise InvalidLinkError(
+                    f"batch additions must be Link records, got {type(link).__name__}"
+                )
+            for endpoint in (link.source, link.target):
+                if not self.has_node(endpoint):
+                    raise InvalidLinkError(
+                        f"link endpoint {endpoint!r} is not a node of "
+                        f"platform {self.name!r}"
+                    )
+            present.add((link.source, link.target))
+        for edge, cost in costs.items():
+            if edge not in present:
+                u, v = edge
+                raise InvalidLinkError(f"no link {u!r} -> {v!r} in {self.name!r}")
+            if not isinstance(cost, LinkCostModel):
+                raise InvalidLinkError(
+                    f"cost update for link {edge!r} must be a LinkCostModel, "
+                    f"got {type(cost).__name__}"
+                )
+        applied = len(remove) + len(add) + len(costs)
+        if applied == 0:
+            return 0
+        for u, v in remove:
+            self._graph.remove_edge(u, v)
+        for link in add:
+            self._graph.add_edge(link.source, link.target, record=link)
+        for (u, v), cost in costs.items():
+            data = self._graph.edges[u, v]
+            data["record"] = replace(data["record"], cost=cost)
+        self._invalidate_caches()
+        return applied
+
     def _invalidate_caches(self) -> None:
         """Drop derived views (compiled arrays, reversed platform) on mutation.
 

@@ -1,6 +1,6 @@
 """Shared utilities: deterministic RNG handling, graph helpers, ASCII output."""
 
-from .ascii_plot import ascii_chart, format_series_table, format_table
+from .ascii_plot import ascii_chart, format_series_table, format_table, sparkline
 from .graph_utils import (
     adjacency_from_edges,
     edge_removal_keeps_spanning,
@@ -15,6 +15,7 @@ from .rng import (
     round_robin_chunks,
     sample_positive_normal,
     spawn_generators,
+    spawn_seeds,
 )
 
 __all__ = [
@@ -32,4 +33,6 @@ __all__ = [
     "round_robin_chunks",
     "sample_positive_normal",
     "spawn_generators",
+    "spawn_seeds",
+    "sparkline",
 ]

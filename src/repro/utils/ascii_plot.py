@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_series_table", "ascii_chart"]
+__all__ = ["format_table", "format_series_table", "ascii_chart", "sparkline"]
+
+#: Eight-level bar glyphs used by :func:`sparkline`, lowest to highest.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 
 def format_table(
@@ -65,6 +68,40 @@ def format_series_table(
             row.append(float(values[index]))
         rows.append(row)
     return format_table(headers, rows, float_format=float_format)
+
+
+def sparkline(
+    values: Sequence[float],
+    *,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """One-line block-character sparkline of a series.
+
+    The dynamic CLI summary renders each policy's achieved-vs-bound
+    throughput ratio over time as one of these, so the drift (and the
+    adaptive re-plans recovering from it) can be read off a single line.
+    ``lo``/``hi`` pin the scale — pass ``lo=0.0, hi=1.0`` to make several
+    ratio sparklines comparable; by default the series' own range is used.
+    A flat series renders at the mid level rather than dividing by zero.
+    """
+    if not values:
+        return ""
+    floor = min(values) if lo is None else float(lo)
+    ceiling = max(values) if hi is None else float(hi)
+    if ceiling < floor:
+        raise ValueError(f"hi ({ceiling!r}) must be >= lo ({floor!r})")
+    span = ceiling - floor
+    top = len(SPARK_LEVELS) - 1
+    marks = []
+    for value in values:
+        if span == 0:
+            level = top // 2
+        else:
+            fraction = (float(value) - floor) / span
+            level = round(min(max(fraction, 0.0), 1.0) * top)
+        marks.append(SPARK_LEVELS[level])
+    return "".join(marks)
 
 
 def ascii_chart(

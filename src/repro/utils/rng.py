@@ -20,6 +20,7 @@ __all__ = [
     "as_generator",
     "spawn_generators",
     "derive_seed",
+    "spawn_seeds",
     "hash_stable",
     "sample_positive_normal",
     "round_robin_chunks",
@@ -74,6 +75,24 @@ def derive_seed(seed: int | None, *components: int | str) -> int:
             entropy.append(int(component) % (2**31))
     sequence = np.random.SeedSequence(entropy)
     return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
+def spawn_seeds(
+    master_seed: int | None, count: int, *components: int | str
+) -> list[int]:
+    """Derive ``count`` independent hash-based child seeds from one master.
+
+    Child ``k`` is exactly ``derive_seed(master_seed, *components, k)``, so
+    ensembles indexed by instance keep their historical seed values when
+    migrated onto this helper, and every child is independent of how many
+    siblings exist (growing an ensemble never reshuffles the earlier
+    instances).  Monte-Carlo trace ensembles use the plain two-argument form
+    ``spawn_seeds(master, n)``; the experiment pipelines thread their
+    configuration axes through ``components``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count!r}")
+    return [derive_seed(master_seed, *components, index) for index in range(count)]
 
 
 def hash_stable(text: str) -> int:

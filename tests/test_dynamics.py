@@ -1,0 +1,367 @@
+"""Tests for the dynamic-platform subsystem: traces, replay, adaptive policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamics import (
+    POLICIES,
+    DynamicOutcome,
+    PlatformTrace,
+    TraceReplayer,
+    TraceSpec,
+    generate_trace,
+    replay_tree,
+    run_dynamic,
+)
+from repro.exceptions import ConfigError, InvalidLinkError, PlatformError
+from repro.platform.generators.random_graph import generate_random_platform
+from repro.utils.ascii_plot import SPARK_LEVELS, sparkline
+from repro.utils.rng import derive_seed, spawn_seeds
+
+
+def make_platform(seed: int = 7, num_nodes: int = 12, density: float = 0.3):
+    return generate_random_platform(num_nodes, density, seed=seed)
+
+
+DRIFT_SPEC = TraceSpec(seed=3, horizon=6, drift=0.3, congestion_rate=0.3)
+CHURN_SPEC = TraceSpec(seed=3, horizon=6, drift=0.3, congestion_rate=0.3, churn_rate=0.5)
+
+
+# --------------------------------------------------------------------------- #
+# Trace generation
+# --------------------------------------------------------------------------- #
+class TestTraceGeneration:
+    def test_same_spec_same_platform_bit_identical(self):
+        a = generate_trace(make_platform(), DRIFT_SPEC, protect=(0,))
+        b = generate_trace(make_platform(), DRIFT_SPEC, protect=(0,))
+        assert a == b
+        assert a.to_json() == b.to_json()
+        assert a.trace_key() == b.trace_key()
+
+    def test_different_seed_different_trace(self):
+        platform = make_platform()
+        a = generate_trace(platform, DRIFT_SPEC)
+        b = generate_trace(platform, TraceSpec(seed=4, horizon=6, drift=0.3))
+        assert a != b
+
+    def test_windows_match_horizon(self):
+        trace = generate_trace(make_platform(), DRIFT_SPEC)
+        assert trace.num_windows == DRIFT_SPEC.horizon
+        assert trace.num_events > 0
+
+    def test_json_round_trip(self):
+        trace = generate_trace(make_platform(), CHURN_SPEC, protect=(0,))
+        restored = PlatformTrace.from_json(trace.to_json())
+        assert restored == trace
+        assert restored.trace_key() == trace.trace_key()
+
+    def test_unknown_format_version_rejected(self):
+        trace = generate_trace(make_platform(), DRIFT_SPEC)
+        payload = trace.to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ConfigError, match="version"):
+            PlatformTrace.from_dict(payload)
+        spec_payload = DRIFT_SPEC.to_dict()
+        spec_payload["format_version"] = 99
+        with pytest.raises(ConfigError, match="version"):
+            TraceSpec.from_dict(spec_payload)
+
+    def test_protected_nodes_never_leave(self):
+        trace = generate_trace(make_platform(), CHURN_SPEC, protect=(0,))
+        leavers = {
+            event.node
+            for window in trace.windows
+            for event in window
+            if event.kind == "node-leave"
+        }
+        assert 0 not in leavers
+
+    def test_unknown_protected_node_rejected(self):
+        with pytest.raises(ConfigError, match="not part of"):
+            generate_trace(make_platform(), DRIFT_SPEC, protect=(999,))
+
+    def test_drift_factors_bounded_by_span(self):
+        spec = TraceSpec(seed=1, horizon=10, drift=1.5, drift_span=2.0)
+        trace = generate_trace(make_platform(), spec)
+        factors = [
+            event.factor
+            for window in trace.windows
+            for event in window
+            if event.kind == "link-cost"
+        ]
+        assert factors
+        assert all(1 / 2.0 - 1e-12 <= f <= 2.0 + 1e-12 for f in factors)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"horizon": 0},
+            {"window": 0.0},
+            {"drift": -0.1},
+            {"drift_rho": 1.0},
+            {"drift_span": 1.0},
+            {"congestion_rate": -1.0},
+            {"congestion_factor": 0.5},
+            {"congestion_windows": 0},
+            {"churn_rate": 1.5},
+            {"churn_downtime": 0},
+        ],
+    )
+    def test_spec_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            TraceSpec(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Batched platform mutation (the replay substrate)
+# --------------------------------------------------------------------------- #
+class TestBatchMutate:
+    def test_update_link_costs_bumps_epoch_once(self):
+        platform = make_platform()
+        edges = platform.edges[:4]
+        updates = {
+            edge: platform.link(*edge).cost.scaled(2.0) for edge in edges
+        }
+        before = platform.mutation_epoch
+        assert platform.update_link_costs(updates) == len(edges)
+        assert platform.mutation_epoch == before + 1
+        for edge in edges:
+            assert platform.link(*edge).cost == updates[edge]
+
+    def test_empty_batch_does_not_invalidate(self):
+        platform = make_platform()
+        before = platform.mutation_epoch
+        assert platform.update_link_costs({}) == 0
+        assert platform.batch_mutate() == 0
+        assert platform.mutation_epoch == before
+
+    def test_batch_remove_add_costs_single_epoch(self):
+        platform = make_platform()
+        victim = platform.edges[0]
+        link = platform.link(*victim)
+        survivor = platform.edges[1]
+        new_cost = platform.link(*survivor).cost.scaled(3.0)
+        before = platform.mutation_epoch
+        count = platform.batch_mutate(
+            costs={survivor: new_cost}, remove=[victim]
+        )
+        assert count == 2
+        assert platform.mutation_epoch == before + 1
+        assert not platform.has_link(*victim)
+        assert platform.link(*survivor).cost == new_cost
+        # Re-adding the removed link is one more batch, one more epoch.
+        assert platform.batch_mutate(add=[link]) == 1
+        assert platform.mutation_epoch == before + 2
+        assert platform.has_link(*victim)
+
+    def test_compiled_view_invalidated_exactly_once_per_batch(self):
+        platform = make_platform()
+        compiled = platform.compiled()
+        edge = platform.edges[0]
+        platform.update_link_costs({edge: platform.link(*edge).cost.scaled(2.0)})
+        recompiled = platform.compiled()
+        assert recompiled is not compiled
+        # No further mutation: the compiled view is stable again.
+        assert platform.compiled() is recompiled
+
+    def test_failed_batch_leaves_platform_untouched(self):
+        platform = make_platform()
+        edge = platform.edges[0]
+        good = {edge: platform.link(*edge).cost.scaled(2.0)}
+        before_cost = platform.link(*edge).cost
+        before = platform.mutation_epoch
+        with pytest.raises(InvalidLinkError):
+            platform.batch_mutate(costs={**good, (997, 998): before_cost})
+        assert platform.mutation_epoch == before
+        assert platform.link(*edge).cost == before_cost
+
+    def test_remove_missing_link_rejected(self):
+        platform = make_platform()
+        with pytest.raises(InvalidLinkError):
+            platform.batch_mutate(remove=[(997, 998)])
+
+    def test_cost_for_link_removed_in_same_batch_rejected(self):
+        platform = make_platform()
+        edge = platform.edges[0]
+        cost = platform.link(*edge).cost
+        with pytest.raises(InvalidLinkError):
+            platform.batch_mutate(costs={edge: cost}, remove=[edge])
+
+
+# --------------------------------------------------------------------------- #
+# Replay
+# --------------------------------------------------------------------------- #
+class TestReplay:
+    def test_replayer_copies_platform(self):
+        platform = make_platform()
+        trace = generate_trace(platform, DRIFT_SPEC)
+        replayer = TraceReplayer(platform, trace)
+        epoch = platform.mutation_epoch
+        while not replayer.done:
+            replayer.apply_next_window()
+        assert platform.mutation_epoch == epoch  # pristine platform untouched
+        assert replayer.platform is not platform
+
+    def test_one_epoch_bump_per_window(self):
+        platform = make_platform()
+        trace = generate_trace(platform, CHURN_SPEC, protect=(0,))
+        replayer = TraceReplayer(platform, trace)
+        for window in trace.windows:
+            before = replayer.platform.mutation_epoch
+            applied = replayer.apply_next_window()
+            assert applied == len(window)
+            delta = replayer.platform.mutation_epoch - before
+            assert delta == (1 if window else 0)
+        assert replayer.done
+        with pytest.raises(PlatformError):
+            replayer.apply_next_window()
+
+    def test_replay_series_deterministic(self):
+        platform = make_platform()
+        trace = generate_trace(platform, CHURN_SPEC, protect=(0,))
+        a = replay_tree(make_platform(), trace, source=0)
+        b = replay_tree(platform, trace, source=0)
+        assert a.to_dict() == b.to_dict()
+
+    def test_replay_series_shape(self):
+        platform = make_platform()
+        trace = generate_trace(platform, DRIFT_SPEC)
+        series = replay_tree(platform, trace, source=0)
+        assert len(series.samples) == trace.num_windows + 1
+        assert series.samples[0].time == 0.0
+        assert series.times == tuple(
+            i * DRIFT_SPEC.window for i in range(trace.num_windows + 1)
+        )
+        assert all(bound > 0 for bound in series.bounds)
+        assert all(0.0 <= ratio <= 1.0 + 1e-9 for ratio in series.ratios)
+        assert 0.0 < series.mean_ratio <= 1.0 + 1e-9
+
+    def test_replay_json_round_trip(self):
+        platform = make_platform()
+        trace = generate_trace(platform, DRIFT_SPEC)
+        series = replay_tree(platform, trace, source=0)
+        from repro.dynamics import ReplaySeries
+
+        assert ReplaySeries.from_dict(series.to_dict()) == series
+
+    def test_churn_keeps_bounds_feasible(self):
+        platform = make_platform()
+        trace = generate_trace(platform, CHURN_SPEC, protect=(0,))
+        series = replay_tree(platform, trace, source=0)
+        # Targets shrink to the alive reachable set, so the per-epoch LP
+        # stays feasible and positive throughout the churny trace.
+        assert all(bound > 0 for bound in series.bounds)
+
+
+# --------------------------------------------------------------------------- #
+# Adaptive re-scheduling
+# --------------------------------------------------------------------------- #
+class TestAdaptive:
+    def run(self, spec=DRIFT_SPEC, **kwargs):
+        platform = make_platform()
+        trace = generate_trace(platform, spec, protect=(0,))
+        kwargs.setdefault("threshold", 0.15)
+        kwargs.setdefault("replan_cost", 0.05)
+        return run_dynamic(platform, trace, source=0, **kwargs)
+
+    def test_decision_timeline_deterministic(self):
+        a = self.run()
+        b = self.run()
+        assert a.to_payload() == b.to_payload()
+
+    def test_policies_share_epoch_axis(self):
+        outcome = self.run()
+        horizon = DRIFT_SPEC.horizon
+        assert len(outcome.times) == horizon + 1
+        for policy in POLICIES:
+            timeline = outcome.timeline(policy)
+            assert len(timeline.samples) == horizon + 1
+            assert len(timeline.decisions) == horizon
+            assert timeline.samples[0].ratio == outcome.timeline("static").samples[0].ratio
+
+    def test_static_never_oracle_always(self):
+        outcome = self.run()
+        assert outcome.timeline("static").replans == 0
+        assert outcome.timeline("oracle").replans == DRIFT_SPEC.horizon
+
+    def test_adaptive_beats_static_and_underplans_oracle(self):
+        outcome = self.run()
+        adaptive = outcome.timeline("adaptive")
+        static = outcome.timeline("static")
+        oracle = outcome.timeline("oracle")
+        assert adaptive.mean_ratio >= static.mean_ratio - 1e-9
+        assert adaptive.replans < oracle.replans
+
+    def test_ratios_within_unit_interval(self):
+        outcome = self.run(spec=CHURN_SPEC)
+        for policy in POLICIES:
+            assert all(
+                -1e-9 <= ratio <= 1.0 + 1e-9
+                for ratio in outcome.timeline(policy).ratios
+            )
+
+    def test_payload_round_trip(self):
+        outcome = self.run()
+        restored = DynamicOutcome.from_payload(outcome.to_payload())
+        assert restored.to_payload() == outcome.to_payload()
+
+    def test_subset_of_policies(self):
+        outcome = self.run(policies=("static", "adaptive"))
+        assert sorted(outcome.timelines) == ["adaptive", "static"]
+        with pytest.raises(ConfigError, match="no timeline"):
+            outcome.timeline("oracle")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown policies"):
+            self.run(policies=("static", "nonsense"))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="threshold"):
+            self.run(threshold=0.0)
+        with pytest.raises(ConfigError, match="replan_cost"):
+            self.run(replan_cost=1.0)
+        with pytest.raises(ConfigError, match="at least one policy"):
+            self.run(policies=())
+
+
+# --------------------------------------------------------------------------- #
+# Satellites: seed spawning and sparklines
+# --------------------------------------------------------------------------- #
+class TestSpawnSeeds:
+    def test_matches_derive_seed_elementwise(self):
+        seeds = spawn_seeds(123, 5, "trace", 7)
+        assert seeds == [derive_seed(123, "trace", 7, i) for i in range(5)]
+
+    def test_children_distinct(self):
+        seeds = spawn_seeds(0, 64)
+        assert len(set(seeds)) == 64
+
+    def test_component_sensitivity(self):
+        assert spawn_seeds(0, 3, "a") != spawn_seeds(0, 3, "b")
+        assert spawn_seeds(0, 3) != spawn_seeds(1, 3)
+
+    def test_count_validation(self):
+        assert spawn_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_levels(self):
+        marks = sparkline([0.0, 0.5, 1.0], lo=0.0, hi=1.0)
+        assert marks == SPARK_LEVELS[0] + SPARK_LEVELS[4] + SPARK_LEVELS[-1]
+
+    def test_flat_series_renders_mid(self):
+        assert sparkline([2.0, 2.0, 2.0]) == SPARK_LEVELS[3] * 3
+
+    def test_values_clamped_to_scale(self):
+        marks = sparkline([-1.0, 2.0], lo=0.0, hi=1.0)
+        assert marks == SPARK_LEVELS[0] + SPARK_LEVELS[-1]
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], lo=1.0, hi=0.0)

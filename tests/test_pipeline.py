@@ -139,6 +139,15 @@ class TestCacheKey:
             "collective_density": 0.25,
             "collective_target_counts": (3, 9),
             "collective_instances": 2,
+            "dynamic_nodes": 12,
+            "dynamic_density": 0.35,
+            "dynamic_seeds": 3,
+            "dynamic_horizon": 6,
+            "dynamic_drift": 0.25,
+            "dynamic_congestion": 0.3,
+            "dynamic_churn": 0.1,
+            "dynamic_threshold": 0.2,
+            "dynamic_replan_cost": 0.1,
             "extra": {"note": "changed"},
         }
         assert set(overrides) == {f.name for f in fields(tiny_parameters)}
